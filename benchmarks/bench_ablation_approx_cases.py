@@ -1,0 +1,67 @@
+"""Ablation: which approx cases actually fire during an RSA attack.
+
+Section V argues the RSA kernel may omit Cases 1-3 entirely because
+early-terminating runs keep both operands above s/2 bits.  This ablation
+measures the case histogram with and without early termination, plus the
+even->odd quotient-adjustment frequency that motivates the `Q - 1` trick.
+"""
+
+from collections import Counter
+
+from conftest import BENCH_PAIRS, BENCH_SIZES, moduli_pairs
+
+from repro.gcd.reference import GcdStats, gcd_approx
+
+# Section V's "only Case 4 fires" needs the early-terminate floor (s/2 bits)
+# to exceed two machine words (2d = 64 bits), i.e. s > 128: pick the first
+# configured size above that.
+BITS = next((b for b in BENCH_SIZES if b > 128), max(BENCH_SIZES))
+
+
+def _histogram(early: bool) -> tuple[Counter, GcdStats]:
+    total = GcdStats()
+    for a, b in moduli_pairs(BITS, BENCH_PAIRS):
+        stats = GcdStats()
+        gcd_approx(a, b, d=32, stop_bits=BITS // 2 if early else None, stats=stats)
+        total.merge(stats)
+    return total.case_counts, total
+
+
+def test_case_histogram(report):
+    lines = ["", f"== Ablation: approx case frequencies ({BITS}-bit moduli) =="]
+    for early in (True, False):
+        counts, total = _histogram(early)
+        n = sum(counts.values())
+        label = "early-terminate" if early else "non-terminate"
+        row = "  ".join(f"{c}:{counts.get(c, 0) / n:.2%}" for c in
+                        ("1", "2-A", "2-B", "3-A", "3-B", "4-A", "4-B", "4-C"))
+        lines.append(f"{label:<16} {row}")
+        if early:
+            # Section V: the RSA kernel never leaves Case 4 (valid because
+            # BITS // 2 > 2 words; at s = 128 exactly, Case 3 legitimately
+            # fires — the claim is about the paper's 512+-bit sizes)
+            assert counts.get("1", 0) == 0
+            assert counts.get("2-A", 0) == counts.get("2-B", 0) == 0
+            assert counts.get("3-A", 0) == counts.get("3-B", 0) == 0
+            assert counts.get("4-A", 0) / n > 0.5  # the dominant generic case
+        else:
+            # the full descent must visit the small-operand endgame
+            assert counts.get("1", 0) > 0
+    report(*lines)
+
+
+def test_quotient_adjustment_rate(report):
+    _, total = _histogram(True)
+    rate = total.quotient_adjustments / total.iterations
+    # about half of all quotients are even and need the -1 adjustment
+    assert 0.3 < rate < 0.7
+    report(f"even->odd quotient adjustments: {rate:.1%} of iterations")
+
+
+def test_bench_stats_collection_overhead(benchmark):
+    a, b = moduli_pairs(BITS, 1)[0]
+
+    def run():
+        return gcd_approx(a, b, d=32, stop_bits=BITS // 2, stats=GcdStats())
+
+    assert benchmark(run) == 1

@@ -1,0 +1,43 @@
+"""Ablation: the Section VI group size r (block geometry / batch size).
+
+The paper fixes r = 64 threads per block with 64 pairs per thread.  In the
+bulk engine r sets the batch size (r² pairs per block); too small starves
+the vector units, too large only adds memory pressure.  This sweep measures
+attack throughput across r and checks results never change.
+"""
+
+import time
+
+from conftest import weak_corpus
+
+from repro.core.attack import find_shared_primes
+
+BITS = 128
+M = 96
+
+
+def test_group_size_sweep(report):
+    corpus = weak_corpus(M, BITS, groups=(2, 2))
+    expected = corpus.weak_pair_set()
+    lines = ["", f"== Ablation: group size r (m={M}, {BITS}-bit) =="]
+    lines.append(f"{'r':>6} {'blocks':>8} {'us/GCD':>10}")
+    throughput = {}
+    for r in (4, 16, 48, 96):
+        t0 = time.perf_counter()
+        rep = find_shared_primes(corpus.moduli, backend="bulk", group_size=r)
+        dt = time.perf_counter() - t0
+        assert rep.hit_pairs == expected
+        throughput[r] = dt * 1e6 / rep.pairs_tested
+        lines.append(f"{r:>6} {rep.blocks:>8} {throughput[r]:>10.1f}")
+    lines.append("larger blocks amortise per-batch overhead (up to working-set limits)")
+    report(*lines)
+    # batching must help: the largest group size beats the smallest
+    assert throughput[96] < throughput[4]
+
+
+def test_bench_attack_end_to_end(benchmark):
+    corpus = weak_corpus(48, BITS, groups=(2,))
+    rep = benchmark(
+        find_shared_primes, corpus.moduli, backend="bulk", group_size=48
+    )
+    assert rep.hit_pairs == corpus.weak_pair_set()

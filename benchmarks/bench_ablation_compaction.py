@@ -1,0 +1,59 @@
+"""Ablation: lane compaction in the bulk engine.
+
+Lanes finish at different iterations; without compaction the vector kernels
+keep processing retired columns as dead weight.  Compaction (drop finished
+columns once fewer than half remain) is the software analogue of finished
+CUDA blocks releasing their SM.  Results are bit-identical; only time
+changes — most on *non*-terminating runs, whose long single-lane tails are
+pure waste otherwise.
+"""
+
+import time
+
+from conftest import BENCH_SIZES, moduli_pairs
+
+from repro.bulk.engine import BulkGcdEngine
+
+BITS = BENCH_SIZES[min(1, len(BENCH_SIZES) - 1)]
+
+
+def _workload(n):
+    base = moduli_pairs(BITS, 32)
+    out = []
+    while len(out) < n:
+        out.extend(base)
+    return out[:n]
+
+
+def test_compaction_speed_and_equivalence(report):
+    pairs = _workload(2048)
+    engine = BulkGcdEngine()
+    lines = ["", f"== Ablation: bulk lane compaction ({BITS}-bit, {len(pairs)} pairs) =="]
+    for label, stop in (("early-terminate", BITS // 2), ("non-terminate", None)):
+        t0 = time.perf_counter()
+        plain = engine.run_pairs(pairs, stop_bits=stop)
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        compact = engine.run_pairs(pairs, stop_bits=stop, compact=True)
+        t_compact = time.perf_counter() - t0
+        assert plain.gcds == compact.gcds
+        assert plain.loop_trips == compact.loop_trips
+        lines.append(
+            f"{label:<16} plain {t_plain * 1e6 / len(pairs):7.1f} us/gcd, "
+            f"compact {t_compact * 1e6 / len(pairs):7.1f} us/gcd "
+            f"({t_plain / t_compact:4.2f}x)"
+        )
+    report(*lines)
+
+
+def test_bench_compacted_run(benchmark):
+    pairs = _workload(1024)
+    engine = BulkGcdEngine()
+    r = benchmark.pedantic(
+        engine.run_pairs,
+        args=(pairs,),
+        kwargs={"stop_bits": BITS // 2, "compact": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(r.gcds) == len(pairs)

@@ -1,0 +1,69 @@
+"""Ablation: Approximate Euclid vs Lehmer's algorithm.
+
+Both exploit leading words; they sit at opposite ends of a spectrum.
+Approximate Euclid spends one cheap division per iteration and keeps every
+iteration branch-light (SIMT-friendly); Lehmer batches a word's worth of
+quotients per multiword pass but pays four multiword multiplies and a
+branchy certainty loop per batch (CPU-friendly, SIMT-hostile).  This
+ablation measures both on identical RSA workloads.
+"""
+
+import time
+
+from conftest import BENCH_PAIRS, BENCH_SIZES, moduli_pairs
+
+from repro.gcd.lehmer import LehmerStats, gcd_lehmer
+from repro.gcd.reference import GcdStats, gcd_approx
+
+
+def test_pass_and_time_comparison(report):
+    lines = ["", "== Ablation: Approximate Euclid vs Lehmer =="]
+    lines.append(
+        f"{'bits':>6} {'E iters':>9} {'L passes':>9} {'E us/gcd':>10} {'L us/gcd':>10}"
+    )
+    for bits in BENCH_SIZES:
+        pairs = moduli_pairs(bits, min(BENCH_PAIRS, 20))
+        stop = bits // 2
+
+        es = GcdStats()
+        t0 = time.perf_counter()
+        for a, b in pairs:
+            gcd_approx(a, b, d=32, stop_bits=stop, stats=es)
+        t_e = (time.perf_counter() - t0) * 1e6 / len(pairs)
+
+        ls = LehmerStats()
+        t0 = time.perf_counter()
+        for a, b in pairs:
+            gcd_lehmer(a, b, d=32, stop_bits=stop, stats=ls)
+        t_l = (time.perf_counter() - t0) * 1e6 / len(pairs)
+
+        e_iters = es.iterations / len(pairs)
+        l_passes = ls.passes / len(pairs)
+        lines.append(f"{bits:>6} {e_iters:>9.1f} {l_passes:>9.1f} {t_e:>10.1f} {t_l:>10.1f}")
+        # Lehmer's batching shrinks multiword passes by roughly a factor d/2
+        assert l_passes * 4 < e_iters
+    lines.append("Lehmer wins scalar CPU time via batching; its certainty loop is the")
+    lines.append("branch-divergent control flow the paper's SIMT kernel cannot afford.")
+    report(*lines)
+
+
+def test_bench_lehmer(benchmark):
+    bits = BENCH_SIZES[-1]
+    pairs = moduli_pairs(bits, 8)
+
+    def run():
+        for a, b in pairs:
+            gcd_lehmer(a, b, d=32, stop_bits=bits // 2)
+
+    benchmark(run)
+
+
+def test_bench_approx_same_workload(benchmark):
+    bits = BENCH_SIZES[-1]
+    pairs = moduli_pairs(bits, 8)
+
+    def run():
+        for a, b in pairs:
+            gcd_approx(a, b, d=32, stop_bits=bits // 2)
+
+    benchmark(run)

@@ -1,0 +1,50 @@
+"""Section V: the probability that approx returns β > 0.
+
+The paper counts 1191 non-zero β out of ~2.0e11 approx calls at d = 32
+(probability < 1e-8).  A laptop-scale run cannot witness events that rare,
+so we sweep the word size: the β > 0 probability grows as d shrinks
+(roughly like 2^-d), making the rare branch observable at d = 4..8 and its
+extinction visible by d = 32.
+"""
+
+import pytest
+from conftest import BENCH_PAIRS, BENCH_SIZES, moduli_pairs
+
+from repro.gcd.census import beta_probability_census
+
+BITS = BENCH_SIZES[min(1, len(BENCH_SIZES) - 1)]
+
+
+def test_beta_rate_vs_word_size(report):
+    pairs = moduli_pairs(BITS, BENCH_PAIRS)
+    lines = ["", f"== Section V: P(beta > 0) vs word size d ({BITS}-bit moduli) =="]
+    rates = {}
+    for d in (4, 6, 8, 12, 16, 32):
+        res = beta_probability_census(pairs, d=d)
+        rates[d] = res.beta_nonzero_rate
+        lines.append(
+            f"d={d:>2}: {res.beta_nonzero:>6} of {res.approx_calls:>8} calls "
+            f"({res.beta_nonzero_rate:.2e})"
+        )
+    lines.append("paper (d=32, 2.0e11 calls): 1191 events, rate < 1e-8")
+    report(*lines)
+    # observable at small d, vanishing at large d
+    assert rates[4] > 0
+    assert rates[4] > rates[8] >= rates[16] >= rates[32]
+    assert rates[32] < 1e-3
+
+
+def test_beta_steps_stay_correct(report):
+    # at d=4 the beta>0 branch fires often; the census only terminates with
+    # the right GCD (=1 for coprime moduli) if that branch is correct
+    pairs = moduli_pairs(BITS, min(BENCH_PAIRS, 10))
+    res = beta_probability_census(pairs, d=4)
+    assert res.beta_nonzero > 0
+    report(f"beta>0 exercised {res.beta_nonzero} times at d=4 with correct results")
+
+
+@pytest.mark.parametrize("d", [4, 32])
+def test_bench_census_by_word_size(benchmark, d):
+    pairs = moduli_pairs(BITS, 5)
+    res = benchmark(beta_probability_census, pairs, d=d)
+    assert res.pairs == 5

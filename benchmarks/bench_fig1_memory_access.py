@@ -1,0 +1,112 @@
+"""Figure 1 / Section IV: word accesses per iteration of the fused kernels.
+
+The paper's layout (Figure 1) lets each iteration run in ``3·s/d + O(1)``
+word accesses (read X, read Y, write X once per word), rising to
+``4·s/d + O(1)`` only in the rare ``β > 0`` iteration.  This bench measures
+the actual per-iteration access counts of the instrumented word kernels and
+checks them against the bound.
+"""
+
+import statistics
+
+import pytest
+from conftest import BENCH_SIZES, moduli_pairs
+
+from repro.gcd.word import gcd_approx_words, gcd_fast_binary_words
+from repro.mp.memlog import CountingMemLog
+from repro.mp.wordint import WordInt
+from repro.util.bits import word_count
+
+D = 32
+SLACK = 8  # the O(1) constant: approx reads + compare reads
+
+
+def _measure(algorithm_fn, bits, n_pairs=4):
+    pairs = moduli_pairs(bits, n_pairs)
+    words = word_count(pairs[0][0], D)
+    per_iteration = []
+    for a, b in pairs:
+        cap = max(word_count(a, D), word_count(b, D))
+        log = CountingMemLog()
+        xw = WordInt.from_int(a, D, capacity=cap, name="X")
+        yw = WordInt.from_int(b, D, capacity=cap, name="Y")
+        algorithm_fn(xw, yw, log=log, stop_bits=bits // 2)
+        per_iteration.extend(log.per_iteration)
+    return words, per_iteration
+
+
+@pytest.mark.parametrize("bits", BENCH_SIZES)
+def test_access_counts_vs_bound(report, bits):
+    words, counts = _measure(gcd_approx_words, bits)
+    mean = statistics.fmean(counts)
+    # every iteration within 4*(s/d)+O(1); nearly all within 3*(s/d)+O(1)
+    assert max(counts) <= 4 * words + SLACK
+    within3 = sum(1 for c in counts if c <= 3 * words + SLACK) / len(counts)
+    assert within3 > 0.99
+    report(
+        f"Fig.1 approx {bits}-bit (s/d={words}): mean accesses/iter {mean:.1f}, "
+        f"bound 3(s/d)+O(1) = {3 * words}+{SLACK}; "
+        f"{within3:.1%} of iterations within the 3-pass bound"
+    )
+
+
+def test_mean_accesses_decrease_as_operands_shrink(report):
+    # the fused passes walk only the significant words, so late iterations
+    # are cheaper — the register-tracked l_X at work
+    bits = BENCH_SIZES[-1]
+    pairs = moduli_pairs(bits, 2)
+    a, b = pairs[0]
+    cap = word_count(a, D)
+    log = CountingMemLog()
+    xw = WordInt.from_int(a, D, capacity=cap, name="X")
+    yw = WordInt.from_int(b, D, capacity=cap, name="Y")
+    gcd_approx_words(xw, yw, log=log)  # run to completion (no early stop)
+    first = statistics.fmean(log.per_iteration[:10])
+    last = statistics.fmean(log.per_iteration[-10:])
+    assert last < first
+    report(f"accesses/iter decay {first:.1f} -> {last:.1f} over one full run")
+
+
+def test_fast_binary_stays_in_three_pass_bound(report):
+    bits = BENCH_SIZES[0]
+    words, counts = _measure(gcd_fast_binary_words, bits)
+    assert max(counts) <= 3 * words + SLACK
+    report(f"Fig.1 fast-binary {bits}-bit: max accesses/iter {max(counts)} "
+           f"<= {3 * words}+{SLACK}")
+
+
+def test_division_algorithms_cost_more(report):
+    # the motivation for approx: exact quotients (Algorithm D) need
+    # normalisation + per-digit multiply-subtract passes
+    from repro.gcd.word import gcd_fast_words, gcd_original_words
+
+    bits = BENCH_SIZES[-1]
+    lines = ["", f"== Fig.1 extension: accesses/iteration by algorithm ({bits}-bit) =="]
+    rows = {}
+    for name, fn in (
+        ("(A) original (Algorithm D)", gcd_original_words),
+        ("(B) fast (Algorithm D)", gcd_fast_words),
+        ("(D) fast binary (fused)", gcd_fast_binary_words),
+        ("(E) approx (fused)", gcd_approx_words),
+    ):
+        words, counts = _measure(fn, bits)
+        rows[name] = statistics.fmean(counts)
+        lines.append(f"{name:<28} {rows[name]:8.1f}  (s/d = {words})")
+    lines.append("fused one-pass updates beat division on traffic; division's")
+    lines.append("bigger cost — per-digit trial/correct compute — shows in Table V")
+    report(*lines)
+    assert rows["(E) approx (fused)"] < rows["(B) fast (Algorithm D)"]
+    assert rows["(E) approx (fused)"] <= rows["(A) original (Algorithm D)"]
+
+
+def test_bench_instrumented_run(benchmark):
+    bits = BENCH_SIZES[0]
+    a, b = moduli_pairs(bits, 1)[0]
+    cap = word_count(a, D)
+
+    def run():
+        xw = WordInt.from_int(a, D, capacity=cap, name="X")
+        yw = WordInt.from_int(b, D, capacity=cap, name="Y")
+        return gcd_approx_words(xw, yw, log=CountingMemLog(), stop_bits=bits // 2)
+
+    assert benchmark(run) == 1

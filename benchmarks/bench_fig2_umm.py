@@ -1,0 +1,55 @@
+"""Figure 2 + Theorem 1: the UMM memory model, measured.
+
+Regenerates the Figure 2 worked example (two warps spanning 3 + 1 address
+groups complete in 8 time units at w=4, l=5) and validates Theorem 1's
+closed form ``(p/w + l − 1)·t`` against the cycle-level simulator across a
+parameter sweep, then times the simulator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.umm import UMM, theorem1_time
+
+
+def test_figure2_example(report):
+    r = UMM(width=4, latency=5).simulate_figure2_example()
+    assert r.total_time == 8
+    report(
+        "",
+        "== Figure 2: UMM (w=4, l=5) worked example ==",
+        f"W(0) -> 3 address groups, W(1) -> 1: total {r.total_time} time units "
+        "(paper: 3 + 1 + 5 - 1 = 8)",
+    )
+
+
+def _coalesced_matrix(p, t):
+    return np.vstack([step * p + np.arange(p) for step in range(t)]).astype(np.int64)
+
+
+@pytest.mark.parametrize("w", [4, 16, 32])
+@pytest.mark.parametrize("l", [2, 16, 100])
+def test_theorem1_sweep(report, w, l):
+    p, t = 4 * w, 12
+    measured = UMM(width=w, latency=l).simulate(_coalesced_matrix(p, t)).total_time
+    predicted = theorem1_time(p, w, l, t)
+    assert measured == predicted
+    report(f"Theorem 1: p={p:>4} w={w:>3} l={l:>4} t={t}: measured {measured} == closed form")
+
+
+def test_theorem1_is_tight_lower_bound(report):
+    # any non-coalesced matrix of the same shape takes strictly longer
+    p, w, l, t = 32, 8, 10, 6
+    coalesced = _coalesced_matrix(p, t)
+    scattered = np.vstack([np.arange(p) * 64 + step for step in range(t)]).astype(np.int64)
+    tc = UMM(width=w, latency=l).simulate(coalesced).total_time
+    ts = UMM(width=w, latency=l).simulate(scattered).total_time
+    assert tc == theorem1_time(p, w, l, t) < ts
+    report(f"tightness: coalesced {tc} < scattered {ts} time units")
+
+
+def test_bench_umm_simulation(benchmark):
+    m = _coalesced_matrix(256, 64)
+    umm = UMM(width=32, latency=16)
+    r = benchmark(umm.simulate, m)
+    assert r.coalesced_fraction == 1.0

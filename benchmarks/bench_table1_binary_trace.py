@@ -1,0 +1,45 @@
+"""Table I: Binary vs Fast Binary Euclid on the paper's worked example.
+
+Regenerates the table's row structure (operand states per iteration) and
+its headline numbers — 24 iterations for Binary, 16 for Fast Binary, GCD
+0101 (5) — and times both algorithms on the example pair.
+"""
+
+from conftest import PAPER_X, PAPER_Y
+
+from repro.gcd.trace import format_binary_grouped, trace_binary, trace_fast_binary
+
+
+def test_table1_rows(report):
+    tb = trace_binary(PAPER_X, PAPER_Y)
+    tf = trace_fast_binary(PAPER_X, PAPER_Y)
+    assert (tb.iterations, tf.iterations, tb.gcd, tf.gcd) == (24, 16, 5, 5)
+    lines = [
+        "",
+        "== Table I: Binary vs Fast Binary Euclidean algorithm ==",
+        f"{'':>4} {'Binary (X / Y)':<52} {'Fast Binary (X / Y)':<52}",
+    ]
+    for k in range(max(tb.iterations, tf.iterations)):
+        left = right = ""
+        if k < tb.iterations:
+            s = tb.steps[k]
+            left = f"{format_binary_grouped(s.x)} / {format_binary_grouped(s.y)}"
+        if k < tf.iterations:
+            s = tf.steps[k]
+            right = f"{format_binary_grouped(s.x)} / {format_binary_grouped(s.y)}"
+        lines.append(f"{k + 1:>4} {left:<52} {right:<52}")
+    lines.append(
+        f"iterations: binary={tb.iterations} (paper: 24), "
+        f"fast binary={tf.iterations} (paper: 16); gcd={tb.gcd} (paper: 0101=5)"
+    )
+    report(*lines)
+
+
+def test_bench_binary_trace(benchmark):
+    r = benchmark(trace_binary, PAPER_X, PAPER_Y)
+    assert r.gcd == 5
+
+
+def test_bench_fast_binary_trace(benchmark):
+    r = benchmark(trace_fast_binary, PAPER_X, PAPER_Y)
+    assert r.gcd == 5

@@ -1,0 +1,46 @@
+"""Table II: Original vs Fast Euclid on the paper's worked example.
+
+Regenerates the X/Y/Q rows — 11 iterations with quotients
+1,2,1,3,1,10,1,83,1,4,2 for Original; 8 iterations with adjusted quotients
+1,43,9,11,1,1,1,5 for Fast — and times both algorithms.
+"""
+
+from conftest import PAPER_X, PAPER_Y
+
+from repro.gcd.trace import format_binary_grouped, trace_fast, trace_original
+
+
+def test_table2_rows(report):
+    ta = trace_original(PAPER_X, PAPER_Y)
+    tb = trace_fast(PAPER_X, PAPER_Y)
+    assert ta.iterations == 11 and tb.iterations == 8
+    assert [s.q for s in ta.steps] == [1, 2, 1, 3, 1, 10, 1, 83, 1, 4, 2]
+    assert [s.q for s in tb.steps] == [1, 43, 9, 11, 1, 1, 1, 5]
+    lines = [
+        "",
+        "== Table II: Original vs Fast Euclidean algorithm ==",
+        f"{'':>4} {'Original X / Y':<47} {'Q':>4}   {'Fast X / Y':<42} {'Q':>4}",
+    ]
+    for k in range(max(ta.iterations, tb.iterations)):
+        la = qa = lb = qb = ""
+        if k < ta.iterations:
+            s = ta.steps[k]
+            la, qa = f"{format_binary_grouped(s.x)} / {format_binary_grouped(s.y)}", s.q
+        if k < tb.iterations:
+            s = tb.steps[k]
+            lb, qb = f"{format_binary_grouped(s.x)} / {format_binary_grouped(s.y)}", s.q
+        lines.append(f"{k + 1:>4} {la:<47} {qa!s:>4}   {lb:<42} {qb!s:>4}")
+    lines.append(
+        f"iterations: original={ta.iterations} (paper: 11), fast={tb.iterations} (paper: 8)"
+    )
+    report(*lines)
+
+
+def test_bench_original_trace(benchmark):
+    r = benchmark(trace_original, PAPER_X, PAPER_Y)
+    assert r.gcd == 5
+
+
+def test_bench_fast_trace(benchmark):
+    r = benchmark(trace_fast, PAPER_X, PAPER_Y)
+    assert r.gcd == 5

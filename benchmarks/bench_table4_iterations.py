@@ -1,0 +1,74 @@
+"""Table IV: mean iteration counts of algorithms (A)-(E) over RSA moduli.
+
+Regenerates both halves of the table (non-terminate and early-terminate)
+for each configured modulus size, including the (E)−(B) row showing the
+approximate quotient costs essentially nothing.  Paper reference values
+(10 000 pairs): e.g. 1024-bit non-terminate — A 598.4, B 380.8, C 1445.1,
+D 723.6, E 380.8; early-terminate halves everything.
+
+Scale with REPRO_BENCH_PAIRS / REPRO_BENCH_SIZES.
+"""
+
+import pytest
+from conftest import BENCH_PAIRS, BENCH_SIZES, moduli_pairs
+
+from repro.gcd.census import iteration_census, run_all_algorithms
+
+#: per-bit iteration constants implied by the paper's Table IV
+PAPER_PER_BIT = {"A": 0.584, "B": 0.372, "C": 1.412, "D": 0.706, "E": 0.372}
+
+
+def test_table4_grid(report):
+    lines = ["", f"== Table IV: mean iterations per GCD ({BENCH_PAIRS} pairs/size; paper: 10000) =="]
+    header = f"{'algorithm':<38}" + "".join(f"{b:>10}" for b in BENCH_SIZES)
+    for early in (False, True):
+        label = "early-terminate" if early else "non-terminate"
+        lines.append(f"-- {label} --")
+        lines.append(header)
+        grids = {
+            bits: run_all_algorithms(
+                moduli_pairs(bits, BENCH_PAIRS), early_terminate=early, bits=bits
+            )
+            for bits in BENCH_SIZES
+        }
+        names = {
+            "A": "(A) Original Euclidean",
+            "B": "(B) Fast Euclidean",
+            "C": "(C) Binary Euclidean",
+            "D": "(D) Fast Binary Euclidean",
+            "E": "(E) Approximate Euclidean",
+        }
+        for letter, name in names.items():
+            row = "".join(f"{grids[b][letter].mean_iterations:>10.1f}" for b in BENCH_SIZES)
+            lines.append(f"{name:<38}{row}")
+        diff_row = "".join(
+            f"{grids[b]['E'].mean_iterations - grids[b]['B'].mean_iterations:>10.4f}"
+            for b in BENCH_SIZES
+        )
+        lines.append(f"{'(E) - (B)':<38}{diff_row}")
+
+        # shape assertions (the paper's qualitative claims)
+        for bits in BENCH_SIZES:
+            g = grids[bits]
+            assert g["C"].mean_iterations > g["D"].mean_iterations > g["B"].mean_iterations
+            rel = abs(g["E"].mean_iterations - g["B"].mean_iterations) / g["B"].mean_iterations
+            assert rel < 0.01, f"(E) vs (B) diverged by {rel:.2%} at {bits} bits"
+    report(*lines)
+
+
+@pytest.mark.parametrize("bits", BENCH_SIZES)
+def test_iterations_scale_linearly(bits, report):
+    # Table IV observation 2: iteration count proportional to modulus length
+    res = iteration_census(moduli_pairs(bits, BENCH_PAIRS), "E", bits=bits)
+    per_bit = res.mean_iterations / bits
+    assert per_bit == pytest.approx(PAPER_PER_BIT["E"], rel=0.08)
+    report(f"(E) {bits}-bit: {res.mean_iterations:.1f} iters = {per_bit:.3f}/bit "
+           f"(paper: {PAPER_PER_BIT['E']}/bit)")
+
+
+@pytest.mark.parametrize("letter", ["A", "B", "C", "D", "E"])
+def test_bench_census(benchmark, letter):
+    bits = BENCH_SIZES[0]
+    pairs = moduli_pairs(bits, min(BENCH_PAIRS, 10))
+    res = benchmark(iteration_census, pairs, letter, early_terminate=True, bits=bits)
+    assert res.pairs == len(pairs)

@@ -1,0 +1,158 @@
+"""Table V: time per GCD and the CPU/GPU ratio, algorithms (C), (D), (E).
+
+The paper measures a Xeon X7460 against a GeForce GTX 780 Ti over all
+1.34e8 pairs of 16K moduli.  Offline we substitute (see DESIGN.md):
+
+* **CPU (int)**   — the Python-bigint scalar reference, the practical
+  sequential baseline;
+* **CPU (word)**  — the same d=32 word-level kernel the GPU analog runs,
+  executed serially: the architecturally faithful CPU side;
+* **GPU (bulk)**  — the NumPy SIMT engine, one lane per pair.
+
+Expected shape (the paper's): (E) < (D) < (C) on every device; the bulk
+engine beats the serial word kernel by a wide factor (its "CPU/GPU" ratio),
+and Binary (C) shows the worst bulk ratio because its three-way branch
+serializes.  Absolute microseconds are not comparable to the paper's
+hardware numbers; EXPERIMENTS.md tabulates both.
+
+Scale with REPRO_BENCH_BULK / REPRO_BENCH_SIZES.
+"""
+
+import time
+
+import pytest
+from conftest import BENCH_BULK, BENCH_SIZES, moduli_pairs
+
+from repro.bulk.engine import BulkGcdEngine
+from repro.gcd.reference import gcd_approx, gcd_binary, gcd_fast_binary
+from repro.gcd.word import gcd_approx_words, gcd_binary_words, gcd_fast_binary_words
+from repro.mp.wordint import WordInt
+from repro.util.bits import word_count
+
+ALGS = [("C", "binary"), ("D", "fast_binary"), ("E", "approx")]
+_INT_FNS = {"binary": gcd_binary, "fast_binary": gcd_fast_binary, "approx": gcd_approx}
+_WORD_FNS = {
+    "binary": gcd_binary_words,
+    "fast_binary": gcd_fast_binary_words,
+    "approx": gcd_approx_words,
+}
+
+
+def _us_per_gcd_int(pairs, algorithm, stop_bits):
+    fn = _INT_FNS[algorithm]
+    t0 = time.perf_counter()
+    for a, b in pairs:
+        if algorithm == "approx":
+            fn(a, b, d=32, stop_bits=stop_bits)
+        else:
+            fn(a, b, stop_bits=stop_bits)
+    return (time.perf_counter() - t0) * 1e6 / len(pairs)
+
+
+def _us_per_gcd_word(pairs, algorithm, stop_bits, d=32):
+    fn = _WORD_FNS[algorithm]
+    cap = max(word_count(max(a, b), d) for a, b in pairs)
+    t0 = time.perf_counter()
+    for a, b in pairs:
+        xw = WordInt.from_int(a, d, capacity=cap, name="X")
+        yw = WordInt.from_int(b, d, capacity=cap, name="Y")
+        fn(xw, yw, stop_bits=stop_bits)
+    return (time.perf_counter() - t0) * 1e6 / len(pairs)
+
+
+def _us_per_gcd_bulk(pairs, algorithm, stop_bits):
+    engine = BulkGcdEngine(d=32, algorithm=algorithm)
+    t0 = time.perf_counter()
+    engine.run_pairs(list(pairs), stop_bits=stop_bits)
+    return (time.perf_counter() - t0) * 1e6 / len(pairs)
+
+
+def _bulk_workload(bits, n):
+    base = moduli_pairs(bits, max(2, min(64, n // 4)))
+    out = []
+    while len(out) < n:
+        out.extend(base)
+    return out[:n]
+
+
+@pytest.mark.parametrize("early", [True, False], ids=["early-terminate", "non-terminate"])
+def test_table5_grid(report, early):
+    label = "early-terminate" if early else "non-terminate"
+    lines = ["", f"== Table V ({label}): time per GCD in microseconds =="]
+    lines.append(
+        f"{'alg':<18}" + "".join(f"{b:>11}" for b in BENCH_SIZES) + "   (modulus bits)"
+    )
+    results = {}
+    for device, runner, n_pairs in (
+        ("CPU (int)", _us_per_gcd_int, 24),
+        ("CPU (word)", _us_per_gcd_word, 4),
+        ("GPU (bulk)", _us_per_gcd_bulk, BENCH_BULK),
+    ):
+        lines.append(f"-- {device} --")
+        for letter, algorithm in ALGS:
+            row = []
+            for bits in BENCH_SIZES:
+                stop = bits // 2 if early else None
+                if device == "GPU (bulk)":
+                    pairs = _bulk_workload(bits, n_pairs)
+                else:
+                    pairs = moduli_pairs(bits, n_pairs)
+                us = runner(pairs, algorithm, stop)
+                results[(device, letter, bits)] = us
+                row.append(us)
+            lines.append(f"({letter}) {algorithm:<13}" + "".join(f"{u:>11.2f}" for u in row))
+    lines.append("-- ratio CPU (word) / GPU (bulk): the bulk-execution speedup --")
+    for letter, algorithm in ALGS:
+        row = "".join(
+            f"{results[('CPU (word)', letter, b)] / results[('GPU (bulk)', letter, b)]:>11.1f}"
+            for b in BENCH_SIZES
+        )
+        lines.append(f"({letter}) {algorithm:<13}" + row)
+    report(*lines)
+
+    # The paper's shape claims, scoped to where they are architectural
+    # rather than artifacts of Python's bigint runtime (see EXPERIMENTS.md:
+    # CPython's C-speed `//` makes algorithm (E)'s per-iteration Python
+    # overhead dominate on the int backend, unlike the paper's C CPU code).
+    for bits in BENCH_SIZES:
+        # on the SIMT engine the three-way branch serializes, so Binary (C)
+        # is clearly slowest — the paper's branch-divergence conclusion
+        assert results[("GPU (bulk)", "D", bits)] < results[("GPU (bulk)", "C", bits)]
+        # the headline: Approximate Euclid (E) is the fastest word-level
+        # kernel once the multiword descent dominates the ≤2-word endgame
+        # (the descent covers s bits with early termination, s/2 without)
+        # (threshold 384: at shorter descents E's margin over D on the
+        # Python word path is within run-to-run noise; at 512 bits it is ~2x)
+        descent_bits = bits if early else bits // 2
+        if descent_bits >= 384:
+            assert (
+                results[("CPU (word)", "E", bits)]
+                < results[("CPU (word)", "D", bits)]
+            )
+            assert results[("CPU (word)", "E", bits)] < results[("CPU (word)", "C", bits)]
+            assert results[("GPU (bulk)", "E", bits)] < results[("GPU (bulk)", "C", bits)]
+        # bulk execution beats the same kernel run serially, by a lot
+        ratio = results[("CPU (word)", "E", bits)] / results[("GPU (bulk)", "E", bits)]
+        assert ratio > 3, f"bulk speedup only {ratio:.1f}x at {bits} bits"
+
+
+@pytest.mark.parametrize("algorithm", ["binary", "fast_binary", "approx"])
+def test_bench_bulk_throughput(benchmark, algorithm):
+    bits = BENCH_SIZES[-1]
+    pairs = _bulk_workload(bits, min(BENCH_BULK, 1024))
+    engine = BulkGcdEngine(d=32, algorithm=algorithm)
+    result = benchmark.pedantic(
+        engine.run_pairs, args=(pairs,), kwargs={"stop_bits": bits // 2}, rounds=3, iterations=1
+    )
+    assert len(result.gcds) == len(pairs)
+
+
+def test_bench_scalar_reference(benchmark):
+    bits = BENCH_SIZES[-1]
+    pairs = moduli_pairs(bits, 8)
+
+    def run():
+        for a, b in pairs:
+            gcd_approx(a, b, d=32, stop_bits=bits // 2)
+
+    benchmark(run)

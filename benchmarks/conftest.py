@@ -1,0 +1,62 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper; the
+helpers here provide deterministic RSA-moduli workloads (cached per session
+— prime generation dominates otherwise) and a ``report`` printer that
+bypasses pytest's capture so the regenerated tables appear in the benchmark
+log alongside pytest-benchmark's timing table.
+
+Scale knobs (environment variables), so the same harness runs laptop-scale
+by default and paper-scale on demand:
+
+* ``REPRO_BENCH_PAIRS``  — pairs per size for iteration censuses (default 30;
+  the paper uses 10 000)
+* ``REPRO_BENCH_SIZES``  — comma-separated modulus bit sizes
+  (default "128,256,512"; the paper uses 512,1024,2048,4096)
+* ``REPRO_BENCH_BULK``   — pair count for throughput measurements
+  (default 2048; the paper covers 1.34e8 pairs of 16K moduli)
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.rsa.corpus import generate_weak_corpus
+
+BENCH_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "30"))
+BENCH_SIZES = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_SIZES", "128,256,512").split(",")
+)
+BENCH_BULK = int(os.environ.get("REPRO_BENCH_BULK", "2048"))
+
+#: the paper's worked example pair (Tables I-III)
+PAPER_X, PAPER_Y = 1043915, 768955
+
+
+@lru_cache(maxsize=None)
+def moduli_pairs(bits: int, n_pairs: int, seed: str = "bench") -> tuple[tuple[int, int], ...]:
+    """``n_pairs`` pairs of distinct coprime RSA moduli of ``bits`` bits."""
+    corpus = generate_weak_corpus(2 * n_pairs, bits, shared_groups=(), seed=(seed, bits))
+    ms = corpus.moduli
+    return tuple((ms[2 * k], ms[2 * k + 1]) for k in range(n_pairs))
+
+
+@lru_cache(maxsize=None)
+def weak_corpus(m: int, bits: int, groups: tuple[int, ...] = (2, 3), seed: str = "bench"):
+    """A cached weak corpus for attack-level benchmarks."""
+    return generate_weak_corpus(m, bits, shared_groups=groups, seed=(seed, m, bits))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print straight through pytest's capture (tables must reach the log)."""
+
+    def _print(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _print

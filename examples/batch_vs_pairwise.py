@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""All-pairs GCD vs Bernstein batch GCD: the modern trade-off.
+
+The paper accelerates the O(m²) all-pairs attack; the "fastgcd" school does
+the same job with an O(m·polylog) product/remainder tree.  This example runs
+both on identical corpora of growing size and prints where each wins — the
+tree's big-integer multiplications amortise better with m, while all-pairs
+work is embarrassingly parallel and memory-light (the paper's niche).
+
+Run:  python examples/batch_vs_pairwise.py
+"""
+
+import time
+
+from repro import find_shared_primes, generate_weak_corpus
+
+
+def main() -> None:
+    bits = 128
+    print(f"{'m':>6} {'pairs':>10} {'all-pairs (bulk)':>18} {'batch tree':>12} "
+          f"{'winner':>10}")
+    for m in (32, 64, 128, 256):
+        corpus = generate_weak_corpus(m, bits, shared_groups=(2,), seed=m)
+        expected = corpus.weak_pair_set()
+
+        t0 = time.perf_counter()
+        rep_pw = find_shared_primes(corpus.moduli, backend="bulk", group_size=64)
+        t_pw = time.perf_counter() - t0
+        assert rep_pw.hit_pairs == expected
+
+        t0 = time.perf_counter()
+        rep_tree = find_shared_primes(corpus.moduli, backend="batch")
+        t_tree = time.perf_counter() - t0
+        assert rep_tree.hit_pairs == expected
+
+        winner = "batch" if t_tree < t_pw else "all-pairs"
+        print(f"{m:>6} {corpus.total_pairs:>10} {t_pw:>16.3f}s {t_tree:>11.3f}s "
+              f"{winner:>10}")
+
+    print("\nbatch GCD scales near-linearly in m; all-pairs grows with m^2 —")
+    print("the paper's GPU answer attacks the m^2 constant, not the asymptotics.")
+
+
+if __name__ == "__main__":
+    main()

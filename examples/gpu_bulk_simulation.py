@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""GPU memory-model study: why the bulk execution coalesces.
+
+Replays real word-level GCD traces on the paper's UMM (Unified Memory
+Machine) model and reports what Figures 2 and 3 illustrate:
+
+1. the Figure 2 worked example (two warps, 3 + 1 address groups, 8 time
+   units at width 4 / latency 5);
+2. Theorem 1 (a fully coalesced bulk execution costs (p/w + l - 1)·t);
+3. the column-wise vs row-wise layout gap on genuine Approximate Euclid
+   traces, plus the semi-obliviousness measurement of Section VI.
+
+Run:  python examples/gpu_bulk_simulation.py
+"""
+
+import random
+
+from repro.gpusim import (
+    UMM,
+    analyze_matrix,
+    build_access_matrix,
+    capture_word_gcd_trace,
+    column_wise_layout,
+    obliviousness_report,
+    row_wise_layout,
+    theorem1_time,
+)
+from repro.util.bits import word_count
+
+
+def figure2() -> None:
+    print("== Figure 2: UMM worked example (w=4, l=5) ==")
+    umm = UMM(width=4, latency=5)
+    r = umm.simulate_figure2_example()
+    print(f"W(0) spans 3 address groups, W(1) spans 1 -> "
+          f"{r.total_time} time units (paper: 3 + 1 + 5 - 1 = 8)\n")
+
+
+def theorem1() -> None:
+    print("== Theorem 1: coalesced bulk execution ==")
+    import numpy as np
+
+    p, w, l, t = 128, 32, 16, 10
+    matrix = np.vstack([step * p + np.arange(p) for step in range(t)])
+    measured = UMM(width=w, latency=l).simulate(matrix).total_time
+    predicted = theorem1_time(p, w, l, t)
+    print(f"p={p} threads, w={w}, l={l}, t={t}: "
+          f"simulated {measured}, closed form {predicted}\n")
+
+
+def layouts() -> None:
+    print("== Figure 3: layout study on real Approximate-Euclid traces ==")
+    rng = random.Random(7)
+    bits, d, p, w = 512, 32, 64, 32
+    cap = word_count((1 << bits) - 1, d)
+    traces = []
+    for _ in range(p):
+        x = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        y = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        traces.append(
+            capture_word_gcd_trace(x, y, algorithm="approx", d=d,
+                                   capacity=cap, stop_bits=bits // 2)
+        )
+
+    rep = obliviousness_report(traces)
+    print(f"semi-obliviousness (role-relative): "
+          f"{rep.divergence_fraction:.1%} of lock-step rows diverge "
+          f"({rep.divergent_steps} of {rep.steps})")
+
+    caps = {"X": cap, "Y": cap}
+    for name, layout in (
+        ("column-wise (paper)", column_wise_layout(caps, p)),
+        ("row-wise (naive) ", row_wise_layout(caps, p)),
+    ):
+        m = build_access_matrix(traces, layout)
+        r = analyze_matrix(m, width=w, latency=16)
+        print(f"  {name}: {r.measured_stages} memory transactions, "
+              f"bandwidth overhead {r.bandwidth_overhead:.2f}x vs ideal")
+    print("\ncolumn-wise keeps lock-step lanes in at most two address groups"
+          "\n(the X/Y buffer-role split); row-wise scatters them across the warp.")
+
+
+def main() -> None:
+    figure2()
+    theorem1()
+    layouts()
+
+
+if __name__ == "__main__":
+    main()

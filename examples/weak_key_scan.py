@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scan a key collection for shared primes — the paper's end-to-end attack.
+
+Builds a corpus of RSA keys in which a few "devices" reused primes (the
+situation Lenstra et al. found in the wild), runs the all-pairs GCD attack
+on the bulk SIMT engine with the Section VI block schedule, scores the hits
+against the planted ground truth, and recovers every affected private key.
+
+Run:  python examples/weak_key_scan.py [n_keys] [bits]
+"""
+
+import sys
+import time
+
+from repro import break_keys, find_shared_primes, generate_weak_corpus
+from repro.rsa.keys import decrypt, encrypt
+
+
+def main(n_keys: int = 120, bits: int = 128) -> None:
+    print(f"generating corpus: {n_keys} keys x {bits} bits "
+          f"(two shared-prime pairs and one shared-prime triple planted)")
+    corpus = generate_weak_corpus(
+        n_keys, bits, shared_groups=(2, 2, 3), seed="weak-key-scan"
+    )
+    total = corpus.total_pairs
+    print(f"pairs to test: {total}")
+
+    t0 = time.perf_counter()
+    report = find_shared_primes(
+        corpus.moduli,
+        backend="bulk",  # the GPU-analog engine; try "scalar" or "batch"
+        algorithm="approx",  # the paper's algorithm (E)
+        group_size=32,  # the paper's r: one block = one bulk batch
+    )
+    dt = time.perf_counter() - t0
+
+    print(f"\nscan finished in {dt:.2f}s over {report.blocks} blocks "
+          f"({report.microseconds_per_gcd:.1f} us/GCD)")
+    print(f"hits: {len(report.hits)}")
+    for hit in report.hits:
+        print(f"  keys {hit.i:>3} and {hit.j:>3} share prime {hit.prime:#x}")
+
+    expected = corpus.weak_pair_set()
+    found = report.hit_pairs
+    assert found == expected, f"missed {expected - found}, extra {found - expected}"
+    print("ground truth matched exactly: "
+          f"{len(found)} weak pairs, no false positives")
+
+    # Break every affected key and prove it by decrypting.
+    public = [k.public() for k in corpus.keys]
+    broken = break_keys(public, report)
+    print(f"\nprivate keys recovered: {sorted(broken)}")
+    for idx, cracked in sorted(broken.items()):
+        msg = (0xA5A5A5A5 + idx) % cracked.n
+        cipher = encrypt(msg, public[idx])
+        assert decrypt(cipher, cracked) == msg
+    print("all recovered keys verified by round-trip decryption")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    b = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+    main(n, b)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run the PEP-517
+editable path (``pip install -e .`` needs ``bdist_wheel``); this shim keeps
+``python setup.py develop`` working there.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Bulk GCD Computation Using a GPU to Break Weak
+RSA Keys" (Fujita, Nakano, Ito; IPDPSW 2015).
+
+Top-level convenience API; see README.md for the tour, DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+>>> from repro import gcd
+>>> gcd(1043915, 768955)            # Approximate Euclid (algorithm E)
+5
+
+The heavy lifting lives in the subpackages:
+
+* :mod:`repro.gcd`    — the five Euclidean algorithms and the approx estimator
+* :mod:`repro.mp`     — instrumented word-array multiprecision substrate
+* :mod:`repro.rsa`    — primes, keygen, weak-key corpora
+* :mod:`repro.bulk`   — the NumPy SIMT bulk engine (GPU analog)
+* :mod:`repro.gpusim` — the UMM memory-model simulator
+* :mod:`repro.core`   — the all-pairs attack and the batch-GCD baseline
+"""
+
+from repro.bulk import BulkGcdEngine
+from repro.core import batch_gcd, break_keys, find_shared_primes
+from repro.gcd import approx, gcd, gcd_approx
+from repro.rsa import RSAKey, generate_key, generate_weak_corpus, recover_key
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BulkGcdEngine",
+    "RSAKey",
+    "approx",
+    "batch_gcd",
+    "break_keys",
+    "find_shared_primes",
+    "gcd",
+    "gcd_approx",
+    "generate_key",
+    "generate_weak_corpus",
+    "recover_key",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Bulk SIMT engine: many GCDs at once, NumPy-vectorised.
+
+This is the library's stand-in for the paper's CUDA kernels.  One *column*
+per GCD pair, all columns advancing in lock step under an active mask —
+a software warp.  The data layout is the structure-of-arrays of Figure 3
+(word ``i`` of every pair is contiguous), the kernels are the fused passes
+of Section IV expressed as NumPy array expressions, and rare branches
+(``β > 0``, two-word Case 1 endgames) serialize onto a scalar path exactly
+as divergent SIMT lanes would.
+
+Per the hpc-parallel guides, all hot loops run over the *word* axis (a
+handful of iterations) with every element-wise operation vectorised over
+the pair axis (thousands of elements), keeping the per-pair Python overhead
+at O(words), not O(pairs).
+
+* :mod:`repro.bulk.layout` — :class:`BulkOperands`, the column-wise store;
+* :mod:`repro.bulk.kernels` — vector primitives (borrow-chain subtract-mul,
+  streamed rshift, bulk approx, compare, halvings);
+* :mod:`repro.bulk.engine` — :class:`BulkGcdEngine` running algorithms
+  C / D / E over pair collections, with early termination;
+* :mod:`repro.bulk.divergence` — warp-efficiency and branch statistics.
+"""
+
+from repro.bulk.divergence import DivergenceStats, warp_efficiency
+from repro.bulk.engine import BulkGcdEngine, BulkResult
+from repro.bulk.layout import BulkOperands
+
+__all__ = [
+    "BulkGcdEngine",
+    "BulkOperands",
+    "BulkResult",
+    "DivergenceStats",
+    "warp_efficiency",
+]

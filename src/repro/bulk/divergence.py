@@ -1,0 +1,70 @@
+"""Divergence bookkeeping for bulk runs: lane occupancy, warp efficiency.
+
+The paper's throughput argument needs lanes to stay busy: every lock-step
+trip in which only a few lanes remain active wastes the rest of the warp.
+With early termination all pairs finish within a tight iteration band, so
+occupancy stays high until the very end — these statistics quantify that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DivergenceStats", "warp_efficiency"]
+
+
+@dataclass
+class DivergenceStats:
+    """Per-trip active-lane record for one bulk run."""
+
+    n_lanes: int
+    #: number of active lanes at each lock-step trip
+    active_counts: list[int] = field(default_factory=list)
+    #: optional full per-trip masks (kept only when requested)
+    masks: list[np.ndarray] = field(default_factory=list)
+
+    def record(self, active: np.ndarray, *, keep_mask: bool = False) -> None:
+        self.active_counts.append(int(active.sum()))
+        if keep_mask:
+            self.masks.append(active.copy())
+
+    @property
+    def trips(self) -> int:
+        return len(self.active_counts)
+
+    @property
+    def lane_occupancy(self) -> float:
+        """Mean fraction of lanes active per trip (1.0 = no tail waste)."""
+        if not self.active_counts or self.n_lanes == 0:
+            return 1.0
+        return float(np.mean(self.active_counts)) / self.n_lanes
+
+    @property
+    def total_lane_trips(self) -> int:
+        """Σ active lanes over all trips = useful iterations executed."""
+        return int(np.sum(self.active_counts)) if self.active_counts else 0
+
+
+def warp_efficiency(stats: DivergenceStats, warp_size: int = 32) -> float:
+    """Useful lanes / (dispatched warps × warp size), needs recorded masks.
+
+    A warp is dispatched while *any* of its lanes is active; lanes that
+    already finished ride along masked.  1.0 means every dispatched warp was
+    fully occupied.
+    """
+    if warp_size < 1:
+        raise ValueError("warp_size must be >= 1")
+    if not stats.masks:
+        raise ValueError("warp_efficiency needs masks; run with record_masks=True")
+    useful = 0
+    dispatched = 0
+    for mask in stats.masks:
+        n = mask.shape[0]
+        for w0 in range(0, n, warp_size):
+            lane = mask[w0 : w0 + warp_size]
+            if lane.any():
+                dispatched += warp_size
+                useful += int(lane.sum())
+    return useful / dispatched if dispatched else 1.0

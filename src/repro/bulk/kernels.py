@@ -1,0 +1,274 @@
+"""Vectorised word kernels for the bulk SIMT engine.
+
+Every function here is an array expression over the *pair* (column) axis;
+loops run only over word indices (``capacity`` iterations) or bit widths
+(6 iterations), never over pairs.  Words are ``d``-bit values in uint64
+lanes with ``d ≤ 32``, so a multiply-accumulate ``α·y + carry`` can never
+overflow 64 bits — the same headroom argument the paper uses for its 64-bit
+``z`` register in Section IV.
+
+Masking convention: kernels compute candidate results for *all* columns
+(garbage in lanes whose preconditions do not hold is fine — zero-tailed
+storage keeps the arithmetic from trapping) and the engine commits them
+per-lane with ``np.where``.  That is exactly the cost model of a SIMT
+machine: inactive lanes ride along for free but are never written back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bulk.layout import BulkOperands
+
+__all__ = [
+    "bit_length_u64",
+    "trailing_zeros_u64",
+    "lengths_from_words",
+    "compare_bulk",
+    "swap_columns",
+    "subtract_mul_bulk",
+    "rshift_strip_bulk",
+    "shift_right_one_bulk",
+    "halve_columns",
+    "approx_bulk",
+]
+
+_ONE = np.uint64(1)
+
+
+def bit_length_u64(v: np.ndarray) -> np.ndarray:
+    """Per-element bit length of a uint64 array (0 for 0)."""
+    x = v.astype(np.uint64, copy=True)
+    bl = np.zeros(v.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        s = np.uint64(shift)
+        m = x >= (_ONE << s)
+        bl += m * shift
+        x = np.where(m, x >> s, x)
+    return bl + (x > 0)
+
+
+def trailing_zeros_u64(v: np.ndarray) -> np.ndarray:
+    """Per-element count of trailing zero bits (0 for 0, by convention)."""
+    x = v.astype(np.uint64, copy=True)
+    tz = np.zeros(v.shape, dtype=np.int64)
+    nonzero = x != 0
+    for shift in (32, 16, 8, 4, 2, 1):
+        s = np.uint64(shift)
+        low_mask = (_ONE << s) - _ONE
+        m = nonzero & ((x & low_mask) == 0)
+        tz += m * shift
+        x = np.where(m, x >> s, x)
+    return tz
+
+
+def lengths_from_words(words: np.ndarray) -> np.ndarray:
+    """Significant word count per column of a zero-tailed word matrix."""
+    cap = words.shape[0]
+    nz = words != 0
+    any_nz = nz.any(axis=0)
+    return np.where(any_nz, cap - np.argmax(nz[::-1, :], axis=0), 0).astype(np.int64)
+
+
+def compare_bulk(x: BulkOperands, y: BulkOperands) -> np.ndarray:
+    """Column-wise three-way compare (int8: −1, 0, +1).
+
+    Lengths decide first (registers); ties fall to a top-down word sweep —
+    the zero-tail invariant makes the sweep valid for equal lengths.
+    """
+    cmp = np.sign(x.lengths - y.lengths).astype(np.int8)
+    undecided = cmp == 0
+    top = min(
+        x.capacity,
+        max(int(x.lengths.max(initial=0)), int(y.lengths.max(initial=0)), 1),
+    )
+    for i in range(top - 1, -1, -1):
+        if not undecided.any():
+            break
+        xi = x.words[i]
+        yi = y.words[i]
+        c = (xi > yi).astype(np.int8) - (xi < yi).astype(np.int8)
+        cmp = np.where(undecided, c, cmp)
+        undecided &= c == 0
+    return cmp
+
+
+def swap_columns(x: BulkOperands, y: BulkOperands, mask: np.ndarray) -> None:
+    """Exchange X and Y in the masked columns.
+
+    The scalar implementation swaps pointers for free; a structure-of-arrays
+    store must move the data, at the cost of one extra pass over the live
+    words — an explicit, measured difference from the paper's layout.  Only
+    rows below the highest significant word are touched (the tails are zero
+    in both operands, so swapping them would be a no-op).
+    """
+    if not mask.any():
+        return
+    hi = max(int(x.lengths.max(initial=0)), int(y.lengths.max(initial=0)), 1)
+    xs = x.words[:hi]
+    ys = y.words[:hi]
+    new_x = np.where(mask[None, :], ys, xs)
+    ys[...] = np.where(mask[None, :], xs, ys)
+    xs[...] = new_x
+    new_lx = np.where(mask, y.lengths, x.lengths)
+    y.lengths = np.where(mask, x.lengths, y.lengths)
+    x.lengths = new_lx
+
+
+def subtract_mul_bulk(
+    xw: np.ndarray, yw: np.ndarray, alpha: np.ndarray, d: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``T = X − α·Y`` column-wise with a fused multiply-borrow chain.
+
+    ``alpha`` is per-column (uint64, ``< 2^d``; 0 turns a lane into the
+    identity).  Returns ``(T, final_borrow)``; a nonzero final borrow marks
+    a lane whose precondition ``X ≥ α·Y`` did not hold (the engine asserts
+    it is zero on every committed lane).
+    """
+    cap, n = xw.shape
+    du = np.uint64(d)
+    big = _ONE << du
+    mask = big - _ONE
+    t = np.empty_like(xw)
+    borrow = np.zeros(n, dtype=np.uint64)
+    for i in range(cap):
+        m = alpha * yw[i] + borrow
+        m_low = m & mask
+        carry = m >> du
+        xi = xw[i]
+        under = xi < m_low
+        t[i] = np.where(under, xi + big - m_low, xi - m_low)
+        borrow = carry + under
+    return t, borrow
+
+
+def rshift_strip_bulk(t: np.ndarray, d: int) -> tuple[np.ndarray, np.ndarray]:
+    """Strip all trailing zero bits from each column of ``T``.
+
+    The per-column shift is ``k·d + tz``: ``k`` whole zero words (found with
+    one argmax) plus ``tz`` bits inside the first nonzero word.  Words are
+    then recombined from the gathered rows ``i+k`` and ``i+k+1`` — the
+    vector form of the paper's streamed ``z``/``r`` shift.  Returns the new
+    word matrix and lengths; all-zero columns stay zero.
+    """
+    cap, n = t.shape
+    du = np.uint64(d)
+    mask = (_ONE << du) - _ONE
+    low_zero = t[0] == 0
+    if not low_zero.any():
+        # fast path (overwhelmingly common for d = 32: the low difference
+        # word is all-zero with probability ~2^-d): no whole-word shift
+        a = t
+        b = np.empty_like(t)
+        b[:-1] = t[1:]
+        b[-1] = 0
+        tz = trailing_zeros_u64(t[0]).astype(np.uint64)
+        out = ((a >> tz) | ((b << (du - tz)) & mask)) & mask
+        return out, lengths_from_words(out)
+    nz = t != 0
+    any_nz = nz.any(axis=0)
+    k = np.argmax(nz, axis=0)  # index of first nonzero word (0 if none)
+    first = t[k, np.arange(n)]
+    tz = trailing_zeros_u64(np.where(any_nz, first, _ONE)).astype(np.uint64)
+    tpad = np.vstack([t, np.zeros((1, n), dtype=np.uint64)])
+    rows = np.arange(cap)[:, None] + k[None, :]
+    np.minimum(rows, cap, out=rows)
+    a = np.take_along_axis(tpad, rows, axis=0)
+    b = np.take_along_axis(tpad, np.minimum(rows + 1, cap), axis=0)
+    out = ((a >> tz) | ((b << (du - tz)) & mask)) & mask
+    out = np.where(any_nz[None, :], out, np.uint64(0))
+    return out, lengths_from_words(out)
+
+
+def shift_right_one_bulk(t: np.ndarray, d: int) -> np.ndarray:
+    """Column-wise exact halving of even values: ``T >> 1`` across words."""
+    du = np.uint64(d)
+    high = np.vstack([t[1:], np.zeros((1, t.shape[1]), dtype=np.uint64)])
+    return (t >> _ONE) | ((high & _ONE) << (du - _ONE))
+
+
+def halve_columns(x: BulkOperands, mask: np.ndarray) -> None:
+    """``X ← X/2`` in the masked columns (values there must be even)."""
+    out = shift_right_one_bulk(x.words, x.d)
+    x.words = np.where(mask[None, :], out, x.words)
+    x.lengths = np.where(mask, lengths_from_words(x.words), x.lengths)
+
+
+#: integer codes for the approx cases, indexable by the engine's stats
+CASE_CODES = {
+    0: "1",
+    1: "2-A",
+    2: "2-B",
+    3: "3-A",
+    4: "3-B",
+    5: "4-A",
+    6: "4-B",
+    7: "4-C",
+}
+
+
+def approx_bulk(
+    x: BulkOperands, y: BulkOperands
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ``approx(X, Y)`` (paper Section III) for every column.
+
+    Returns ``(alpha, beta, case_code)``.  Columns where ``l_X ≤ 2``
+    (Case 1) get code 0 and placeholder α/β — the engine finishes those in
+    its scalar endgame, as the paper's RSA kernel simply omits them.  Lanes
+    with ``l_Y = 0`` produce garbage; the engine never commits them.
+    """
+    d = x.d
+    du = np.uint64(d)
+    n = x.n
+    ar = np.arange(n)
+    lx = x.lengths
+    ly = y.lengths
+
+    xw, yw = x.words, y.words
+    x1 = xw[np.maximum(lx - 1, 0), ar]
+    x2 = xw[np.maximum(lx - 2, 0), ar]
+    x12 = (x1 << du) | x2
+    y1 = yw[np.maximum(ly - 1, 0), ar]
+    y2 = yw[np.maximum(ly - 2, 0), ar]
+    y12 = (y1 << du) | y2
+
+    one = np.uint64(1)
+
+    def div(num, den):
+        return num // np.maximum(den, one)
+
+    # Case 2 (l_Y == 1): y1 is Y itself
+    c2a = x1 >= y1
+    alpha2 = np.where(c2a, div(x1, y1), div(x12, y1))
+    beta2 = np.where(c2a, lx - 1, lx - 2)
+    code2 = np.where(c2a, 1, 2)
+
+    # Case 3 (l_Y == 2): y12 is Y itself
+    c3a = x12 >= y12
+    alpha3 = np.where(c3a, div(x12, y12), div(x12, y1 + one))
+    beta3 = np.where(c3a, lx - 2, lx - 3)
+    code3 = np.where(c3a, 3, 4)
+
+    # Case 4 (both ≥ 3 words); y12+1 can only wrap when 4-A is impossible
+    c4a = x12 > y12
+    c4b = ~c4a & (lx > ly)
+    alpha4 = np.where(
+        c4a, div(x12, y12 + one), np.where(c4b, div(x12, y1 + one), one)
+    )
+    beta4 = np.where(c4a, lx - ly, np.where(c4b, lx - ly - 1, 0))
+    code4 = np.where(c4a, 5, np.where(c4b, 6, 7))
+
+    is_case1 = lx <= 2
+    is_case2 = ~is_case1 & (ly == 1)
+    is_case3 = ~is_case1 & (ly == 2)
+
+    alpha = np.where(
+        is_case1, one, np.where(is_case2, alpha2, np.where(is_case3, alpha3, alpha4))
+    )
+    beta = np.where(
+        is_case1, 0, np.where(is_case2, beta2, np.where(is_case3, beta3, beta4))
+    ).astype(np.int64)
+    code = np.where(
+        is_case1, 0, np.where(is_case2, code2, np.where(is_case3, code3, code4))
+    ).astype(np.int8)
+    return alpha, beta, code

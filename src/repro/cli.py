@@ -1,0 +1,283 @@
+"""Command-line interface: the attack pipeline as a tool.
+
+Subcommands (``python -m repro <cmd> --help`` for details):
+
+=========  ==================================================================
+keygen     generate RSA keys as a PEM bundle (optionally private)
+corpus     build a weak-key corpus (JSON ground truth + optional PEM bundle)
+scan       all-pairs shared-prime scan over a PEM bundle or corpus JSON
+census     iteration statistics of algorithms A–E (a Table IV slice)
+trace      print a paper-style trace (Tables I–III) for one pair
+gcd        one GCD with a chosen algorithm
+=========  ==================================================================
+
+Everything prints deterministic, machine-greppable text; ``scan --json``
+emits a structured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.attack import find_shared_primes
+from repro.gcd.census import run_all_algorithms
+from repro.gcd.reference import ALGORITHM_NAMES, gcd as gcd_any
+from repro.gcd.trace import (
+    format_binary_grouped,
+    trace_approx,
+    trace_binary,
+    trace_fast,
+    trace_fast_binary,
+    trace_original,
+)
+from repro.rsa.corpus import WeakCorpus, generate_weak_corpus
+from repro.rsa.keys import generate_key
+from repro.rsa.pem import load_public_moduli, private_key_to_pem, public_key_to_pem
+from repro.rsa.x509 import (
+    certificate_to_pem,
+    create_self_signed_certificate,
+    extract_moduli_from_certificates,
+)
+from repro.util.rng import derive_rng
+
+__all__ = ["main", "build_parser"]
+
+_TRACERS = {
+    "original": trace_original,
+    "fast": trace_fast,
+    "binary": trace_binary,
+    "fast_binary": trace_fast_binary,
+    "approx": trace_approx,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for docs and tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Bulk GCD computation to break weak RSA keys (IPDPSW 2015 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    kg = sub.add_parser("keygen", help="generate RSA keys as a PEM bundle")
+    kg.add_argument("--bits", type=int, default=256, help="modulus size (default 256)")
+    kg.add_argument("--count", type=int, default=1, help="number of keys")
+    kg.add_argument("--seed", default="0", help="deterministic seed")
+    kg.add_argument("--private", action="store_true", help="emit private keys")
+    kg.add_argument(
+        "--cert", action="store_true",
+        help="emit self-signed certificates instead of bare keys (bits >= 512)",
+    )
+    kg.add_argument("--out", type=Path, default=None, help="write to file instead of stdout")
+
+    co = sub.add_parser("corpus", help="build a weak-key corpus with ground truth")
+    co.add_argument("--keys", type=int, default=50, help="corpus size")
+    co.add_argument("--bits", type=int, default=128)
+    co.add_argument("--groups", default="2", help="shared-prime group sizes, e.g. 2,2,3")
+    co.add_argument("--seed", default="0")
+    co.add_argument("--out", type=Path, required=True, help="corpus JSON output path")
+    co.add_argument("--pem", type=Path, default=None, help="also write a public PEM bundle")
+
+    sc = sub.add_parser("scan", help="all-pairs shared-prime scan")
+    src = sc.add_mutually_exclusive_group(required=True)
+    src.add_argument("--pem", type=Path, help="PEM bundle of public keys")
+    src.add_argument("--certs", type=Path, help="PEM bundle of certificates (web-scrape style)")
+    src.add_argument("--corpus", type=Path, help="corpus JSON (scored against ground truth)")
+    sc.add_argument(
+        "--verify-certs", action="store_true",
+        help="with --certs: skip certificates whose self-signature fails",
+    )
+    sc.add_argument("--backend", choices=("bulk", "scalar", "batch"), default="bulk")
+    sc.add_argument("--algorithm", choices=("approx", "fast_binary", "binary"), default="approx")
+    sc.add_argument("--group-size", type=int, default=64, help="Section VI r (batch size)")
+    sc.add_argument("--no-early-terminate", action="store_true")
+    sc.add_argument("--json", action="store_true", help="emit a JSON report")
+
+    ce = sub.add_parser("census", help="iteration statistics (Table IV slice)")
+    ce.add_argument("--bits", type=int, default=128)
+    ce.add_argument("--pairs", type=int, default=20)
+    ce.add_argument("--early", action="store_true", help="early-terminate variant")
+    ce.add_argument("--seed", default="census")
+
+    tr = sub.add_parser("trace", help="paper-style per-iteration trace")
+    tr.add_argument("x", type=int)
+    tr.add_argument("y", type=int)
+    tr.add_argument("--algorithm", choices=sorted(_TRACERS), default="approx")
+    tr.add_argument("--d", type=int, default=4, help="word size for approx (default 4)")
+
+    gc = sub.add_parser("gcd", help="compute one GCD")
+    gc.add_argument("x", type=int)
+    gc.add_argument("y", type=int)
+    gc.add_argument("--algorithm", choices=tuple("ABCDE"), default="E")
+    gc.add_argument("--d", type=int, default=32)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "keygen": _cmd_keygen,
+        "corpus": _cmd_corpus,
+        "scan": _cmd_scan,
+        "census": _cmd_census,
+        "trace": _cmd_trace,
+        "gcd": _cmd_gcd,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    rng = derive_rng(args.seed, "cli-keygen", args.bits)
+    chunks = []
+    for idx in range(max(1, args.count)):
+        key = generate_key(args.bits, rng)
+        if args.cert:
+            der = create_self_signed_certificate(
+                key, common_name=f"host{idx}.weak.example", serial=idx + 1
+            )
+            chunks.append(certificate_to_pem(der))
+        elif args.private:
+            chunks.append(private_key_to_pem(key))
+        else:
+            chunks.append(public_key_to_pem(key))
+    text = "".join(chunks)
+    if args.out:
+        args.out.write_text(text)
+        print(f"wrote {args.count} key(s) to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    groups = tuple(int(g) for g in args.groups.split(",") if g.strip())
+    corpus = generate_weak_corpus(
+        args.keys, args.bits, shared_groups=groups, seed=args.seed
+    )
+    args.out.write_text(corpus.to_json())
+    print(
+        f"corpus: {corpus.n_keys} keys x {corpus.bits} bits, "
+        f"{len(corpus.weak_pairs)} weak pair(s) planted -> {args.out}"
+    )
+    if args.pem:
+        args.pem.write_text("".join(public_key_to_pem(k) for k in corpus.keys))
+        print(f"public PEM bundle -> {args.pem}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    expected = None
+    if args.pem:
+        moduli = load_public_moduli(args.pem.read_text())
+        source = str(args.pem)
+    elif args.certs:
+        moduli = extract_moduli_from_certificates(
+            args.certs.read_text(), verify=args.verify_certs
+        )
+        source = str(args.certs)
+    else:
+        corpus = WeakCorpus.from_json(args.corpus.read_text())
+        moduli = corpus.moduli
+        expected = corpus.weak_pair_set()
+        source = str(args.corpus)
+    if len(moduli) < 2:
+        print(f"error: {source} holds {len(moduli)} key(s); need at least 2", file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    report = find_shared_primes(
+        moduli,
+        backend=args.backend,
+        algorithm=args.algorithm,
+        group_size=args.group_size,
+        early_terminate=not args.no_early_terminate,
+    )
+    elapsed = time.perf_counter() - t0
+
+    if args.json:
+        payload = {
+            "source": source,
+            "moduli": report.m,
+            "pairs_tested": report.pairs_tested,
+            "backend": report.backend,
+            "elapsed_seconds": elapsed,
+            "hits": [
+                {"i": h.i, "j": h.j, "prime": str(h.prime)} for h in report.hits
+            ],
+        }
+        if expected is not None:
+            payload["ground_truth_matched"] = report.hit_pairs == expected
+        print(json.dumps(payload, indent=2))
+        return 0 if expected is None or payload["ground_truth_matched"] else 1
+    else:
+        print(
+            f"scanned {report.pairs_tested} pairs of {report.m} moduli "
+            f"({report.backend}) in {elapsed:.2f}s"
+        )
+        for h in report.hits:
+            print(f"WEAK keys {h.i} and {h.j} share prime {h.prime:#x}")
+        if not report.hits:
+            print("no shared primes found")
+    if expected is not None:
+        if report.hit_pairs == expected:
+            print(f"ground truth: all {len(expected)} planted pair(s) found, no extras")
+        else:
+            missing = expected - report.hit_pairs
+            extra = report.hit_pairs - expected
+            print(f"ground truth MISMATCH: missing={sorted(missing)} extra={sorted(extra)}")
+            return 1
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    corpus = generate_weak_corpus(
+        2 * args.pairs, args.bits, shared_groups=(), seed=args.seed
+    )
+    ms = corpus.moduli
+    pairs = [(ms[2 * k], ms[2 * k + 1]) for k in range(args.pairs)]
+    results = run_all_algorithms(pairs, early_terminate=args.early, bits=args.bits)
+    mode = "early-terminate" if args.early else "non-terminate"
+    print(f"mean iterations per GCD ({args.pairs} pairs, {args.bits}-bit moduli, {mode}):")
+    for letter in "ABCDE":
+        r = results[letter]
+        print(f"  ({letter}) {ALGORITHM_NAMES[letter]:<36} {r.mean_iterations:10.1f}")
+    diff = results["E"].mean_iterations - results["B"].mean_iterations
+    print(f"  (E) - (B) = {diff:+.4f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tracer = _TRACERS[args.algorithm]
+    t = tracer(args.x, args.y, args.d) if args.algorithm == "approx" else tracer(args.x, args.y)
+    for k, s in enumerate(t.steps):
+        extra = ""
+        if s.q is not None:
+            extra = f"  Q={s.q}"
+        if s.case is not None:
+            extra = f"  case {s.case}  (alpha, beta)=({s.alpha}, {s.beta})"
+        print(
+            f"{k + 1:>4}  X={format_binary_grouped(s.x)} ({s.x})  "
+            f"Y={format_binary_grouped(s.y)} ({s.y}){extra}"
+        )
+    print(f"   -  X={format_binary_grouped(t.final_x)} ({t.final_x})  Y={t.final_y}")
+    print(f"gcd = {t.gcd} in {t.iterations} iterations")
+    return 0
+
+
+def _cmd_gcd(args: argparse.Namespace) -> int:
+    g = gcd_any(args.x, args.y, algorithm=args.algorithm, d=args.d)
+    print(g)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""The weak-RSA-key attack driver: all-pairs GCD over a modulus collection.
+
+``find_shared_primes`` runs the paper's pipeline end to end: Section VI
+block schedule → per-block bulk (or scalar) early-terminating GCD →
+non-trivial GCDs reported as :class:`WeakHit`.  ``break_keys`` then turns
+hits into full private keys.
+
+Backends:
+
+* ``"bulk"`` — the SIMT engine (:class:`repro.bulk.BulkGcdEngine`), one
+  batch per block; the GPU-analog production path;
+* ``"scalar"`` — the Python-int reference loop, the paper's CPU side;
+* ``"batch"`` — not pairwise at all: Bernstein's product/remainder-tree
+  batch GCD (:mod:`repro.core.batch_gcd`), included as the modern baseline.
+  It reports hits only as (index, prime) pairs grouped post hoc, since the
+  tree computes per-modulus GCDs against all others at once.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.bulk.engine import BulkGcdEngine
+from repro.core.batch_gcd import batch_gcd
+from repro.core.pairing import all_pair_count, block_schedule
+from repro.gcd.reference import ALGORITHMS, gcd_approx
+from repro.rsa.keys import RSAKey, recover_key
+
+__all__ = ["WeakHit", "AttackReport", "find_shared_primes", "break_keys"]
+
+_BACKENDS = ("bulk", "scalar", "batch")
+
+
+@dataclass(frozen=True)
+class WeakHit:
+    """Moduli ``i`` and ``j`` (i < j) share the factor ``prime``.
+
+    ``prime`` equal to the full modulus marks a *duplicate key* (both prime
+    factors shared — the same key deployed twice).  Duplicates break both
+    deployments' confidentiality jointly but do not factor the modulus, so
+    :func:`break_keys` reports rather than factors them.
+    """
+
+    i: int
+    j: int
+    prime: int
+
+    def is_duplicate(self, moduli: list[int]) -> bool:
+        """True iff this hit is a duplicated modulus rather than one shared prime."""
+        return self.prime == moduli[self.i]
+
+
+@dataclass
+class AttackReport:
+    """Everything one attack run learned, plus its accounting."""
+
+    m: int
+    bits: int
+    backend: str
+    algorithm: str
+    hits: list[WeakHit] = field(default_factory=list)
+    pairs_tested: int = 0
+    blocks: int = 0
+    elapsed_seconds: float = 0.0
+    #: lock-step loop trips summed over blocks (bulk backend only)
+    loop_trips: int = 0
+
+    @property
+    def hit_pairs(self) -> set[tuple[int, int]]:
+        return {(h.i, h.j) for h in self.hits}
+
+    @property
+    def microseconds_per_gcd(self) -> float:
+        """The Table V unit: attack wall time divided by pairs covered."""
+        if self.pairs_tested == 0:
+            return 0.0
+        return self.elapsed_seconds * 1e6 / self.pairs_tested
+
+
+def find_shared_primes(
+    moduli: list[int],
+    *,
+    backend: str = "bulk",
+    algorithm: str = "approx",
+    d: int = 32,
+    group_size: int = 64,
+    early_terminate: bool = True,
+) -> AttackReport:
+    """Find every pair of moduli sharing a prime factor.
+
+    ``group_size`` is the paper's ``r``: each block contributes one bulk
+    batch of at most ``r²`` pairs.  ``early_terminate`` applies the
+    Section V rule with ``stop_bits = s/2`` where ``s`` is the common
+    modulus bit length (required to hold for all moduli when enabled).
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+    if len(moduli) < 2:
+        raise ValueError("need at least two moduli")
+    if any(n <= 1 or n % 2 == 0 for n in moduli):
+        raise ValueError("RSA moduli must be odd and > 1")
+    bits = max(n.bit_length() for n in moduli)
+    stop_bits = bits // 2 if early_terminate else None
+    if early_terminate and any(n.bit_length() != bits for n in moduli):
+        raise ValueError(
+            "early termination assumes equal-size moduli; normalise the corpus "
+            "or pass early_terminate=False"
+        )
+
+    t0 = time.perf_counter()
+    report = AttackReport(m=len(moduli), bits=bits, backend=backend, algorithm=algorithm)
+
+    if backend == "batch":
+        _run_batch(moduli, report)
+    else:
+        _run_pairwise(moduli, report, backend, algorithm, d, group_size, stop_bits)
+
+    report.elapsed_seconds = time.perf_counter() - t0
+    report.hits.sort(key=lambda h: (h.i, h.j))
+    return report
+
+
+def _run_pairwise(
+    moduli: list[int],
+    report: AttackReport,
+    backend: str,
+    algorithm: str,
+    d: int,
+    group_size: int,
+    stop_bits: int | None,
+) -> None:
+    schedule = block_schedule(len(moduli), group_size)
+    report.blocks = len(schedule)
+    engine = BulkGcdEngine(d=d, algorithm=algorithm) if backend == "bulk" else None
+    letter = {"approx": "E", "fast_binary": "D", "binary": "C"}.get(algorithm)
+    if backend == "scalar" and letter is None:
+        raise ValueError(f"scalar backend has no algorithm {algorithm!r}")
+    for block in schedule:
+        idx = list(block.pairs())
+        if not idx:
+            continue
+        values = [(moduli[a], moduli[b]) for a, b in idx]
+        if engine is not None:
+            result = engine.run_pairs(values, stop_bits=stop_bits, compact=True)
+            gcds = result.gcds
+            report.loop_trips += result.loop_trips
+        else:
+            if algorithm == "approx":
+                gcds = [gcd_approx(a, b, d=d, stop_bits=stop_bits) for a, b in values]
+            else:
+                fn = ALGORITHMS[letter]
+                gcds = [fn(a, b, stop_bits=stop_bits) for a, b in values]
+        report.pairs_tested += len(idx)
+        for (a, b), g in zip(idx, gcds):
+            if g > 1:
+                report.hits.append(WeakHit(a, b, g))
+
+
+def _run_batch(moduli: list[int], report: AttackReport) -> None:
+    """Bernstein batch GCD, then group per-modulus factors into pairs."""
+    per_modulus = batch_gcd(moduli)
+    report.pairs_tested = all_pair_count(len(moduli))  # covered implicitly
+    report.blocks = 0
+    by_prime: dict[int, list[int]] = defaultdict(list)
+    for idx, g in enumerate(per_modulus):
+        if g == 1:
+            continue
+        if g == moduli[idx]:
+            # modulus shares both primes (e.g. a duplicated key); split it by
+            # pairwise gcd against the other flagged moduli
+            for jdx, g2 in enumerate(per_modulus):
+                if jdx != idx and g2 > 1:
+                    shared = math.gcd(moduli[idx], moduli[jdx])
+                    if shared > 1:
+                        by_prime[shared].append(idx)
+            continue
+        by_prime[g].append(idx)
+    for prime, members in by_prime.items():
+        members = sorted(set(members))
+        for a_pos, a in enumerate(members):
+            for b in members[a_pos + 1 :]:
+                report.hits.append(WeakHit(a, b, prime))
+
+
+def break_keys(
+    keys: list[RSAKey], report: AttackReport
+) -> dict[int, RSAKey]:
+    """Recover full private keys for every modulus named in the report.
+
+    Returns ``{modulus index: private key}``.  Duplicate-key hits (the
+    shared "prime" is the whole modulus) are skipped — they flag a reused
+    key but yield no factorisation.  Raises if a hit's prime does not
+    actually divide the corresponding modulus (corrupt report).
+    """
+    broken: dict[int, RSAKey] = {}
+    for hit in report.hits:
+        if hit.prime == keys[hit.i].n:  # duplicated modulus: nothing to factor
+            continue
+        for idx in (hit.i, hit.j):
+            if idx not in broken:
+                pub = keys[idx]
+                broken[idx] = recover_key(pub.n, pub.e, hit.prime)
+    return broken

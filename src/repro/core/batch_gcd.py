@@ -1,0 +1,87 @@
+"""Bernstein-style batch GCD: product tree + remainder tree.
+
+The modern way to scan ``m`` moduli for shared primes (used by Heninger et
+al.'s "Mining your Ps and Qs" and the ``fastgcd`` tool the paper competes
+with) computes, for every modulus ``n_i``,
+
+    ``g_i = gcd(n_i, (N / n_i) mod n_i)``   where ``N = Π n_j``,
+
+in ``O(m · polylog)`` big-integer time instead of ``O(m²)`` GCDs:
+
+1. a *product tree* over the moduli gives ``N`` and all subtree products;
+2. a *remainder tree* pushes ``N`` down: each node holds
+   ``N mod (subtree product)²``; at a leaf that is ``N mod n_i²``;
+3. then ``(N/n_i) mod n_i = (N mod n_i²) / n_i`` (exact division), and one
+   final GCD per modulus.
+
+Python's arbitrary-precision integers make this a faithful implementation;
+its trade-off against the paper's all-pairs approach (giant multiplications
+and memory vs embarrassing parallelism) is measured in
+``benchmarks/bench_ablation_batch_vs_pairwise.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["product_tree", "remainder_tree", "batch_gcd"]
+
+
+def product_tree(values: list[int]) -> list[list[int]]:
+    """Bottom-up product tree: ``levels[0]`` is the input, the last level
+    holds the single total product.
+
+    Odd-length levels carry their last element up unmultiplied.
+    """
+    if not values:
+        raise ValueError("product tree needs at least one value")
+    levels = [list(values)]
+    while len(levels[-1]) > 1:
+        prev = levels[-1]
+        nxt = [prev[k] * prev[k + 1] for k in range(0, len(prev) - 1, 2)]
+        if len(prev) % 2:
+            nxt.append(prev[-1])
+        levels.append(nxt)
+    return levels
+
+
+def remainder_tree(levels: list[list[int]], *, square: bool = True) -> list[int]:
+    """Push the root product down: leaf ``i`` receives ``N mod n_i²``.
+
+    ``square=False`` yields plain ``N mod n_i`` (useful for divisibility
+    scans); batch GCD needs the squared form so the cofactor survives the
+    reduction.
+    """
+    root = levels[-1][0]
+    rems = [root]
+    for level in reversed(levels[:-1]):
+        nxt = []
+        for k, value in enumerate(level):
+            parent = rems[k // 2]
+            mod = value * value if square else value
+            nxt.append(parent % mod)
+        rems = nxt
+    return rems
+
+
+def batch_gcd(moduli: list[int]) -> list[int]:
+    """For each modulus, its GCD with the product of all the others.
+
+    Returns one value per input: 1 (shares nothing), a proper factor (shares
+    one prime), or the modulus itself (both primes shared elsewhere — e.g. a
+    duplicated key).  Pairing the hits back to partners needs one extra
+    pairwise pass over the (few) flagged moduli; :mod:`repro.core.attack`
+    does that.
+    """
+    if len(moduli) < 2:
+        raise ValueError("batch GCD needs at least two moduli")
+    if any(n <= 0 for n in moduli):
+        raise ValueError("moduli must be positive")
+    levels = product_tree(moduli)
+    rems = remainder_tree(levels)
+    out = []
+    for n, r in zip(moduli, rems):
+        # r = N mod n^2; (N/n) mod n = (r / n) exactly because n | N
+        cofactor = (r // n) % n
+        out.append(math.gcd(n, cofactor))
+    return out

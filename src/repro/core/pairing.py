@@ -1,0 +1,105 @@
+"""Section VI's all-pairs schedule: moduli groups and block tasks.
+
+The paper partitions ``m`` moduli into ``m/r`` groups of ``r`` and launches
+``(m/r)²`` CUDA blocks; block ``(i, j)`` with ``i < j`` computes the ``r²``
+GCDs between group ``i`` and group ``j``, block ``(i, i)`` the
+``r(r−1)/2`` intra-group GCDs, and blocks with ``i > j`` exit immediately.
+Thread ``k`` of block ``(i, j)`` walks ``gcd(n_{i,k}, n_{j,u})`` for
+``u = 0 … r−1`` (or ``u = k+1 …`` on the diagonal).
+
+Here a block is a :class:`BlockTask` yielding exactly those index pairs —
+the engine consumes each block as one bulk batch, so the schedule also sets
+the batch size, just as it sets the CUDA block geometry in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = ["BlockTask", "block_schedule", "block_pairs", "all_pair_count", "thread_pairs"]
+
+
+def all_pair_count(m: int) -> int:
+    """``m(m−1)/2`` — the pair total the schedule must cover exactly."""
+    return m * (m - 1) // 2
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One CUDA block of the Section VI grid: group indices ``(i, j)``."""
+
+    i: int
+    j: int
+    group_size: int
+    m: int
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Index pairs (a, b) with a < b handled by this block."""
+        return block_pairs(self.i, self.j, self.group_size, self.m)
+
+    def pair_count(self) -> int:
+        members_i = _group_members(self.i, self.group_size, self.m)
+        members_j = _group_members(self.j, self.group_size, self.m)
+        if self.i == self.j:
+            g = len(members_i)
+            return g * (g - 1) // 2
+        return len(members_i) * len(members_j)
+
+
+def _group_members(i: int, r: int, m: int) -> range:
+    """Indices of group ``i`` (the paper's ``n_{i,k} = n_{i·r+k}``)."""
+    return range(i * r, min((i + 1) * r, m))
+
+
+def block_pairs(i: int, j: int, r: int, m: int) -> Iterator[tuple[int, int]]:
+    """Pairs of block (i, j): the paper's per-thread loops, flattened.
+
+    Requires ``i ≤ j`` (blocks with ``i > j`` terminate immediately in the
+    paper and are never scheduled here).
+    """
+    if i > j:
+        raise ValueError("blocks below the diagonal do no work; schedule i <= j only")
+    gi = _group_members(i, r, m)
+    gj = _group_members(j, r, m)
+    if i == j:
+        # thread k pairs n_{i,k} with n_{i,u} for u > k
+        for a in gi:
+            for b in gi:
+                if b > a:
+                    yield a, b
+    else:
+        for a in gi:
+            for b in gj:
+                yield a, b
+
+
+def thread_pairs(i: int, j: int, k: int, r: int, m: int) -> list[tuple[int, int]]:
+    """The pairs thread ``k`` of block ``(i, j)`` computes, in paper order."""
+    gi = _group_members(i, r, m)
+    gj = _group_members(j, r, m)
+    a = i * r + k
+    if a not in gi:
+        return []
+    if i == j:
+        return [(a, b) for b in gj if b > a]
+    return [(a, b) for b in gj]
+
+
+def block_schedule(m: int, r: int) -> list[BlockTask]:
+    """All upper-triangle blocks for ``m`` moduli in groups of ``r``.
+
+    Together their pairs partition the full ``m(m−1)/2`` set (verified by
+    the tests); ``m`` need not be a multiple of ``r`` — the last group is
+    simply short, unlike the paper's power-of-two benchmark sizes.
+    """
+    if m < 2:
+        raise ValueError("need at least two moduli")
+    if r < 1:
+        raise ValueError("group size must be >= 1")
+    n_groups = -(-m // r)
+    return [
+        BlockTask(i=i, j=j, group_size=r, m=m)
+        for i in range(n_groups)
+        for j in range(i, n_groups)
+    ]

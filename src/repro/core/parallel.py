@@ -1,0 +1,98 @@
+"""Multi-process all-pairs attack: the "multicore CPU" comparator.
+
+The paper's introduction contrasts GPUs with multicore processors; this
+backend is that other branch — the Section VI block schedule fanned out
+over a :mod:`multiprocessing` pool, each worker running the bulk engine on
+its blocks.  Blocks are independent (no shared state beyond the read-only
+modulus vector), so the decomposition is embarrassingly parallel, exactly
+like the CUDA grid.
+
+The modulus vector is shipped to each worker once via the pool initializer
+(fork shares it copy-on-write on Linux), not per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+from repro.bulk.engine import BulkGcdEngine
+from repro.core.attack import AttackReport, WeakHit
+from repro.core.pairing import block_schedule
+
+__all__ = ["find_shared_primes_parallel"]
+
+# worker-process globals, set once by _init_worker
+_WORKER_MODULI: list[int] = []
+_WORKER_ENGINE: BulkGcdEngine | None = None
+_WORKER_STOP: int | None = None
+
+
+def _init_worker(moduli: list[int], algorithm: str, d: int, stop_bits: int | None) -> None:
+    global _WORKER_MODULI, _WORKER_ENGINE, _WORKER_STOP
+    _WORKER_MODULI = moduli
+    _WORKER_ENGINE = BulkGcdEngine(d=d, algorithm=algorithm)
+    _WORKER_STOP = stop_bits
+
+
+def _run_block(block_spec: tuple[int, int, int, int]) -> tuple[list[tuple[int, int, int]], int, int]:
+    """Process one block; returns (hits, pairs_tested, loop_trips)."""
+    from repro.core.pairing import BlockTask
+
+    i, j, r, m = block_spec
+    block = BlockTask(i=i, j=j, group_size=r, m=m)
+    idx = list(block.pairs())
+    if not idx:
+        return [], 0, 0
+    values = [(_WORKER_MODULI[a], _WORKER_MODULI[b]) for a, b in idx]
+    result = _WORKER_ENGINE.run_pairs(values, stop_bits=_WORKER_STOP, compact=True)
+    hits = [
+        (a, b, g) for (a, b), g in zip(idx, result.gcds) if g > 1
+    ]
+    return hits, len(idx), result.loop_trips
+
+
+def find_shared_primes_parallel(
+    moduli: list[int],
+    *,
+    processes: int | None = None,
+    algorithm: str = "approx",
+    d: int = 32,
+    group_size: int = 64,
+    early_terminate: bool = True,
+) -> AttackReport:
+    """All-pairs scan with one worker process per core.
+
+    Semantics match :func:`repro.core.attack.find_shared_primes` with the
+    ``bulk`` backend; only the execution strategy differs.  ``processes``
+    defaults to ``os.cpu_count()``.
+    """
+    if len(moduli) < 2:
+        raise ValueError("need at least two moduli")
+    if any(n <= 1 or n % 2 == 0 for n in moduli):
+        raise ValueError("RSA moduli must be odd and > 1")
+    bits = max(n.bit_length() for n in moduli)
+    if early_terminate and any(n.bit_length() != bits for n in moduli):
+        raise ValueError("early termination assumes equal-size moduli")
+    stop_bits = bits // 2 if early_terminate else None
+
+    schedule = block_schedule(len(moduli), group_size)
+    specs = [(b.i, b.j, b.group_size, b.m) for b in schedule]
+    report = AttackReport(
+        m=len(moduli), bits=bits, backend="parallel", algorithm=algorithm, blocks=len(specs)
+    )
+
+    t0 = time.perf_counter()
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    with ctx.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(list(moduli), algorithm, d, stop_bits),
+    ) as pool:
+        for hits, pairs, trips in pool.imap_unordered(_run_block, specs):
+            report.pairs_tested += pairs
+            report.loop_trips += trips
+            report.hits.extend(WeakHit(a, b, g) for a, b, g in hits)
+    report.elapsed_seconds = time.perf_counter() - t0
+    report.hits.sort(key=lambda h: (h.i, h.j))
+    return report

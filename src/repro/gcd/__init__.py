@@ -1,0 +1,118 @@
+"""GCD algorithm suite (paper Sections II, III and V).
+
+Five algorithms, named (A)–(E) as in the paper's Table IV:
+
+=====  ==========================  ==========================================
+label  function                    idea
+=====  ==========================  ==========================================
+(A)    :func:`gcd_original`        repeated ``X mod Y``
+(B)    :func:`gcd_fast`            exact quotient, odd-adjusted, + ``rshift``
+(C)    :func:`gcd_binary`          Stein: halving and ``(X−Y)/2``
+(D)    :func:`gcd_fast_binary`     ``rshift(X−Y)``: strip *all* trailing 0s
+(E)    :func:`gcd_approx`          quotient ≈ ``α·D^β`` from one 2-word div
+=====  ==========================  ==========================================
+
+All take odd positive operands (the classical preconditions of Section II)
+plus an optional ``stop_bits`` implementing the paper's *early-terminate*
+rule for RSA moduli: once ``0 < Y < 2^stop_bits`` the operands are coprime
+and 1 is returned without finishing the descent.  :func:`gcd` is the
+general-input wrapper that strips common powers of two first.
+
+:mod:`repro.gcd.approx` houses the ``approx(X, Y)`` estimator with the
+paper's case labels; :mod:`repro.gcd.word` the word-array instrumented
+versions; :mod:`repro.gcd.trace` the Table I–III step recorders; and
+:mod:`repro.gcd.census` the Table IV / β-probability statistics harness.
+"""
+
+from repro.gcd.approx import (
+    CASE_1,
+    CASE_2A,
+    CASE_2B,
+    CASE_3A,
+    CASE_3B,
+    CASE_4A,
+    CASE_4B,
+    CASE_4C,
+    ApproxResult,
+    approx,
+    approx_words,
+)
+from repro.gcd.census import CensusResult, iteration_census, run_all_algorithms
+from repro.gcd.analysis import analyze_approx_run, bits_per_iteration, quotient_quality
+from repro.gcd.extended import binary_egcd, egcd, modinverse
+from repro.gcd.lehmer import LehmerStats, gcd_lehmer
+from repro.gcd.reference import (
+    ALGORITHMS,
+    GcdStats,
+    gcd,
+    gcd_approx,
+    gcd_binary,
+    gcd_fast,
+    gcd_fast_binary,
+    gcd_original,
+)
+from repro.gcd.trace import (
+    TraceResult,
+    TraceStep,
+    format_binary_grouped,
+    trace_approx,
+    trace_binary,
+    trace_fast,
+    trace_fast_binary,
+    trace_original,
+)
+from repro.gcd.word import (
+    WordGcdStats,
+    gcd_approx_words,
+    gcd_binary_words,
+    gcd_fast_binary_words,
+    gcd_fast_words,
+    gcd_original_words,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ApproxResult",
+    "CASE_1",
+    "CASE_2A",
+    "CASE_2B",
+    "CASE_3A",
+    "CASE_3B",
+    "CASE_4A",
+    "CASE_4B",
+    "CASE_4C",
+    "CensusResult",
+    "GcdStats",
+    "LehmerStats",
+    "TraceResult",
+    "TraceStep",
+    "WordGcdStats",
+    "analyze_approx_run",
+    "approx",
+    "approx_words",
+    "binary_egcd",
+    "bits_per_iteration",
+    "egcd",
+    "modinverse",
+    "format_binary_grouped",
+    "gcd",
+    "gcd_approx",
+    "gcd_approx_words",
+    "gcd_binary",
+    "gcd_binary_words",
+    "gcd_fast",
+    "gcd_fast_binary",
+    "gcd_fast_binary_words",
+    "gcd_fast_words",
+    "gcd_lehmer",
+    "gcd_original",
+    "gcd_original_words",
+    "quotient_quality",
+    "iteration_census",
+    "run_all_algorithms",
+    "trace_approx",
+    "trace_binary",
+    "trace_fast",
+    "trace_fast_binary",
+    "trace_original",
+]

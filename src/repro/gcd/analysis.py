@@ -1,0 +1,182 @@
+"""Why Approximate Euclid works: quotient quality and bit-loss analytics.
+
+Table IV's punchline — the approximated quotient ``α·D^β`` matches exact
+Fast Euclid's iteration count to ~0.002 % — has a mechanism: the estimate
+is (a) never above the true quotient and (b) almost never more than one
+halving below it, so each iteration eliminates essentially the same number
+of operand bits.  This module instruments single runs and pair collections
+to expose that mechanism:
+
+* :func:`analyze_approx_run` — per-iteration records of one GCD descent
+  (bit lengths, true vs estimated quotient, bits eliminated);
+* :func:`quotient_quality` — aggregate estimate/true ratio distribution
+  over many pairs;
+* :func:`bits_per_iteration` — mean operand-bit elimination rate per
+  algorithm, the constants behind the paper's iteration table (Knuth's
+  0.584·s for (A), 1.41·s for (C), …).
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.gcd.approx import approx
+from repro.gcd.reference import ALGORITHMS, GcdStats
+from repro.util.bits import rshift_to_odd
+
+__all__ = [
+    "IterationRecord",
+    "RunAnalysis",
+    "QuotientQuality",
+    "analyze_approx_run",
+    "quotient_quality",
+    "bits_per_iteration",
+]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One Approximate-Euclid iteration, annotated."""
+
+    x_bits: int
+    y_bits: int
+    q_true: int
+    q_est: int  # alpha * D^beta before the even->odd adjustment
+    case: str
+    bits_eliminated: int  # total operand bits removed by this iteration
+
+    @property
+    def est_ratio(self) -> float:
+        """estimate / true quotient (1.0 = exact; defined as 1 when Q=0)."""
+        return self.q_est / self.q_true if self.q_true else 1.0
+
+
+@dataclass
+class RunAnalysis:
+    """All iterations of one descent plus summary statistics."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def mean_bits_per_iteration(self) -> float:
+        if not self.records:
+            return 0.0
+        return statistics.fmean(r.bits_eliminated for r in self.records)
+
+    @property
+    def mean_est_ratio(self) -> float:
+        if not self.records:
+            return 1.0
+        return statistics.fmean(r.est_ratio for r in self.records)
+
+    @property
+    def exact_fraction(self) -> float:
+        """Share of iterations whose estimate equals the true quotient."""
+        if not self.records:
+            return 1.0
+        return sum(r.q_est == r.q_true for r in self.records) / len(self.records)
+
+
+def analyze_approx_run(x: int, y: int, d: int = 32) -> RunAnalysis:
+    """Run Approximate Euclid on one odd pair, recording every iteration."""
+    if x <= 0 or y <= 0 or x % 2 == 0 or y % 2 == 0:
+        raise ValueError("analysis requires odd positive operands")
+    if x < y:
+        x, y = y, x
+    out = RunAnalysis()
+    while y != 0:
+        x_bits = x.bit_length()
+        y_bits = y.bit_length()
+        alpha, beta, case = approx(x, y, d)
+        q_est = alpha << (d * beta)
+        q_true = x // y
+        if beta == 0:
+            a = alpha - 1 if alpha % 2 == 0 else alpha
+            nxt = rshift_to_odd(x - y * a)
+        else:
+            nxt = rshift_to_odd(x - ((y * alpha) << (d * beta)) + y)
+        x = nxt
+        if x < y:
+            x, y = y, x
+        out.records.append(
+            IterationRecord(
+                x_bits=x_bits,
+                y_bits=y_bits,
+                q_true=q_true,
+                q_est=q_est,
+                case=case,
+                bits_eliminated=(x_bits + y_bits) - (x.bit_length() + y.bit_length()),
+            )
+        )
+    return out
+
+
+@dataclass
+class QuotientQuality:
+    """Aggregate estimate-vs-true statistics over many descents."""
+
+    iterations: int = 0
+    exact: int = 0  # q_est == q_true
+    within_half: int = 0  # q_est >= q_true / 2 (at most one extra halving)
+    overshoots: int = 0  # q_est > q_true: must never happen
+    ratio_sum: float = 0.0
+
+    @property
+    def exact_fraction(self) -> float:
+        return self.exact / self.iterations if self.iterations else 1.0
+
+    @property
+    def within_half_fraction(self) -> float:
+        return self.within_half / self.iterations if self.iterations else 1.0
+
+    @property
+    def mean_ratio(self) -> float:
+        return self.ratio_sum / self.iterations if self.iterations else 1.0
+
+
+def quotient_quality(pairs: Iterable[tuple[int, int]], d: int = 32) -> QuotientQuality:
+    """Estimate-quality census over pair collections (odd operands)."""
+    q = QuotientQuality()
+    for a, b in pairs:
+        run = analyze_approx_run(a, b, d)
+        for r in run.records:
+            q.iterations += 1
+            if r.q_est == r.q_true:
+                q.exact += 1
+            if 2 * r.q_est >= r.q_true:
+                q.within_half += 1
+            if r.q_est > r.q_true:
+                q.overshoots += 1
+            q.ratio_sum += r.est_ratio
+    return q
+
+
+def bits_per_iteration(
+    pairs: Iterable[tuple[int, int]], algorithm: str, *, d: int = 32
+) -> float:
+    """Mean operand bits eliminated per iteration for one algorithm.
+
+    ``2·s / (bits per iteration)`` predicts the Table IV iteration count
+    for s-bit inputs descending to zero; e.g. Binary Euclid eliminates ~1.41
+    bits per iteration pair-wise, matching its 1.41·s count.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    total_bits = 0
+    total_iters = 0
+    for a, b in pairs:
+        stats = GcdStats()
+        if algorithm == "E":
+            ALGORITHMS[algorithm](a, b, d=d, stats=stats)
+        else:
+            ALGORITHMS[algorithm](a, b, stats=stats)
+        g = stats  # iterations recorded
+        total_iters += g.iterations
+        total_bits += a.bit_length() + b.bit_length()
+    return total_bits / total_iters if total_iters else 0.0

@@ -1,0 +1,174 @@
+"""The paper's ``approx(X, Y)`` quotient estimator (Section III).
+
+Given ``X ≥ Y > 0`` stored in ``d``-bit words, ``approx`` returns a pair
+``(α, β)`` such that ``α·D^β ≤ X div Y`` (``D = 2^d``) using at most one
+division whose operands fit in two words — a single 64-bit machine division
+when ``d = 32``.  The estimate is what lets Approximate Euclid (algorithm E)
+match exact-quotient Fast Euclid (B) almost step for step while doing only
+word-sized arithmetic.
+
+The eight cases of the paper are labelled ``1``, ``2-A``…``4-C`` and
+reported in :class:`ApproxResult` so traces (Table III) and the case-census
+ablation can show which branch fired.
+
+Guarantees (property-tested in ``tests/gcd/test_approx.py``):
+
+* ``1 ≤ α``, and ``α < 2^d`` in every case except Case 1 (whose operands are
+  at most two words wide, so the *exact* quotient is register-computable —
+  the paper omits Cases 1–3 from the RSA kernel entirely);
+* ``β ≥ 0``, and ``α·D^β ≤ X div Y`` always — so ``X − Y·α·D^β ≥ 0``;
+* the division operands fit in ``2d`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.mp.memlog import NULL_MEMLOG, MemLog
+from repro.mp.wordint import WordInt
+from repro.util.bits import top_two_words, word_count
+
+__all__ = [
+    "CASE_1",
+    "CASE_2A",
+    "CASE_2B",
+    "CASE_3A",
+    "CASE_3B",
+    "CASE_4A",
+    "CASE_4B",
+    "CASE_4C",
+    "ALL_CASES",
+    "ApproxResult",
+    "approx",
+    "approx_words",
+]
+
+CASE_1 = "1"
+CASE_2A = "2-A"
+CASE_2B = "2-B"
+CASE_3A = "3-A"
+CASE_3B = "3-B"
+CASE_4A = "4-A"
+CASE_4B = "4-B"
+CASE_4C = "4-C"
+
+#: All case labels in paper order.
+ALL_CASES = (CASE_1, CASE_2A, CASE_2B, CASE_3A, CASE_3B, CASE_4A, CASE_4B, CASE_4C)
+
+
+class ApproxResult(NamedTuple):
+    """Quotient approximation ``alpha * D**beta`` plus the case that fired."""
+
+    alpha: int
+    beta: int
+    case: str
+
+    def value(self, d: int) -> int:
+        """The approximated quotient ``α·D^β`` for word size ``d``."""
+        return self.alpha << (d * self.beta)
+
+
+def approx(x: int, y: int, d: int) -> ApproxResult:
+    """Approximate ``x div y`` as ``α·D^β`` from the top two words of each.
+
+    Preconditions: ``x ≥ y ≥ 1``.  Matches the paper's ``approx`` function
+    case for case; see the module docstring for the guarantees.
+    """
+    if y < 1 or x < y:
+        raise ValueError(f"approx requires x >= y >= 1, got x={x}, y={y}")
+    lx = word_count(x, d)
+    ly = word_count(y, d)
+
+    if lx <= 2:
+        # Case 1: both operands fit in two words; exact quotient is cheap.
+        return ApproxResult(x // y, 0, CASE_1)
+
+    x12 = top_two_words(x, d)  # the paper's x1x2
+    if ly == 1:
+        y1 = y
+        x1 = x12 >> d
+        if x1 >= y1:
+            # Case 2-A: one-word leading quotient, shifted by l_X - 1 words.
+            return ApproxResult(x1 // y1, lx - 1, CASE_2A)
+        # Case 2-B: two-word dividend needed to get a nonzero alpha.
+        return ApproxResult(x12 // y1, lx - 2, CASE_2B)
+
+    y_top = top_two_words(y, d)  # y1y2 when l_Y >= 2
+    y1 = y_top >> d
+    if ly == 2:
+        if x12 >= y_top:
+            # Case 3-A: Y is exactly y1y2, so dividing by it needs no +1 slack.
+            return ApproxResult(x12 // y_top, lx - 2, CASE_3A)
+        # Case 3-B: divide by y1 + 1 to stay below the true quotient.
+        return ApproxResult(x12 // (y1 + 1), lx - 3, CASE_3B)
+
+    if x12 > y_top:
+        # Case 4-A: generic path; +1 compensates for Y's unseen low words.
+        return ApproxResult(x12 // (y_top + 1), lx - ly, CASE_4A)
+    if lx > ly:
+        # Case 4-B: leading words tie or lose, but X is a word longer.
+        return ApproxResult(x12 // (y1 + 1), lx - ly - 1, CASE_4B)
+    # Case 4-C: equal lengths and equal leading words — X and Y are close.
+    return ApproxResult(1, 0, CASE_4C)
+
+
+def approx_words(x: WordInt, y: WordInt, log: MemLog = NULL_MEMLOG) -> ApproxResult:
+    """Word-array ``approx``: reads at most 4 words (x1, x2, y1, y2).
+
+    Lengths come from registers; Section IV charges at most four one-word
+    reads for the whole estimate.  Case 1 reads both operands fully, but
+    they are at most two words each, so the O(1) bound stands.
+    """
+    d = x.d
+    lx, ly = x.length, y.length
+    if ly == 0 or compare_lengths_then_value(x, y) < 0:
+        raise ValueError("approx_words requires X >= Y >= 1")
+
+    if lx <= 2:
+        for i in range(lx):
+            log.read(x.name, i, key=("approx1", i, 0))
+        for i in range(ly):
+            log.read(y.name, i, key=("approx1", i, 1))
+        return ApproxResult(x.to_int() // y.to_int(), 0, CASE_1)
+
+    x1 = x.words[lx - 1]
+    log.read(x.name, lx - 1, key=("approx", 0))
+    x2 = x.words[lx - 2]
+    log.read(x.name, lx - 2, key=("approx", 1))
+    x12 = (x1 << d) | x2
+
+    if ly == 1:
+        y1 = y.words[0]
+        log.read(y.name, 0, key=("approx", 2))
+        if x1 >= y1:
+            return ApproxResult(x1 // y1, lx - 1, CASE_2A)
+        return ApproxResult(x12 // y1, lx - 2, CASE_2B)
+
+    y1 = y.words[ly - 1]
+    log.read(y.name, ly - 1, key=("approx", 2))
+    y2 = y.words[ly - 2]
+    log.read(y.name, ly - 2, key=("approx", 3))
+    y_top = (y1 << d) | y2
+
+    if ly == 2:
+        if x12 >= y_top:
+            return ApproxResult(x12 // y_top, lx - 2, CASE_3A)
+        return ApproxResult(x12 // (y1 + 1), lx - 3, CASE_3B)
+
+    if x12 > y_top:
+        return ApproxResult(x12 // (y_top + 1), lx - ly, CASE_4A)
+    if lx > ly:
+        return ApproxResult(x12 // (y1 + 1), lx - ly - 1, CASE_4B)
+    return ApproxResult(1, 0, CASE_4C)
+
+
+def compare_lengths_then_value(x: WordInt, y: WordInt) -> int:
+    """Cheap ``X >= Y`` precondition probe: compares lengths only.
+
+    A full word compare would double-charge the access log for something
+    the GCD loop already guarantees; length order is a necessary condition
+    and free (registers), so that is all we verify here.
+    """
+    if x.length != y.length:
+        return -1 if x.length < y.length else 1
+    return 0  # treat same-length as satisfying the X >= Y precondition

@@ -1,0 +1,110 @@
+"""Extended Euclidean algorithms and modular inverses.
+
+The paper's key-recovery step computes ``d = e⁻¹ mod (p−1)(q−1)`` "by
+extended Euclidean algorithm"; this module supplies that machinery rather
+than delegating to ``pow(e, -1, m)``:
+
+* :func:`egcd` — the classic extended Euclid (cofactors via the quotient
+  chain, the extended form of the paper's algorithm (A));
+* :func:`binary_egcd` — the extended *binary* GCD (Stein with cofactor
+  tracking, the extended form of algorithm (C)): no division at all, only
+  halvings and subtractions, at the cost of more iterations — exactly the
+  trade-off Section II describes for the plain variants;
+* :func:`modinverse` — inverse via either engine, raising on non-coprime
+  inputs.
+
+Both engines return Bézout certificates ``(g, u, v)`` with
+``u·a + v·b = g = gcd(a, b)``, property-tested against each other and
+``math.gcd``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["egcd", "binary_egcd", "modinverse"]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Classic extended Euclid: returns ``(g, u, v)`` with ``u·a + v·b = g``.
+
+    Iterative (no recursion-depth limits for 4096-bit operands), accepts any
+    non-negative inputs, ``egcd(0, 0) = (0, 0, 0)``.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("egcd is defined here for non-negative integers")
+    old_r, r = a, b
+    old_u, u = 1, 0
+    old_v, v = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_u, u = u, old_u - q * u
+        old_v, v = v, old_v - q * v
+    return old_r, old_u, old_v
+
+
+def binary_egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended binary GCD (Stein with cofactors): ``(g, u, v)``.
+
+    Division-free like algorithm (C); shared factors of two are extracted
+    first, then the classic odd-update loop runs with cofactor pairs kept
+    integral by adding ``b``/``a`` before halving when needed.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("binary_egcd is defined here for non-negative integers")
+    if a == 0:
+        return b, 0, (1 if b else 0)
+    if b == 0:
+        return a, 1, 0
+
+    shift = 0
+    while ((a | b) & 1) == 0:
+        a >>= 1
+        b >>= 1
+        shift += 1
+
+    # invariants: x = ua*a0 + va*b0, y = ub*a0 + vb*b0 (a0, b0 the shifted inputs)
+    a0, b0 = a, b
+    x, y = a, b
+    ua, va = 1, 0
+    ub, vb = 0, 1
+    while x & 1 == 0:
+        x >>= 1
+        if (ua | va) & 1:
+            ua, va = ua + b0, va - a0
+        ua >>= 1
+        va >>= 1
+    while y:
+        while y & 1 == 0:
+            y >>= 1
+            if (ub | vb) & 1:
+                ub, vb = ub + b0, vb - a0
+            ub >>= 1
+            vb >>= 1
+        if x > y:
+            x, y = y, x
+            ua, ub = ub, ua
+            va, vb = vb, va
+        y -= x
+        ub -= ua
+        vb -= va
+    return x << shift, ua, va
+
+
+def modinverse(a: int, m: int, *, engine: str = "classic") -> int:
+    """The inverse of ``a`` modulo ``m`` (result in ``[0, m)``).
+
+    ``engine`` selects ``"classic"`` (:func:`egcd`) or ``"binary"``
+    (:func:`binary_egcd`).  Raises :class:`ValueError` when ``a`` and ``m``
+    are not coprime — for RSA keygen that signals "resample e or the primes".
+    """
+    if m <= 1:
+        raise ValueError(f"modulus must be > 1, got {m}")
+    if engine == "classic":
+        g, u, _ = egcd(a % m, m)
+    elif engine == "binary":
+        g, u, _ = binary_egcd(a % m, m)
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected 'classic' or 'binary'")
+    if g != 1:
+        raise ValueError(f"{a} has no inverse mod {m} (gcd = {g})")
+    return u % m

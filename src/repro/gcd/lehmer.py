@@ -1,0 +1,107 @@
+"""Lehmer's GCD algorithm — the classical leading-word competitor.
+
+Approximate Euclid (paper Section III) spends its one cheap division per
+iteration immediately; Lehmer's 1938 algorithm (Knuth 4.5.2, Algorithm L)
+pushes the same idea further: run Euclid entirely on the *leading* ``2d``
+bits, accumulating the quotient chain into a 2×2 cofactor matrix while the
+quotients are provably correct, then apply the whole batch to the multiword
+operands at once — ``(x, y) ← (A·x + B·y, C·x + D·y)``.
+
+The trade-off against the paper's algorithm, measured in
+``benchmarks/bench_ablation_lehmer.py``:
+
+* Lehmer needs ~``d``-fold fewer *multiword passes* (each pass consumes a
+  whole word's worth of quotients) …
+* … but each pass costs four multiword multiplies instead of Approximate
+  Euclid's one single-word multiply-subtract, and the inner certainty test
+  is branch-heavy — exactly the kind of data-dependent control flow the
+  paper's SIMT design avoids.
+
+Not part of the paper; included as the natural "what else could they have
+done" ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LehmerStats", "gcd_lehmer"]
+
+
+@dataclass
+class LehmerStats:
+    """Outer multiword passes, batched quotients, and fallback divisions."""
+
+    passes: int = 0
+    batched_quotients: int = 0
+    fallback_divisions: int = 0
+    early_terminated: bool = False
+
+
+def gcd_lehmer(
+    x: int,
+    y: int,
+    *,
+    d: int = 32,
+    stop_bits: int | None = None,
+    stats: LehmerStats | None = None,
+) -> int:
+    """GCD by Lehmer's algorithm with ``2d``-bit leading windows.
+
+    Accepts arbitrary positive integers (oddness not required — the matrix
+    updates preserve the GCD exactly).  ``stop_bits`` applies the paper's
+    early-terminate rule for RSA moduli.
+    """
+    if x <= 0 or y <= 0:
+        raise ValueError("operands must be positive")
+    if stats is None:
+        stats = LehmerStats()
+    if x < y:
+        x, y = y, x
+    window = 2 * d
+    single_limit = 1 << d
+
+    while y >= single_limit:
+        if stop_bits is not None and y.bit_length() < stop_bits:
+            stats.early_terminated = True
+            return 1
+        stats.passes += 1
+        shift = max(0, x.bit_length() - window)
+        xh = x >> shift
+        yh = y >> shift
+
+        # batch single-precision quotients while they are provably the true
+        # multiword quotients (Knuth's certainty conditions)
+        a, b, c, dd = 1, 0, 0, 1
+        batched = 0
+        while True:
+            if yh + c == 0 or yh + dd == 0:
+                break
+            q = (xh + a) // (yh + c)
+            if q != (xh + b) // (yh + dd):
+                break
+            a, b, c, dd = c, dd, a - q * c, b - q * dd
+            xh, yh = yh, xh - q * yh
+            batched += 1
+
+        if b == 0:
+            # no quotient was certain: take one exact multiword step
+            stats.fallback_divisions += 1
+            x, y = y, x % y
+        else:
+            stats.batched_quotients += batched
+            x, y = a * x + b * y, c * x + dd * y
+            if x < 0:
+                x = -x
+            if y < 0:
+                y = -y
+            if x < y:
+                x, y = y, x
+
+    # single-word endgame: plain Euclid
+    while y:
+        if stop_bits is not None and y.bit_length() < stop_bits:
+            stats.early_terminated = True
+            return 1
+        x, y = y, x % y
+    return x

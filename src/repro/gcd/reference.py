@@ -1,0 +1,256 @@
+"""Reference (Python-int) implementations of the five Euclidean algorithms.
+
+These are the library's semantic ground truth: the word-array versions
+(:mod:`repro.gcd.word`) and the bulk SIMT engine (:mod:`repro.bulk`) are both
+tested against them, and the Table IV iteration census runs on them because
+Python's native big integers make them the fastest scalar path.
+
+All five take *odd* positive operands, mirroring the paper's Section II
+preconditions (``gcd`` below handles arbitrary inputs).  Iterations are
+counted exactly as the paper counts do-while trips, so Tables I–IV can be
+checked number for number.
+
+The *early-terminate* rule (Section V) is exposed as ``stop_bits``: when two
+``s``-bit RSA moduli are coprime, the descent is abandoned as soon as
+``0 < Y < 2^(s/2)``, because a shared prime would have exactly ``s/2`` bits
+and every intermediate value stays a multiple of it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.gcd.approx import approx
+from repro.util.bits import rshift_to_odd
+
+__all__ = [
+    "GcdStats",
+    "gcd",
+    "gcd_original",
+    "gcd_fast",
+    "gcd_binary",
+    "gcd_fast_binary",
+    "gcd_approx",
+    "ALGORITHMS",
+]
+
+
+@dataclass
+class GcdStats:
+    """Optional per-run instrumentation shared by all five algorithms.
+
+    ``iterations`` counts do-while trips; the remaining fields are filled
+    only by algorithms to which they apply (e.g. ``beta_nonzero`` by
+    Approximate Euclid).
+    """
+
+    iterations: int = 0
+    early_terminated: bool = False
+    #: Approximate Euclid only: how often approx returned β > 0.
+    beta_nonzero: int = 0
+    #: Approximate Euclid only: histogram of approx case labels.
+    case_counts: Counter[str] = field(default_factory=Counter)
+    #: Fast/Approximate Euclid: how often the quotient needed the even→odd fix.
+    quotient_adjustments: int = 0
+
+    def merge(self, other: GcdStats) -> None:
+        """Accumulate another run's counters into this one (census use)."""
+        self.iterations += other.iterations
+        self.beta_nonzero += other.beta_nonzero
+        self.case_counts.update(other.case_counts)
+        self.quotient_adjustments += other.quotient_adjustments
+
+
+def _check_inputs(x: int, y: int) -> tuple[int, int]:
+    """Validate oddness/positivity and order the pair as X >= Y."""
+    if x <= 0 or y <= 0:
+        raise ValueError(f"operands must be positive, got {x}, {y}")
+    if x % 2 == 0 or y % 2 == 0:
+        raise ValueError("operands must be odd (use repro.gcd.gcd for general inputs)")
+    return (x, y) if x >= y else (y, x)
+
+
+def _should_stop(y: int, stop_bits: int | None) -> bool:
+    """Early-terminate test: Y still nonzero but too short to be a shared prime."""
+    return stop_bits is not None and y != 0 and y.bit_length() < stop_bits
+
+
+def gcd_original(x: int, y: int, *, stop_bits: int | None = None, stats: GcdStats | None = None) -> int:
+    """(A) Original Euclid: repeated ``X mod Y`` (Section II)."""
+    x, y = _check_inputs(x, y)
+    if stats is None:
+        stats = GcdStats()
+    while y != 0:
+        if _should_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        x, y = y, x % y
+        stats.iterations += 1
+    return x
+
+
+def gcd_fast(x: int, y: int, *, stop_bits: int | None = None, stats: GcdStats | None = None) -> int:
+    """(B) Fast Euclid: exact quotient forced odd, then ``rshift`` (Section II).
+
+    With Q odd and X, Y odd, ``X − Y·Q`` is even, so the trailing-zero strip
+    always removes at least one bit.
+    """
+    x, y = _check_inputs(x, y)
+    if stats is None:
+        stats = GcdStats()
+    while y != 0:
+        if _should_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        q = x // y
+        if q % 2 == 0:
+            q -= 1
+            stats.quotient_adjustments += 1
+        x = rshift_to_odd(x - y * q)
+        if x < y:
+            x, y = y, x
+        stats.iterations += 1
+    return x
+
+
+def gcd_binary(x: int, y: int, *, stop_bits: int | None = None, stats: GcdStats | None = None) -> int:
+    """(C) Binary Euclid (Stein): halvings and ``(X−Y)/2`` (Section II).
+
+    Starting from odd inputs only the ``(X−Y)/2`` branch introduces even
+    values, after which the halving branches drain them one bit per
+    iteration — exactly how the paper counts ≤ 2s iterations.
+    """
+    x, y = _check_inputs(x, y)
+    if stats is None:
+        stats = GcdStats()
+    while y != 0:
+        if _should_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        if x % 2 == 0:
+            x //= 2
+        elif y % 2 == 0:
+            y //= 2
+        else:
+            x = (x - y) // 2
+        if x < y:
+            x, y = y, x
+        stats.iterations += 1
+    return x
+
+
+def gcd_fast_binary(x: int, y: int, *, stop_bits: int | None = None, stats: GcdStats | None = None) -> int:
+    """(D) Fast Binary Euclid: ``X ← rshift(X − Y)`` (Section II).
+
+    Equivalent to (C) with all consecutive halvings fused into the
+    subtraction step, hence roughly half the iterations.
+    """
+    x, y = _check_inputs(x, y)
+    if stats is None:
+        stats = GcdStats()
+    while y != 0:
+        if _should_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        x = rshift_to_odd(x - y)
+        if x < y:
+            x, y = y, x
+        stats.iterations += 1
+    return x
+
+
+def gcd_approx(
+    x: int,
+    y: int,
+    *,
+    d: int = 32,
+    stop_bits: int | None = None,
+    stats: GcdStats | None = None,
+) -> int:
+    """(E) Approximate Euclid — the paper's contribution (Section III).
+
+    Each iteration estimates the quotient as ``α·D^β`` via
+    :func:`repro.gcd.approx.approx` (one two-word division), then updates
+
+    * ``β = 0``: force α odd and ``X ← rshift(X − Y·α)``;
+    * ``β > 0``: ``α·D^β`` is already even, so subtract ``Y·(α·D^β − 1)``
+      via the ``+Y`` correction — ``X ← rshift(X − Y·α·D^β + Y)``.
+
+    Either way the value subtracted is an *odd* multiple of Y, keeping the
+    difference even (one guaranteed shift) and the GCD invariant.
+    """
+    x, y = _check_inputs(x, y)
+    if stats is None:
+        stats = GcdStats()
+    shift = d
+    while y != 0:
+        if _should_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        alpha, beta, case = approx(x, y, d)
+        stats.case_counts[case] += 1
+        if beta == 0:
+            if alpha % 2 == 0:
+                alpha -= 1
+                stats.quotient_adjustments += 1
+            x = rshift_to_odd(x - y * alpha)
+        else:
+            stats.beta_nonzero += 1
+            x = rshift_to_odd(x - ((y * alpha) << (shift * beta)) + y)
+        if x < y:
+            x, y = y, x
+        stats.iterations += 1
+    return x
+
+
+#: Paper-letter → implementation map used by the census and the benchmarks.
+ALGORITHMS = {
+    "A": gcd_original,
+    "B": gcd_fast,
+    "C": gcd_binary,
+    "D": gcd_fast_binary,
+    "E": gcd_approx,
+}
+
+#: Long names as they appear in the paper's tables.
+ALGORITHM_NAMES = {
+    "A": "Original Euclidean algorithm",
+    "B": "Fast Euclidean algorithm",
+    "C": "Binary Euclidean algorithm",
+    "D": "Fast Binary Euclidean algorithm",
+    "E": "Approximate Euclidean algorithm",
+}
+
+
+def gcd(x: int, y: int, *, algorithm: str = "E", d: int = 32) -> int:
+    """GCD of arbitrary non-negative integers via any of the five algorithms.
+
+    Handles the general-input reductions the paper sketches in Section II:
+    ``gcd(x, 0) = x``, common factors of two are extracted up front
+    (``gcd(X, Y) = 2·gcd(X/2, Y/2)`` while both even), and a lone even
+    operand is right-shifted to odd.
+
+    ``algorithm`` is a paper letter ``"A"``–``"E"`` (default: the paper's
+    Approximate Euclid).  ``d`` is the word size in bits, used by ``"E"``.
+    """
+    if x < 0 or y < 0:
+        raise ValueError("gcd is defined here for non-negative integers")
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}")
+    if x == 0:
+        return y
+    if y == 0:
+        return x
+    twos = 0
+    while (x | y) & 1 == 0:
+        x >>= 1
+        y >>= 1
+        twos += 1
+    x = rshift_to_odd(x)
+    y = rshift_to_odd(y)
+    if algorithm == "E":
+        g = gcd_approx(x, y, d=d)
+    else:
+        g = ALGORITHMS[algorithm](x, y)
+    return g << twos

@@ -1,0 +1,168 @@
+"""Step-by-step trace recorders reproducing the paper's Tables I–III.
+
+Each ``trace_*`` function runs one algorithm on a pair of odd integers and
+records the operand values *at the head of every iteration* — exactly the
+rows the paper prints — plus the per-iteration metadata each table shows
+(the branch taken, the quotient Q, or the ``(α, β)`` pair with its case
+label).  ``α``/``Q`` are recorded *after* the even→odd adjustment because
+that is what Tables II and III display (e.g. Table III row 4 shows ``(7, 0)``
+for an approx output of 8).
+
+:func:`format_binary_grouped` renders values in the paper's
+``1111,1110,…`` comma-grouped binary notation for side-by-side checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gcd.approx import approx
+from repro.util.bits import rshift_to_odd
+
+__all__ = [
+    "TraceStep",
+    "TraceResult",
+    "trace_original",
+    "trace_fast",
+    "trace_binary",
+    "trace_fast_binary",
+    "trace_approx",
+    "format_binary_grouped",
+]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """State at the head of one iteration plus what the iteration did.
+
+    ``op`` names the branch taken (algorithm-specific); ``q`` is the
+    (adjusted) quotient for the division-based algorithms; ``alpha``,
+    ``beta``, ``case`` are Approximate-Euclid metadata.
+    """
+
+    x: int
+    y: int
+    op: str = ""
+    q: int | None = None
+    alpha: int | None = None
+    beta: int | None = None
+    case: str | None = None
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """A full run: per-iteration steps, the terminal state and the GCD."""
+
+    steps: list[TraceStep]
+    final_x: int
+    final_y: int
+    gcd: int
+
+    @property
+    def iterations(self) -> int:
+        return len(self.steps)
+
+    def rows(self) -> list[tuple[int, int]]:
+        """All (X, Y) states, iteration heads plus the terminal state."""
+        return [(s.x, s.y) for s in self.steps] + [(self.final_x, self.final_y)]
+
+
+def _check(x: int, y: int) -> tuple[int, int]:
+    if x <= 0 or y <= 0 or x % 2 == 0 or y % 2 == 0:
+        raise ValueError("traces require odd positive operands")
+    return (x, y) if x >= y else (y, x)
+
+
+def trace_original(x: int, y: int) -> TraceResult:
+    """(A) Original Euclid trace — Table II left half."""
+    x, y = _check(x, y)
+    steps = []
+    while y != 0:
+        q = x // y
+        steps.append(TraceStep(x, y, op="mod", q=q))
+        x, y = y, x - y * q
+    return TraceResult(steps, x, y, x)
+
+
+def trace_fast(x: int, y: int) -> TraceResult:
+    """(B) Fast Euclid trace — Table II right half (Q shown post-adjust)."""
+    x, y = _check(x, y)
+    steps = []
+    while y != 0:
+        q = x // y
+        if q % 2 == 0:
+            q -= 1
+        steps.append(TraceStep(x, y, op="sub_mul_rshift", q=q))
+        x = rshift_to_odd(x - y * q)
+        if x < y:
+            x, y = y, x
+    return TraceResult(steps, x, y, x)
+
+
+def trace_binary(x: int, y: int) -> TraceResult:
+    """(C) Binary Euclid trace — Table I left half."""
+    x, y = _check(x, y)
+    steps = []
+    while y != 0:
+        if x % 2 == 0:
+            steps.append(TraceStep(x, y, op="halve_x"))
+            x //= 2
+        elif y % 2 == 0:
+            steps.append(TraceStep(x, y, op="halve_y"))
+            y //= 2
+        else:
+            steps.append(TraceStep(x, y, op="sub_half"))
+            x = (x - y) // 2
+        if x < y:
+            x, y = y, x
+    return TraceResult(steps, x, y, x)
+
+
+def trace_fast_binary(x: int, y: int) -> TraceResult:
+    """(D) Fast Binary Euclid trace — Table I right half."""
+    x, y = _check(x, y)
+    steps = []
+    while y != 0:
+        steps.append(TraceStep(x, y, op="sub_rshift"))
+        x = rshift_to_odd(x - y)
+        if x < y:
+            x, y = y, x
+    return TraceResult(steps, x, y, x)
+
+
+def trace_approx(x: int, y: int, d: int = 4) -> TraceResult:
+    """(E) Approximate Euclid trace — Table III (default d=4 as the paper).
+
+    Records the case label and the ``(α, β)`` actually used (α after the
+    even→odd decrement when β = 0, matching the paper's display).
+    """
+    x, y = _check(x, y)
+    steps = []
+    while y != 0:
+        alpha, beta, case = approx(x, y, d)
+        if beta == 0:
+            if alpha % 2 == 0:
+                alpha -= 1
+            nxt = rshift_to_odd(x - y * alpha)
+        else:
+            nxt = rshift_to_odd(x - ((y * alpha) << (d * beta)) + y)
+        steps.append(TraceStep(x, y, op="approx", alpha=alpha, beta=beta, case=case))
+        x = nxt
+        if x < y:
+            x, y = y, x
+    return TraceResult(steps, x, y, x)
+
+
+def format_binary_grouped(value: int, group: int = 4) -> str:
+    """Render ``value`` in the paper's comma-grouped binary notation.
+
+    >>> format_binary_grouped(223)
+    '1101,1111'
+    """
+    if value < 0:
+        raise ValueError("non-negative values only")
+    bits = bin(value)[2:]
+    pad = (-len(bits)) % group
+    bits = "0" * pad + bits
+    chunks = [bits[i : i + group] for i in range(0, len(bits), group)]
+    return ",".join(chunks)

@@ -1,0 +1,268 @@
+"""Word-array GCD implementations with full memory-access instrumentation.
+
+These run the same algorithms as :mod:`repro.gcd.reference` but over
+:class:`~repro.mp.wordint.WordInt` operands, routing every word touch
+through a :class:`~repro.mp.memlog.MemLog`.  They exist to *measure* the
+paper's Section IV claims — ``3·s/d + O(1)`` accesses per iteration,
+``4·s/d + O(1)`` only when ``β > 0`` — and to emit the address traces the
+UMM simulator replays; the bulk engine (:mod:`repro.bulk`) is the
+performance path.
+
+The ``swap`` of Section IV is a pointer exchange: the *arrays* keep their
+identities (and their ``MemLog`` names) while the local references trade
+roles, so traces show exactly the access pattern a register-held pointer
+implementation produces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.gcd.approx import CASE_1, approx_words
+from repro.mp.memlog import NULL_MEMLOG, MemLog
+from repro.mp.ops import (
+    compare_words,
+    half_words,
+    is_even_words,
+    sub_half_words,
+    sub_mul_pow_rshift,
+    sub_mul_rshift,
+    sub_rshift,
+)
+from repro.mp.wordint import WordInt
+from repro.util.bits import rshift_to_odd, words_from_int_le
+
+__all__ = [
+    "WordGcdStats",
+    "gcd_original_words",
+    "gcd_fast_words",
+    "gcd_binary_words",
+    "gcd_fast_binary_words",
+    "gcd_approx_words",
+]
+
+
+@dataclass
+class WordGcdStats:
+    """Iteration-level counters for a word-array GCD run."""
+
+    iterations: int = 0
+    early_terminated: bool = False
+    beta_nonzero: int = 0
+    case_counts: Counter[str] = field(default_factory=Counter)
+    #: iterations handled entirely in registers (Case 1: operands ≤ 2 words)
+    register_iterations: int = 0
+
+
+def _prepare(x: WordInt, y: WordInt, log: MemLog) -> tuple[WordInt, WordInt]:
+    """Validate odd positive operands and order them X >= Y (by pointer)."""
+    if x.length == 0 or y.length == 0:
+        raise ValueError("word GCD requires positive operands")
+    if x.d != y.d:
+        raise ValueError(f"mixed word sizes: {x.d} and {y.d}")
+    if (x.words[0] & 1) == 0 or (y.words[0] & 1) == 0:
+        raise ValueError("word GCD requires odd operands")
+    if compare_words(x, y, log) < 0:
+        log.swap()
+        return y, x
+    return x, y
+
+
+def _early_stop(y: WordInt, stop_bits: int | None) -> bool:
+    """Early-terminate test (register arithmetic on l_Y and the top word)."""
+    return stop_bits is not None and y.length > 0 and y.bit_length() < stop_bits
+
+
+def gcd_original_words(
+    x: WordInt,
+    y: WordInt,
+    *,
+    stop_bits: int | None = None,
+    log: MemLog = NULL_MEMLOG,
+    stats: WordGcdStats | None = None,
+) -> int:
+    """(A) Original Euclid over word arrays: one full Algorithm D division
+    per iteration.  Exists to *measure* what the paper avoids — compare its
+    per-iteration access counts with :func:`gcd_approx_words`."""
+    from repro.mp.divide import divmod_wordint
+
+    if stats is None:
+        stats = WordGcdStats()
+    x, y = _prepare(x, y, log)
+    while y.length > 0:
+        if _early_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        _, r = divmod_wordint(x, y, log)
+        _write_value(x, r, log)
+        x, y = y, x
+        log.swap()
+        stats.iterations += 1
+        log.tick()
+    return x.to_int()
+
+
+def gcd_fast_words(
+    x: WordInt,
+    y: WordInt,
+    *,
+    stop_bits: int | None = None,
+    log: MemLog = NULL_MEMLOG,
+    stats: WordGcdStats | None = None,
+) -> int:
+    """(B) Fast Euclid over word arrays: exact quotient via Algorithm D,
+    forced odd, then the trailing-zero strip.
+
+    With Q odd, ``X − Y·Q = X mod Y``; with Q even the adjusted value is
+    ``(X mod Y) + Y`` — so one division plus at most one addition pass per
+    iteration, no multiword multiply needed.
+    """
+    from repro.mp.divide import divmod_wordint
+
+    if stats is None:
+        stats = WordGcdStats()
+    x, y = _prepare(x, y, log)
+    while y.length > 0:
+        if _early_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        q, r = divmod_wordint(x, y, log)
+        if q % 2 == 0:  # Q - 1: the even->odd adjustment, adds +Y
+            r += y.to_int()
+        _write_value(x, rshift_to_odd(r), log)
+        if compare_words(x, y, log) < 0:
+            x, y = y, x
+            log.swap()
+        stats.iterations += 1
+        log.tick()
+    return x.to_int()
+
+
+def gcd_binary_words(
+    x: WordInt,
+    y: WordInt,
+    *,
+    stop_bits: int | None = None,
+    log: MemLog = NULL_MEMLOG,
+    stats: WordGcdStats | None = None,
+) -> int:
+    """(C) Binary Euclid over word arrays.  Mutates ``x`` and ``y``."""
+    if stats is None:
+        stats = WordGcdStats()
+    x, y = _prepare(x, y, log)
+    while y.length > 0:
+        if _early_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        if is_even_words(x, log, key=("par", 0)):
+            half_words(x, log, phase="hx")
+        elif is_even_words(y, log, key=("par", 1)):
+            half_words(y, log, phase="hy")
+        else:
+            sub_half_words(x, y, log, phase="sh")
+        if compare_words(x, y, log) < 0:
+            x, y = y, x
+            log.swap()
+        stats.iterations += 1
+        log.tick()
+    return x.to_int()
+
+
+def gcd_fast_binary_words(
+    x: WordInt,
+    y: WordInt,
+    *,
+    stop_bits: int | None = None,
+    log: MemLog = NULL_MEMLOG,
+    stats: WordGcdStats | None = None,
+) -> int:
+    """(D) Fast Binary Euclid over word arrays.  Mutates ``x`` and ``y``."""
+    if stats is None:
+        stats = WordGcdStats()
+    x, y = _prepare(x, y, log)
+    while y.length > 0:
+        if _early_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        sub_rshift(x, y, log)
+        if compare_words(x, y, log) < 0:
+            x, y = y, x
+            log.swap()
+        stats.iterations += 1
+        log.tick()
+    return x.to_int()
+
+
+def gcd_approx_words(
+    x: WordInt,
+    y: WordInt,
+    *,
+    stop_bits: int | None = None,
+    log: MemLog = NULL_MEMLOG,
+    stats: WordGcdStats | None = None,
+) -> int:
+    """(E) Approximate Euclid over word arrays.  Mutates ``x`` and ``y``.
+
+    Case 1 (both operands ≤ 2 words) is executed entirely in registers —
+    the paper notes the RSA kernel never reaches it, and for general inputs
+    two-word values are register-resident anyway.  The two multi-word
+    updates are the fused passes of :mod:`repro.mp.ops`.
+    """
+    if stats is None:
+        stats = WordGcdStats()
+    x, y = _prepare(x, y, log)
+    d = x.d
+    while y.length > 0:
+        if _early_stop(y, stop_bits):
+            stats.early_terminated = True
+            return 1
+        alpha, beta, case = approx_words(x, y, log)
+        stats.case_counts[case] += 1
+        if case == CASE_1:
+            # approx_words already read every word of both operands;
+            # finish the iteration in registers and write X back.
+            if alpha % 2 == 0:
+                alpha -= 1
+            t = rshift_to_odd(x.to_int() - y.to_int() * alpha)
+            _write_small(x, t, log)
+            stats.register_iterations += 1
+        elif beta == 0:
+            if alpha % 2 == 0:
+                alpha -= 1
+            sub_mul_rshift(x, y, alpha, log)
+        else:
+            stats.beta_nonzero += 1
+            sub_mul_pow_rshift(x, y, alpha, beta, log)
+        if compare_words(x, y, log) < 0:
+            x, y = y, x
+            log.swap()
+        stats.iterations += 1
+        log.tick()
+    return x.to_int()
+
+
+def _write_small(x: WordInt, value: int, log: MemLog) -> None:
+    """Store a register-computed (≤ 2 word) value into ``x``, logging writes."""
+    if value == 0:
+        x.length = 0
+        return
+    words = words_from_int_le(value, x.d)
+    for i, w in enumerate(words):
+        x.words[i] = w
+        log.write(x.name, i, key=("small", i))
+    x.length = len(words)
+
+
+def _write_value(x: WordInt, value: int, log: MemLog) -> None:
+    """Store an arbitrary value into ``x``, one logged write per word."""
+    if value == 0:
+        x.length = 0
+        return
+    words = words_from_int_le(value, x.d)
+    if len(words) > x.capacity:
+        raise ValueError("value does not fit the operand's capacity")
+    for i, w in enumerate(words):
+        x.words[i] = w
+        log.write(x.name, i, key=("wb", i))
+    x.length = len(words)

@@ -1,0 +1,49 @@
+"""GPU memory-model simulator: the paper's UMM (Unified Memory Machine).
+
+The paper analyses its CUDA kernels not against real silicon but against the
+UMM [Nakano 2014]: ``p`` threads in warps of ``w``, memory partitioned into
+address groups of ``w`` consecutive words, every access flowing through an
+``l``-stage pipeline, warps dispatched round-robin, and a warp's requests
+occupying one pipeline stage per *distinct address group* touched.  This
+package implements that machine cycle-for-cycle, so the coalescing and
+Theorem 1 claims can be measured instead of assumed:
+
+* :mod:`repro.gpusim.umm` — the machine and its cost accounting;
+* :mod:`repro.gpusim.trace` — per-thread word-access traces, memory layouts
+  (column-wise vs row-wise), and bulk-execution access-matrix construction;
+* :mod:`repro.gpusim.coalescing` — coalesced-fraction and (semi-)oblivious
+  divergence analysis of captured traces.
+"""
+
+from repro.gpusim.coalescing import CoalescingReport, analyze_matrix, obliviousness_report
+from repro.gpusim.cost_model import KernelCostEstimate, estimate_kernel_cost, simulated_table5
+from repro.gpusim.shared_memory import SharedMemory, SharedMemoryResult
+from repro.gpusim.trace import (
+    Layout,
+    ThreadTrace,
+    build_access_matrix,
+    capture_word_gcd_trace,
+    column_wise_layout,
+    row_wise_layout,
+)
+from repro.gpusim.umm import UMM, UMMResult, theorem1_time
+
+__all__ = [
+    "CoalescingReport",
+    "KernelCostEstimate",
+    "Layout",
+    "SharedMemory",
+    "SharedMemoryResult",
+    "ThreadTrace",
+    "UMM",
+    "UMMResult",
+    "analyze_matrix",
+    "build_access_matrix",
+    "capture_word_gcd_trace",
+    "column_wise_layout",
+    "estimate_kernel_cost",
+    "obliviousness_report",
+    "simulated_table5",
+    "row_wise_layout",
+    "theorem1_time",
+]

@@ -1,0 +1,153 @@
+"""Coalescing and (semi-)obliviousness analysis of bulk traces.
+
+Two complementary measurements back the paper's Section VI argument:
+
+* :func:`analyze_matrix` runs an access matrix through the UMM and compares
+  the measured time with the fully-coalesced Theorem 1 ideal — the overhead
+  factor is the price of the algorithm's non-oblivious accesses;
+* :func:`obliviousness_report` looks at the *logical* traces (array, index)
+  before any layout: an algorithm is oblivious iff at every lock-step all
+  threads touch the same word of the same operand, and semi-oblivious when
+  almost all steps do.  The paper claims Approximate Euclid's divergent
+  steps are a vanishing fraction; this computes that fraction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.trace import ThreadTrace
+from repro.gpusim.umm import UMM, UMMResult, theorem1_time
+
+__all__ = ["CoalescingReport", "analyze_matrix", "obliviousness_report", "ObliviousnessReport"]
+
+
+@dataclass(frozen=True)
+class CoalescingReport:
+    """UMM measurement vs the Theorem 1 fully-coalesced ideal.
+
+    Two overheads are reported because the UMM has two regimes: with few
+    threads the ``l − 1`` pipeline drain dominates every step and hides
+    divergence (latency-bound); with many threads per step the stage count —
+    memory transactions, i.e. bandwidth — dominates, which is the regime the
+    paper's 16K-moduli workloads run in.  ``bandwidth_overhead`` is the
+    regime-independent coalescing signal.
+    """
+
+    result: UMMResult
+    ideal_time: int
+    ideal_stages: int
+
+    @property
+    def measured_time(self) -> int:
+        return self.result.total_time
+
+    @property
+    def measured_stages(self) -> int:
+        """Total pipeline stages = memory transactions issued."""
+        return sum(self.result.step_stages)
+
+    @property
+    def overhead(self) -> float:
+        """measured time / ideal time; 1.0 means perfectly coalesced."""
+        return self.measured_time / self.ideal_time if self.ideal_time else float("inf")
+
+    @property
+    def bandwidth_overhead(self) -> float:
+        """measured transactions / ideal transactions (latency excluded)."""
+        return self.measured_stages / self.ideal_stages if self.ideal_stages else float("inf")
+
+    @property
+    def coalesced_fraction(self) -> float:
+        return self.result.coalesced_fraction
+
+
+def analyze_matrix(matrix: np.ndarray, *, width: int, latency: int) -> CoalescingReport:
+    """Simulate ``matrix`` on the UMM and benchmark it against Theorem 1.
+
+    The ideal assumes the same number of steps, each fully coalesced by all
+    ``p`` threads — ``(p/w + l − 1)`` time and ``p/w`` transactions per step.
+    """
+    umm = UMM(width=width, latency=latency)
+    result = umm.simulate(matrix)
+    steps, p = matrix.shape
+    p_padded = -(-p // width) * width  # Theorem 1 wants a warp multiple
+    ideal = theorem1_time(p_padded, width, latency, steps)
+    return CoalescingReport(
+        result=result, ideal_time=ideal, ideal_stages=steps * (p_padded // width)
+    )
+
+
+@dataclass(frozen=True)
+class ObliviousnessReport:
+    """Lock-step agreement statistics over logical (array, index) traces."""
+
+    steps: int
+    oblivious_steps: int
+    #: steps where at least one *active* thread disagreed with the others
+    divergent_steps: int
+
+    @property
+    def divergence_fraction(self) -> float:
+        return self.divergent_steps / self.steps if self.steps else 0.0
+
+    @property
+    def is_oblivious(self) -> bool:
+        """True when every step agrees — a fully oblivious bulk execution."""
+        return self.divergent_steps == 0
+
+    def is_semi_oblivious(self, threshold: float = 0.05) -> bool:
+        """Semi-oblivious in the paper's informal sense: divergence on only
+        a small fraction of steps (default: at most 5%)."""
+        return self.divergence_fraction <= threshold
+
+
+def obliviousness_report(
+    traces: Sequence[ThreadTrace],
+    *,
+    align: str = "iteration",
+    role_relative: bool = True,
+) -> ObliviousnessReport:
+    """Measure how often lock-step threads agree on the word they touch.
+
+    Traces are aligned at iteration boundaries and then by structural key
+    (instruction slot) — see :func:`repro.gpusim.trace.lockstep_rows` — which
+    is how SIMT lanes actually re-converge.  A row counts as divergent if
+    two *active* lanes disagree; masked lanes are ignored.
+
+    ``role_relative`` (default) compares ``(op, word index)`` only — the
+    paper's notion: "X" and "Y" are *roles* exchanged by a register pointer
+    swap, and the update pass reads/writes the same word offsets regardless
+    of which physical buffer currently plays X.  This is the sense in which
+    Approximate Euclid is semi-oblivious: the only divergent rows are the
+    approx top-word reads and the trailing compare, whose word index depends
+    on each lane's operand length.
+
+    With ``role_relative=False`` the physical buffer identity counts too.
+    Because lanes accumulate different swap histories, buffer identities
+    decorrelate across a warp; each such row still touches the *same word
+    index* in at most two buffers, so on the UMM it costs at most 2 address
+    groups instead of 1 — a bounded 2× bandwidth tax, not a scatter.  The
+    coalescing benchmarks report both views; see EXPERIMENTS.md for the
+    discussion.
+    """
+    from repro.gpusim.trace import lockstep_rows
+
+    oblivious = 0
+    divergent = 0
+    rows = lockstep_rows(traces, align=align)
+    for row in rows:
+        if role_relative:
+            seen = {(r.op, r.index) for r in row if r is not None}
+        else:
+            seen = {(r.op, r.array, r.index) for r in row if r is not None}
+        if len(seen) <= 1:
+            oblivious += 1
+        else:
+            divergent += 1
+    return ObliviousnessReport(
+        steps=len(rows), oblivious_steps=oblivious, divergent_steps=divergent
+    )

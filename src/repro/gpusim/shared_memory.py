@@ -1,0 +1,101 @@
+"""Shared-memory bank-conflict model (paper Section I background).
+
+"The address space of the shared memory is mapped into several physical
+memory banks.  If two or more threads access the same memory banks at the
+same time, the access requests are processed in turn."  This module models
+exactly that: ``banks`` banks, word address ``a`` living in bank
+``a mod banks``; a warp-wide access costs as many turns as the most
+contended bank.  CUDA's broadcast rule (all lanes reading the *same*
+address costs one turn) is on by default and can be disabled.
+
+The paper's GCD kernel keeps operands in (global-memory-backed) local
+arrays, so this is supporting machinery: it quantifies why a shared-memory
+staging variant would want the same column-style stride-1 layout that makes
+global accesses coalesce — stride-1 is also bank-conflict-free.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SharedMemory", "SharedMemoryResult"]
+
+
+@dataclass
+class SharedMemoryResult:
+    """Turn accounting for a sequence of warp-wide shared-memory accesses."""
+
+    banks: int
+    #: turns consumed by each warp access (1 = conflict-free)
+    turns: list[int] = field(default_factory=list)
+    conflict_free: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return len(self.turns)
+
+    @property
+    def total_turns(self) -> int:
+        return sum(self.turns)
+
+    @property
+    def conflict_free_fraction(self) -> float:
+        return self.conflict_free / self.accesses if self.accesses else 1.0
+
+    @property
+    def slowdown(self) -> float:
+        """total turns / accesses; 1.0 means never serialized."""
+        return self.total_turns / self.accesses if self.accesses else 1.0
+
+
+class SharedMemory:
+    """A banked shared memory serving one warp access at a time."""
+
+    def __init__(self, banks: int = 32, *, broadcast: bool = True) -> None:
+        if banks < 1:
+            raise ValueError("banks must be >= 1")
+        self.banks = banks
+        self.broadcast = broadcast
+
+    def access_cost(self, addresses: list[int] | np.ndarray) -> int:
+        """Turns needed for one warp access (IDLE lanes pass -1 or are omitted).
+
+        With broadcast, duplicate addresses within a bank count once; without
+        it every request is its own turn in its bank's queue.
+        """
+        addrs = [int(a) for a in addresses if a >= 0]
+        if not addrs:
+            return 0
+        per_bank: Counter[int] = Counter()
+        if self.broadcast:
+            for a in set(addrs):
+                per_bank[a % self.banks] += 1
+        else:
+            for a in addrs:
+                per_bank[a % self.banks] += 1
+        return max(per_bank.values())
+
+    def simulate(self, matrix: list[list[int]] | np.ndarray) -> SharedMemoryResult:
+        """Charge a ``(steps, lanes)`` address matrix; −1 marks idle lanes."""
+        result = SharedMemoryResult(banks=self.banks)
+        for row in np.asarray(matrix, dtype=np.int64):
+            cost = self.access_cost(row)
+            if cost == 0:
+                continue
+            result.turns.append(cost)
+            if cost == 1:
+                result.conflict_free += 1
+        return result
+
+    def stride_cost(self, stride: int, lanes: int | None = None) -> int:
+        """Turns for the classic strided pattern ``lane * stride``.
+
+        The textbook result: cost is ``gcd(stride, banks)``-way conflict for
+        a full warp (``lanes`` defaults to ``banks``).
+        """
+        if lanes is None:
+            lanes = self.banks
+        return self.access_cost([lane * stride for lane in range(lanes)])

@@ -1,0 +1,244 @@
+"""Per-thread access traces, memory layouts, and bulk access matrices.
+
+The bulk execution of Section VI assigns one GCD pair to each CUDA thread;
+all threads run the same (semi-)oblivious algorithm in lock step.  Here we
+
+1. capture the word-access trace of a scalar instrumented GCD run
+   (:func:`capture_word_gcd_trace`) — one per simulated thread;
+2. place every thread's operand arrays in a shared address space under a
+   chosen :class:`Layout` — the paper's *column-wise* arrangement
+   (Figure 3: word ``i`` of thread ``j`` lives at ``base + i·p + j``, so
+   lock-step threads touch consecutive addresses) or the naive *row-wise*
+   one (``base + j·capacity + i``, which scatters them);
+3. assemble the ``(steps, p)`` address matrix the UMM simulator consumes
+   (:func:`build_access_matrix`), padding finished threads with IDLE.
+
+Alignment matters: SIMT lanes executing a loop re-converge at every
+iteration boundary and at every instruction inside it, with lanes that have
+nothing to do masked off — they never free-run ahead.  ``align="iteration"``
+(the default) therefore lines traces up first by the ``tick()`` iteration
+boundaries the word GCDs record and then by the *structural key* each
+access carries (``(phase, word index, slot)``; see
+:class:`repro.mp.memlog.AccessRecord`): lanes at the same instruction slot
+form one lock-step row, and branches with distinct phases serialize into
+separate rows — the SIMT branch-divergence cost the paper discusses for
+Binary Euclid.  ``align="flat"`` is the naive position-wise alignment for
+strictly oblivious traces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gcd.word import gcd_approx_words, gcd_binary_words, gcd_fast_binary_words
+from repro.mp.memlog import AccessRecord, TracingMemLog
+from repro.mp.wordint import WordInt
+from repro.util.bits import word_count
+
+from repro.gpusim.umm import IDLE
+
+__all__ = [
+    "ThreadTrace",
+    "Layout",
+    "column_wise_layout",
+    "row_wise_layout",
+    "capture_word_gcd_trace",
+    "build_access_matrix",
+    "lockstep_rows",
+    "segment_trace",
+]
+
+#: One thread's ordered word accesses: either a plain record sequence or a
+#: TracingMemLog (which adds iteration boundaries).
+ThreadTrace = Sequence[AccessRecord] | TracingMemLog
+
+_WORD_GCD = {
+    "binary": gcd_binary_words,
+    "fast_binary": gcd_fast_binary_words,
+    "approx": gcd_approx_words,
+}
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Maps (array name, word index, thread id) to a global address."""
+
+    name: str
+    address: Callable[[str, int, int], int]
+
+
+def column_wise_layout(capacities: dict[str, int], p: int) -> Layout:
+    """The paper's Figure 3 arrangement: ``b_j[i] ↦ base + i·p + j``.
+
+    Threads executing the same step of an oblivious algorithm then hit ``p``
+    consecutive addresses — one address group per ``w`` threads — which is
+    exactly what makes the bulk execution coalesce.
+    """
+    bases: dict[str, int] = {}
+    offset = 0
+    for array in sorted(capacities):
+        bases[array] = offset
+        offset += capacities[array] * p
+
+    def addr(array: str, index: int, thread: int) -> int:
+        return bases[array] + index * p + thread
+
+    return Layout(name="column-wise", address=addr)
+
+
+def row_wise_layout(capacities: dict[str, int], p: int) -> Layout:
+    """Naive per-thread contiguous arrangement: ``b_j[i] ↦ base + j·cap + i``.
+
+    The anti-pattern the paper contrasts against: lock-step threads touch
+    addresses a full operand apart, so every warp dispatch spans ``w``
+    address groups and throughput collapses by the warp width.
+    """
+    bases: dict[str, int] = {}
+    offset = 0
+    caps: dict[str, int] = dict(capacities)
+    for array in sorted(caps):
+        bases[array] = offset
+        offset += caps[array] * p
+
+    def addr(array: str, index: int, thread: int) -> int:
+        return bases[array] + thread * caps[array] + index
+
+    return Layout(name="row-wise", address=addr)
+
+
+def capture_word_gcd_trace(
+    x: int,
+    y: int,
+    *,
+    algorithm: str = "approx",
+    d: int = 32,
+    capacity: int | None = None,
+    stop_bits: int | None = None,
+) -> TracingMemLog:
+    """Run one instrumented word GCD and return its access log.
+
+    The log carries both the ordered trace and the iteration boundaries, so
+    downstream analysis can align threads the way SIMT hardware does.
+    ``capacity`` fixes the word-array size for *all* threads of a bulk run
+    (pass ``ceil(s/d)`` for s-bit moduli) so layouts agree across threads.
+    """
+    if algorithm not in _WORD_GCD:
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {sorted(_WORD_GCD)}")
+    if capacity is None:
+        capacity = max(word_count(x, d), word_count(y, d), 1)
+    log = TracingMemLog()
+    xw = WordInt.from_int(x, d, capacity=capacity, name="X")
+    yw = WordInt.from_int(y, d, capacity=capacity, name="Y")
+    _WORD_GCD[algorithm](xw, yw, stop_bits=stop_bits, log=log)
+    return log
+
+
+def segment_trace(trace: ThreadTrace, align: str) -> list[list[AccessRecord]]:
+    """Split a trace into lock-step segments.
+
+    ``align="iteration"`` uses the recorded iteration boundaries (requires a
+    :class:`TracingMemLog`); ``align="flat"`` treats the whole trace as one
+    segment.
+    """
+    if align == "flat":
+        records = trace.trace if isinstance(trace, TracingMemLog) else list(trace)
+        return [list(records)]
+    if align == "iteration":
+        if not isinstance(trace, TracingMemLog):
+            raise ValueError("iteration alignment needs TracingMemLog traces (with boundaries)")
+        return trace.iteration_slices()
+    raise ValueError(f"unknown alignment {align!r}; expected 'flat' or 'iteration'")
+
+
+#: Program order of the structural phases within one GCD iteration; rows of
+#: the lock-step schedule are emitted in this order.  Unknown phases sort
+#: last, in key order.
+_PHASE_ORDER = {
+    "par": 0,  # parity probes (Binary Euclid)
+    "approx": 1,  # 4-word quotient estimate
+    "approx1": 2,  # Case-1 full read of 2-word operands
+    "hx": 3,  # Binary Euclid branch: halve X
+    "hy": 4,  # Binary Euclid branch: halve Y
+    "sh": 5,  # Binary Euclid branch: (X - Y) / 2
+    "upd": 6,  # rshift(X - alpha*Y) fused pass
+    "updp": 7,  # rare beta > 0 fused pass
+    "small": 8,  # register-resident Case-1 write-back
+    "cmp": 9,  # trailing X < Y comparison
+}
+
+
+def _phase_sort_key(key: tuple) -> tuple:
+    return (_PHASE_ORDER.get(key[0], len(_PHASE_ORDER)), key)
+
+
+def lockstep_rows(
+    traces: Sequence[ThreadTrace], *, align: str = "iteration"
+) -> list[list[AccessRecord | None]]:
+    """The lock-step schedule: one row per instruction slot, one column per
+    thread; ``None`` marks a masked (inactive) lane.
+
+    With ``align="iteration"``, traces are segmented at iteration boundaries
+    and rows within a segment group accesses by structural key — lanes that
+    executed the same instruction slot share a row regardless of how many
+    accesses *other* slots cost them.  Accesses without keys fall back to
+    positional alignment within the segment.
+    """
+    segmented = [segment_trace(tr, align) for tr in traces]
+    n_segments = max((len(s) for s in segmented), default=0)
+    p = len(traces)
+    rows: list[list[AccessRecord | None]] = []
+    for k in range(n_segments):
+        segs = [s[k] if k < len(s) else [] for s in segmented]
+        keyed = all(rec.key for seg in segs for rec in seg)
+        if keyed:
+            # group by structural key; repeated keys within one lane keep
+            # their own occurrence index (lanes re-issuing a slot stack up)
+            per_lane: list[dict[tuple, list[AccessRecord]]] = []
+            all_keys: set[tuple] = set()
+            for seg in segs:
+                lane: dict[tuple, list[AccessRecord]] = {}
+                for rec in seg:
+                    lane.setdefault(rec.key, []).append(rec)
+                per_lane.append(lane)
+                all_keys.update(lane)
+            for key in sorted(all_keys, key=_phase_sort_key):
+                depth = max(len(lane.get(key, ())) for lane in per_lane)
+                for occurrence in range(depth):
+                    row: list[AccessRecord | None] = []
+                    for lane in per_lane:
+                        recs = lane.get(key, ())
+                        row.append(recs[occurrence] if occurrence < len(recs) else None)
+                    rows.append(row)
+        else:
+            depth = max((len(seg) for seg in segs), default=0)
+            for t in range(depth):
+                rows.append([seg[t] if t < len(seg) else None for seg in segs])
+    assert all(len(r) == p for r in rows)
+    return rows
+
+
+def build_access_matrix(
+    traces: Sequence[ThreadTrace],
+    layout: Layout,
+    *,
+    align: str = "iteration",
+) -> np.ndarray:
+    """Assemble the UMM access matrix for a lock-step bulk execution.
+
+    Each row holds the address every thread requests at one lock-step
+    instruction slot, IDLE where a lane is masked off — its GCD finished in
+    fewer iterations, its operands are shorter, or it took another branch.
+    """
+    p = len(traces)
+    if p == 0:
+        return np.full((0, 0), IDLE, dtype=np.int64)
+    rows = lockstep_rows(traces, align=align)
+    matrix = np.full((len(rows), p), IDLE, dtype=np.int64)
+    for t, row in enumerate(rows):
+        for j, rec in enumerate(row):
+            if rec is not None:
+                matrix[t, j] = layout.address(rec.array, rec.index, j)
+    return matrix

@@ -1,0 +1,131 @@
+"""The Unified Memory Machine (UMM) cost model — paper Section VI, Figure 2.
+
+Machine definition (verbatim from the paper):
+
+* memory addresses are partitioned into *address groups*
+  ``A[j] = {j·w, …, (j+1)·w − 1}``;
+* ``p`` threads form ``p/w`` warps of ``w`` threads; warps are dispatched
+  for memory access in round-robin order, skipping warps with no pending
+  request;
+* a dispatched warp sends one request per active thread into an ``l``-stage
+  pipeline; requests destined for ``k`` distinct address groups occupy ``k``
+  pipeline stages;
+* an access completes when its request reaches the last stage, and a thread
+  may not issue its next access until its previous one completed.
+
+Consequently one *round* in which the warps touch ``k_0, k_1, …`` address
+groups costs ``k_0 + k_1 + ⋯ + (l − 1)`` time units (Figure 2's worked
+example: ``3 + 1 + 5 − 1 = 8``), and ``t`` fully coalesced rounds of ``p``
+threads cost exactly ``(p/w + l − 1)·t`` — Theorem 1, which
+:func:`theorem1_time` encodes and the tests verify against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["UMM", "UMMResult", "theorem1_time"]
+
+#: Sentinel for "thread idle this step" in access matrices.
+IDLE = -1
+
+
+@dataclass
+class UMMResult:
+    """Cycle accounting for one simulated access matrix."""
+
+    width: int
+    latency: int
+    total_time: int
+    #: time units consumed by each step (pipeline occupancy + drain)
+    step_times: list[int] = field(default_factory=list)
+    #: per-step total pipeline stages occupied (sum over warps of groups)
+    step_stages: list[int] = field(default_factory=list)
+    #: warp dispatches that touched exactly one address group
+    coalesced_dispatches: int = 0
+    #: warp dispatches that touched more than one address group
+    divergent_dispatches: int = 0
+
+    @property
+    def dispatches(self) -> int:
+        return self.coalesced_dispatches + self.divergent_dispatches
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Share of warp dispatches that were fully coalesced."""
+        n = self.dispatches
+        return self.coalesced_dispatches / n if n else 1.0
+
+
+class UMM:
+    """Simulator for the UMM with width ``w`` and latency ``l``."""
+
+    def __init__(self, width: int, latency: int) -> None:
+        if width < 1 or latency < 1:
+            raise ValueError("width and latency must be >= 1")
+        self.width = width
+        self.latency = latency
+
+    def simulate(self, matrix: np.ndarray | list[list[int]]) -> UMMResult:
+        """Run an access matrix of shape ``(steps, p)``.
+
+        Entry ``matrix[t, j]`` is the address thread ``j`` requests at step
+        ``t``, or ``IDLE`` (−1) if that thread makes no request.  Each row is
+        one lock-step access of the bulk execution: a thread may not proceed
+        to row ``t+1`` before row ``t`` completed, matching the paper's
+        "no new request until the previous completed" rule.
+        """
+        m = np.asarray(matrix, dtype=np.int64)
+        if m.ndim != 2:
+            raise ValueError(f"access matrix must be 2-D (steps, threads), got shape {m.shape}")
+        steps, p = m.shape
+        w, l = self.width, self.latency
+        result = UMMResult(width=w, latency=l, total_time=0)
+        if p == 0:
+            return result
+        n_warps = -(-p // w)
+        for t in range(steps):
+            row = m[t]
+            stages = 0
+            any_active = False
+            for wi in range(n_warps):
+                lane = row[wi * w : (wi + 1) * w]
+                active = lane[lane != IDLE]
+                if active.size == 0:
+                    continue  # warp not dispatched
+                any_active = True
+                groups = np.unique(active // w).size
+                stages += groups
+                if groups == 1:
+                    result.coalesced_dispatches += 1
+                else:
+                    result.divergent_dispatches += 1
+            step_time = stages + (l - 1) if any_active else 0
+            result.step_times.append(step_time)
+            result.step_stages.append(stages)
+            result.total_time += step_time
+        return result
+
+    def simulate_figure2_example(self) -> UMMResult:
+        """The paper's Figure 2 scenario (requires width=4).
+
+        Two warps, W(0) touching addresses in three address groups and W(1)
+        coalesced into one, completing in ``3 + 1 + 5 − 1`` time units at
+        latency 5.
+        """
+        if self.width != 4:
+            raise ValueError("Figure 2 is drawn for width w = 4")
+        # W(0): addresses 3, 4, 6, 9 -> groups {0, 1, 2}; W(1): 8,10,9,11 -> {2}
+        row = [[3, 4, 6, 9, 8, 10, 9, 11]]
+        return self.simulate(row)
+
+
+def theorem1_time(p: int, w: int, l: int, t: int) -> int:
+    """Theorem 1's closed form: bulk-executing an oblivious algorithm of
+    ``t`` memory accesses with ``p`` threads costs ``(p/w + l − 1)·t`` on
+    the UMM (``p`` a multiple of ``w``)."""
+    if p % w:
+        raise ValueError("Theorem 1 assumes p is a multiple of w")
+    return (p // w + l - 1) * t

@@ -1,0 +1,38 @@
+"""Word-array multiprecision substrate.
+
+The paper stores an ``s``-bit number in ``s/d`` words of ``d`` bits and is
+careful that each GCD iteration touches memory as little as possible: reading
+``X``, reading ``Y`` and writing ``X`` once each (``3·s/d + O(1)`` word
+accesses, ``4·s/d + O(1)`` in the rare ``β > 0`` step).  This package provides
+
+* :class:`~repro.mp.wordint.WordInt` — a little-endian fixed-capacity word
+  array with an explicit significant-word count (the paper's ``l_X``),
+* instrumented word-level operations (:mod:`repro.mp.ops`) implementing the
+  fused subtract-multiply-rshift passes of Section IV,
+* :mod:`repro.mp.memlog` — pluggable access counting / address tracing used
+  by the Figure 1 experiments and the UMM replay.
+"""
+
+from repro.mp.memlog import AccessRecord, CountingMemLog, MemLog, NullMemLog, TracingMemLog
+from repro.mp.ops import (
+    compare_words,
+    is_even_words,
+    sub_mul_pow_rshift,
+    sub_mul_rshift,
+    sub_rshift,
+)
+from repro.mp.wordint import WordInt
+
+__all__ = [
+    "AccessRecord",
+    "CountingMemLog",
+    "MemLog",
+    "NullMemLog",
+    "TracingMemLog",
+    "WordInt",
+    "compare_words",
+    "is_even_words",
+    "sub_mul_pow_rshift",
+    "sub_mul_rshift",
+    "sub_rshift",
+]

@@ -1,0 +1,134 @@
+"""Pluggable memory-access instrumentation for word-level algorithms.
+
+Three implementations of the same small interface:
+
+* :class:`NullMemLog` — no-op; the default, so the uninstrumented scalar path
+  pays a single virtual call per access and nothing else.
+* :class:`CountingMemLog` — per-array read/write counters; backs the
+  ``3·s/d + O(1)`` access-count experiments (Figure 1 / Section IV).
+* :class:`TracingMemLog` — full ordered address trace; its output is replayed
+  on the UMM simulator (:mod:`repro.gpusim`) to measure coalescing.
+
+Array operands are identified by a short string name (``"X"``, ``"Y"``);
+indices are word offsets within that operand.  ``swap`` is logged as a
+zero-cost pointer exchange, mirroring the paper's register-held pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccessRecord", "MemLog", "NullMemLog", "CountingMemLog", "TracingMemLog"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One word access: ``op`` is ``"r"`` or ``"w"``.
+
+    ``key`` is the access's *structural position* — a tuple like
+    ``("upd", i, 0)`` naming the instruction slot (phase, loop index, slot)
+    that issued it.  SIMT lanes executing the same instruction share the
+    same key even when their operand lengths differ, which is what lets the
+    GPU-model analysis align threads the way real warps re-converge.
+    Branchy phases use distinct key prefixes so divergent branches
+    serialize, as they do on hardware.
+    """
+
+    op: str
+    array: str
+    index: int
+    key: tuple = ()
+
+
+class MemLog:
+    """Interface for word-access instrumentation (also usable as a no-op)."""
+
+    def read(self, array: str, index: int, key: tuple = ()) -> None:
+        """Record a one-word read of ``array[index]``."""
+
+    def write(self, array: str, index: int, key: tuple = ()) -> None:
+        """Record a one-word write of ``array[index]``."""
+
+    def swap(self) -> None:
+        """Record a pointer swap (free: registers only, per Section IV)."""
+
+    def tick(self) -> None:
+        """Mark an iteration boundary (used by per-iteration statistics)."""
+
+
+class NullMemLog(MemLog):
+    """Do-nothing logger; shared singleton is :data:`NULL_MEMLOG`."""
+
+    __slots__ = ()
+
+
+NULL_MEMLOG = NullMemLog()
+
+
+class CountingMemLog(MemLog):
+    """Counts reads/writes globally, per array, and per iteration."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.swaps = 0
+        self.per_array_reads: dict[str, int] = {}
+        self.per_array_writes: dict[str, int] = {}
+        #: accesses (reads+writes) in each completed iteration
+        self.per_iteration: list[int] = []
+        self._iter_start = 0
+
+    @property
+    def total(self) -> int:
+        """Total word accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    def read(self, array: str, index: int, key: tuple = ()) -> None:
+        self.reads += 1
+        self.per_array_reads[array] = self.per_array_reads.get(array, 0) + 1
+
+    def write(self, array: str, index: int, key: tuple = ()) -> None:
+        self.writes += 1
+        self.per_array_writes[array] = self.per_array_writes.get(array, 0) + 1
+
+    def swap(self) -> None:
+        self.swaps += 1
+
+    def tick(self) -> None:
+        self.per_iteration.append(self.total - self._iter_start)
+        self._iter_start = self.total
+
+
+@dataclass
+class TracingMemLog(MemLog):
+    """Ordered trace of every access, with iteration boundaries.
+
+    ``iterations[i]`` is the slice ``trace[boundaries[i]:boundaries[i+1]]``;
+    use :meth:`iteration_slices` to walk them.
+    """
+
+    trace: list[AccessRecord] = field(default_factory=list)
+    boundaries: list[int] = field(default_factory=list)
+
+    def read(self, array: str, index: int, key: tuple = ()) -> None:
+        self.trace.append(AccessRecord("r", array, index, key))
+
+    def write(self, array: str, index: int, key: tuple = ()) -> None:
+        self.trace.append(AccessRecord("w", array, index, key))
+
+    def swap(self) -> None:  # pointer-only, leaves no memory trace
+        pass
+
+    def tick(self) -> None:
+        self.boundaries.append(len(self.trace))
+
+    def iteration_slices(self) -> list[list[AccessRecord]]:
+        """The trace split at iteration boundaries (last partial kept)."""
+        out = []
+        start = 0
+        for end in self.boundaries:
+            out.append(self.trace[start:end])
+            start = end
+        if start < len(self.trace):
+            out.append(self.trace[start:])
+        return out

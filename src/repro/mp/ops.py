@@ -1,0 +1,295 @@
+"""Instrumented word-level operations (paper Section IV).
+
+Each GCD iteration must cost as few word accesses as possible; the paper
+shows every update can be done by *one fused pass* that reads each word of
+``X`` once, reads each word of ``Y`` once and writes each word of ``X`` once
+(``3·s/d + O(1)`` accesses), with an extra read pass over ``Y`` only in the
+rare ``β > 0`` step (``4·s/d + O(1)``).  The functions here implement exactly
+those passes over :class:`~repro.mp.wordint.WordInt` operands, streaming the
+``rshift`` (trailing-zero strip) through the same loop instead of running a
+second pass — the Python transcription of the paper's 64-bit ``z``/``r``
+register snippet.
+
+Every word touched goes through the supplied
+:class:`~repro.mp.memlog.MemLog`; register-held state (lengths, pointers,
+carries, the shift amount ``r``) is free, as in the paper's cost model.
+"""
+
+from __future__ import annotations
+
+from repro.mp.memlog import NULL_MEMLOG, MemLog
+from repro.mp.wordint import WordInt
+from repro.util.bits import trailing_zeros
+
+__all__ = [
+    "compare_words",
+    "is_even_words",
+    "half_words",
+    "sub_half_words",
+    "sub_rshift",
+    "sub_mul_rshift",
+    "sub_mul_pow_rshift",
+]
+
+
+def compare_words(x: WordInt, y: WordInt, log: MemLog = NULL_MEMLOG) -> int:
+    """Three-way compare: −1 if x < y, 0 if equal, +1 if x > y.
+
+    Lengths live in registers, so unequal lengths cost no memory access;
+    equal lengths are resolved by reading words from the most significant
+    end, stopping at the first difference (Section IV: with random words the
+    first pair differs with probability ``1 − 2^−d``).
+    """
+    if x.length != y.length:
+        return -1 if x.length < y.length else 1
+    for k, i in enumerate(range(x.length - 1, -1, -1)):
+        xi = x.words[i]
+        log.read(x.name, i, key=("cmp", k, 0))
+        yi = y.words[i]
+        log.read(y.name, i, key=("cmp", k, 1))
+        if xi != yi:
+            return -1 if xi < yi else 1
+    return 0
+
+
+def is_even_words(x: WordInt, log: MemLog = NULL_MEMLOG, key: tuple = ("par", 0)) -> bool:
+    """Parity test: reads only the least significant word."""
+    if x.length == 0:
+        return True
+    log.read(x.name, 0, key=key)
+    return (x.words[0] & 1) == 0
+
+
+def half_words(x: WordInt, log: MemLog = NULL_MEMLOG, phase: str = "h") -> None:
+    """``X ← X / 2`` for even X; one read and one write per word.
+
+    ``phase`` prefixes the structural keys: Binary Euclid's two halving
+    branches pass distinct phases so SIMT analysis sees them serialize.
+    """
+    d = x.d
+    lx = x.length
+    if lx == 0:
+        return
+    if x.words[0] & 1:
+        raise ValueError("half_words requires an even operand")
+    new_len = 0
+    prev = x.words[0]
+    log.read(x.name, 0, key=(phase, 0, 0))
+    for i in range(1, lx):
+        cur = x.words[i]
+        log.read(x.name, i, key=(phase, i, 0))
+        w = (prev >> 1) | ((cur & 1) << (d - 1))
+        x.words[i - 1] = w
+        log.write(x.name, i - 1, key=(phase, i, 1))
+        if w:
+            new_len = i
+        prev = cur
+    w = prev >> 1
+    x.words[lx - 1] = w
+    log.write(x.name, lx - 1, key=(phase, lx, 1))
+    if w:
+        new_len = lx
+    x.length = new_len
+
+
+def sub_half_words(
+    x: WordInt, y: WordInt, log: MemLog = NULL_MEMLOG, phase: str = "sh"
+) -> None:
+    """``X ← (X − Y) / 2`` for odd X, Y with X ≥ Y (Binary Euclid step).
+
+    Fused subtract-and-shift-by-one: each word of X and Y is read once and
+    each word of X written once.
+    """
+    d = x.d
+    big = 1 << d
+    mask = big - 1
+    lx, ly = x.length, y.length
+    borrow = 0
+    pending = 0
+    new_len = 0
+    have_pending = False
+    out = 0
+    for i in range(lx):
+        xi = x.words[i]
+        log.read(x.name, i, key=(phase, i, 0))
+        if i < ly:
+            yi = y.words[i]
+            log.read(y.name, i, key=(phase, i, 1))
+        else:
+            yi = 0
+        t = xi - yi - borrow
+        if t < 0:
+            t += big
+            borrow = 1
+        else:
+            borrow = 0
+        if not have_pending:
+            # t is the even least significant difference word
+            pending = t >> 1
+            have_pending = True
+            continue
+        w = pending | ((t & 1) << (d - 1))
+        x.words[out] = w
+        log.write(x.name, out, key=(phase, i, 2))
+        if w:
+            new_len = out + 1
+        out += 1
+        pending = t >> 1
+    if borrow:
+        raise ValueError("sub_half_words underflow: X < Y")
+    x.words[out] = pending
+    log.write(x.name, out, key=(phase, lx, 2))
+    if pending:
+        new_len = out + 1
+    x.length = new_len
+
+
+def sub_rshift(x: WordInt, y: WordInt, log: MemLog = NULL_MEMLOG, phase: str = "upd") -> None:
+    """``X ← rshift(X − Y)`` (Fast Binary Euclid step)."""
+    sub_mul_rshift(x, y, 1, log, phase)
+
+
+def sub_mul_rshift(
+    x: WordInt, y: WordInt, alpha: int, log: MemLog = NULL_MEMLOG, phase: str = "upd"
+) -> None:
+    """``X ← rshift(X − α·Y)`` — the β = 0 Approximate Euclid update.
+
+    Requirements (guaranteed by the callers in :mod:`repro.gcd`):
+    ``1 ≤ α < 2^d`` and ``α·Y ≤ X``.  The trailing-zero strip is streamed
+    through the subtract pass, so the whole update reads each word of X and
+    Y once and writes each word of X at most once.
+    """
+    d = x.d
+    big = 1 << d
+    mask = big - 1
+    if not 1 <= alpha < big:
+        raise ValueError(f"alpha must be a single {d}-bit word >= 1, got {alpha}")
+    lx, ly = x.length, y.length
+    mul_borrow = 0  # carry of the running alpha*Y product plus sub borrows
+    r = -1  # bit shift within the first nonzero difference word
+    pending = 0
+    out = 0
+    new_len = 0
+    for i in range(lx):
+        xi = x.words[i]
+        log.read(x.name, i, key=(phase, i, 0))
+        if i < ly:
+            yi = y.words[i]
+            log.read(y.name, i, key=(phase, i, 1))
+        else:
+            yi = 0
+        m = alpha * yi + mul_borrow
+        m_low = m & mask
+        mul_borrow = m >> d
+        if xi >= m_low:
+            t = xi - m_low
+        else:
+            t = xi + big - m_low
+            mul_borrow += 1
+        if r < 0:
+            if t == 0:
+                continue  # whole low word of the difference is zero: skip it
+            r = trailing_zeros(t)
+            pending = t >> r
+            continue
+        w = (pending | ((t << (d - r)) & mask)) & mask
+        x.words[out] = w
+        log.write(x.name, out, key=(phase, i, 2))
+        if w:
+            new_len = out + 1
+        out += 1
+        pending = t >> r
+    if mul_borrow:
+        raise ValueError("sub_mul_rshift underflow: X < alpha*Y")
+    if r < 0:
+        x.length = 0  # X was exactly alpha*Y
+        return
+    if pending:
+        x.words[out] = pending
+        log.write(x.name, out, key=(phase, lx, 2))
+        new_len = out + 1
+    x.length = new_len
+
+
+def sub_mul_pow_rshift(
+    x: WordInt,
+    y: WordInt,
+    alpha: int,
+    beta: int,
+    log: MemLog = NULL_MEMLOG,
+    phase: str = "updp",
+) -> None:
+    """``X ← rshift(X − α·D^β·Y + Y)`` — the rare β > 0 Approximate Euclid
+    update (``D = 2^d``).
+
+    Needs a second read of Y per word (once for the word-shifted product,
+    once for the ``+Y`` correction), hence the paper's ``4·s/d + O(1)``
+    access count for this branch.  Requires ``β ≥ 1``, ``1 ≤ α < 2^d`` and
+    ``α·D^β ≤ X div Y`` so the result is non-negative.
+    """
+    d = x.d
+    big = 1 << d
+    mask = big - 1
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1 (use sub_mul_rshift for beta=0), got {beta}")
+    if not 1 <= alpha < big:
+        raise ValueError(f"alpha must be a single {d}-bit word >= 1, got {alpha}")
+    lx, ly = x.length, y.length
+    # alpha*D^beta*Y >= D^(beta+ly-1), so beta + ly <= lx is necessary for
+    # X >= alpha*D^beta*Y; checking it here costs registers only.
+    if beta + ly > lx:
+        raise ValueError("sub_mul_pow_rshift underflow: alpha*D^beta*Y exceeds X's words")
+    add_carry = 0  # carry chain of X + Y
+    mul_borrow = 0  # carry/borrow chain of the subtracted alpha*D^beta*Y
+    r = -1
+    pending = 0
+    out = 0
+    new_len = 0
+    for i in range(lx):
+        xi = x.words[i]
+        log.read(x.name, i, key=(phase, i, 0))
+        if i < ly:
+            y_add = y.words[i]
+            log.read(y.name, i, key=(phase, i, 1))
+        else:
+            y_add = 0
+        k = i - beta
+        if 0 <= k < ly:
+            y_mul = y.words[k]
+            log.read(y.name, k, key=(phase, i, 2))
+        else:
+            y_mul = 0
+        s = xi + y_add + add_carry
+        s_low = s & mask
+        add_carry = s >> d
+        m = alpha * y_mul + mul_borrow
+        m_low = m & mask
+        mul_borrow = m >> d
+        if s_low >= m_low:
+            t = s_low - m_low
+        else:
+            t = s_low + big - m_low
+            mul_borrow += 1
+        if r < 0:
+            if t == 0:
+                continue
+            r = trailing_zeros(t)
+            pending = t >> r
+            continue
+        w = (pending | ((t << (d - r)) & mask)) & mask
+        x.words[out] = w
+        log.write(x.name, out, key=(phase, i, 3))
+        if w:
+            new_len = out + 1
+        out += 1
+        pending = t >> r
+    if add_carry != mul_borrow:
+        raise ValueError("sub_mul_pow_rshift underflow: alpha*D^beta too large")
+    if r < 0:
+        x.length = 0
+        return
+    if pending:
+        x.words[out] = pending
+        log.write(x.name, out, key=(phase, lx, 3))
+        new_len = out + 1
+    x.length = new_len

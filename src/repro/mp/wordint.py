@@ -1,0 +1,143 @@
+"""``WordInt``: a non-negative integer stored as little-endian d-bit words.
+
+This mirrors the paper's Figure 1 storage: a fixed-capacity array of ``s/d``
+words holding the value, plus register-held metadata (the significant word
+count ``l_X`` and, implicitly, the base pointer).  The GCD word algorithms in
+:mod:`repro.gcd.word` operate on two ``WordInt`` operands and route every
+word touch through a :class:`~repro.mp.memlog.MemLog`, so the structure
+itself exposes *uninstrumented* accessors only for construction, testing and
+display.
+
+Invariants (checked by :meth:`check`):
+
+* ``0 <= words[i] < 2**d`` for all ``i < capacity``;
+* ``length == word_count(value)`` — no significant leading zero words.
+
+Words at indices ``>= length`` may hold *stale* data: the fused update
+passes shrink ``length`` without wiping the old high words, exactly as the
+paper's register-tracked implementation does.  The value is always
+``words[:length]`` and nothing ever reads beyond it.
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import int_from_words_le, word_count, words_from_int_le
+
+__all__ = ["WordInt"]
+
+
+class WordInt:
+    """Fixed-capacity little-endian word array representing one big number."""
+
+    __slots__ = ("d", "capacity", "words", "length", "name")
+
+    def __init__(self, d: int, capacity: int, name: str = "?") -> None:
+        if d < 2:
+            raise ValueError(f"word size d must be >= 2, got {d}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.d = d
+        self.capacity = capacity
+        self.words: list[int] = [0] * capacity
+        self.length = 0  # the paper's l_X, held in a register
+        self.name = name
+
+    # -- construction / conversion ------------------------------------------
+
+    @classmethod
+    def from_int(cls, value: int, d: int, capacity: int | None = None, name: str = "?") -> WordInt:
+        """Build a ``WordInt`` holding ``value`` (capacity defaults to fit)."""
+        if value < 0:
+            raise ValueError("WordInt holds non-negative integers")
+        need = max(1, word_count(value, d))
+        if capacity is None:
+            capacity = need
+        elif capacity < need:
+            raise ValueError(f"value needs {need} words, capacity={capacity}")
+        out = cls(d, capacity, name)
+        le = words_from_int_le(value, d, capacity)
+        out.words[:] = le
+        out.length = word_count(value, d)
+        return out
+
+    def to_int(self) -> int:
+        """The integer value currently stored."""
+        return int_from_words_le(self.words[: self.length], self.d)
+
+    def copy(self, name: str | None = None) -> WordInt:
+        """An independent copy (same d/capacity)."""
+        out = WordInt(self.d, self.capacity, name if name is not None else self.name)
+        out.words[:] = self.words
+        out.length = self.length
+        return out
+
+    def set_int(self, value: int) -> None:
+        """Overwrite in place with ``value`` (must fit in capacity)."""
+        le = words_from_int_le(value, self.d, self.capacity)
+        self.words[:] = le
+        self.length = word_count(value, self.d)
+
+    # -- register-only queries (no memory cost in the paper's model) --------
+
+    def is_zero(self) -> bool:
+        """True iff the value is 0 (the paper tests ``l_Y > 0`` instead)."""
+        return self.length == 0
+
+    def bit_length(self) -> int:
+        """Bit length; top word inspection is a register-cached O(1) in the
+        paper's model because the top word was just produced by the previous
+        write pass, so no memory read is charged here."""
+        if self.length == 0:
+            return 0
+        top = self.words[self.length - 1]
+        return (self.length - 1) * self.d + top.bit_length()
+
+    # -- big-endian views matching the paper's x1 x2 ... notation -----------
+
+    def be_words(self) -> list[int]:
+        """Significant words, most significant first (``x1, x2, ...``)."""
+        return list(reversed(self.words[: self.length]))
+
+    def top_two(self) -> int:
+        """The paper's ``x1x2`` (top word alone if only one word)."""
+        if self.length == 0:
+            return 0
+        if self.length == 1:
+            return self.words[0]
+        return (self.words[self.length - 1] << self.d) | self.words[self.length - 2]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def normalize(self) -> None:
+        """Recompute ``length`` by scanning for the top nonzero word.
+
+        Only meaningful after *direct* word-array writes (tests, builders)
+        where the caller knows the upper words are genuinely zero — the
+        instrumented ops leave stale high words and maintain ``length``
+        themselves instead.
+        """
+        n = self.capacity
+        while n > 0 and self.words[n - 1] == 0:
+            n -= 1
+        self.length = n
+
+    def check(self) -> None:
+        """Assert the representation invariants (tests / debugging)."""
+        assert len(self.words) == self.capacity
+        assert 0 <= self.length <= self.capacity
+        mask_top = 1 << self.d
+        for i, w in enumerate(self.words):
+            assert 0 <= w < mask_top, f"word {i} out of range: {w}"
+        if self.length:
+            assert self.words[self.length - 1] != 0, "leading zero word"
+
+    def __repr__(self) -> str:
+        return f"WordInt(d={self.d}, value={self.to_int()}, length={self.length}, capacity={self.capacity})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WordInt):
+            return NotImplemented
+        return self.d == other.d and self.to_int() == other.to_int()
+
+    def __hash__(self) -> int:
+        return hash((self.d, self.to_int()))

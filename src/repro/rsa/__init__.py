@@ -1,0 +1,62 @@
+"""RSA substrate: primality, key generation and weak-key corpora.
+
+The paper evaluates on RSA moduli produced by the OpenSSL toolkit; offline we
+generate equivalent moduli ourselves — products of two random primes of
+``s/2`` bits with the top two bits set, exactly the distribution the
+iteration census depends on — and, unlike OpenSSL, we can *plant* shared
+primes so the attack in :mod:`repro.core` has ground truth to be scored
+against ("Ron was wrong, Whit is right" keys on demand).
+
+Modules:
+
+* :mod:`repro.rsa.primes` — sieve + Miller–Rabin, random prime generation;
+* :mod:`repro.rsa.keys` — key objects, keygen, textbook-RSA encrypt/decrypt,
+  private-key recovery from one known factor;
+* :mod:`repro.rsa.corpus` — deterministic weak-key corpora with planted
+  shared-prime groups and JSON round-tripping.
+"""
+
+from repro.rsa.corpus import WeakCorpus, WeakPair, generate_weak_corpus
+from repro.rsa.keys import RSAKey, decrypt, encrypt, generate_key, key_from_primes, recover_key
+from repro.rsa.pem import (
+    load_public_moduli,
+    private_key_from_pem,
+    private_key_to_pem,
+    public_key_from_pem,
+    public_key_to_pem,
+)
+from repro.rsa.primes import generate_prime, is_prime, small_primes
+from repro.rsa.x509 import (
+    CertificateInfo,
+    certificate_to_pem,
+    create_self_signed_certificate,
+    extract_moduli_from_certificates,
+    parse_certificate,
+    verify_certificate,
+)
+
+__all__ = [
+    "CertificateInfo",
+    "RSAKey",
+    "WeakCorpus",
+    "WeakPair",
+    "certificate_to_pem",
+    "create_self_signed_certificate",
+    "decrypt",
+    "encrypt",
+    "extract_moduli_from_certificates",
+    "parse_certificate",
+    "verify_certificate",
+    "generate_key",
+    "generate_prime",
+    "generate_weak_corpus",
+    "is_prime",
+    "key_from_primes",
+    "load_public_moduli",
+    "private_key_from_pem",
+    "private_key_to_pem",
+    "public_key_from_pem",
+    "public_key_to_pem",
+    "recover_key",
+    "small_primes",
+]

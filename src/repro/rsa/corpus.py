@@ -1,0 +1,170 @@
+"""Weak-key corpora: key collections with planted shared primes.
+
+The paper's motivation is the Lenstra et al. finding ("Ron was wrong, Whit
+is right") that a measurable fraction of deployed RSA moduli share prime
+factors.  A :class:`WeakCorpus` reproduces that situation deterministically:
+``n_keys`` moduli of a given size, of which chosen *groups* reuse a single
+prime — a group of size ``g`` creates ``g·(g−1)/2`` breakable pairs.  The
+ground truth (which pairs share which prime) is retained so attack output
+can be scored exactly.
+
+Corpora serialise to/from JSON so experiments can be frozen to disk and
+reloaded without regenerating primes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.rsa.keys import DEFAULT_E, RSAKey, generate_key, key_from_primes
+from repro.rsa.primes import generate_prime
+from repro.util.rng import derive_rng
+
+__all__ = ["WeakPair", "WeakCorpus", "generate_weak_corpus"]
+
+
+@dataclass(frozen=True)
+class WeakPair:
+    """Ground truth: keys ``i`` and ``j`` (i < j) share ``prime``."""
+
+    i: int
+    j: int
+    prime: int
+
+
+@dataclass
+class WeakCorpus:
+    """A deterministic collection of RSA keys with known weak pairs."""
+
+    bits: int
+    seed: int | str
+    keys: list[RSAKey]
+    weak_pairs: list[WeakPair] = field(default_factory=list)
+
+    @property
+    def moduli(self) -> list[int]:
+        """Just the moduli, in key order — the attack's input vector."""
+        return [k.n for k in self.keys]
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.keys)
+
+    @property
+    def total_pairs(self) -> int:
+        """All-pairs count ``m(m−1)/2`` the paper's schedules cover."""
+        m = len(self.keys)
+        return m * (m - 1) // 2
+
+    def weak_pair_set(self) -> set[tuple[int, int]]:
+        """Index pairs expected to be broken, as a set for scoring."""
+        return {(w.i, w.j) for w in self.weak_pairs}
+
+    def to_json(self) -> str:
+        """Serialise (including private ground truth) to a JSON string."""
+        return json.dumps(
+            {
+                "bits": self.bits,
+                "seed": self.seed,
+                "keys": [
+                    {"n": str(k.n), "e": k.e, "p": str(k.p) if k.p else None}
+                    for k in self.keys
+                ],
+                "weak_pairs": [
+                    {"i": w.i, "j": w.j, "prime": str(w.prime)} for w in self.weak_pairs
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> WeakCorpus:
+        """Inverse of :meth:`to_json`; reconstructs full keys where p known."""
+        raw = json.loads(text)
+        keys = []
+        for k in raw["keys"]:
+            n, e = int(k["n"]), int(k["e"])
+            if k.get("p"):
+                p = int(k["p"])
+                keys.append(key_from_primes(p, n // p, e))
+            else:
+                keys.append(RSAKey(n, e))
+        pairs = [WeakPair(w["i"], w["j"], int(w["prime"])) for w in raw["weak_pairs"]]
+        return cls(bits=raw["bits"], seed=raw["seed"], keys=keys, weak_pairs=pairs)
+
+
+def generate_weak_corpus(
+    n_keys: int,
+    bits: int,
+    *,
+    shared_groups: tuple[int, ...] | list[int] = (2,),
+    duplicates: int = 0,
+    seed: int | str = 0,
+    e: int = DEFAULT_E,
+) -> WeakCorpus:
+    """Generate ``n_keys`` RSA keys with planted shared-prime groups.
+
+    ``shared_groups`` lists group sizes: ``(2, 3)`` plants one prime shared
+    by two keys and another shared by three.  Group members are placed at
+    deterministic-random positions.  All other primes are globally distinct,
+    so the *only* non-coprime pairs are the planted ones.
+
+    ``duplicates`` additionally plants that many *exact key reuses* (the
+    same modulus deployed twice — observed in real scrapes); each consumes
+    two slots and is recorded as a :class:`WeakPair` whose ``prime`` is the
+    full modulus, matching the attack's duplicate-hit convention.
+
+    The construction: each group gets one shared prime ``P``; member ``k``
+    of the group gets modulus ``P·q_k`` with a fresh unique prime ``q_k``.
+    """
+    if n_keys < 2:
+        raise ValueError("a corpus needs at least two keys")
+    if bits % 2:
+        raise ValueError(f"modulus size must be even, got {bits}")
+    need = sum(shared_groups) + 2 * duplicates
+    if need > n_keys:
+        raise ValueError(f"plants need {need} keys but corpus has {n_keys}")
+    if any(g < 2 for g in shared_groups):
+        raise ValueError("every shared group must have size >= 2")
+    if duplicates < 0:
+        raise ValueError("duplicates must be >= 0")
+
+    rng = derive_rng(seed, "corpus", bits, n_keys, tuple(shared_groups), duplicates)
+    half = bits // 2
+    used: set[int] = set()
+
+    def fresh_prime() -> int:
+        p = generate_prime(half, rng, avoid=used)
+        used.add(p)
+        return p
+
+    # choose which key slots belong to which group
+    slots = list(range(n_keys))
+    rng.shuffle(slots)
+    keys: list[RSAKey | None] = [None] * n_keys
+    weak_pairs: list[WeakPair] = []
+    cursor = 0
+    for g in shared_groups:
+        members = sorted(slots[cursor : cursor + g])
+        cursor += g
+        shared = fresh_prime()
+        for m in members:
+            keys[m] = key_from_primes(shared, fresh_prime(), e)
+        for i, j in combinations(members, 2):
+            weak_pairs.append(WeakPair(i, j, shared))
+    for _ in range(duplicates):
+        a, b = sorted(slots[cursor : cursor + 2])
+        cursor += 2
+        dup = key_from_primes(fresh_prime(), fresh_prime(), e)
+        keys[a] = dup
+        keys[b] = dup
+        weak_pairs.append(WeakPair(a, b, dup.n))
+    for idx in range(n_keys):
+        if keys[idx] is None:
+            keys[idx] = generate_key(bits, rng, e=e, avoid=used)
+            used.add(keys[idx].p)
+            used.add(keys[idx].q)
+
+    weak_pairs.sort(key=lambda w: (w.i, w.j))
+    return WeakCorpus(bits=bits, seed=seed, keys=list(keys), weak_pairs=weak_pairs)

@@ -1,0 +1,385 @@
+"""Minimal, strict DER codec for RSA key material.
+
+The paper's input is "encryption keys collected from the Web" — in practice
+X.509 ``SubjectPublicKeyInfo`` / PKCS#1 blobs.  This module implements just
+enough ASN.1 DER, from scratch, to round-trip those structures:
+
+* primitives: INTEGER, NULL, OBJECT IDENTIFIER, BIT STRING, SEQUENCE;
+* ``RSAPublicKey  ::= SEQUENCE { n INTEGER, e INTEGER }``            (PKCS#1)
+* ``RSAPrivateKey ::= SEQUENCE { version, n, e, d, p, q, dP, dQ, qInv }``
+* ``SubjectPublicKeyInfo`` with the rsaEncryption AlgorithmIdentifier
+  (OID 1.2.840.113549.1.1.1, NULL parameters)                        (X.509)
+
+Decoding is *strict* DER: definite lengths only, minimal length encoding,
+minimal two's-complement integers, no trailing garbage.  Malformed input
+raises :class:`DERError` with a byte offset — collected-from-the-Web data
+is exactly where sloppy parsers get hurt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DERError",
+    "encode_integer",
+    "encode_null",
+    "encode_object_identifier",
+    "encode_bit_string",
+    "encode_octet_string",
+    "encode_printable_string",
+    "encode_utc_time",
+    "encode_set",
+    "encode_explicit",
+    "encode_sequence",
+    "DERReader",
+    "encode_rsa_public_key",
+    "decode_rsa_public_key",
+    "encode_rsa_private_key",
+    "decode_rsa_private_key",
+    "encode_subject_public_key_info",
+    "decode_subject_public_key_info",
+    "RSA_ENCRYPTION_OID",
+]
+
+TAG_INTEGER = 0x02
+TAG_BIT_STRING = 0x03
+TAG_OCTET_STRING = 0x04
+TAG_NULL = 0x05
+TAG_OID = 0x06
+TAG_PRINTABLE_STRING = 0x13
+TAG_UTC_TIME = 0x17
+TAG_SEQUENCE = 0x30
+TAG_SET = 0x31
+
+#: rsaEncryption — 1.2.840.113549.1.1.1
+RSA_ENCRYPTION_OID = (1, 2, 840, 113549, 1, 1, 1)
+
+
+class DERError(ValueError):
+    """Malformed or non-canonical DER input."""
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def _encode_length(n: int) -> bytes:
+    if n < 0x80:
+        return bytes([n])
+    body = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def _tlv(tag: int, body: bytes) -> bytes:
+    return bytes([tag]) + _encode_length(len(body)) + body
+
+
+def encode_integer(value: int) -> bytes:
+    """DER INTEGER (two's complement, minimal length; negatives supported)."""
+    if value == 0:
+        return _tlv(TAG_INTEGER, b"\x00")
+    length = (value.bit_length() // 8) + 1  # always leaves a sign bit
+    body = value.to_bytes(length, "big", signed=True)
+    # strip redundant leading byte while the sign stays representable
+    while (
+        len(body) > 1
+        and (
+            (body[0] == 0x00 and body[1] < 0x80)
+            or (body[0] == 0xFF and body[1] >= 0x80)
+        )
+    ):
+        body = body[1:]
+    return _tlv(TAG_INTEGER, body)
+
+
+def encode_null() -> bytes:
+    """DER NULL."""
+    return _tlv(TAG_NULL, b"")
+
+
+def encode_object_identifier(arcs: tuple[int, ...]) -> bytes:
+    """DER OBJECT IDENTIFIER from its arc tuple."""
+    if len(arcs) < 2 or arcs[0] > 2 or (arcs[0] < 2 and arcs[1] > 39):
+        raise DERError(f"invalid OID arcs {arcs}")
+    body = bytearray([arcs[0] * 40 + arcs[1]])
+    for arc in arcs[2:]:
+        if arc < 0:
+            raise DERError("negative OID arc")
+        chunk = [arc & 0x7F]
+        arc >>= 7
+        while arc:
+            chunk.append(0x80 | (arc & 0x7F))
+            arc >>= 7
+        body.extend(reversed(chunk))
+    return _tlv(TAG_OID, bytes(body))
+
+
+def encode_bit_string(data: bytes, unused_bits: int = 0) -> bytes:
+    """DER BIT STRING (byte-aligned payloads use ``unused_bits = 0``)."""
+    if not 0 <= unused_bits <= 7:
+        raise DERError("unused_bits out of range")
+    return _tlv(TAG_BIT_STRING, bytes([unused_bits]) + data)
+
+
+def encode_sequence(*members: bytes) -> bytes:
+    """DER SEQUENCE of already-encoded members."""
+    return _tlv(TAG_SEQUENCE, b"".join(members))
+
+
+def encode_set(*members: bytes) -> bytes:
+    """DER SET OF already-encoded members (sorted, as DER requires)."""
+    return _tlv(TAG_SET, b"".join(sorted(members)))
+
+
+def encode_octet_string(data: bytes) -> bytes:
+    """DER OCTET STRING."""
+    return _tlv(TAG_OCTET_STRING, data)
+
+
+def encode_printable_string(text: str) -> bytes:
+    """DER PrintableString (ASCII subset used in certificate names)."""
+    allowed = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?")
+    if not set(text) <= allowed:
+        raise DERError(f"not printable-string safe: {text!r}")
+    return _tlv(TAG_PRINTABLE_STRING, text.encode("ascii"))
+
+
+def encode_utc_time(text: str) -> bytes:
+    """DER UTCTime from a ``YYMMDDHHMMSSZ`` string."""
+    if len(text) != 13 or not text[:-1].isdigit() or text[-1] != "Z":
+        raise DERError(f"UTCTime must be YYMMDDHHMMSSZ, got {text!r}")
+    return _tlv(TAG_UTC_TIME, text.encode("ascii"))
+
+
+def encode_explicit(tag_number: int, inner: bytes) -> bytes:
+    """Context-specific EXPLICIT constructed tag ``[n]`` wrapping ``inner``."""
+    if not 0 <= tag_number <= 30:
+        raise DERError("explicit tag number out of range")
+    return _tlv(0xA0 | tag_number, inner)
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+@dataclass
+class DERReader:
+    """A strict cursor over DER bytes."""
+
+    data: bytes
+    pos: int = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def _byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise DERError(f"truncated DER at offset {self.pos}")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def _read(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise DERError(f"truncated DER at offset {self.pos} (need {n} bytes)")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def read_tlv(self, expected_tag: int) -> bytes:
+        """Read one TLV with the expected tag; returns the value bytes."""
+        start = self.pos
+        tag = self._byte()
+        if tag != expected_tag:
+            raise DERError(
+                f"expected tag 0x{expected_tag:02x} at offset {start}, got 0x{tag:02x}"
+            )
+        first = self._byte()
+        if first < 0x80:
+            length = first
+        elif first == 0x80:
+            raise DERError(f"indefinite length at offset {start} is not DER")
+        else:
+            n = first & 0x7F
+            body = self._read(n)
+            if body[0] == 0:
+                raise DERError(f"non-minimal length encoding at offset {start}")
+            length = int.from_bytes(body, "big")
+            if length < 0x80:
+                raise DERError(f"non-minimal length encoding at offset {start}")
+        return self._read(length)
+
+    def read_integer(self) -> int:
+        start = self.pos
+        body = self.read_tlv(TAG_INTEGER)
+        if len(body) == 0:
+            raise DERError(f"empty INTEGER at offset {start}")
+        if len(body) > 1 and (
+            (body[0] == 0x00 and body[1] < 0x80)
+            or (body[0] == 0xFF and body[1] >= 0x80)
+        ):
+            raise DERError(f"non-minimal INTEGER at offset {start}")
+        return int.from_bytes(body, "big", signed=True)
+
+    def read_null(self) -> None:
+        body = self.read_tlv(TAG_NULL)
+        if body:
+            raise DERError("NULL with nonempty contents")
+
+    def read_object_identifier(self) -> tuple[int, ...]:
+        body = self.read_tlv(TAG_OID)
+        if not body:
+            raise DERError("empty OID")
+        first = body[0]
+        arcs = [min(first // 40, 2), first - 40 * min(first // 40, 2)]
+        value = 0
+        pending = False
+        for b in body[1:]:
+            value = (value << 7) | (b & 0x7F)
+            pending = True
+            if not b & 0x80:
+                arcs.append(value)
+                value = 0
+                pending = False
+        if pending:
+            raise DERError("truncated OID arc")
+        return tuple(arcs)
+
+    def read_bit_string(self) -> tuple[bytes, int]:
+        body = self.read_tlv(TAG_BIT_STRING)
+        if not body:
+            raise DERError("empty BIT STRING")
+        unused = body[0]
+        if unused > 7:
+            raise DERError("BIT STRING unused bits > 7")
+        return body[1:], unused
+
+    def enter_sequence(self) -> DERReader:
+        """Read a SEQUENCE and return a sub-reader over its contents."""
+        return DERReader(self.read_tlv(TAG_SEQUENCE))
+
+    def read_octet_string(self) -> bytes:
+        return self.read_tlv(TAG_OCTET_STRING)
+
+    def peek_tag(self) -> int:
+        """The next TLV's tag byte without consuming it."""
+        if self.pos >= len(self.data):
+            raise DERError(f"truncated DER at offset {self.pos}")
+        return self.data[self.pos]
+
+    def read_any(self) -> tuple[int, bytes]:
+        """Read one TLV of any tag; returns ``(tag, value)``."""
+        tag = self.peek_tag()
+        return tag, self.read_tlv(tag)
+
+    def read_raw_tlv(self, expected_tag: int) -> bytes:
+        """Read one TLV, returning the *complete* encoding (tag+len+value).
+
+        Certificate verification hashes the raw TBSCertificate bytes, so the
+        header must be preserved exactly.
+        """
+        start = self.pos
+        self.read_tlv(expected_tag)
+        return self.data[start : self.pos]
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise DERError(f"{len(self.data) - self.pos} trailing bytes after structure")
+
+
+# -- RSA structures -----------------------------------------------------------
+
+
+def encode_rsa_public_key(n: int, e: int) -> bytes:
+    """PKCS#1 ``RSAPublicKey``."""
+    if n <= 0 or e <= 0:
+        raise DERError("modulus and exponent must be positive")
+    return encode_sequence(encode_integer(n), encode_integer(e))
+
+
+def decode_rsa_public_key(data: bytes) -> tuple[int, int]:
+    """Parse a PKCS#1 ``RSAPublicKey``; returns ``(n, e)``."""
+    outer = DERReader(data)
+    seq = outer.enter_sequence()
+    outer.expect_end()
+    n = seq.read_integer()
+    e = seq.read_integer()
+    seq.expect_end()
+    if n <= 0 or e <= 0:
+        raise DERError("non-positive RSA parameters")
+    return n, e
+
+
+def encode_rsa_private_key(
+    n: int, e: int, d: int, p: int, q: int
+) -> bytes:
+    """PKCS#1 ``RSAPrivateKey`` (version 0, CRT parameters derived)."""
+    if min(n, e, d, p, q) <= 0:
+        raise DERError("non-positive RSA parameters")
+    if p * q != n:
+        raise DERError("p*q != n")
+    d_p = d % (p - 1)
+    d_q = d % (q - 1)
+    q_inv = pow(q, -1, p)
+    return encode_sequence(
+        encode_integer(0),
+        encode_integer(n),
+        encode_integer(e),
+        encode_integer(d),
+        encode_integer(p),
+        encode_integer(q),
+        encode_integer(d_p),
+        encode_integer(d_q),
+        encode_integer(q_inv),
+    )
+
+
+def decode_rsa_private_key(data: bytes) -> dict[str, int]:
+    """Parse a PKCS#1 ``RSAPrivateKey``; returns the named fields.
+
+    Validates version 0, ``p·q = n`` and the CRT exponents.
+    """
+    outer = DERReader(data)
+    seq = outer.enter_sequence()
+    outer.expect_end()
+    fields = ["version", "n", "e", "d", "p", "q", "d_p", "d_q", "q_inv"]
+    out = {name: seq.read_integer() for name in fields}
+    seq.expect_end()
+    if out["version"] != 0:
+        raise DERError(f"unsupported RSAPrivateKey version {out['version']}")
+    if out["p"] * out["q"] != out["n"]:
+        raise DERError("inconsistent private key: p*q != n")
+    if out["d_p"] != out["d"] % (out["p"] - 1) or out["d_q"] != out["d"] % (out["q"] - 1):
+        raise DERError("inconsistent CRT exponents")
+    return out
+
+
+def encode_subject_public_key_info(n: int, e: int) -> bytes:
+    """X.509 ``SubjectPublicKeyInfo`` wrapping a PKCS#1 public key."""
+    algorithm = encode_sequence(
+        encode_object_identifier(RSA_ENCRYPTION_OID), encode_null()
+    )
+    return encode_sequence(
+        algorithm, encode_bit_string(encode_rsa_public_key(n, e))
+    )
+
+
+def decode_subject_public_key_info(data: bytes) -> tuple[int, int]:
+    """Parse an X.509 ``SubjectPublicKeyInfo``; returns ``(n, e)``.
+
+    Only the rsaEncryption algorithm is accepted.
+    """
+    outer = DERReader(data)
+    spki = outer.enter_sequence()
+    outer.expect_end()
+    algorithm = spki.enter_sequence()
+    oid = algorithm.read_object_identifier()
+    if oid != RSA_ENCRYPTION_OID:
+        raise DERError(f"not an RSA key (algorithm OID {'.'.join(map(str, oid))})")
+    if not algorithm.at_end():
+        algorithm.read_null()
+        algorithm.expect_end()
+    key_bits, unused = spki.read_bit_string()
+    spki.expect_end()
+    if unused:
+        raise DERError("RSA public key BIT STRING must be byte-aligned")
+    return decode_rsa_public_key(key_bits)

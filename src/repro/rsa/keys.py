@@ -1,0 +1,151 @@
+"""RSA key objects, generation, textbook encryption and factor recovery.
+
+This is the "what breaking a key actually means" layer: once the attack in
+:mod:`repro.core` finds ``p = gcd(n1, n2)``, :func:`recover_key` rebuilds the
+full private key exactly as the paper's introduction describes —
+``q = n/p`` and ``d = e⁻¹ mod (p−1)(q−1)`` by the extended Euclidean
+algorithm (:func:`repro.gcd.extended.modinverse`).
+
+Encryption here is schoolbook ``M^e mod n`` on integer messages — no
+padding — because the library's purpose is factoring-based key recovery,
+not a production cryptosystem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.gcd.extended import modinverse
+from repro.rsa.primes import generate_prime, is_prime
+
+__all__ = ["RSAKey", "key_from_primes", "generate_key", "recover_key", "encrypt", "decrypt"]
+
+DEFAULT_E = 65537
+
+
+@dataclass(frozen=True)
+class RSAKey:
+    """An RSA key pair; ``p``/``q``/``d`` are ``None`` for public-only keys."""
+
+    n: int
+    e: int
+    d: int | None = None
+    p: int | None = None
+    q: int | None = None
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits (the paper's ``s``)."""
+        return self.n.bit_length()
+
+    @property
+    def is_private(self) -> bool:
+        return self.d is not None
+
+    def public(self) -> RSAKey:
+        """The public half ``(n, e)``."""
+        return RSAKey(self.n, self.e)
+
+    def validate(self) -> None:
+        """Raise if the key is internally inconsistent (tests / loaders)."""
+        if self.n < 3 or self.e < 3:
+            raise ValueError("invalid modulus or exponent")
+        if self.p is not None and self.q is not None:
+            if self.p * self.q != self.n:
+                raise ValueError("p*q != n")
+            phi = (self.p - 1) * (self.q - 1)
+            if self.d is not None and (self.d * self.e) % phi != 1:
+                raise ValueError("d is not e's inverse mod phi(n)")
+
+
+def key_from_primes(p: int, q: int, e: int = DEFAULT_E) -> RSAKey:
+    """Assemble a full key from two distinct odd primes.
+
+    Raises if ``e`` is not invertible mod ``(p−1)(q−1)`` — callers that
+    generate primes should resample in that (rare with e = 65537) case.
+    """
+    if p == q:
+        raise ValueError("p and q must be distinct")
+    phi = (p - 1) * (q - 1)
+    try:
+        d = modinverse(e, phi)
+    except ValueError as exc:  # e shares a factor with phi
+        raise ValueError(f"e={e} not coprime with phi") from exc
+    return RSAKey(n=p * q, e=e, d=d, p=p, q=q)
+
+
+def generate_key(
+    bits: int,
+    rng: random.Random,
+    *,
+    e: int = DEFAULT_E,
+    avoid: frozenset[int] | set[int] = frozenset(),
+) -> RSAKey:
+    """Generate a ``bits``-bit RSA key (two fresh ``bits/2``-bit primes).
+
+    ``bits`` must be even.  Primes have their top two bits set so the
+    modulus has exactly ``bits`` bits.  ``avoid`` excludes primes already
+    used elsewhere (corpus generation).
+    """
+    if bits % 2:
+        raise ValueError(f"modulus size must be even, got {bits}")
+    half = bits // 2
+    seen = set(avoid)
+    while True:
+        p = generate_prime(half, rng, avoid=seen)
+        seen.add(p)
+        q = generate_prime(half, rng, avoid=seen)
+        seen.add(q)
+        try:
+            return key_from_primes(p, q, e)
+        except ValueError:
+            continue  # phi not coprime with e: draw a fresh pair
+
+
+def recover_key(n: int, e: int, p: int) -> RSAKey:
+    """Rebuild the private key of ``(n, e)`` from one known prime factor.
+
+    This is the paper's pay-off step: the GCD attack yields ``p``; this
+    yields ``d``.  Raises if ``p`` does not actually divide ``n`` or the
+    cofactor is not prime (i.e. the caller's "factor" is wrong).
+    """
+    if p <= 1 or n % p != 0:
+        raise ValueError(f"{p} does not divide n")
+    q = n // p
+    if not is_prime(p) or not is_prime(q):
+        raise ValueError("recovered factors are not prime — not an RSA modulus?")
+    return key_from_primes(p, q, e)
+
+
+def encrypt(message: int, key: RSAKey) -> int:
+    """Textbook RSA: ``C = M^e mod n`` (requires ``0 ≤ M < n``)."""
+    if not 0 <= message < key.n:
+        raise ValueError("message out of range [0, n)")
+    return pow(message, key.e, key.n)
+
+
+def decrypt(cipher: int, key: RSAKey) -> int:
+    """Textbook RSA: ``M = C^d mod n`` (requires the private half).
+
+    When the factors are available the CRT shortcut is used (two half-size
+    exponentiations plus Garner recombination, ~4x fewer bit operations) —
+    one more place a leaked factor beats the public-only view.
+    """
+    if key.d is None:
+        raise ValueError("decryption needs a private key")
+    if not 0 <= cipher < key.n:
+        raise ValueError("ciphertext out of range [0, n)")
+    if key.p is not None and key.q is not None:
+        return _decrypt_crt(cipher, key)
+    return pow(cipher, key.d, key.n)
+
+
+def _decrypt_crt(cipher: int, key: RSAKey) -> int:
+    """Chinese-remainder decryption (Garner's recombination)."""
+    p, q, d = key.p, key.q, key.d
+    m_p = pow(cipher % p, d % (p - 1), p)
+    m_q = pow(cipher % q, d % (q - 1), q)
+    q_inv = modinverse(q, p)
+    h = (q_inv * (m_p - m_q)) % p
+    return m_q + h * q

@@ -1,0 +1,151 @@
+"""PEM armor and high-level key (de)serialisation.
+
+The web-facing format for the DER structures in :mod:`repro.rsa.der`:
+base64 between ``-----BEGIN/END <LABEL>-----`` lines, 64 columns.  The
+high-level helpers convert :class:`~repro.rsa.keys.RSAKey` objects to and
+from the three deployed encodings:
+
+* ``PUBLIC KEY``      — X.509 SubjectPublicKeyInfo (what TLS servers send);
+* ``RSA PUBLIC KEY``  — raw PKCS#1;
+* ``RSA PRIVATE KEY`` — PKCS#1 private key.
+
+``load_public_moduli`` bulk-reads a PEM bundle (concatenated blocks, e.g. a
+web-scrape dump) into the attack's modulus vector.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import re
+
+from repro.rsa.der import (
+    DERError,
+    decode_rsa_private_key,
+    decode_rsa_public_key,
+    decode_subject_public_key_info,
+    encode_rsa_private_key,
+    encode_rsa_public_key,
+    encode_subject_public_key_info,
+)
+from repro.rsa.keys import RSAKey, key_from_primes
+
+__all__ = [
+    "PEMError",
+    "pem_encode",
+    "pem_decode",
+    "pem_decode_all",
+    "public_key_to_pem",
+    "public_key_from_pem",
+    "private_key_to_pem",
+    "private_key_from_pem",
+    "load_public_moduli",
+]
+
+_PEM_RE = re.compile(
+    r"-----BEGIN (?P<label>[A-Z0-9 ]+)-----\s*(?P<body>[A-Za-z0-9+/=\s]*?)-----END (?P=label)-----",
+    re.DOTALL,
+)
+
+
+class PEMError(ValueError):
+    """Malformed PEM armor."""
+
+
+def pem_encode(der: bytes, label: str) -> str:
+    """Wrap DER bytes in PEM armor with the given label."""
+    b64 = base64.b64encode(der).decode()
+    lines = [b64[i : i + 64] for i in range(0, len(b64), 64)]
+    return "\n".join([f"-----BEGIN {label}-----", *lines, f"-----END {label}-----", ""])
+
+
+def pem_decode(text: str, expected_label: str | None = None) -> tuple[str, bytes]:
+    """Extract the first PEM block; returns ``(label, der_bytes)``."""
+    blocks = pem_decode_all(text)
+    if not blocks:
+        raise PEMError("no PEM block found")
+    label, der = blocks[0]
+    if expected_label is not None and label != expected_label:
+        raise PEMError(f"expected a {expected_label!r} block, found {label!r}")
+    return label, der
+
+
+def pem_decode_all(text: str) -> list[tuple[str, bytes]]:
+    """Extract every PEM block in order; returns ``[(label, der), ...]``."""
+    out = []
+    for m in _PEM_RE.finditer(text):
+        body = "".join(m.group("body").split())
+        try:
+            der = base64.b64decode(body, validate=True)
+        except (binascii.Error, ValueError) as exc:
+            raise PEMError(f"invalid base64 in {m.group('label')} block") from exc
+        out.append((m.group("label"), der))
+    return out
+
+
+# -- high-level key helpers ----------------------------------------------------
+
+
+def public_key_to_pem(key: RSAKey, *, pkcs1: bool = False) -> str:
+    """Serialise the public half (SubjectPublicKeyInfo, or PKCS#1 if asked)."""
+    if pkcs1:
+        return pem_encode(encode_rsa_public_key(key.n, key.e), "RSA PUBLIC KEY")
+    return pem_encode(encode_subject_public_key_info(key.n, key.e), "PUBLIC KEY")
+
+
+def public_key_from_pem(text: str) -> RSAKey:
+    """Parse a public key from either public-key PEM form."""
+    label, der = pem_decode(text)
+    if label == "PUBLIC KEY":
+        n, e = decode_subject_public_key_info(der)
+    elif label == "RSA PUBLIC KEY":
+        n, e = decode_rsa_public_key(der)
+    else:
+        raise PEMError(f"unexpected PEM label {label!r} for a public key")
+    return RSAKey(n=n, e=e)
+
+
+def private_key_to_pem(key: RSAKey) -> str:
+    """Serialise a full private key (PKCS#1)."""
+    if not key.is_private or key.p is None or key.q is None:
+        raise PEMError("private_key_to_pem needs a full private key")
+    return pem_encode(
+        encode_rsa_private_key(key.n, key.e, key.d, key.p, key.q), "RSA PRIVATE KEY"
+    )
+
+
+def private_key_from_pem(text: str) -> RSAKey:
+    """Parse a PKCS#1 private key, revalidating its arithmetic."""
+    _, der = pem_decode(text, "RSA PRIVATE KEY")
+    f = decode_rsa_private_key(der)
+    key = key_from_primes(f["p"], f["q"], f["e"])
+    if key.d != f["d"]:
+        # a different-but-valid d (e.g. computed mod lambda) still decrypts;
+        # keep the encoded one after checking it is a working exponent
+        if (f["d"] * f["e"]) % ((f["p"] - 1) * (f["q"] - 1) // _gcd(f["p"] - 1, f["q"] - 1)) != 1:
+            raise DERError("private exponent does not invert e")
+        key = RSAKey(n=f["n"], e=f["e"], d=f["d"], p=f["p"], q=f["q"])
+    return key
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def load_public_moduli(text: str) -> list[int]:
+    """All RSA moduli in a PEM bundle, in order — the attack's input vector.
+
+    Accepts a mix of ``PUBLIC KEY`` and ``RSA PUBLIC KEY`` blocks; other
+    labels are skipped (web scrapes contain certificates and junk).
+    """
+    moduli = []
+    for label, der in pem_decode_all(text):
+        if label == "PUBLIC KEY":
+            n, _ = decode_subject_public_key_info(der)
+            moduli.append(n)
+        elif label == "RSA PUBLIC KEY":
+            n, _ = decode_rsa_public_key(der)
+            moduli.append(n)
+    return moduli

@@ -1,0 +1,114 @@
+"""Primality testing and random prime generation.
+
+Miller–Rabin with the deterministic base set for 64-bit-scale inputs and
+seeded random bases above that, fronted by a small-prime sieve so candidate
+filtering during generation is cheap.  Primes are generated OpenSSL-style:
+top *two* bits forced to 1, so the product of two ``k``-bit primes always
+has exactly ``2k`` bits — the property the paper's early-terminate threshold
+(``s/2`` bits) relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+__all__ = ["small_primes", "is_prime", "generate_prime"]
+
+# Deterministic Miller-Rabin bases: correct for all n < 3.317e24
+# (Sorenson & Webster), which comfortably covers every composite the random
+# path could misreport at small sizes.
+_DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+_RANDOM_ROUNDS = 40  # error probability <= 4^-40 per composite
+
+
+@lru_cache(maxsize=8)
+def small_primes(limit: int = 1000) -> tuple[int, ...]:
+    """All primes below ``limit`` via Eratosthenes (cached)."""
+    if limit < 2:
+        return ()
+    sieve = bytearray([1]) * limit
+    sieve[0:2] = b"\x00\x00"
+    for p in range(2, int(limit**0.5) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = b"\x00" * len(range(p * p, limit, p))
+    return tuple(i for i in range(limit) if sieve[i])
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One MR witness round; True means "possibly prime"."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (provably correct) below ~3.3e24; above that, 40 rounds of
+    random bases drawn from ``rng`` (a private PRNG seeded from ``n`` when
+    none is given, keeping results reproducible).
+    """
+    if n < 2:
+        return False
+    for p in small_primes():
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_LIMIT:
+        bases = _DETERMINISTIC_BASES
+    else:
+        if rng is None:
+            rng = random.Random(n & ((1 << 64) - 1))
+        bases = tuple(rng.randrange(2, n - 1) for _ in range(_RANDOM_ROUNDS))
+    return all(_miller_rabin_round(n, a, d, r) for a in bases)
+
+
+def generate_prime(bits: int, rng: random.Random, *, avoid: frozenset[int] | set[int] = frozenset()) -> int:
+    """A random ``bits``-bit prime with the top two bits set.
+
+    Searches incrementally from a random odd starting point, filtering by
+    trial division against the small-prime sieve before each Miller–Rabin
+    test.  ``avoid`` excludes specific primes (corpus generation uses it so
+    "distinct" primes really are distinct).
+    """
+    if bits < 4:
+        raise ValueError(f"need at least 4 bits for a top-two-bits-set prime, got {bits}")
+    top_two = 0b11 << (bits - 2)
+    sieve = small_primes()
+    while True:
+        candidate = rng.getrandbits(bits) | top_two | 1
+        # walk odd candidates; give up after a window and resample so the
+        # distribution stays close to uniform over the range
+        for _ in range(4 * bits):
+            if candidate >= (1 << bits):
+                break
+            if (
+                _passes_sieve(candidate, sieve)
+                and candidate not in avoid
+                and is_prime(candidate, rng)
+            ):
+                return candidate
+            candidate += 2
+
+
+def _passes_sieve(candidate: int, sieve: tuple[int, ...]) -> bool:
+    """Trial-division filter; True means "worth a Miller-Rabin test"."""
+    for p in sieve:
+        if p * p > candidate:
+            return True
+        if candidate % p == 0:
+            return candidate == p
+    return True

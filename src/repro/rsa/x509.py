@@ -1,0 +1,233 @@
+"""Minimal X.509: self-signed RSA certificates, built and parsed from scratch.
+
+The corpus the paper attacks was harvested from the Web, where RSA keys
+travel inside certificates.  This module closes that loop offline:
+
+* :func:`create_self_signed_certificate` — a v3 ``Certificate`` with a
+  single-CN subject/issuer, UTCTime validity, the key's
+  ``SubjectPublicKeyInfo``, signed sha256WithRSAEncryption
+  (real PKCS#1 v1.5 — EMSA encoding, ``s = em^d mod n``);
+* :func:`parse_certificate` — strict parse back to
+  :class:`CertificateInfo`, preserving the raw ``tbsCertificate`` bytes;
+* :func:`verify_certificate` — signature check against any RSA key
+  (self-signed certs verify with their own);
+* :func:`extract_moduli_from_certificates` — a PEM scrape bundle in,
+  the attack's modulus vector out.
+
+Only the profile above is supported — extensions, other algorithms, and
+name attributes beyond CN raise :class:`~repro.rsa.der.DERError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.rsa.der import (
+    DERError,
+    DERReader,
+    RSA_ENCRYPTION_OID,
+    TAG_SEQUENCE,
+    decode_subject_public_key_info,
+    encode_bit_string,
+    encode_explicit,
+    encode_integer,
+    encode_null,
+    encode_object_identifier,
+    encode_octet_string,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_subject_public_key_info,
+    encode_utc_time,
+)
+from repro.rsa.keys import RSAKey
+from repro.rsa.pem import pem_decode_all, pem_encode
+
+__all__ = [
+    "CertificateInfo",
+    "SHA256_RSA_OID",
+    "COMMON_NAME_OID",
+    "create_self_signed_certificate",
+    "parse_certificate",
+    "verify_certificate",
+    "certificate_to_pem",
+    "extract_moduli_from_certificates",
+]
+
+#: sha256WithRSAEncryption — 1.2.840.113549.1.1.11
+SHA256_RSA_OID = (1, 2, 840, 113549, 1, 1, 11)
+#: id-at-commonName — 2.5.4.3
+COMMON_NAME_OID = (2, 5, 4, 3)
+#: DigestInfo algorithm for SHA-256 — 2.16.840.1.101.3.4.2.1
+SHA256_OID = (2, 16, 840, 1, 101, 3, 4, 2, 1)
+
+
+@dataclass(frozen=True)
+class CertificateInfo:
+    """The fields this profile carries, plus what verification needs."""
+
+    serial: int
+    issuer_cn: str
+    subject_cn: str
+    not_before: str
+    not_after: str
+    n: int
+    e: int
+    tbs_raw: bytes
+    signature: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+def _name(cn: str) -> bytes:
+    """An X.501 Name with a single CN RDN."""
+    return encode_sequence(
+        encode_set(
+            encode_sequence(
+                encode_object_identifier(COMMON_NAME_OID),
+                encode_printable_string(cn),
+            )
+        )
+    )
+
+
+def _algorithm(oid: tuple[int, ...]) -> bytes:
+    return encode_sequence(encode_object_identifier(oid), encode_null())
+
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int) -> int:
+    """EMSA-PKCS1-v1_5 over SHA-256, returned as an integer."""
+    digest = hashlib.sha256(message).digest()
+    digest_info = encode_sequence(_algorithm(SHA256_OID), encode_octet_string(digest))
+    pad_len = em_len - len(digest_info) - 3
+    if pad_len < 8:
+        raise ValueError("modulus too small for PKCS#1 v1.5 SHA-256 signatures")
+    em = b"\x00\x01" + b"\xff" * pad_len + b"\x00" + digest_info
+    return int.from_bytes(em, "big")
+
+
+def create_self_signed_certificate(
+    key: RSAKey,
+    *,
+    common_name: str = "weak.example",
+    serial: int = 1,
+    not_before: str = "250101000000Z",
+    not_after: str = "351231235959Z",
+) -> bytes:
+    """Build and sign a v3 certificate for ``key`` (needs the private half).
+
+    Validity strings are fixed rather than clock-derived so certificate
+    bytes are fully deterministic for a given key and parameters.
+    """
+    if not key.is_private:
+        raise ValueError("signing needs a private key")
+    tbs = encode_sequence(
+        encode_explicit(0, encode_integer(2)),  # version v3
+        encode_integer(serial),
+        _algorithm(SHA256_RSA_OID),
+        _name(common_name),  # issuer == subject (self-signed)
+        encode_sequence(encode_utc_time(not_before), encode_utc_time(not_after)),
+        _name(common_name),
+        encode_subject_public_key_info(key.n, key.e),
+    )
+    em = _emsa_pkcs1_v15(tbs, (key.n.bit_length() + 7) // 8)
+    signature = pow(em, key.d, key.n)
+    sig_bytes = signature.to_bytes((key.n.bit_length() + 7) // 8, "big")
+    return encode_sequence(tbs, _algorithm(SHA256_RSA_OID), encode_bit_string(sig_bytes))
+
+
+def parse_certificate(der: bytes) -> CertificateInfo:
+    """Parse a certificate of this module's profile."""
+    outer = DERReader(der)
+    cert = outer.enter_sequence()
+    outer.expect_end()
+    tbs_raw = cert.read_raw_tlv(TAG_SEQUENCE)
+    sig_alg = cert.enter_sequence()
+    if sig_alg.read_object_identifier() != SHA256_RSA_OID:
+        raise DERError("unsupported signature algorithm")
+    if not sig_alg.at_end():
+        sig_alg.read_null()
+    sig_bits, unused = cert.read_bit_string()
+    cert.expect_end()
+    if unused:
+        raise DERError("signature BIT STRING must be byte-aligned")
+
+    tbs = DERReader(tbs_raw).enter_sequence()
+    if tbs.peek_tag() == 0xA0:
+        version_reader = DERReader(tbs.read_tlv(0xA0))
+        version = version_reader.read_integer()
+        version_reader.expect_end()
+        if version not in (0, 1, 2):
+            raise DERError(f"unknown certificate version {version}")
+    serial = tbs.read_integer()
+    inner_alg = tbs.enter_sequence()
+    if inner_alg.read_object_identifier() != SHA256_RSA_OID:
+        raise DERError("tbs signature algorithm mismatch")
+    issuer_cn = _parse_name(tbs)
+    validity = tbs.enter_sequence()
+    not_before = validity.read_tlv(0x17).decode("ascii")
+    not_after = validity.read_tlv(0x17).decode("ascii")
+    validity.expect_end()
+    subject_cn = _parse_name(tbs)
+    spki_raw = tbs.read_raw_tlv(TAG_SEQUENCE)
+    n, e = decode_subject_public_key_info(spki_raw)
+    return CertificateInfo(
+        serial=serial,
+        issuer_cn=issuer_cn,
+        subject_cn=subject_cn,
+        not_before=not_before,
+        not_after=not_after,
+        n=n,
+        e=e,
+        tbs_raw=tbs_raw,
+        signature=int.from_bytes(sig_bits, "big"),
+    )
+
+
+def _parse_name(reader: DERReader) -> str:
+    name = reader.enter_sequence()
+    rdn = DERReader(name.read_tlv(0x31))  # SET
+    atv = rdn.enter_sequence()
+    if atv.read_object_identifier() != COMMON_NAME_OID:
+        raise DERError("only single-CN names are supported")
+    tag, value = atv.read_any()
+    if tag not in (0x13, 0x0C):  # PrintableString / UTF8String
+        raise DERError("unsupported CN string type")
+    name.expect_end()
+    return value.decode("utf-8", errors="strict")
+
+
+def verify_certificate(info: CertificateInfo, signer: RSAKey | None = None) -> bool:
+    """Check the PKCS#1 v1.5 signature; default signer is the cert's own key."""
+    n = signer.n if signer else info.n
+    e = signer.e if signer else info.e
+    expected = _emsa_pkcs1_v15(info.tbs_raw, (n.bit_length() + 7) // 8)
+    return pow(info.signature, e, n) == expected
+
+
+def certificate_to_pem(der: bytes) -> str:
+    """PEM-armor a certificate."""
+    return pem_encode(der, "CERTIFICATE")
+
+
+def extract_moduli_from_certificates(text: str, *, verify: bool = False) -> list[int]:
+    """All RSA moduli in the CERTIFICATE blocks of a PEM bundle.
+
+    With ``verify=True`` certificates whose self-signature fails are
+    skipped — scrapes contain truncated and corrupted blobs.
+    """
+    moduli = []
+    for label, der in pem_decode_all(text):
+        if label != "CERTIFICATE":
+            continue
+        try:
+            info = parse_certificate(der)
+        except DERError:
+            continue
+        if verify and not verify_certificate(info):
+            continue
+        moduli.append(info.n)
+    return moduli

@@ -1,0 +1,36 @@
+"""Shared low-level helpers: bit manipulation and deterministic RNG plumbing.
+
+Everything in this package operates on plain Python ``int`` values; the
+word-array representation lives in :mod:`repro.mp`.
+"""
+
+from repro.util.bits import (
+    bit_length,
+    int_from_words_be,
+    int_from_words_le,
+    is_even,
+    is_odd,
+    rshift_to_odd,
+    top_two_words,
+    trailing_zeros,
+    word_count,
+    words_from_int_be,
+    words_from_int_le,
+)
+from repro.util.rng import derive_rng, spawn_seeds
+
+__all__ = [
+    "bit_length",
+    "derive_rng",
+    "int_from_words_be",
+    "int_from_words_le",
+    "is_even",
+    "is_odd",
+    "rshift_to_odd",
+    "spawn_seeds",
+    "top_two_words",
+    "trailing_zeros",
+    "word_count",
+    "words_from_int_be",
+    "words_from_int_le",
+]

@@ -1,0 +1,142 @@
+"""Bit- and word-level helpers on Python integers.
+
+The paper stores an ``s``-bit number in ``s/d`` words of ``d`` bits each and
+names the *most significant* word ``x1`` (big-endian indexing).  Internally
+the rest of this library prefers little-endian word lists (index 0 = least
+significant word) because carry/borrow propagation walks that way; both
+orders are provided here, clearly suffixed ``_le`` / ``_be``.
+
+All functions are pure and operate on non-negative integers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_length",
+    "trailing_zeros",
+    "rshift_to_odd",
+    "is_even",
+    "is_odd",
+    "word_count",
+    "words_from_int_le",
+    "words_from_int_be",
+    "int_from_words_le",
+    "int_from_words_be",
+    "top_two_words",
+]
+
+
+def bit_length(x: int) -> int:
+    """Number of bits needed to represent ``x`` (0 has bit length 0)."""
+    if x < 0:
+        raise ValueError("bit_length is defined for non-negative integers")
+    return x.bit_length()
+
+
+def trailing_zeros(x: int) -> int:
+    """Number of consecutive zero bits at the least-significant end of ``x``.
+
+    ``trailing_zeros(0)`` is defined as 0 so that ``rshift_to_odd(0) == 0``,
+    matching the convention the GCD loops rely on (``rshift`` of an exact
+    multiple leaves 0 in place).
+    """
+    if x < 0:
+        raise ValueError("trailing_zeros is defined for non-negative integers")
+    if x == 0:
+        return 0
+    return (x & -x).bit_length() - 1
+
+
+def rshift_to_odd(x: int) -> int:
+    """The paper's ``rshift``: strip all trailing zero bits from ``x``.
+
+    Returns an odd number for any ``x > 0`` and 0 for ``x == 0``.
+    """
+    if x == 0:
+        return 0
+    return x >> trailing_zeros(x)
+
+
+def is_even(x: int) -> bool:
+    """True iff ``x`` is even."""
+    return (x & 1) == 0
+
+
+def is_odd(x: int) -> bool:
+    """True iff ``x`` is odd."""
+    return (x & 1) == 1
+
+
+def word_count(x: int, d: int) -> int:
+    """Number of significant ``d``-bit words in ``x`` (paper's ``l_X``).
+
+    ``word_count(0, d) == 0``; otherwise ``ceil(bit_length(x) / d)``.
+    """
+    _check_d(d)
+    if x < 0:
+        raise ValueError("word_count is defined for non-negative integers")
+    if x == 0:
+        return 0
+    return -(-x.bit_length() // d)
+
+
+def words_from_int_le(x: int, d: int, length: int | None = None) -> list[int]:
+    """Split ``x`` into ``d``-bit words, least significant first.
+
+    ``length`` pads (or validates capacity for) the result; by default the
+    list has exactly ``word_count(x, d)`` entries (empty for ``x == 0``).
+    """
+    _check_d(d)
+    if x < 0:
+        raise ValueError("words_from_int_le is defined for non-negative integers")
+    mask = (1 << d) - 1
+    n = word_count(x, d)
+    if length is None:
+        length = n
+    elif length < n:
+        raise ValueError(f"{x} needs {n} {d}-bit words, got length={length}")
+    out = []
+    for _ in range(length):
+        out.append(x & mask)
+        x >>= d
+    return out
+
+
+def words_from_int_be(x: int, d: int, length: int | None = None) -> list[int]:
+    """Split ``x`` into ``d``-bit words, most significant first (paper order)."""
+    return list(reversed(words_from_int_le(x, d, length)))
+
+
+def int_from_words_le(words: list[int], d: int) -> int:
+    """Reassemble an integer from little-endian ``d``-bit words."""
+    _check_d(d)
+    x = 0
+    for i, w in enumerate(words):
+        if not 0 <= w < (1 << d):
+            raise ValueError(f"word {w!r} at index {i} out of range for d={d}")
+        x |= w << (i * d)
+    return x
+
+
+def int_from_words_be(words: list[int], d: int) -> int:
+    """Reassemble an integer from big-endian ``d``-bit words."""
+    return int_from_words_le(list(reversed(words)), d)
+
+
+def top_two_words(x: int, d: int) -> int:
+    """The paper's ``x1x2``: integer formed by the two most significant words.
+
+    For a one-word number this is just that word; for 0 it is 0.  The result
+    always fits in ``2·d`` bits, which is what makes the paper's single
+    64-bit division (d = 32) possible.
+    """
+    _check_d(d)
+    lx = word_count(x, d)
+    if lx <= 2:
+        return x
+    return x >> ((lx - 2) * d)
+
+
+def _check_d(d: int) -> None:
+    if d < 2:
+        raise ValueError(f"word size d must be >= 2, got {d}")

@@ -1,0 +1,223 @@
+"""End-to-end tests for the bulk SIMT GCD engine."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.engine import BulkGcdEngine
+from repro.gcd.reference import GcdStats, gcd_approx
+
+odd_pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 300).map(lambda v: v | 1),
+        st.integers(min_value=0, max_value=1 << 300).map(lambda v: v | 1),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@pytest.mark.parametrize("algorithm", ["approx", "fast_binary", "binary"])
+class TestCorrectness:
+    @given(pairs=odd_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_math_gcd(self, algorithm, pairs):
+        r = BulkGcdEngine(d=32, algorithm=algorithm).run_pairs(pairs)
+        assert r.gcds == [math.gcd(a, b) for a, b in pairs]
+
+    @given(pairs=odd_pairs, d=st.sampled_from([8, 16, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_every_word_size(self, algorithm, pairs, d):
+        r = BulkGcdEngine(d=d, algorithm=algorithm).run_pairs(pairs)
+        assert r.gcds == [math.gcd(a, b) for a, b in pairs]
+
+    def test_paper_pair(self, algorithm):
+        r = BulkGcdEngine(d=4, algorithm=algorithm).run_pairs([(1043915, 768955)])
+        assert r.gcds == [5]
+
+    def test_even_rejected(self, algorithm):
+        with pytest.raises(ValueError):
+            BulkGcdEngine(algorithm=algorithm).run_pairs([(4, 3)])
+
+    def test_empty_input(self, algorithm):
+        r = BulkGcdEngine(algorithm=algorithm).run_pairs([])
+        assert r.gcds == []
+        assert r.loop_trips == 0
+
+
+class TestEngineValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            BulkGcdEngine(algorithm="quantum")
+
+    def test_d_out_of_range(self):
+        with pytest.raises(ValueError):
+            BulkGcdEngine(d=64)
+
+
+class TestEarlyTermination:
+    def _corpus(self):
+        p, q1, q2, q3 = 747211, 786431, 786433, 786449
+        weak = (p * q1, p * q2)
+        strong = (q1 * q2, q3 * 747223)
+        return weak, strong, p
+
+    def test_weak_pair_found_strong_pair_skipped(self):
+        weak, strong, p = self._corpus()
+        bits = weak[0].bit_length()
+        r = BulkGcdEngine(d=8).run_pairs([weak, strong], stop_bits=bits // 2)
+        assert r.gcds[0] == p
+        assert r.gcds[1] == 1
+        assert r.early_terminated.tolist() == [False, True]
+
+    def test_early_termination_cuts_iterations(self):
+        rng = random.Random(0)
+        bits = 256
+        pairs = [
+            (rng.getrandbits(bits) | (1 << (bits - 1)) | 1, rng.getrandbits(bits) | (1 << (bits - 1)) | 1)
+            for _ in range(16)
+        ]
+        full = BulkGcdEngine().run_pairs(pairs)
+        early = BulkGcdEngine().run_pairs(pairs, stop_bits=bits // 2)
+        assert early.loop_trips < full.loop_trips
+        ratio = early.loop_trips / full.loop_trips
+        assert 0.3 < ratio < 0.7
+
+
+class TestStatsAndDivergence:
+    def test_iterations_match_scalar_reference(self):
+        rng = random.Random(1)
+        pairs = [(rng.getrandbits(192) | 1, rng.getrandbits(192) | 1) for _ in range(8)]
+        r = BulkGcdEngine(d=32, algorithm="approx").run_pairs(pairs)
+        for j, (a, b) in enumerate(pairs):
+            stats = GcdStats()
+            gcd_approx(a, b, d=32, stats=stats)
+            assert int(r.iterations[j]) == stats.iterations
+
+    def test_loop_trips_is_max_iterations(self):
+        rng = random.Random(2)
+        pairs = [(rng.getrandbits(128) | 1, rng.getrandbits(128) | 1) for _ in range(8)]
+        r = BulkGcdEngine().run_pairs(pairs)
+        assert r.loop_trips == int(r.iterations.max())
+
+    def test_case_counts_accumulate(self):
+        r = BulkGcdEngine(d=4).run_pairs([(1043915, 768955)])
+        # Table III: 4x 4-A, 1x 4-B, 1x 3-B, 3x Case 1
+        assert r.case_counts["4-A"] == 4
+        assert r.case_counts["4-B"] == 1
+        assert r.case_counts["3-B"] == 1
+        assert r.case_counts["1"] == 3
+
+    def test_beta_nonzero_counted_at_small_d(self):
+        rng = random.Random(3)
+        pairs = [(rng.getrandbits(96) | 1, rng.getrandbits(96) | 1) for _ in range(60)]
+        r = BulkGcdEngine(d=4).run_pairs(pairs)
+        assert r.beta_nonzero > 0
+        assert r.gcds == [math.gcd(a, b) for a, b in pairs]
+
+    def test_divergence_occupancy(self):
+        rng = random.Random(4)
+        pairs = [(rng.getrandbits(256) | 1, rng.getrandbits(256) | 1) for _ in range(32)]
+        r = BulkGcdEngine().run_pairs(pairs, record_masks=True)
+        occ = r.divergence.lane_occupancy
+        assert 0.5 < occ <= 1.0
+        assert r.divergence.total_lane_trips == int(r.iterations.sum())
+
+    def test_warp_efficiency_needs_masks(self):
+        from repro.bulk.divergence import warp_efficiency
+
+        r = BulkGcdEngine().run_pairs([(15, 5)])
+        with pytest.raises(ValueError):
+            warp_efficiency(r.divergence)
+
+    def test_warp_efficiency_with_masks(self):
+        from repro.bulk.divergence import warp_efficiency
+
+        rng = random.Random(5)
+        pairs = [(rng.getrandbits(128) | 1, rng.getrandbits(128) | 1) for _ in range(64)]
+        r = BulkGcdEngine().run_pairs(pairs, record_masks=True)
+        eff = warp_efficiency(r.divergence, warp_size=32)
+        assert 0.0 < eff <= 1.0
+
+    def test_scalar_endgame_not_taken_under_early_termination(self):
+        rng = random.Random(6)
+        bits = 256
+        pairs = [
+            (rng.getrandbits(bits) | (1 << (bits - 1)) | 1, rng.getrandbits(bits) | (1 << (bits - 1)) | 1)
+            for _ in range(8)
+        ]
+        r = BulkGcdEngine().run_pairs(pairs, stop_bits=bits // 2)
+        assert r.scalar_steps == 0  # operands never shrink to <= 2 words
+
+
+class TestCompaction:
+    def test_identical_results(self):
+        rng = random.Random(11)
+        pairs = [(rng.getrandbits(160) | 1, rng.getrandbits(160) | 1) for _ in range(64)]
+        e = BulkGcdEngine()
+        plain = e.run_pairs(pairs)
+        compacted = e.run_pairs(pairs, compact=True)
+        assert plain.gcds == compacted.gcds
+        assert (plain.iterations == compacted.iterations).all()
+        assert plain.loop_trips == compacted.loop_trips
+
+    def test_identical_with_early_termination(self):
+        rng = random.Random(12)
+        bits = 128
+        pairs = [
+            (rng.getrandbits(bits) | (1 << (bits - 1)) | 1,
+             rng.getrandbits(bits) | (1 << (bits - 1)) | 1)
+            for _ in range(32)
+        ]
+        e = BulkGcdEngine()
+        plain = e.run_pairs(pairs, stop_bits=bits // 2)
+        compacted = e.run_pairs(pairs, stop_bits=bits // 2, compact=True)
+        assert plain.gcds == compacted.gcds
+        assert (plain.early_terminated == compacted.early_terminated).all()
+
+    def test_incompatible_with_masks(self):
+        with pytest.raises(ValueError):
+            BulkGcdEngine().run_pairs([(15, 5)], compact=True, record_masks=True)
+
+    def test_mixed_finish_times(self):
+        # one trivial pair retires immediately; a long pair keeps running
+        rng = random.Random(13)
+        long_pair = (rng.getrandbits(256) | 1, rng.getrandbits(256) | 1)
+        pairs = [(3, 3)] * 30 + [long_pair] + [(5, 5)] * 30
+        r = BulkGcdEngine().run_pairs(pairs, compact=True)
+        assert r.gcds[:30] == [3] * 30
+        assert r.gcds[31:] == [5] * 30
+        assert r.gcds[30] == math.gcd(*long_pair)
+
+
+class TestRunPairsGeneral:
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 200),
+                st.integers(min_value=0, max_value=1 << 200),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_inputs(self, pairs):
+        r = BulkGcdEngine().run_pairs_general(pairs)
+        assert r.gcds == [math.gcd(a, b) for a, b in pairs]
+
+    def test_zero_pairs_bypass(self):
+        r = BulkGcdEngine().run_pairs_general([(0, 0), (0, 12), (7, 0), (6, 4)])
+        assert r.gcds == [0, 12, 7, 2]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BulkGcdEngine().run_pairs_general([(-2, 3)])
+
+    def test_mixed_parities(self):
+        pairs = [(48, 32), (1 << 40, 1 << 20), (15, 10), (1043915, 768955)]
+        r = BulkGcdEngine().run_pairs_general(pairs)
+        assert r.gcds == [16, 1 << 20, 5, 5]

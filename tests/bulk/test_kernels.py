@@ -1,0 +1,214 @@
+"""Tests for the vectorised bulk kernels against Python-int semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.kernels import (
+    approx_bulk,
+    bit_length_u64,
+    compare_bulk,
+    halve_columns,
+    lengths_from_words,
+    rshift_strip_bulk,
+    shift_right_one_bulk,
+    subtract_mul_bulk,
+    swap_columns,
+    trailing_zeros_u64,
+)
+from repro.bulk.layout import BulkOperands
+from repro.gcd.approx import approx
+from repro.util.bits import rshift_to_odd
+
+word_sizes = st.sampled_from([4, 8, 16, 32])
+
+
+class TestScalarHelpers:
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=1, max_size=50))
+    def test_bit_length(self, vals):
+        v = np.array(vals, dtype=np.uint64)
+        assert bit_length_u64(v).tolist() == [x.bit_length() for x in vals]
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=1, max_size=50))
+    def test_trailing_zeros(self, vals):
+        v = np.array(vals, dtype=np.uint64)
+        expected = [((x & -x).bit_length() - 1) if x else 0 for x in vals]
+        assert trailing_zeros_u64(v).tolist() == expected
+
+
+class TestLengthsFromWords:
+    def test_basic(self):
+        w = np.array([[1, 0, 0], [0, 0, 2], [0, 0, 0]], dtype=np.uint64)
+        assert lengths_from_words(w).tolist() == [1, 0, 2]
+
+
+class TestCompareAndSwap:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 200),
+                st.integers(min_value=0, max_value=1 << 200),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        word_sizes,
+    )
+    @settings(max_examples=100)
+    def test_compare_matches_int(self, pairs, d):
+        cap = max(1, max((max(a, b).bit_length() for a, b in pairs), default=1) // d + 2)
+        x = BulkOperands.from_ints([a for a, _ in pairs], d, cap)
+        y = BulkOperands.from_ints([b for _, b in pairs], d, cap)
+        expected = [(a > b) - (a < b) for a, b in pairs]
+        assert compare_bulk(x, y).tolist() == expected
+
+    def test_swap_masked_columns(self):
+        x = BulkOperands.from_ints([1, 2, 3], 8, 2)
+        y = BulkOperands.from_ints([10, 20, 30], 8, 2)
+        mask = np.array([True, False, True])
+        swap_columns(x, y, mask)
+        assert x.to_ints() == [10, 2, 30]
+        assert y.to_ints() == [1, 20, 3]
+        x.check()
+        y.check()
+
+    def test_swap_empty_mask_is_noop(self):
+        x = BulkOperands.from_ints([1], 8, 2)
+        y = BulkOperands.from_ints([9], 8, 2)
+        swap_columns(x, y, np.array([False]))
+        assert x.to_ints() == [1]
+
+
+class TestSubtractMul:
+    @given(
+        st.data(),
+        word_sizes,
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 300),
+                st.integers(min_value=1, max_value=1 << 300),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_matches_int(self, data, d, raw):
+        alphas = [data.draw(st.integers(min_value=0, max_value=(1 << d) - 1)) for _ in raw]
+        xs = [al * b + a for (a, b), al in zip(raw, alphas)]
+        ys = [b for _, b in raw]
+        cap = max(v.bit_length() for v in xs + ys) // d + 2
+        x = BulkOperands.from_ints(xs, d, cap)
+        y = BulkOperands.from_ints(ys, d, cap)
+        t, borrow = subtract_mul_bulk(x.words, y.words, np.array(alphas, dtype=np.uint64), d)
+        assert (borrow == 0).all()
+        got = BulkOperands(d, cap, len(xs))
+        got.words = t
+        got.lengths = lengths_from_words(t)
+        assert got.to_ints() == [xv - al * yv for xv, yv, al in zip(xs, ys, alphas)]
+
+    def test_borrow_reported_on_underflow(self):
+        x = BulkOperands.from_ints([5], 8, 2)
+        y = BulkOperands.from_ints([9], 8, 2)
+        _, borrow = subtract_mul_bulk(x.words, y.words, np.array([3], dtype=np.uint64), 8)
+        assert borrow[0] != 0
+
+
+class TestRshiftStrip:
+    @given(
+        word_sizes,
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 250),
+                st.integers(min_value=0, max_value=40),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_matches_rshift_to_odd(self, d, spec):
+        vals = [(odd | 1) << sh if odd else 0 for odd, sh in spec]
+        cap = max(1, max((v.bit_length() for v in vals), default=1) // d + 2)
+        ops = BulkOperands.from_ints(vals, d, cap)
+        out, lengths = rshift_strip_bulk(ops.words, d)
+        got = BulkOperands(d, cap, len(vals))
+        got.words = out
+        got.lengths = lengths
+        assert got.to_ints() == [rshift_to_odd(v) for v in vals]
+        got.check()
+
+    def test_forced_slow_path(self):
+        # one column with a whole zero low word forces the gather path
+        d = 8
+        vals = [1 << 20, 3]
+        ops = BulkOperands.from_ints(vals, d, 4)
+        out, lengths = rshift_strip_bulk(ops.words, d)
+        got = BulkOperands(d, 4, 2)
+        got.words = out
+        got.lengths = lengths
+        assert got.to_ints() == [1, 3]
+
+
+class TestHalving:
+    @given(word_sizes, st.lists(st.integers(min_value=0, max_value=1 << 200), min_size=1, max_size=10))
+    @settings(max_examples=80)
+    def test_shift_right_one(self, d, vals):
+        evens = [v * 2 for v in vals]
+        cap = max(1, max((v.bit_length() for v in evens), default=1) // d + 2)
+        ops = BulkOperands.from_ints(evens, d, cap)
+        out = shift_right_one_bulk(ops.words, d)
+        got = BulkOperands(d, cap, len(evens))
+        got.words = out
+        got.lengths = lengths_from_words(out)
+        assert got.to_ints() == vals
+
+    def test_halve_columns_respects_mask(self):
+        ops = BulkOperands.from_ints([8, 9], 8, 2)
+        halve_columns(ops, np.array([True, False]))
+        assert ops.to_ints() == [4, 9]
+        ops.check()
+
+
+class TestApproxBulk:
+    @given(
+        word_sizes,
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=1 << 300),
+                st.integers(min_value=1, max_value=1 << 300),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=150)
+    def test_matches_scalar_approx(self, d, raw):
+        pairs = [(max(a, b), min(a, b)) for a, b in raw]
+        cap = max(a.bit_length() for a, _ in pairs) // d + 2
+        x = BulkOperands.from_ints([a for a, _ in pairs], d, cap)
+        y = BulkOperands.from_ints([b for _, b in pairs], d, cap)
+        alpha, beta, code = approx_bulk(x, y)
+        from repro.gcd.approx import ALL_CASES
+
+        for j, (a, b) in enumerate(pairs):
+            expected = approx(a, b, d)
+            if expected.case == "1":
+                assert code[j] == 0  # engine sends Case 1 to the scalar path
+            else:
+                assert int(alpha[j]) == expected.alpha, (a, b, d)
+                assert int(beta[j]) == expected.beta
+                assert ALL_CASES[code[j]] == expected.case
+
+    def test_paper_examples_vectorised_together(self):
+        d = 4
+        xs = [2345, 1234, 2345, 2345, 54321, 54321]
+        ys = [4, 12, 59, 231, 1234, 4000]
+        cap = 5
+        x = BulkOperands.from_ints(xs, d, cap)
+        y = BulkOperands.from_ints(ys, d, cap)
+        alpha, beta, code = approx_bulk(x, y)
+        assert alpha.tolist() == [2, 6, 2, 9, 2, 13]
+        assert beta.tolist() == [2, 1, 1, 0, 1, 0]
+        assert code.tolist() == [1, 2, 3, 4, 5, 6]  # 2-A, 2-B, 3-A, 3-B, 4-A, 4-B

@@ -1,0 +1,84 @@
+"""Tests for the column-wise bulk operand store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.layout import BulkOperands
+
+word_sizes = st.sampled_from([4, 8, 16, 32])
+value_lists = st.lists(st.integers(min_value=0, max_value=1 << 600), min_size=1, max_size=20)
+
+
+class TestConstruction:
+    @given(value_lists, word_sizes)
+    @settings(max_examples=100)
+    def test_roundtrip(self, values, d):
+        ops = BulkOperands.from_ints(values, d)
+        assert ops.to_ints() == values
+        ops.check()
+
+    def test_zero_columns(self):
+        ops = BulkOperands.from_ints([0, 0, 5], 8)
+        assert ops.lengths.tolist() == [0, 0, 1]
+        assert ops.to_ints() == [0, 0, 5]
+
+    def test_capacity_fits_widest(self):
+        ops = BulkOperands.from_ints([1, 1 << 64], 32)
+        assert ops.capacity == 3
+
+    def test_explicit_capacity_too_small(self):
+        with pytest.raises(ValueError):
+            BulkOperands.from_ints([1 << 64], 32, capacity=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BulkOperands.from_ints([-1], 8)
+
+    def test_d_bounds(self):
+        with pytest.raises(ValueError):
+            BulkOperands(64, 4, 1)  # d > 32 cannot guarantee mul headroom
+        with pytest.raises(ValueError):
+            BulkOperands(1, 4, 1)
+
+    def test_empty(self):
+        ops = BulkOperands.from_ints([], 8)
+        assert ops.n == 0
+        assert ops.to_ints() == []
+
+
+class TestColumnAccess:
+    def test_column_and_set_column(self):
+        ops = BulkOperands.from_ints([10, 20, 30], 8, capacity=4)
+        assert ops.column(1) == 20
+        ops.set_column(1, 0xDEAD)
+        assert ops.column(1) == 0xDEAD
+        assert ops.to_ints() == [10, 0xDEAD, 30]
+        ops.check()
+
+    def test_set_column_clears_tail(self):
+        ops = BulkOperands.from_ints([0xFFFFFF], 8, capacity=4)
+        ops.set_column(0, 1)
+        assert ops.words[1:, 0].sum() == 0
+        assert ops.lengths[0] == 1
+
+    def test_set_column_overflow_rejected(self):
+        ops = BulkOperands.from_ints([5], 8, capacity=1)
+        with pytest.raises(ValueError):
+            ops.set_column(0, 1 << 16)
+
+
+class TestBitLengths:
+    @given(value_lists, word_sizes)
+    @settings(max_examples=100)
+    def test_matches_python(self, values, d):
+        ops = BulkOperands.from_ints(values, d)
+        assert ops.bit_lengths().tolist() == [v.bit_length() for v in values]
+
+    def test_storage_is_column_major_rows(self):
+        # Figure 3: word i of every number is one contiguous row
+        ops = BulkOperands.from_ints([0x0102, 0x0304], 8)
+        assert ops.words[0].tolist() == [0x02, 0x04]
+        assert ops.words[1].tolist() == [0x01, 0x03]
+        assert ops.words.dtype == np.uint64

@@ -1,0 +1,112 @@
+"""End-to-end tests of the weak-key attack across all backends."""
+
+import pytest
+
+from repro.core.attack import break_keys, find_shared_primes
+from repro.rsa.corpus import generate_weak_corpus
+from repro.rsa.keys import decrypt, encrypt
+
+BITS = 64
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_weak_corpus(24, BITS, shared_groups=(2, 3), seed=11)
+
+
+@pytest.mark.parametrize("backend", ["bulk", "scalar", "batch"])
+class TestFindSharedPrimes:
+    def test_finds_exactly_the_planted_pairs(self, corpus, backend):
+        report = find_shared_primes(corpus.moduli, backend=backend, group_size=8)
+        assert report.hit_pairs == corpus.weak_pair_set()
+        for hit in report.hits:
+            assert corpus.moduli[hit.i] % hit.prime == 0
+            assert corpus.moduli[hit.j] % hit.prime == 0
+
+    def test_no_false_positives_on_clean_corpus(self, backend):
+        clean = generate_weak_corpus(12, BITS, shared_groups=(), seed=12)
+        report = find_shared_primes(clean.moduli, backend=backend, group_size=8)
+        assert report.hits == []
+
+    def test_accounting(self, corpus, backend):
+        report = find_shared_primes(corpus.moduli, backend=backend, group_size=8)
+        m = corpus.n_keys
+        assert report.m == m
+        assert report.pairs_tested == m * (m - 1) // 2
+        assert report.elapsed_seconds > 0
+        assert report.microseconds_per_gcd > 0
+
+
+class TestPairwiseOptions:
+    def test_group_size_does_not_change_results(self, corpus):
+        r1 = find_shared_primes(corpus.moduli, group_size=4)
+        r2 = find_shared_primes(corpus.moduli, group_size=17)
+        assert r1.hit_pairs == r2.hit_pairs
+
+    def test_all_scalar_algorithms_agree(self, corpus):
+        expected = corpus.weak_pair_set()
+        for algorithm in ("approx", "fast_binary", "binary"):
+            rep = find_shared_primes(
+                corpus.moduli, backend="scalar", algorithm=algorithm, group_size=8
+            )
+            assert rep.hit_pairs == expected, algorithm
+
+    def test_bulk_algorithms_agree(self, corpus):
+        expected = corpus.weak_pair_set()
+        for algorithm in ("approx", "fast_binary", "binary"):
+            rep = find_shared_primes(
+                corpus.moduli, backend="bulk", algorithm=algorithm, group_size=8
+            )
+            assert rep.hit_pairs == expected, algorithm
+
+    def test_no_early_terminate_still_correct(self, corpus):
+        rep = find_shared_primes(corpus.moduli, early_terminate=False, group_size=8)
+        assert rep.hit_pairs == corpus.weak_pair_set()
+
+    def test_mixed_sizes_need_early_terminate_off(self):
+        a = generate_weak_corpus(4, 64, shared_groups=(), seed=1)
+        b = generate_weak_corpus(4, 96, shared_groups=(), seed=2)
+        moduli = a.moduli + b.moduli
+        with pytest.raises(ValueError):
+            find_shared_primes(moduli)
+        rep = find_shared_primes(moduli, early_terminate=False)
+        assert rep.hits == []
+
+
+class TestValidation:
+    def test_unknown_backend(self, corpus):
+        with pytest.raises(ValueError):
+            find_shared_primes(corpus.moduli, backend="fpga")
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            find_shared_primes([15, 21, 22])
+
+    def test_too_few_moduli(self):
+        with pytest.raises(ValueError):
+            find_shared_primes([15])
+
+    def test_scalar_unknown_algorithm(self, corpus):
+        with pytest.raises(ValueError):
+            find_shared_primes(corpus.moduli, backend="scalar", algorithm="magic")
+
+
+class TestBreakKeys:
+    def test_recovers_working_private_keys(self, corpus):
+        public = [k.public() for k in corpus.keys]
+        report = find_shared_primes(corpus.moduli)
+        broken = break_keys(public, report)
+        # every key involved in a weak pair is recovered
+        expected_indices = {i for pair in corpus.weak_pair_set() for i in pair}
+        assert set(broken) == expected_indices
+        # recovered keys decrypt what the true keys encrypt
+        for idx, key in broken.items():
+            true_key = corpus.keys[idx]
+            message = 123456789 % key.n
+            assert decrypt(encrypt(message, true_key.public()), key) == message
+            assert key.d == true_key.d
+
+    def test_empty_report_breaks_nothing(self):
+        clean = generate_weak_corpus(6, BITS, shared_groups=(), seed=13)
+        report = find_shared_primes(clean.moduli)
+        assert break_keys([k.public() for k in clean.keys], report) == {}

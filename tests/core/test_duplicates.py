@@ -1,0 +1,63 @@
+"""Duplicate-key handling: reused moduli must be flagged, not crash."""
+
+import pytest
+
+from repro.core.attack import break_keys, find_shared_primes
+from repro.rsa.corpus import generate_weak_corpus
+
+BITS = 64
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # one shared-prime pair AND one exact duplicate
+    return generate_weak_corpus(14, BITS, shared_groups=(2,), duplicates=1, seed=51)
+
+
+class TestCorpusDuplicates:
+    def test_duplicate_planted(self, corpus):
+        dups = [w for w in corpus.weak_pairs if w.prime == corpus.keys[w.i].n]
+        assert len(dups) == 1
+        w = dups[0]
+        assert corpus.moduli[w.i] == corpus.moduli[w.j]
+
+    def test_shared_prime_still_planted(self, corpus):
+        shares = [w for w in corpus.weak_pairs if w.prime != corpus.keys[w.i].n]
+        assert len(shares) == 1
+        assert corpus.moduli[shares[0].i] != corpus.moduli[shares[0].j]
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            generate_weak_corpus(5, BITS, shared_groups=(2,), duplicates=2)
+
+    def test_negative_duplicates(self):
+        with pytest.raises(ValueError):
+            generate_weak_corpus(6, BITS, duplicates=-1)
+
+    def test_json_roundtrip_with_duplicates(self, corpus):
+        from repro.rsa.corpus import WeakCorpus
+
+        back = WeakCorpus.from_json(corpus.to_json())
+        assert back.weak_pairs == corpus.weak_pairs
+
+
+@pytest.mark.parametrize("backend", ["bulk", "scalar", "batch"])
+class TestAttackWithDuplicates:
+    def test_all_plants_found(self, corpus, backend):
+        report = find_shared_primes(corpus.moduli, backend=backend, group_size=5)
+        assert report.hit_pairs == corpus.weak_pair_set()
+
+    def test_duplicate_hit_carries_full_modulus(self, corpus, backend):
+        report = find_shared_primes(corpus.moduli, backend=backend, group_size=5)
+        dup_hits = [h for h in report.hits if h.is_duplicate(corpus.moduli)]
+        assert len(dup_hits) == 1
+        assert dup_hits[0].prime == corpus.moduli[dup_hits[0].i]
+
+    def test_break_keys_skips_duplicates(self, corpus, backend):
+        report = find_shared_primes(corpus.moduli, backend=backend, group_size=5)
+        public = [k.public() for k in corpus.keys]
+        broken = break_keys(public, report)
+        shared = [w for w in corpus.weak_pairs if w.prime != corpus.keys[w.i].n][0]
+        assert set(broken) == {shared.i, shared.j}
+        for idx, key in broken.items():
+            assert key.d == corpus.keys[idx].d

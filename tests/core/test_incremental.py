@@ -1,0 +1,100 @@
+"""Tests for the incremental (streamed) weak-key scanner."""
+
+import math
+
+import pytest
+
+from repro.core.attack import find_shared_primes
+from repro.core.incremental import IncrementalScanner
+from repro.rsa.corpus import generate_weak_corpus
+
+BITS = 64
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # one pair inside the first batch, one triple spanning batches
+    return generate_weak_corpus(18, BITS, shared_groups=(2, 3), seed=31)
+
+
+class TestIncrementalScanner:
+    def test_streamed_equals_snapshot(self, corpus):
+        snapshot = find_shared_primes(corpus.moduli, backend="bulk", group_size=6)
+        scanner = IncrementalScanner(bits=BITS)
+        for start in range(0, corpus.n_keys, 5):
+            scanner.add_batch(corpus.moduli[start : start + 5])
+        assert {(h.i, h.j) for h in scanner.all_hits} == snapshot.hit_pairs
+        assert scanner.coverage_is_complete()
+
+    def test_cross_batch_hits_found_at_arrival(self, corpus):
+        weak = corpus.weak_pair_set()
+        scanner = IncrementalScanner(bits=BITS)
+        found: set[tuple[int, int]] = set()
+        for start in range(0, corpus.n_keys, 4):
+            rep = scanner.add_batch(corpus.moduli[start : start + 4])
+            for i, j in rep.hit_pairs:
+                # a hit appears exactly when its *second* member arrives
+                assert j >= start
+                found.add((i, j))
+        assert found == weak
+
+    def test_pairs_tested_is_exactly_all_pairs(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        total = 0
+        for start in range(0, corpus.n_keys, 7):
+            rep = scanner.add_batch(corpus.moduli[start : start + 7])
+            total += rep.pairs_tested
+        m = corpus.n_keys
+        assert total == m * (m - 1) // 2
+
+    def test_chunking_does_not_change_results(self, corpus):
+        a = IncrementalScanner(bits=BITS, chunk_pairs=3)
+        b = IncrementalScanner(bits=BITS, chunk_pairs=10_000)
+        a.add_batch(corpus.moduli)
+        b.add_batch(corpus.moduli)
+        assert {(h.i, h.j) for h in a.all_hits} == {(h.i, h.j) for h in b.all_hits}
+
+    def test_hit_primes_divide_moduli(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli)
+        for h in scanner.all_hits:
+            assert corpus.moduli[h.i] % h.prime == 0
+            assert corpus.moduli[h.j] % h.prime == 0
+            assert math.gcd(corpus.moduli[h.i], corpus.moduli[h.j]) == h.prime
+
+    def test_single_key_batch(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:1])
+        rep = scanner.add_batch(corpus.moduli[1:2])
+        assert rep.pairs_tested == 1
+
+    def test_empty_batch(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:3])
+        rep = scanner.add_batch([])
+        assert rep.pairs_tested == 0
+        assert rep.new_keys == 0
+
+    def test_wrong_size_rejected(self):
+        scanner = IncrementalScanner(bits=BITS)
+        with pytest.raises(ValueError):
+            scanner.add_batch([(1 << 90) + 1])
+
+    def test_even_rejected(self):
+        scanner = IncrementalScanner(bits=BITS)
+        with pytest.raises(ValueError):
+            scanner.add_batch([1 << 63])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalScanner(bits=15)
+        with pytest.raises(ValueError):
+            IncrementalScanner(bits=64, chunk_pairs=0)
+
+    def test_no_early_terminate_mode(self, corpus):
+        scanner = IncrementalScanner(bits=BITS, early_terminate=False)
+        scanner.add_batch(corpus.moduli[:8])
+        expected = {
+            (i, j) for (i, j) in corpus.weak_pair_set() if i < 8 and j < 8
+        }
+        assert {(h.i, h.j) for h in scanner.all_hits} == expected

@@ -1,0 +1,71 @@
+"""Stateful property test: the incremental scanner vs a naive oracle.
+
+Hypothesis drives an arbitrary interleaving of key-batch arrivals (weak and
+healthy keys mixed); after every step the scanner's cumulative hit set must
+equal the brute-force all-pairs oracle over everything ingested so far, and
+the pairs-scanned accounting must stay exactly complete.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.incremental import IncrementalScanner
+
+BITS = 32  # tiny "moduli" keep the oracle cheap; scanner logic is size-blind
+
+# 16-bit primes with the top two bits set, so every product has 32 bits
+_PRIMES = [49157, 49169, 49171, 49177, 49193, 49199, 49201, 49207, 49211, 49223]
+
+
+def _modulus(i: int, j: int) -> int:
+    return _PRIMES[i] * _PRIMES[j]
+
+
+class IncrementalScanMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.scanner = IncrementalScanner(bits=BITS, d=8, chunk_pairs=7)
+        self.ingested: list[int] = []
+
+    @rule(
+        picks=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(_PRIMES) - 1),
+                st.integers(min_value=0, max_value=len(_PRIMES) - 1),
+            ).filter(lambda t: t[0] != t[1] and _modulus(*t).bit_length() == BITS),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    def add_batch(self, picks):
+        batch = [_modulus(i, j) for i, j in picks]
+        report = self.scanner.add_batch(batch)
+        base = len(self.ingested)
+        self.ingested.extend(batch)
+        # every reported hit involves at least one new key and is genuine
+        for h in report.hits:
+            assert h.j >= base
+            assert math.gcd(self.ingested[h.i], self.ingested[h.j]) % h.prime == 0
+            assert h.prime > 1
+
+    @invariant()
+    def matches_oracle(self):
+        oracle = set()
+        for i in range(len(self.ingested)):
+            for j in range(i + 1, len(self.ingested)):
+                if math.gcd(self.ingested[i], self.ingested[j]) > 1:
+                    oracle.add((i, j))
+        assert {(h.i, h.j) for h in self.scanner.all_hits} == oracle
+
+    @invariant()
+    def coverage_complete(self):
+        assert self.scanner.coverage_is_complete()
+
+
+IncrementalScanMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=8, deadline=None
+)
+TestIncrementalScanMachine = IncrementalScanMachine.TestCase

@@ -1,0 +1,76 @@
+"""Tests for the Section VI block schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairing import (
+    all_pair_count,
+    block_pairs,
+    block_schedule,
+    thread_pairs,
+)
+
+
+class TestBlockSchedule:
+    @given(
+        m=st.integers(min_value=2, max_value=120),
+        r=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=150)
+    def test_partitions_all_pairs_exactly(self, m, r):
+        seen = []
+        for block in block_schedule(m, r):
+            seen.extend(block.pairs())
+        assert len(seen) == all_pair_count(m)
+        assert len(set(seen)) == len(seen)  # no duplicates
+        assert all(0 <= a < b < m for a, b in seen)
+
+    def test_block_count_square_grid(self):
+        # m/r groups -> upper triangle including diagonal
+        blocks = block_schedule(16, 4)
+        assert len(blocks) == 4 * 5 // 2
+
+    def test_pair_count_matches_enumeration(self):
+        for block in block_schedule(23, 5):  # deliberately ragged
+            assert block.pair_count() == len(list(block.pairs()))
+
+    def test_diagonal_block_is_triangle(self):
+        pairs = list(block_pairs(1, 1, 4, 16))
+        assert pairs == [(a, b) for a in range(4, 8) for b in range(4, 8) if b > a]
+
+    def test_off_diagonal_block_is_full_product(self):
+        pairs = list(block_pairs(0, 1, 3, 9))
+        assert len(pairs) == 9
+        assert all(a < 3 <= b < 6 for a, b in pairs)
+
+    def test_below_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            list(block_pairs(2, 1, 4, 16))
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            block_schedule(1, 4)
+        with pytest.raises(ValueError):
+            block_schedule(8, 0)
+
+
+class TestThreadPairs:
+    def test_off_diagonal_thread_covers_whole_group(self):
+        # thread k of block (i, j) pairs n_{i,k} with every n_{j,u}
+        assert thread_pairs(0, 1, 2, r=4, m=16) == [(2, b) for b in range(4, 8)]
+
+    def test_diagonal_thread_upper_only(self):
+        assert thread_pairs(1, 1, 1, r=4, m=16) == [(5, 6), (5, 7)]
+
+    def test_threads_tile_block(self):
+        r, m = 4, 16
+        i, j = 0, 1
+        union = []
+        for k in range(r):
+            union.extend(thread_pairs(i, j, k, r, m))
+        assert sorted(union) == sorted(block_pairs(i, j, r, m))
+
+    def test_out_of_range_thread_is_empty(self):
+        # ragged last group: thread index beyond the group's end
+        assert thread_pairs(2, 2, 3, r=4, m=9) == []

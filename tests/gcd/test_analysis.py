@@ -1,0 +1,117 @@
+"""Tests for the quotient-quality / bit-loss analysis module."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcd.analysis import (
+    analyze_approx_run,
+    bits_per_iteration,
+    quotient_quality,
+)
+from repro.gcd.reference import GcdStats, gcd_approx
+
+odd = st.integers(min_value=1, max_value=1 << 256).map(lambda v: v | 1)
+
+
+def _pairs(n, bits, seed=0):
+    rng = random.Random(seed)
+    return [
+        (rng.getrandbits(bits) | (1 << (bits - 1)) | 1,
+         rng.getrandbits(bits) | (1 << (bits - 1)) | 1)
+        for _ in range(n)
+    ]
+
+
+class TestAnalyzeApproxRun:
+    @given(x=odd, y=odd)
+    @settings(max_examples=80)
+    def test_iteration_count_matches_reference(self, x, y):
+        run = analyze_approx_run(x, y, d=32)
+        stats = GcdStats()
+        gcd_approx(x, y, d=32, stats=stats)
+        assert run.iterations == stats.iterations
+
+    @given(x=odd, y=odd)
+    @settings(max_examples=80)
+    def test_estimate_never_exceeds_true_quotient(self, x, y):
+        run = analyze_approx_run(x, y, d=32)
+        for r in run.records:
+            assert r.q_est <= r.q_true
+
+    @given(x=odd, y=odd)
+    @settings(max_examples=80)
+    def test_bits_eliminated_sum(self, x, y):
+        # total bits eliminated equals initial bits minus final gcd bits
+        import math
+
+        run = analyze_approx_run(x, y, d=32)
+        g = math.gcd(x, y)
+        assert sum(r.bits_eliminated for r in run.records) == (
+            x.bit_length() + y.bit_length() - g.bit_length()
+        )
+
+    def test_records_capture_descent(self):
+        run = analyze_approx_run(1043915, 768955, d=4)
+        assert run.iterations == 9  # Table III
+        assert run.records[0].x_bits == 20
+        assert [r.case for r in run.records][:4] == ["4-A", "4-A", "4-A", "4-B"]
+
+    def test_even_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_approx_run(12, 5)
+
+    def test_operand_order_irrelevant(self):
+        a = analyze_approx_run(768955, 1043915, d=4)
+        b = analyze_approx_run(1043915, 768955, d=4)
+        assert a.iterations == b.iterations
+
+
+class TestQuotientQuality:
+    def test_never_overshoots(self):
+        q = quotient_quality(_pairs(10, 128), d=32)
+        assert q.overshoots == 0
+
+    def test_mostly_exact_at_d32(self):
+        # the top-two-words estimate is exact unless the divisor's hidden
+        # low words push the quotient down across an integer boundary
+        q = quotient_quality(_pairs(10, 256, seed=1), d=32)
+        assert q.exact_fraction > 0.9
+        assert q.within_half_fraction > 0.999
+        assert 0.9 < q.mean_ratio <= 1.0
+
+    def test_quality_degrades_gracefully_at_small_d(self):
+        q32 = quotient_quality(_pairs(8, 128, seed=2), d=32)
+        q4 = quotient_quality(_pairs(8, 128, seed=2), d=4)
+        assert q4.exact_fraction <= q32.exact_fraction
+        assert q4.overshoots == 0
+
+    def test_empty(self):
+        q = quotient_quality([])
+        assert q.iterations == 0
+        assert q.exact_fraction == 1.0
+
+
+class TestBitsPerIteration:
+    def test_knuth_constants(self):
+        pairs = _pairs(12, 256, seed=3)
+        # bits eliminated per iteration = 2s / (const * s) = 2 / const
+        expected = {"A": 2 / 0.584, "B": 2 / 0.372, "C": 2 / 1.41, "D": 2 / 0.706}
+        for letter, want in expected.items():
+            got = bits_per_iteration(pairs, letter)
+            assert got == pytest.approx(want, rel=0.08), letter
+
+    def test_e_matches_b(self):
+        pairs = _pairs(8, 192, seed=4)
+        assert bits_per_iteration(pairs, "E") == pytest.approx(
+            bits_per_iteration(pairs, "B"), rel=1e-6
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            bits_per_iteration([], "Z")
+
+    def test_empty_input(self):
+        assert bits_per_iteration([], "A") == 0.0

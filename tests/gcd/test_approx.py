@@ -1,0 +1,204 @@
+"""Tests for the approx(X, Y) quotient estimator — paper Section III."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcd.approx import (
+    CASE_1,
+    CASE_2A,
+    CASE_2B,
+    CASE_3A,
+    CASE_3B,
+    CASE_4A,
+    CASE_4B,
+    CASE_4C,
+    approx,
+    approx_words,
+)
+from repro.mp.memlog import CountingMemLog
+from repro.mp.wordint import WordInt
+from repro.util.bits import word_count
+
+word_sizes = st.sampled_from([4, 8, 16, 32])
+
+
+@st.composite
+def ordered_pairs(draw):
+    d = draw(word_sizes)
+    y = draw(st.integers(min_value=1, max_value=1 << 500))
+    x = draw(st.integers(min_value=y, max_value=1 << 520))
+    return x, y, d
+
+
+class TestPaperExamples:
+    """Every worked example in Section III, number for number (d = 4)."""
+
+    def test_case_1(self):
+        # X = 223, Y = 45 -> (4, 0)
+        assert approx(223, 45, 4) == (4, 0, CASE_1)
+
+    def test_case_2a(self):
+        # X = 2345, Y = 4 -> (2, 2); 2*16^2 = 512 approximates 586
+        assert approx(2345, 4, 4) == (2, 2, CASE_2A)
+
+    def test_case_2b(self):
+        # X = 1234, Y = 12 -> (6, 1); 96 approximates 102
+        assert approx(1234, 12, 4) == (6, 1, CASE_2B)
+
+    def test_case_3a(self):
+        # X = 2345, Y = 59 -> (2, 1); 32 approximates 39
+        assert approx(2345, 59, 4) == (2, 1, CASE_3A)
+
+    def test_case_3b(self):
+        # X = 2345, Y = 231 -> (9, 0); 9 approximates 10
+        assert approx(2345, 231, 4) == (9, 0, CASE_3B)
+
+    def test_case_4a(self):
+        # X = 54321, Y = 1234 -> (2, 1); 32 approximates 44
+        assert approx(54321, 1234, 4) == (2, 1, CASE_4A)
+
+    def test_case_4b(self):
+        # X = 54321, Y = 4000 -> (13, 0); 13 approximates 13
+        assert approx(54321, 4000, 4) == (13, 0, CASE_4B)
+
+    def test_case_4c(self):
+        # equal top words and equal lengths: alpha*D^beta = 1
+        x = 0b1101_1001_0000_0011
+        y = 0b1101_1001_0000_0001
+        assert approx(x, y, 4) == (1, 0, CASE_4C)
+
+    def test_section_iii_intro_example(self):
+        # X = 55555, Y = 1234 -> (2, 1); 32 approximates 45
+        assert approx(55555, 1234, 4) == (2, 1, CASE_4A)
+
+
+class TestInvariants:
+    @given(ordered_pairs())
+    @settings(max_examples=300)
+    def test_lower_bounds_true_quotient(self, xyd):
+        x, y, d = xyd
+        alpha, beta, _ = approx(x, y, d)
+        assert alpha >= 1
+        assert beta >= 0
+        assert alpha << (d * beta) <= x // y
+
+    @given(ordered_pairs())
+    @settings(max_examples=300)
+    def test_alpha_one_word_outside_case_1(self, xyd):
+        x, y, d = xyd
+        alpha, beta, case = approx(x, y, d)
+        if case != CASE_1:
+            assert alpha < (1 << d)
+
+    @given(ordered_pairs())
+    @settings(max_examples=300)
+    def test_update_keeps_x_nonnegative(self, xyd):
+        x, y, d = xyd
+        alpha, beta, _ = approx(x, y, d)
+        if beta == 0:
+            if alpha % 2 == 0:
+                alpha -= 1
+            assert x - y * alpha >= 0
+        else:
+            assert x - ((y * alpha) << (d * beta)) + y >= 0
+
+    @given(ordered_pairs())
+    @settings(max_examples=300)
+    def test_approximation_quality(self, xyd):
+        # alpha*D^beta >= (Q+1) / (2*D) roughly: the estimate never loses
+        # more than one word plus one division slack.  We assert the weaker,
+        # always-true bound that the estimate is within factor 2*D^2 of Q.
+        x, y, d = xyd
+        alpha, beta, _ = approx(x, y, d)
+        q = x // y
+        est = alpha << (d * beta)
+        assert est * (2 << (2 * d)) > q
+
+    def test_precondition_enforced(self):
+        with pytest.raises(ValueError):
+            approx(3, 5, 4)
+        with pytest.raises(ValueError):
+            approx(3, 0, 4)
+
+
+class TestCaseSelection:
+    """The case predicate boundaries, exercised explicitly."""
+
+    def test_case1_boundary_two_words(self):
+        d = 4
+        assert approx(255, 3, d).case == CASE_1  # lx = 2
+        assert approx(256, 3, d).case != CASE_1  # lx = 3
+
+    def test_case2_split_on_x1_vs_y1(self):
+        d = 4
+        # lx = 3, ly = 1; x1 = 9 >= y1 = 4 -> 2-A; x1 = 4 < y1 = 12 -> 2-B
+        assert approx(2345, 4, d).case == CASE_2A
+        assert approx(1234, 12, d).case == CASE_2B
+
+    def test_case3_split_on_top_two(self):
+        d = 4
+        assert approx(2345, 59, d).case == CASE_3A  # 146 >= 59
+        assert approx(2345, 231, d).case == CASE_3B  # 146 < 231
+
+    def test_case4_split(self):
+        d = 4
+        assert approx(54321, 1234, d).case == CASE_4A  # 212 > 77
+        assert approx(54321, 4000, d).case == CASE_4B  # 212 <= 250, lx > ly
+        x = 0b1101_1001_0000_0011
+        assert approx(x, x - 2, d).case == CASE_4C
+
+    @given(ordered_pairs())
+    @settings(max_examples=200)
+    def test_case_matches_lengths(self, xyd):
+        x, y, d = xyd
+        lx, ly = word_count(x, d), word_count(y, d)
+        case = approx(x, y, d).case
+        if lx <= 2:
+            assert case == CASE_1
+        elif ly == 1:
+            assert case in (CASE_2A, CASE_2B)
+        elif ly == 2:
+            assert case in (CASE_3A, CASE_3B)
+        else:
+            assert case in (CASE_4A, CASE_4B, CASE_4C)
+
+
+class TestApproxWords:
+    @given(ordered_pairs())
+    @settings(max_examples=200)
+    def test_matches_int_version(self, xyd):
+        x, y, d = xyd
+        xw = WordInt.from_int(x, d, name="X")
+        yw = WordInt.from_int(y, d, name="Y")
+        assert approx_words(xw, yw) == approx(x, y, d)
+
+    def test_reads_at_most_four_words_multiword(self):
+        d = 4
+        xw = WordInt.from_int(54321, d, name="X")
+        yw = WordInt.from_int(1234, d, name="Y")
+        log = CountingMemLog()
+        approx_words(xw, yw, log)
+        assert log.total <= 4
+
+    def test_case1_reads_are_bounded(self):
+        d = 4
+        xw = WordInt.from_int(223, d, name="X")
+        yw = WordInt.from_int(45, d, name="Y")
+        log = CountingMemLog()
+        approx_words(xw, yw, log)
+        assert log.total <= 4  # both operands are at most 2 words
+
+    def test_shorter_x_rejected(self):
+        d = 4
+        xw = WordInt.from_int(45, d, name="X")  # 2 words
+        yw = WordInt.from_int(4661, d, name="Y")  # 4 words
+        with pytest.raises(ValueError):
+            approx_words(xw, yw)
+
+    def test_zero_y_rejected(self):
+        d = 4
+        xw = WordInt.from_int(45, d, name="X")
+        yw = WordInt.from_int(0, d, capacity=1, name="Y")
+        with pytest.raises(ValueError):
+            approx_words(xw, yw)

@@ -1,0 +1,95 @@
+"""Tests for the extended Euclidean algorithms and modular inverses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcd.extended import binary_egcd, egcd, modinverse
+
+nonneg = st.integers(min_value=0, max_value=1 << 600)
+positive = st.integers(min_value=1, max_value=1 << 600)
+
+
+@pytest.mark.parametrize("fn", [egcd, binary_egcd])
+class TestBezout:
+    @given(a=nonneg, b=nonneg)
+    @settings(max_examples=200)
+    def test_certificate(self, fn, a, b):
+        g, u, v = fn(a, b)
+        assert g == math.gcd(a, b)
+        assert u * a + v * b == g
+
+    def test_zero_cases(self, fn):
+        assert fn(0, 0)[0] == 0
+        g, u, v = fn(0, 7)
+        assert g == 7 and u * 0 + v * 7 == 7
+        g, u, v = fn(7, 0)
+        assert g == 7 and u * 7 + v * 0 == 7
+
+    def test_textbook(self, fn):
+        g, u, v = fn(240, 46)
+        assert g == 2
+        assert 240 * u + 46 * v == 2
+
+    def test_negative_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(-2, 4)
+
+    @given(a=positive, b=positive, k=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100)
+    def test_shared_powers_of_two(self, fn, a, b, k):
+        g, u, v = fn(a << k, b << k)
+        assert g == math.gcd(a, b) << k
+        assert u * (a << k) + v * (b << k) == g
+
+
+class TestEnginesAgree:
+    @given(a=nonneg, b=nonneg)
+    @settings(max_examples=150)
+    def test_same_gcd(self, a, b):
+        assert egcd(a, b)[0] == binary_egcd(a, b)[0]
+
+
+class TestModInverse:
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_inverse_property(self, data):
+        m = data.draw(st.integers(min_value=2, max_value=1 << 300))
+        a = data.draw(st.integers(min_value=1, max_value=1 << 300).filter(lambda x: math.gcd(x, m) == 1))
+        for engine in ("classic", "binary"):
+            inv = modinverse(a, m, engine=engine)
+            assert 0 <= inv < m
+            assert (a * inv) % m == 1
+
+    def test_rsa_usage(self):
+        # the paper's d = e^-1 mod (p-1)(q-1)
+        p, q, e = 61, 53, 17
+        phi = (p - 1) * (q - 1)
+        d = modinverse(e, phi)
+        assert d == pow(e, -1, phi) == 2753
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            modinverse(6, 9)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            modinverse(3, 1)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            modinverse(3, 7, engine="quantum")
+
+    def test_reduces_input(self):
+        assert modinverse(10, 7) == modinverse(3, 7)
+
+    @given(st.integers(min_value=3, max_value=1 << 256).filter(lambda m: m % 2 == 1))
+    @settings(max_examples=100)
+    def test_matches_pow(self, m):
+        a = 65537 if math.gcd(65537, m) == 1 else 3
+        if math.gcd(a, m) != 1:
+            return
+        assert modinverse(a, m) == pow(a, -1, m)
+        assert modinverse(a, m, engine="binary") == pow(a, -1, m)

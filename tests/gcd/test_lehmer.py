@@ -1,0 +1,83 @@
+"""Tests for Lehmer's GCD (the leading-word ablation baseline)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcd.lehmer import LehmerStats, gcd_lehmer
+from repro.gcd.reference import GcdStats, gcd_approx
+
+positive = st.integers(min_value=1, max_value=1 << 600)
+
+
+class TestCorrectness:
+    @given(x=positive, y=positive, d=st.sampled_from([8, 16, 32]))
+    @settings(max_examples=250)
+    def test_matches_math_gcd(self, x, y, d):
+        assert gcd_lehmer(x, y, d=d) == math.gcd(x, y)
+
+    def test_paper_pair(self):
+        assert gcd_lehmer(1043915, 768955, d=4) == 5
+
+    def test_even_inputs_fine(self):
+        # unlike the paper's algorithms, Lehmer needs no odd precondition
+        assert gcd_lehmer(48, 32) == 16
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            gcd_lehmer(0, 5)
+        with pytest.raises(ValueError):
+            gcd_lehmer(5, -1)
+
+    def test_order_irrelevant(self):
+        assert gcd_lehmer(5, 1043915 * 5) == 5
+        assert gcd_lehmer(1043915 * 5, 5) == 5
+
+
+class TestEarlyTerminate:
+    def test_shared_prime_recovered(self):
+        p, q1, q2 = 747211, 786431, 786433
+        n1, n2 = p * q1, p * q2
+        assert gcd_lehmer(n1, n2, stop_bits=n1.bit_length() // 2) == p
+
+    def test_coprime_stops_early(self):
+        n1 = 1048583 * 1048589
+        n2 = 1048601 * 1048609
+        stats = LehmerStats()
+        assert gcd_lehmer(n1, n2, stop_bits=n1.bit_length() // 2, stats=stats) == 1
+        assert stats.early_terminated
+
+
+class TestBatchingBehaviour:
+    def test_far_fewer_multiword_passes_than_approx(self):
+        rng = random.Random(1)
+        x = rng.getrandbits(1024) | 1
+        y = rng.getrandbits(1024) | 1
+        ls = LehmerStats()
+        gcd_lehmer(x, y, d=32, stats=ls)
+        es = GcdStats()
+        gcd_approx(x, y, d=32, stats=es)
+        # Lehmer batches ~a word's worth of quotients per multiword pass
+        assert ls.passes * 5 < es.iterations
+        assert ls.batched_quotients > 10 * ls.passes
+
+    def test_fallback_divisions_are_rare(self):
+        rng = random.Random(2)
+        total = LehmerStats()
+        for _ in range(10):
+            x = rng.getrandbits(512) | 1
+            y = rng.getrandbits(512) | 1
+            gcd_lehmer(x, y, d=32, stats=total)
+        assert total.fallback_divisions <= total.passes * 0.1
+
+    def test_larger_window_batches_more(self):
+        rng = random.Random(3)
+        x = rng.getrandbits(512) | 1
+        y = rng.getrandbits(512) | 1
+        s16, s32 = LehmerStats(), LehmerStats()
+        gcd_lehmer(x, y, d=16, stats=s16)
+        gcd_lehmer(x, y, d=32, stats=s32)
+        assert s32.passes < s16.passes

@@ -1,0 +1,159 @@
+"""Verbatim reproduction of the paper's worked Tables I, II and III.
+
+The example pair throughout is
+X = 1111,1110,1101,1100,1011 (1043915) and
+Y = 1011,1011,1011,1011,1011 (768955), with GCD 0101 (5).
+"""
+
+from repro.gcd.trace import (
+    format_binary_grouped,
+    trace_approx,
+    trace_binary,
+    trace_fast,
+    trace_fast_binary,
+    trace_original,
+)
+
+X = 1043915
+Y = 768955
+
+
+class TestInputEncoding:
+    def test_paper_binary_rendering(self):
+        assert format_binary_grouped(X) == "1111,1110,1101,1100,1011"
+        assert format_binary_grouped(Y) == "1011,1011,1011,1011,1011"
+        assert format_binary_grouped(5) == "0101"
+        assert format_binary_grouped(223) == "1101,1111"
+
+
+class TestTableI:
+    """Binary vs Fast Binary Euclid."""
+
+    def test_binary_24_iterations(self):
+        t = trace_binary(X, Y)
+        assert t.iterations == 24
+        assert t.gcd == 5
+
+    def test_binary_first_rows(self):
+        t = trace_binary(X, Y)
+        # rows 2 and 3 of the table (states at iteration heads)
+        assert t.steps[1].x == Y
+        assert t.steps[1].y == 0b0010_0001_1001_0000_1000
+        assert t.steps[2].x == Y
+        assert t.steps[2].y == 0b0001_0000_1100_1000_0100
+
+    def test_binary_last_row(self):
+        t = trace_binary(X, Y)
+        assert (t.steps[-1].x, t.steps[-1].y) == (5, 5)
+        assert (t.final_x, t.final_y) == (5, 0)
+
+    def test_fast_binary_16_iterations(self):
+        t = trace_fast_binary(X, Y)
+        assert t.iterations == 16
+        assert t.gcd == 5
+
+    def test_fast_binary_first_rows(self):
+        t = trace_fast_binary(X, Y)
+        # row 2: X = Y0, Y = rshift(X0 - Y0) = 0100,0011,0010,0001
+        assert t.steps[1].x == Y
+        assert t.steps[1].y == 0b0100_0011_0010_0001
+        # row 3: X = 0101,1011,1100,0100,1101
+        assert t.steps[2].x == 0b0101_1011_1100_0100_1101
+        assert t.steps[2].y == 0b0100_0011_0010_0001
+
+    def test_fast_binary_never_more_iterations_than_binary(self):
+        # Section II: Fast Binary's count is bounded by Binary's
+        import random
+
+        rng = random.Random(11)
+        for _ in range(25):
+            a = rng.getrandbits(128) | 1
+            b = rng.getrandbits(128) | 1
+            assert trace_fast_binary(a, b).iterations <= trace_binary(a, b).iterations
+
+
+class TestTableII:
+    """Original vs Fast Euclid, including the quotient columns."""
+
+    def test_original_11_iterations_and_quotients(self):
+        t = trace_original(X, Y)
+        assert t.iterations == 11
+        assert t.gcd == 5
+        assert [s.q for s in t.steps] == [1, 2, 1, 3, 1, 10, 1, 83, 1, 4, 2]
+
+    def test_original_row_states(self):
+        t = trace_original(X, Y)
+        assert t.steps[1].y == 0b0100_0011_0010_0001_0000  # 274960
+        assert t.steps[2].y == 0b0011_0101_0111_1001_1011  # 219035
+
+    def test_fast_8_iterations_and_quotients(self):
+        t = trace_fast(X, Y)
+        assert t.iterations == 8
+        assert t.gcd == 5
+        # Q shown after the even->odd adjustment, as printed in the paper
+        assert [s.q for s in t.steps] == [1, 43, 9, 11, 1, 1, 1, 5]
+
+    def test_fast_row_states(self):
+        t = trace_fast(X, Y)
+        assert t.steps[1].x == Y
+        assert t.steps[1].y == 0b0100_0011_0010_0001  # 17185
+        assert t.steps[2].x == 17185
+        assert t.steps[2].y == 0b0111_0101_0011  # 1875
+
+
+class TestTableIII:
+    """Approximate Euclid with d = 4, all nine rows."""
+
+    def test_9_iterations_gcd_5(self):
+        t = trace_approx(X, Y, d=4)
+        assert t.iterations == 9
+        assert t.gcd == 5
+        assert (t.final_x, t.final_y) == (5, 0)
+
+    def test_alpha_beta_sequence(self):
+        t = trace_approx(X, Y, d=4)
+        assert [(s.alpha, s.beta) for s in t.steps] == [
+            (1, 0),
+            (2, 1),
+            (3, 0),
+            (7, 0),
+            (1, 0),
+            (3, 0),
+            (1, 0),
+            (11, 0),
+            (3, 0),
+        ]
+
+    def test_case_sequence(self):
+        t = trace_approx(X, Y, d=4)
+        assert [s.case for s in t.steps] == [
+            "4-A",
+            "4-A",
+            "4-A",
+            "4-B",
+            "4-A",
+            "3-B",
+            "1",
+            "1",
+            "1",
+        ]
+
+    def test_row_states(self):
+        t = trace_approx(X, Y, d=4)
+        expected = [
+            (X, Y),
+            (Y, 0b0100_0011_0010_0001),  # 17185
+            (0b1110_0110_1010_1111, 0b0100_0011_0010_0001),  # 59055, 17185
+            (0b0100_0011_0010_0001, 0b0111_0101_0011),  # 17185, 1875
+            (0b0111_0101_0011, 0b0011_1111_0111),  # 1875, 1015
+            (0b0011_1111_0111, 0b1101_0111),  # 1015, 215
+            (0b1101_0111, 0b1011_1001),  # 215, 185
+            (0b1011_1001, 0b1111),  # 185, 15
+            (0b1111, 0b0101),  # 15, 5
+        ]
+        assert [(s.x, s.y) for s in t.steps] == expected
+
+    def test_rows_includes_terminal_state(self):
+        t = trace_approx(X, Y, d=4)
+        assert t.rows()[-1] == (5, 0)
+        assert len(t.rows()) == 10

@@ -1,0 +1,146 @@
+"""Tests for coalescing analysis and the semi-obliviousness measurement."""
+
+import random
+
+import numpy as np
+
+from repro.gpusim.coalescing import analyze_matrix, obliviousness_report
+from repro.gpusim.trace import (
+    build_access_matrix,
+    capture_word_gcd_trace,
+    column_wise_layout,
+    lockstep_rows,
+    row_wise_layout,
+)
+from repro.mp.memlog import AccessRecord
+from repro.util.bits import word_count
+
+
+def _rec(array, index):
+    return AccessRecord("r", array, index)
+
+
+def _bulk_traces(p, bits, algorithm, d=32, seed=0, stop_bits=None):
+    rng = random.Random(seed)
+    cap = word_count((1 << bits) - 1, d)
+    traces = []
+    for _ in range(p):
+        x = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        y = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        traces.append(
+            capture_word_gcd_trace(x, y, algorithm=algorithm, d=d, capacity=cap, stop_bits=stop_bits)
+        )
+    return traces, cap
+
+
+class TestAnalyzeMatrix:
+    def test_perfectly_coalesced_overhead_one(self):
+        p, steps = 8, 5
+        m = np.empty((steps, p), dtype=np.int64)
+        for s in range(steps):
+            m[s] = s * p + np.arange(p)
+        rep = analyze_matrix(m, width=4, latency=5)
+        assert rep.overhead == 1.0
+        assert rep.bandwidth_overhead == 1.0
+        assert rep.coalesced_fraction == 1.0
+
+    def test_scattered_bandwidth_overhead_is_w(self):
+        p, steps, w = 8, 5, 4
+        m = np.empty((steps, p), dtype=np.int64)
+        for s in range(steps):
+            m[s] = np.arange(p) * 64 + s  # row-wise style scatter
+        rep = analyze_matrix(m, width=w, latency=5)
+        assert rep.bandwidth_overhead == w
+        assert rep.coalesced_fraction == 0.0
+
+
+class TestObliviousnessReport:
+    def test_identical_traces_oblivious(self):
+        tr = [_rec("X", i) for i in range(5)]
+        rep = obliviousness_report([tr, tr, tr], align="flat")
+        assert rep.is_oblivious
+        assert rep.divergence_fraction == 0.0
+
+    def test_single_divergence_detected(self):
+        a = [_rec("X", 0), _rec("X", 1)]
+        b = [_rec("X", 0), _rec("X", 2)]
+        rep = obliviousness_report([a, b], align="flat")
+        assert not rep.is_oblivious
+        assert rep.divergent_steps == 1
+
+    def test_role_relative_ignores_buffer_identity(self):
+        a = [_rec("X", 3)]
+        b = [_rec("Y", 3)]  # same word index, swapped buffer roles
+        assert obliviousness_report([a, b], align="flat").is_oblivious
+        assert not obliviousness_report(
+            [a, b], align="flat", role_relative=False
+        ).is_oblivious
+
+    def test_finished_threads_ignored(self):
+        a = [_rec("X", 0), _rec("X", 1)]
+        b = [_rec("X", 0)]
+        rep = obliviousness_report([a, b], align="flat")
+        assert rep.is_oblivious
+
+    def test_op_mismatch_is_divergence(self):
+        a = [AccessRecord("r", "X", 0)]
+        b = [AccessRecord("w", "X", 0)]
+        rep = obliviousness_report([a, b], align="flat")
+        assert rep.divergent_steps == 1
+
+
+class TestSemiObliviousnessOfApproxEuclid:
+    """Section VI's claims, measured at laptop scale."""
+
+    def test_approx_euclid_is_semi_oblivious(self):
+        traces, _ = _bulk_traces(p=8, bits=512, algorithm="approx", seed=1)
+        rep = obliviousness_report(traces)
+        # not perfectly oblivious (operand lengths differ across lanes)...
+        assert not rep.is_oblivious
+        # ...but only the O(1) approx/compare rows diverge
+        assert rep.divergence_fraction < 0.25
+
+    def test_divergence_shrinks_with_operand_size(self):
+        # the divergent rows are O(1) of 3*(s/d)+O(1) per iteration, so the
+        # fraction falls as moduli grow — the asymptotic sense in which the
+        # paper calls the algorithm semi-oblivious
+        small, _ = _bulk_traces(p=8, bits=256, algorithm="approx", seed=2)
+        large, _ = _bulk_traces(p=8, bits=1024, algorithm="approx", seed=2)
+        f_small = obliviousness_report(small).divergence_fraction
+        f_large = obliviousness_report(large).divergence_fraction
+        assert f_large < f_small
+
+    def test_fast_binary_is_semi_oblivious_too(self):
+        traces, _ = _bulk_traces(p=8, bits=512, algorithm="fast_binary", seed=3)
+        rep = obliviousness_report(traces)
+        assert rep.divergence_fraction < 0.25
+
+    def test_binary_euclid_pays_branch_serialization(self):
+        # (C)'s three-way branch makes lanes serialize: far more lock-step
+        # rows per run than (E) needs — the paper's branch-divergence point
+        tb, _ = _bulk_traces(p=8, bits=256, algorithm="binary", seed=4)
+        te, _ = _bulk_traces(p=8, bits=256, algorithm="approx", seed=4)
+        assert len(lockstep_rows(tb)) > 3 * len(lockstep_rows(te))
+
+    def test_column_wise_beats_row_wise_on_real_traces(self):
+        p, w = 32, 32
+        traces, cap = _bulk_traces(p=p, bits=512, algorithm="approx", seed=5)
+        caps = {"X": cap, "Y": cap}
+        m_col = build_access_matrix(traces, column_wise_layout(caps, p))
+        m_row = build_access_matrix(traces, row_wise_layout(caps, p))
+        rep_col = analyze_matrix(m_col, width=w, latency=8)
+        rep_row = analyze_matrix(m_row, width=w, latency=8)
+        # row-wise scatters each warp load across ~w groups; column-wise
+        # pays at most the 2x buffer-role split plus O(1) divergent rows
+        assert rep_col.bandwidth_overhead < 3.0
+        assert rep_row.bandwidth_overhead > 3 * rep_col.bandwidth_overhead
+
+    def test_early_terminate_reduces_umm_time(self):
+        full, cap = _bulk_traces(p=8, bits=256, algorithm="approx", seed=6)
+        early, _ = _bulk_traces(p=8, bits=256, algorithm="approx", seed=6, stop_bits=128)
+        caps = {"X": cap, "Y": cap}
+        m_full = build_access_matrix(full, column_wise_layout(caps, 8))
+        m_early = build_access_matrix(early, column_wise_layout(caps, 8))
+        t_full = analyze_matrix(m_full, width=4, latency=32).measured_time
+        t_early = analyze_matrix(m_early, width=4, latency=32).measured_time
+        assert t_early < t_full

@@ -1,0 +1,78 @@
+"""Tests for the UMM kernel cost model (simulated Table V)."""
+
+import pytest
+
+from repro.gpusim.cost_model import estimate_kernel_cost, simulated_table5
+
+BITS = 192  # small keeps trace capture fast; shapes hold from ~128 bits up
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    return {
+        alg: estimate_kernel_cost(alg, BITS, lanes=8, latency=100, seed=1)
+        for alg in ("binary", "fast_binary", "approx")
+    }
+
+
+class TestAlgorithmOrdering:
+    def test_approx_cheapest(self, estimates):
+        assert (
+            estimates["approx"].time_units_per_gcd
+            < estimates["fast_binary"].time_units_per_gcd
+            < estimates["binary"].time_units_per_gcd
+        )
+
+    def test_binary_ratio_matches_paper_scale(self, estimates):
+        # paper's GPU: binary/approx = 8.46x at 1024 bits; our model should
+        # land in the same regime (well above the NumPy engine's ~3x)
+        ratio = (
+            estimates["binary"].time_units_per_gcd
+            / estimates["approx"].time_units_per_gcd
+        )
+        assert ratio > 4
+
+    def test_branch_serialization_inflates_rows(self, estimates):
+        assert estimates["binary"].rows > 3 * estimates["approx"].rows
+
+    def test_transactions_follow_time(self, estimates):
+        assert (
+            estimates["approx"].transactions_per_gcd
+            < estimates["binary"].transactions_per_gcd
+        )
+
+
+class TestModelBehaviour:
+    def test_latency_monotonic(self):
+        lo = estimate_kernel_cost("approx", BITS, lanes=8, latency=10, seed=2)
+        hi = estimate_kernel_cost("approx", BITS, lanes=8, latency=200, seed=2)
+        assert hi.time_units > lo.time_units
+        assert hi.transactions == lo.transactions  # bandwidth is latency-free
+
+    def test_early_termination_cheaper(self):
+        early = estimate_kernel_cost("approx", BITS, lanes=8, seed=3)
+        full = estimate_kernel_cost("approx", BITS, lanes=8, seed=3, early_terminate=False)
+        assert early.time_units < full.time_units
+
+    def test_deterministic_by_seed(self):
+        a = estimate_kernel_cost("approx", BITS, lanes=4, seed=4)
+        b = estimate_kernel_cost("approx", BITS, lanes=4, seed=4)
+        assert a == b
+
+    def test_larger_operands_cost_more(self):
+        small = estimate_kernel_cost("approx", 128, lanes=4, seed=5)
+        large = estimate_kernel_cost("approx", 320, lanes=4, seed=5)
+        assert large.time_units_per_gcd > small.time_units_per_gcd
+
+    def test_coalesced_bandwidth_bounded(self):
+        e = estimate_kernel_cost("approx", BITS, lanes=32, width=32, seed=6)
+        # column-wise layout: at most the 2x role-split plus O(1) divergence
+        assert e.bandwidth_overhead < 3.0
+
+
+class TestSimulatedTable5:
+    def test_grid_shape(self):
+        grid = simulated_table5(bits_list=(128,), lanes=4, latency=50, seed=7)
+        assert set(grid) == {("binary", 128), ("fast_binary", 128), ("approx", 128)}
+        for est in grid.values():
+            assert est.time_units > 0

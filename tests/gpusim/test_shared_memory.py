@@ -1,0 +1,91 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.shared_memory import SharedMemory
+
+
+class TestAccessCost:
+    def test_stride_one_is_conflict_free(self):
+        sm = SharedMemory(banks=32)
+        assert sm.access_cost(list(range(32))) == 1
+
+    def test_same_bank_serializes(self):
+        sm = SharedMemory(banks=32)
+        # all lanes hit bank 0 with distinct addresses
+        assert sm.access_cost([i * 32 for i in range(32)]) == 32
+
+    def test_broadcast_single_address(self):
+        sm = SharedMemory(banks=32, broadcast=True)
+        assert sm.access_cost([7] * 32) == 1
+
+    def test_no_broadcast_single_address(self):
+        sm = SharedMemory(banks=32, broadcast=False)
+        assert sm.access_cost([7] * 32) == 32
+
+    def test_idle_lanes_ignored(self):
+        sm = SharedMemory(banks=4)
+        assert sm.access_cost([-1, -1, 3, -1]) == 1
+        assert sm.access_cost([-1, -1, -1, -1]) == 0
+
+    @given(
+        banks=st.sampled_from([2, 4, 8, 16, 32]),
+        stride=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=150)
+    def test_textbook_stride_rule(self, banks, stride):
+        # a full warp of lane*stride addresses conflicts gcd(stride, banks)-way
+        sm = SharedMemory(banks=banks)
+        assert sm.stride_cost(stride) == math.gcd(stride, banks)
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=32)
+    )
+    @settings(max_examples=150)
+    def test_cost_bounds(self, addrs):
+        sm = SharedMemory(banks=8)
+        c = sm.access_cost(addrs)
+        assert 1 <= c <= len(addrs)
+
+    def test_bad_banks(self):
+        with pytest.raises(ValueError):
+            SharedMemory(banks=0)
+
+
+class TestSimulate:
+    def test_totals(self):
+        sm = SharedMemory(banks=4)
+        m = np.array([[0, 1, 2, 3], [0, 4, 8, 12], [5, 5, 5, 5]])
+        r = sm.simulate(m)
+        assert r.turns == [1, 4, 1]
+        assert r.conflict_free == 2
+        assert r.total_turns == 6
+        assert r.slowdown == 2.0
+
+    def test_all_idle_rows_skipped(self):
+        sm = SharedMemory(banks=4)
+        r = sm.simulate([[-1, -1], [0, 1]])
+        assert r.accesses == 1
+        assert r.conflict_free_fraction == 1.0
+
+    def test_column_layout_traces_are_conflict_free(self):
+        # the Figure 3 arrangement is stride-1 across lanes, hence also
+        # bank-conflict-free if staged through shared memory
+        p = 32
+        sm = SharedMemory(banks=32)
+        rows = [[step * p + lane for lane in range(p)] for step in range(10)]
+        r = sm.simulate(rows)
+        assert r.conflict_free_fraction == 1.0
+
+    def test_row_layout_traces_conflict(self):
+        # row-wise (lane-major) layout puts lanes 'cap' words apart
+        p, cap = 32, 16
+        sm = SharedMemory(banks=32)
+        rows = [[lane * cap + step for lane in range(p)] for step in range(10)]
+        r = sm.simulate(rows)
+        assert r.slowdown == math.gcd(cap, 32)

@@ -1,0 +1,183 @@
+"""Tests for trace capture, layouts, lock-step scheduling and matrices."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.trace import (
+    build_access_matrix,
+    capture_word_gcd_trace,
+    column_wise_layout,
+    lockstep_rows,
+    row_wise_layout,
+    segment_trace,
+)
+from repro.gpusim.umm import IDLE
+from repro.mp.memlog import AccessRecord, TracingMemLog
+
+
+def _rec(array, index, key=()):
+    return AccessRecord("r", array, index, key)
+
+
+class TestLayouts:
+    def test_column_wise_figure3(self):
+        # Figure 3: b_j[i] at address i*p + j
+        lay = column_wise_layout({"X": 4}, p=8)
+        assert lay.address("X", 0, 0) == 0
+        assert lay.address("X", 0, 7) == 7
+        assert lay.address("X", 1, 0) == 8
+        assert lay.address("X", 3, 5) == 29
+
+    def test_column_wise_second_array_offset(self):
+        lay = column_wise_layout({"X": 4, "Y": 4}, p=8)
+        # arrays sorted: X at 0, Y after X's 32 words
+        assert lay.address("Y", 0, 0) == 32
+
+    def test_row_wise(self):
+        lay = row_wise_layout({"X": 4}, p=8)
+        assert lay.address("X", 0, 0) == 0
+        assert lay.address("X", 1, 0) == 1
+        assert lay.address("X", 0, 1) == 4
+        assert lay.address("X", 3, 7) == 31
+
+    def test_layouts_are_injective(self):
+        for make in (column_wise_layout, row_wise_layout):
+            lay = make({"X": 3, "Y": 3}, p=5)
+            seen = set()
+            for array in ("X", "Y"):
+                for i in range(3):
+                    for j in range(5):
+                        a = lay.address(array, i, j)
+                        assert a not in seen
+                        seen.add(a)
+
+
+class TestSegmentTrace:
+    def test_flat_is_single_segment(self):
+        recs = [_rec("X", 0), _rec("X", 1)]
+        assert segment_trace(recs, "flat") == [recs]
+
+    def test_iteration_needs_boundaries(self):
+        with pytest.raises(ValueError):
+            segment_trace([_rec("X", 0)], "iteration")
+
+    def test_iteration_uses_ticks(self):
+        log = TracingMemLog()
+        log.read("X", 0)
+        log.tick()
+        log.read("X", 1)
+        log.tick()
+        assert [len(s) for s in segment_trace(log, "iteration")] == [1, 1]
+
+    def test_unknown_alignment(self):
+        with pytest.raises(ValueError):
+            segment_trace([], "sideways")
+
+
+class TestLockstepRows:
+    def test_key_alignment_merges_same_slot(self):
+        # lane 0 and lane 1 both execute slot ("upd", 0, 0) but lane 1 also
+        # executes an extra approx read first; the upd accesses still share
+        # one row.
+        a = TracingMemLog()
+        a.read("X", 5, key=("upd", 0, 0))
+        a.tick()
+        b = TracingMemLog()
+        b.read("X", 9, key=("approx", 0))
+        b.read("X", 5, key=("upd", 0, 0))
+        b.tick()
+        rows = lockstep_rows([a, b])
+        assert len(rows) == 2
+        # first row: approx slot, lane 0 masked
+        assert rows[0][0] is None and rows[0][1].key == ("approx", 0)
+        # second row: both lanes at the upd slot
+        assert rows[1][0].index == rows[1][1].index == 5
+
+    def test_branch_phases_serialize(self):
+        # lanes in different Binary-Euclid branches never share a row
+        a = TracingMemLog()
+        a.read("X", 0, key=("hx", 0, 0))
+        a.tick()
+        b = TracingMemLog()
+        b.read("Y", 0, key=("hy", 0, 0))
+        b.tick()
+        rows = lockstep_rows([a, b])
+        assert len(rows) == 2
+        assert rows[0][1] is None  # hx row: lane b masked
+        assert rows[1][0] is None  # hy row: lane a masked
+
+    def test_unkeyed_records_align_positionally(self):
+        a = TracingMemLog()
+        a.read("X", 0)
+        a.read("X", 1)
+        a.tick()
+        b = TracingMemLog()
+        b.read("X", 0)
+        b.tick()
+        rows = lockstep_rows([a, b])
+        assert len(rows) == 2
+        assert rows[1][1] is None
+
+
+class TestBuildAccessMatrix:
+    def test_lockstep_padding_flat(self):
+        traces = [
+            [_rec("X", 0), _rec("X", 1)],
+            [_rec("X", 0)],
+        ]
+        lay = column_wise_layout({"X": 2}, p=2)
+        m = build_access_matrix(traces, lay, align="flat")
+        assert m.shape == (2, 2)
+        assert m[0, 0] == 0 and m[0, 1] == 1
+        assert m[1, 0] == 2 and m[1, 1] == IDLE
+
+    def test_empty(self):
+        m = build_access_matrix([], column_wise_layout({}, p=0))
+        assert m.shape == (0, 0)
+
+    def test_identical_traces_coalesce_column_wise(self):
+        # oblivious bulk execution under column-wise layout: each step's
+        # addresses are consecutive
+        tr = [_rec("X", i) for i in range(4)]
+        traces = [tr] * 8
+        m = build_access_matrix(traces, column_wise_layout({"X": 4}, p=8), align="flat")
+        for step in range(4):
+            assert list(np.diff(m[step])) == [1] * 7
+
+
+class TestCaptureWordGcdTrace:
+    def test_trace_nonempty_and_bounded(self):
+        log = capture_word_gcd_trace(1043915, 768955, algorithm="approx", d=4)
+        assert len(log.trace) > 0
+        assert all(r.op in ("r", "w") for r in log.trace)
+        assert all(r.array in ("X", "Y") for r in log.trace)
+        assert all(r.key for r in log.trace)  # every access carries a slot key
+
+    def test_iteration_count_matches_boundaries(self):
+        from repro.gcd.reference import GcdStats, gcd_approx
+
+        stats = GcdStats()
+        gcd_approx(1043915, 768955, d=4, stats=stats)
+        log = capture_word_gcd_trace(1043915, 768955, algorithm="approx", d=4)
+        assert len(log.boundaries) == stats.iterations
+
+    def test_capacity_bounds_indices(self):
+        cap = 8
+        log = capture_word_gcd_trace(
+            1043915, 768955, algorithm="fast_binary", d=4, capacity=cap
+        )
+        assert all(0 <= r.index < cap for r in log.trace)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            capture_word_gcd_trace(15, 5, algorithm="nope")
+
+    def test_stop_bits_shortens_trace(self):
+        import random
+
+        rng = random.Random(0)
+        x = rng.getrandbits(256) | 1
+        y = rng.getrandbits(256) | 1
+        full = capture_word_gcd_trace(x, y, algorithm="approx", d=32)
+        early = capture_word_gcd_trace(x, y, algorithm="approx", d=32, stop_bits=128)
+        assert len(early.trace) < len(full.trace)

@@ -1,0 +1,122 @@
+"""Tests for the UMM simulator — Figure 2 and Theorem 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.umm import IDLE, UMM, theorem1_time
+
+
+class TestFigure2:
+    def test_paper_worked_example(self):
+        # W(0) spans 3 address groups, W(1) spans 1: 3 + 1 + 5 - 1 = 8
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate_figure2_example()
+        assert r.total_time == 8
+        assert r.step_stages == [4]
+        assert r.coalesced_dispatches == 1
+        assert r.divergent_dispatches == 1
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            UMM(width=8, latency=5).simulate_figure2_example()
+
+
+class TestSimulator:
+    def test_single_coalesced_warp(self):
+        # one warp, one address group: 1 + l - 1 = l time units
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate([[0, 1, 2, 3]])
+        assert r.total_time == 5
+        assert r.coalesced_fraction == 1.0
+
+    def test_fully_divergent_warp(self):
+        # w threads hitting w distinct groups: w + l - 1
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate([[0, 4, 8, 12]])
+        assert r.total_time == 4 + 5 - 1
+        assert r.coalesced_fraction == 0.0
+
+    def test_idle_threads_skip_warp(self):
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate([[0, 1, 2, 3, IDLE, IDLE, IDLE, IDLE]])
+        assert r.total_time == 5  # second warp never dispatched
+        assert r.dispatches == 1
+
+    def test_all_idle_step_costs_nothing(self):
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate([[IDLE, IDLE, IDLE, IDLE]])
+        assert r.total_time == 0
+
+    def test_partial_warp_counts(self):
+        # 2 active lanes in one warp touching one group
+        umm = UMM(width=4, latency=3)
+        r = umm.simulate([[5, 6, IDLE, IDLE]])
+        assert r.total_time == 1 + 3 - 1
+
+    def test_steps_accumulate(self):
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate([[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert r.total_time == 10
+        assert r.step_times == [5, 5]
+
+    def test_ragged_matrix_rejected(self):
+        umm = UMM(width=4, latency=5)
+        with pytest.raises(ValueError):
+            umm.simulate(np.zeros((2, 2, 2)))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UMM(width=0, latency=5)
+        with pytest.raises(ValueError):
+            UMM(width=4, latency=0)
+
+    def test_empty_matrix(self):
+        umm = UMM(width=4, latency=5)
+        r = umm.simulate(np.zeros((0, 8), dtype=np.int64))
+        assert r.total_time == 0
+
+
+class TestTheorem1:
+    @given(
+        warps=st.integers(min_value=1, max_value=8),
+        w=st.sampled_from([2, 4, 8, 16, 32]),
+        l=st.integers(min_value=1, max_value=20),
+        t=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_simulator_matches_closed_form(self, warps, w, l, t):
+        # fully coalesced bulk execution: thread j accesses address
+        # step*p + j at each step (the column-wise pattern)
+        p = warps * w
+        matrix = np.empty((t, p), dtype=np.int64)
+        for step in range(t):
+            matrix[step] = step * p + np.arange(p)
+        r = UMM(width=w, latency=l).simulate(matrix)
+        assert r.total_time == theorem1_time(p, w, l, t)
+        assert r.coalesced_fraction == 1.0
+
+    def test_closed_form_values(self):
+        assert theorem1_time(p=8, w=4, l=5, t=1) == 6
+        assert theorem1_time(p=1024, w=32, l=100, t=10) == (32 + 99) * 10
+
+    def test_p_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            theorem1_time(p=10, w=4, l=5, t=1)
+
+    def test_row_wise_pattern_is_w_times_slower(self):
+        # each warp touches w groups instead of 1 when data is row-major
+        # and operands are at least w words long
+        w, l, p, t = 4, 5, 16, 6
+        cap = 64
+        col = np.empty((t, p), dtype=np.int64)
+        row = np.empty((t, p), dtype=np.int64)
+        for step in range(t):
+            col[step] = step * p + np.arange(p)
+            row[step] = np.arange(p) * cap + step
+        rc = UMM(w, l).simulate(col)
+        rr = UMM(w, l).simulate(row)
+        assert rc.total_time < rr.total_time
+        # stage count (bandwidth) degrades by exactly the warp width
+        assert sum(rr.step_stages) == w * sum(rc.step_stages)

@@ -1,0 +1,104 @@
+"""Tests for the Knuth Algorithm D multiword division."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.divide import divmod_wordint, divmod_words
+from repro.mp.memlog import CountingMemLog
+from repro.mp.wordint import WordInt
+from repro.util.bits import int_from_words_le, words_from_int_le
+
+word_sizes = st.sampled_from([4, 8, 16, 32])
+
+
+class TestDivmodWords:
+    @given(
+        x=st.integers(min_value=0, max_value=1 << 700),
+        y=st.integers(min_value=1, max_value=1 << 500),
+        d=word_sizes,
+    )
+    @settings(max_examples=400)
+    def test_matches_python_divmod(self, x, y, d):
+        q, r = divmod_words(words_from_int_le(x, d), words_from_int_le(y, d), d)
+        assert int_from_words_le(q, d) == x // y
+        assert int_from_words_le(r, d) == x % y
+
+    @given(d=word_sizes, y=st.integers(min_value=1, max_value=1 << 400))
+    @settings(max_examples=100)
+    def test_exact_multiples(self, d, y):
+        x = y * 12345
+        q, r = divmod_words(words_from_int_le(x, d), words_from_int_le(y, d), d)
+        assert int_from_words_le(q, d) == 12345
+        assert r == []
+
+    def test_dividend_smaller_than_divisor(self):
+        q, r = divmod_words([5], [1, 1], 4)  # 5 // 17
+        assert q == [] and r == [5]
+
+    def test_zero_dividend(self):
+        q, r = divmod_words([], [3], 4)
+        assert q == [] and r == []
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod_words([1], [], 4)
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(ValueError):
+            divmod_words([1, 0], [3], 4)
+        with pytest.raises(ValueError):
+            divmod_words([1], [3, 0], 4)
+
+    def test_single_word_divisor_path(self):
+        # n == 1 takes the short-division branch
+        q, r = divmod_words(words_from_int_le(1043915, 4), [0b0111], 4)
+        assert int_from_words_le(q, 4) == 1043915 // 7
+        assert int_from_words_le(r, 4) == 1043915 % 7
+
+    def test_addback_case(self):
+        # a classic Algorithm D add-back trigger at d = 4:
+        # dividend/divisor chosen so qhat overshoots by one after D3
+        d = 4
+        x = 0x7FFF
+        y = 0x800F
+        # x < y: trivially quotient 0; instead force the known hard shape
+        x = 0x8000_0000
+        y = 0x8000_1
+        q, r = divmod_words(words_from_int_le(x, d), words_from_int_le(y, d), d)
+        assert int_from_words_le(q, d) == x // y
+        assert int_from_words_le(r, d) == x % y
+
+    @given(d=word_sizes, k=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60)
+    def test_hard_all_ones_patterns(self, d, k):
+        # dividends/divisors of all-ones words exercise qhat corrections
+        big = (1 << d) - 1
+        x = int_from_words_le([big] * (2 * k), d)
+        y = int_from_words_le([big] * k, d)
+        q, r = divmod_words(words_from_int_le(x, d), words_from_int_le(y, d), d)
+        assert int_from_words_le(q, d) == x // y
+        assert int_from_words_le(r, d) == x % y
+
+
+class TestDivmodWordInt:
+    def test_basic(self):
+        x = WordInt.from_int(55555, 4, name="X")
+        y = WordInt.from_int(1234, 4, name="Y")
+        assert divmod_wordint(x, y) == (45, 25)
+
+    def test_mixed_d_rejected(self):
+        with pytest.raises(ValueError):
+            divmod_wordint(WordInt.from_int(8, 4), WordInt.from_int(3, 8))
+
+    def test_division_costs_many_accesses(self):
+        # the point of the paper: exact division touches far more memory
+        # than the 4-read approx estimate
+        import random
+
+        rng = random.Random(0)
+        x = WordInt.from_int(rng.getrandbits(512) | 1, 32, name="X")
+        y = WordInt.from_int(rng.getrandbits(400) | 1, 32, name="Y")
+        log = CountingMemLog()
+        divmod_wordint(x, y, log)
+        assert log.total > 3 * x.length  # beyond one fused GCD iteration

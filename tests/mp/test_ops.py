@@ -1,0 +1,262 @@
+"""Tests for the fused instrumented word operations.
+
+Every op is cross-checked against plain Python-int arithmetic, and the
+access-count claims of Section IV are asserted exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.memlog import CountingMemLog, TracingMemLog
+from repro.mp.ops import (
+    compare_words,
+    half_words,
+    is_even_words,
+    sub_half_words,
+    sub_mul_pow_rshift,
+    sub_mul_rshift,
+    sub_rshift,
+)
+from repro.mp.wordint import WordInt
+from repro.util.bits import rshift_to_odd, word_count
+
+word_sizes = st.sampled_from([4, 8, 16, 32])
+
+
+def _wi(v, d, name="X", cap_extra=2):
+    return WordInt.from_int(v, d, capacity=max(1, word_count(v, d)) + cap_extra, name=name)
+
+
+class TestCompare:
+    @given(
+        st.integers(min_value=0, max_value=1 << 300),
+        st.integers(min_value=0, max_value=1 << 300),
+        word_sizes,
+    )
+    def test_matches_int_compare(self, a, b, d):
+        x, y = _wi(a, d), _wi(b, d, "Y")
+        expected = (a > b) - (a < b)
+        assert compare_words(x, y) == expected
+
+    def test_equal_length_reads_from_top(self):
+        d = 4
+        x = _wi(0xA5, d)  # words LE: [5, A]
+        y = _wi(0xB5, d, "Y")
+        log = TracingMemLog()
+        assert compare_words(x, y, log) == -1
+        # top words differ, so exactly one word of each is read
+        assert [(r.array, r.index) for r in log.trace] == [("X", 1), ("Y", 1)]
+
+    def test_different_lengths_cost_nothing(self):
+        log = CountingMemLog()
+        assert compare_words(_wi(0x100, 4), _wi(0xF, 4, "Y"), log) == 1
+        assert log.total == 0
+
+    def test_equal_values(self):
+        assert compare_words(_wi(123456, 8), _wi(123456, 8, "Y")) == 0
+
+
+class TestParity:
+    @given(st.integers(min_value=0, max_value=1 << 200), word_sizes)
+    def test_matches_int(self, v, d):
+        assert is_even_words(_wi(v, d)) == (v % 2 == 0)
+
+    def test_reads_one_word(self):
+        log = CountingMemLog()
+        is_even_words(_wi(0x12345, 4), log)
+        assert log.total == 1
+
+
+class TestHalf:
+    @given(st.integers(min_value=0, max_value=1 << 300), word_sizes)
+    def test_matches_int(self, v, d):
+        even = v * 2
+        x = _wi(even, d)
+        half_words(x)
+        assert x.to_int() == v
+        x.check()
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            half_words(_wi(7, 4))
+
+    def test_access_count_is_two_per_word(self):
+        d = 4
+        x = _wi(0b1010_0110_1100, d, cap_extra=0)
+        log = CountingMemLog()
+        lx = x.length
+        half_words(x, log)
+        assert log.reads == lx
+        assert log.writes == lx
+
+
+class TestSubHalf:
+    @given(
+        st.integers(min_value=0, max_value=1 << 300),
+        st.integers(min_value=0, max_value=1 << 300),
+        word_sizes,
+    )
+    def test_matches_int(self, a, b, d):
+        # build odd X >= Y odd
+        x_val, y_val = (a | 1), (b | 1)
+        if x_val < y_val:
+            x_val, y_val = y_val, x_val
+        x, y = _wi(x_val, d), _wi(y_val, d, "Y")
+        sub_half_words(x, y)
+        assert x.to_int() == (x_val - y_val) // 2
+        x.check()
+
+    def test_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            sub_half_words(_wi(5, 4), _wi(9, 4, "Y"))
+
+    def test_access_count(self):
+        d = 4
+        x, y = _wi(1043915, d, cap_extra=0), _wi(768955, d, "Y", cap_extra=0)
+        lx, ly = x.length, y.length
+        log = CountingMemLog()
+        sub_half_words(x, y, log)
+        assert log.reads == lx + ly
+        assert log.writes == lx
+
+
+class TestSubMulRshift:
+    @given(
+        st.data(),
+        word_sizes,
+        st.integers(min_value=0, max_value=1 << 400),
+        st.integers(min_value=1, max_value=1 << 400),
+    )
+    @settings(max_examples=200)
+    def test_matches_int(self, data, d, a, b):
+        y_val = b | 1
+        alpha = data.draw(st.integers(min_value=1, max_value=(1 << d) - 1))
+        x_val = alpha * y_val + a  # guarantees X >= alpha*Y
+        x, y = _wi(x_val, d), _wi(y_val, d, "Y")
+        sub_mul_rshift(x, y, alpha)
+        assert x.to_int() == rshift_to_odd(x_val - alpha * y_val)
+        x.check()
+
+    def test_exact_multiple_gives_zero(self):
+        x, y = _wi(35, 4), _wi(7, 4, "Y")
+        sub_mul_rshift(x, y, 5)
+        assert x.to_int() == 0
+        assert x.length == 0
+
+    def test_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            sub_mul_rshift(_wi(10, 4), _wi(9, 4, "Y"), 3)
+
+    def test_alpha_must_fit_one_word(self):
+        with pytest.raises(ValueError):
+            sub_mul_rshift(_wi(100, 4), _wi(1, 4, "Y"), 16)
+        with pytest.raises(ValueError):
+            sub_mul_rshift(_wi(100, 4), _wi(1, 4, "Y"), 0)
+
+    def test_result_is_odd_for_odd_operands_odd_alpha(self):
+        # odd X minus odd*odd is even; rshift makes it odd (paper's Section III)
+        x, y = _wi(1043915, 4), _wi(768955, 4, "Y")
+        sub_mul_rshift(x, y, 1)
+        assert x.to_int() & 1 == 1
+
+    def test_access_count_bounded_by_3_words(self):
+        # Section IV: one read of X, one read of Y, at most one write of X per word
+        d = 32
+        x_val = (1 << 511) | 12345678901234567891
+        y_val = (1 << 470) | 987654321098765431
+        x, y = _wi(x_val, d, cap_extra=0), _wi(y_val, d, "Y", cap_extra=0)
+        lx, ly = x.length, y.length
+        log = CountingMemLog()
+        sub_mul_rshift(x, y, 0xDEADBEEF, log)
+        assert log.reads == lx + ly
+        assert log.writes <= lx
+
+    def test_trailing_zero_run_longer_than_word(self):
+        d = 4
+        # X - Y = 1 << 9: two whole zero words plus one bit
+        y_val = 0b1010101010101 | 1
+        x_val = y_val + (1 << 9)
+        x, y = _wi(x_val, d), _wi(y_val, d, "Y")
+        sub_mul_rshift(x, y, 1)
+        assert x.to_int() == 1
+
+
+class TestSubRshift:
+    def test_is_alpha_one(self):
+        x1, y = _wi(1043915, 4), _wi(768955, 4, "Y")
+        x2 = x1.copy()
+        sub_rshift(x1, y)
+        sub_mul_rshift(x2, y, 1)
+        assert x1.to_int() == x2.to_int()
+
+    def test_paper_fast_binary_step(self):
+        # Table I row 2: rshift(X - Y) of the two paper inputs
+        x, y = _wi(1043915, 4), _wi(768955, 4, "Y")
+        sub_rshift(x, y)
+        assert x.to_int() == rshift_to_odd(1043915 - 768955)
+
+
+class TestSubMulPowRshift:
+    @given(
+        st.data(),
+        word_sizes,
+        st.integers(min_value=1, max_value=1 << 500),
+        st.integers(min_value=1, max_value=1 << 200),
+    )
+    @settings(max_examples=200)
+    def test_matches_int(self, data, d, a, b):
+        y_val = b | 1
+        alpha = data.draw(st.integers(min_value=1, max_value=(1 << d) - 1))
+        beta = data.draw(st.integers(min_value=1, max_value=4))
+        big_d = 1 << d
+        x_val = alpha * (big_d**beta) * y_val + a  # X >= alpha*D^beta*Y
+        expected = rshift_to_odd(x_val - alpha * (big_d**beta) * y_val + y_val)
+        x, y = _wi(x_val, d), _wi(y_val, d, "Y")
+        sub_mul_pow_rshift(x, y, alpha, beta)
+        assert x.to_int() == expected
+        x.check()
+
+    def test_beta_zero_rejected(self):
+        with pytest.raises(ValueError):
+            sub_mul_pow_rshift(_wi(100, 4), _wi(1, 4, "Y"), 2, 0)
+
+    def test_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            sub_mul_pow_rshift(_wi(100, 4), _wi(99, 4, "Y"), 15, 3)
+
+    def test_reads_y_twice(self):
+        # Section IV: the +Y correction forces a second read pass over Y
+        d = 4
+        y_val = 0x7B5 | 1
+        x_val = 3 * (1 << d) ** 2 * y_val + 12345
+        x, y = _wi(x_val, d, cap_extra=0), _wi(y_val, d, "Y", cap_extra=0)
+        lx, ly = x.length, y.length
+        log = CountingMemLog()
+        sub_mul_pow_rshift(x, y, 3, 2, log)
+        assert log.per_array_reads["X"] == lx
+        assert log.per_array_reads["Y"] == 2 * ly
+        assert log.writes <= lx
+
+
+class TestMemLogIterationTicks:
+    def test_tick_splits_counts(self):
+        log = CountingMemLog()
+        log.read("X", 0)
+        log.read("Y", 0)
+        log.tick()
+        log.write("X", 0)
+        log.tick()
+        assert log.per_iteration == [2, 1]
+
+    def test_trace_iteration_slices(self):
+        log = TracingMemLog()
+        log.read("X", 0)
+        log.tick()
+        log.write("X", 1)
+        log.read("Y", 2)
+        log.tick()
+        log.read("X", 3)
+        slices = log.iteration_slices()
+        assert [len(s) for s in slices] == [1, 2, 1]
+        assert slices[2][0].index == 3

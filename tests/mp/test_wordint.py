@@ -1,0 +1,114 @@
+"""Tests for the WordInt representation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mp.wordint import WordInt
+
+values = st.integers(min_value=0, max_value=1 << 2100)
+word_sizes = st.sampled_from([4, 8, 16, 32])
+
+
+class TestConstruction:
+    def test_zero(self):
+        x = WordInt.from_int(0, 32)
+        assert x.to_int() == 0
+        assert x.length == 0
+        assert x.is_zero()
+
+    def test_capacity_defaults_to_fit(self):
+        x = WordInt.from_int((1 << 64) - 1, 32)
+        assert x.capacity == 2
+        assert x.length == 2
+
+    def test_explicit_capacity(self):
+        x = WordInt.from_int(5, 32, capacity=8)
+        assert x.capacity == 8
+        assert x.length == 1
+        assert x.to_int() == 5
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            WordInt.from_int(1 << 64, 32, capacity=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WordInt.from_int(-3, 32)
+
+    def test_bad_d_rejected(self):
+        with pytest.raises(ValueError):
+            WordInt(1, 4)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            WordInt(32, 0)
+
+    @given(values, word_sizes)
+    def test_roundtrip(self, v, d):
+        x = WordInt.from_int(v, d)
+        assert x.to_int() == v
+        x.check()
+
+
+class TestViews:
+    def test_paper_be_order(self):
+        # X = 1101,1001,0000,0011 with d=4: x1..x4 = [13, 9, 0, 3]
+        x = WordInt.from_int(0b1101100100000011, 4)
+        assert x.be_words() == [0b1101, 0b1001, 0b0000, 0b0011]
+
+    def test_top_two_multiword(self):
+        x = WordInt.from_int(0b1101100100000011, 4)
+        assert x.top_two() == 0b11011001  # 217, the paper's x1x2
+
+    def test_top_two_short(self):
+        assert WordInt.from_int(0b1101, 4).top_two() == 0b1101
+        assert WordInt.from_int(0, 4, capacity=1).top_two() == 0
+        assert WordInt.from_int(0x35, 4).top_two() == 0x35
+
+    @given(values, word_sizes)
+    def test_top_two_matches_shift(self, v, d):
+        x = WordInt.from_int(v, d)
+        lx = x.length
+        shift = max(0, (lx - 2) * d)
+        assert x.top_two() == v >> shift
+
+    @given(values, word_sizes)
+    def test_bit_length(self, v, d):
+        assert WordInt.from_int(v, d).bit_length() == v.bit_length()
+
+
+class TestMutation:
+    def test_set_int(self):
+        x = WordInt.from_int(100, 8, capacity=4)
+        x.set_int(7)
+        assert x.to_int() == 7
+        assert x.length == 1
+        x.check()
+
+    def test_copy_is_independent(self):
+        x = WordInt.from_int(100, 8, capacity=4)
+        y = x.copy()
+        y.set_int(1)
+        assert x.to_int() == 100
+        assert y.to_int() == 1
+
+    def test_normalize_after_manual_write(self):
+        x = WordInt(8, 4)
+        x.words[0] = 5
+        x.normalize()
+        assert x.length == 1
+        assert x.to_int() == 5
+
+    def test_equality_is_value_based(self):
+        a = WordInt.from_int(42, 8, capacity=2)
+        b = WordInt.from_int(42, 8, capacity=9)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != WordInt.from_int(43, 8)
+
+    def test_equality_respects_word_size(self):
+        assert WordInt.from_int(42, 8) != WordInt.from_int(42, 16)
+
+    def test_repr_mentions_value(self):
+        assert "42" in repr(WordInt.from_int(42, 8))

@@ -1,0 +1,193 @@
+"""Tests for the strict DER codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsa.der import (
+    DERError,
+    DERReader,
+    RSA_ENCRYPTION_OID,
+    decode_rsa_private_key,
+    decode_rsa_public_key,
+    decode_subject_public_key_info,
+    encode_bit_string,
+    encode_integer,
+    encode_null,
+    encode_object_identifier,
+    encode_rsa_private_key,
+    encode_rsa_public_key,
+    encode_sequence,
+    encode_subject_public_key_info,
+)
+from repro.rsa.keys import generate_key
+
+integers = st.integers(min_value=-(1 << 600), max_value=1 << 600)
+
+
+class TestInteger:
+    @given(integers)
+    @settings(max_examples=300)
+    def test_roundtrip(self, v):
+        r = DERReader(encode_integer(v))
+        assert r.read_integer() == v
+        r.expect_end()
+
+    def test_known_encodings(self):
+        assert encode_integer(0) == b"\x02\x01\x00"
+        assert encode_integer(127) == b"\x02\x01\x7f"
+        assert encode_integer(128) == b"\x02\x02\x00\x80"  # sign padding
+        assert encode_integer(256) == b"\x02\x02\x01\x00"
+        assert encode_integer(-1) == b"\x02\x01\xff"
+        assert encode_integer(-128) == b"\x02\x01\x80"
+
+    def test_minimal_encoding_enforced(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x02\x00\x7f").read_integer()  # padded 127
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x02\xff\xff").read_integer()  # padded -1
+
+    def test_empty_integer_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x00").read_integer()
+
+
+class TestLengthDiscipline:
+    def test_long_form_roundtrip(self):
+        big = encode_integer(1 << 2048)
+        assert big[1] >= 0x80  # long-form length
+        assert DERReader(big).read_integer() == 1 << 2048
+
+    def test_indefinite_length_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x80\x01\x00\x00").read_integer()
+
+    def test_non_minimal_long_form_rejected(self):
+        # value 5 encoded with a needless long-form length
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x81\x01\x05").read_integer()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x05\x01").read_integer()
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(encode_null()).read_integer()
+
+    def test_trailing_bytes_detected(self):
+        r = DERReader(encode_integer(5) + b"\x00")
+        r.read_integer()
+        with pytest.raises(DERError):
+            r.expect_end()
+
+
+class TestOid:
+    def test_rsa_encryption(self):
+        der = encode_object_identifier(RSA_ENCRYPTION_OID)
+        assert der == bytes.fromhex("06092a864886f70d010101")
+        assert DERReader(der).read_object_identifier() == RSA_ENCRYPTION_OID
+
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=39),
+        ),
+        st.lists(st.integers(min_value=0, max_value=1 << 40), max_size=8),
+    )
+    @settings(max_examples=150)
+    def test_roundtrip(self, head, tail):
+        arcs = head + tuple(tail)
+        der = encode_object_identifier(arcs)
+        assert DERReader(der).read_object_identifier() == arcs
+
+    def test_truncated_arc_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x06\x02\x2a\x86").read_object_identifier()
+
+    def test_invalid_arcs_rejected(self):
+        with pytest.raises(DERError):
+            encode_object_identifier((3, 1))
+        with pytest.raises(DERError):
+            encode_object_identifier((1,))
+
+
+class TestBitStringAndNull:
+    def test_bit_string_roundtrip(self):
+        der = encode_bit_string(b"\xaa\xbb", 0)
+        data, unused = DERReader(der).read_bit_string()
+        assert data == b"\xaa\xbb" and unused == 0
+
+    def test_unused_bits_range(self):
+        with pytest.raises(DERError):
+            encode_bit_string(b"", 8)
+
+    def test_null_roundtrip(self):
+        DERReader(encode_null()).read_null()
+
+    def test_nonempty_null_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x05\x01\x00").read_null()
+
+
+class TestRsaPublicKey:
+    @given(
+        n=st.integers(min_value=3, max_value=1 << 2048),
+        e=st.integers(min_value=3, max_value=1 << 32),
+    )
+    @settings(max_examples=150)
+    def test_pkcs1_roundtrip(self, n, e):
+        assert decode_rsa_public_key(encode_rsa_public_key(n, e)) == (n, e)
+
+    @given(
+        n=st.integers(min_value=3, max_value=1 << 2048),
+        e=st.integers(min_value=3, max_value=1 << 32),
+    )
+    @settings(max_examples=150)
+    def test_spki_roundtrip(self, n, e):
+        assert decode_subject_public_key_info(encode_subject_public_key_info(n, e)) == (n, e)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(DERError):
+            encode_rsa_public_key(0, 65537)
+
+    def test_wrong_algorithm_rejected(self):
+        bad = encode_sequence(
+            encode_sequence(encode_object_identifier((1, 2, 840, 10040, 4, 1)), encode_null()),
+            encode_bit_string(encode_rsa_public_key(15, 3)),
+        )
+        with pytest.raises(DERError):
+            decode_subject_public_key_info(bad)
+
+    def test_unaligned_bit_string_rejected(self):
+        bad = encode_sequence(
+            encode_sequence(encode_object_identifier(RSA_ENCRYPTION_OID), encode_null()),
+            encode_bit_string(encode_rsa_public_key(15, 3), unused_bits=1),
+        )
+        with pytest.raises(DERError):
+            decode_subject_public_key_info(bad)
+
+
+class TestRsaPrivateKey:
+    def test_roundtrip(self):
+        import random
+
+        key = generate_key(128, random.Random(0))
+        der = encode_rsa_private_key(key.n, key.e, key.d, key.p, key.q)
+        f = decode_rsa_private_key(der)
+        assert f["n"] == key.n and f["d"] == key.d
+        assert {f["p"], f["q"]} == {key.p, key.q}
+        assert f["q_inv"] == pow(f["q"], -1, f["p"])
+
+    def test_inconsistent_factors_rejected(self):
+        with pytest.raises(DERError):
+            encode_rsa_private_key(15, 3, 3, 3, 7)
+
+    def test_bad_version_rejected(self):
+        import random
+
+        key = generate_key(64, random.Random(1))
+        der = encode_rsa_private_key(key.n, key.e, key.d, key.p, key.q)
+        tampered = der.replace(b"\x02\x01\x00", b"\x02\x01\x01", 1)
+        with pytest.raises(DERError):
+            decode_rsa_private_key(tampered)

@@ -1,0 +1,123 @@
+"""Adversarial DER parsing: arbitrary bytes must fail *cleanly*.
+
+Keys "collected from the Web" include garbage; the decoder contract is that
+malformed input raises :class:`DERError` (never IndexError/OverflowError/
+RecursionError/...), and that valid encodings survive any single-byte
+corruption either by raising DERError or by decoding to *something* without
+crashing.
+"""
+
+import random
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.rsa.der import (
+    DERError,
+    DERReader,
+    decode_rsa_private_key,
+    decode_rsa_public_key,
+    decode_subject_public_key_info,
+    encode_rsa_private_key,
+    encode_subject_public_key_info,
+)
+from repro.rsa.keys import generate_key
+from repro.rsa.pem import PEMError, pem_decode_all, public_key_from_pem
+
+
+class TestArbitraryBytes:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=400)
+    @example(b"")
+    @example(b"\x30")
+    @example(b"\x30\x80")  # indefinite length
+    @example(b"\x30\x84\xff\xff\xff\xff")  # absurd length
+    def test_public_key_decoder_never_crashes(self, data):
+        try:
+            n, e = decode_rsa_public_key(data)
+            assert n > 0 and e > 0  # if it parsed, the values are sane
+        except DERError:
+            pass
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_spki_decoder_never_crashes(self, data):
+        try:
+            decode_subject_public_key_info(data)
+        except DERError:
+            pass
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_private_key_decoder_never_crashes(self, data):
+        try:
+            decode_rsa_private_key(data)
+        except DERError:
+            pass
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=200)
+    def test_primitive_readers_never_crash(self, data):
+        r = DERReader(data)
+        for read in (DERReader.read_integer, DERReader.read_object_identifier,
+                     DERReader.read_bit_string, DERReader.read_null):
+            try:
+                read(DERReader(data))
+            except DERError:
+                pass
+
+
+class TestBitFlips:
+    def test_single_byte_corruptions_fail_cleanly(self):
+        key = generate_key(128, random.Random(0))
+        der = encode_subject_public_key_info(key.n, key.e)
+        rng = random.Random(1)
+        for _ in range(300):
+            pos = rng.randrange(len(der))
+            flipped = bytearray(der)
+            flipped[pos] ^= 1 << rng.randrange(8)
+            try:
+                n, e = decode_subject_public_key_info(bytes(flipped))
+                assert n > 0 and e > 0
+            except DERError:
+                pass
+
+    def test_private_key_corruptions_fail_cleanly(self):
+        key = generate_key(96, random.Random(2))
+        der = encode_rsa_private_key(key.n, key.e, key.d, key.p, key.q)
+        rng = random.Random(3)
+        for _ in range(300):
+            pos = rng.randrange(len(der))
+            flipped = bytearray(der)
+            flipped[pos] ^= 0xFF
+            try:
+                decode_rsa_private_key(bytes(flipped))
+            except DERError:
+                pass
+
+    def test_truncations_fail_cleanly(self):
+        key = generate_key(96, random.Random(4))
+        der = encode_subject_public_key_info(key.n, key.e)
+        for cut in range(len(der)):
+            try:
+                decode_subject_public_key_info(der[:cut])
+            except DERError:
+                pass
+
+
+class TestPemFuzz:
+    @given(st.text(max_size=400))
+    @settings(max_examples=200)
+    def test_pem_scanner_never_crashes(self, text):
+        try:
+            pem_decode_all(text)
+        except PEMError:
+            pass
+
+    @given(st.text(alphabet="ABCDEFgh+/=\n- ", max_size=300))
+    @settings(max_examples=200)
+    def test_public_key_from_pem_never_crashes(self, text):
+        try:
+            public_key_from_pem(text)
+        except (PEMError, DERError):
+            pass

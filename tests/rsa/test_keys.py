@@ -1,0 +1,120 @@
+"""Tests for RSA key objects, keygen, encryption and recovery."""
+
+import random
+
+import pytest
+
+from repro.rsa.keys import RSAKey, decrypt, encrypt, generate_key, key_from_primes, recover_key
+
+
+class TestKeyFromPrimes:
+    def test_textbook_example(self):
+        key = key_from_primes(61, 53, e=17)
+        assert key.n == 3233
+        # the paper defines d = e^-1 mod (p-1)(q-1) (phi, not Carmichael's
+        # lambda), which for the classic (61, 53, 17) example gives 2753
+        assert key.d == 2753
+        assert (key.d * 17) % 3120 == 1
+        key.validate()
+
+    def test_equal_primes_rejected(self):
+        with pytest.raises(ValueError):
+            key_from_primes(13, 13)
+
+    def test_non_coprime_e_rejected(self):
+        # e=3 divides phi = (7-1)(13-1) = 72
+        with pytest.raises(ValueError):
+            key_from_primes(7, 13, e=3)
+
+    def test_validate_catches_bad_d(self):
+        good = key_from_primes(61, 53, e=17)
+        bad = RSAKey(n=good.n, e=good.e, d=good.d + 1, p=61, q=53)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_catches_bad_factors(self):
+        bad = RSAKey(n=3233, e=17, d=413, p=61, q=59)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestGenerateKey:
+    @pytest.mark.parametrize("bits", [32, 64, 128])
+    def test_sizes(self, bits):
+        key = generate_key(bits, random.Random(0))
+        assert key.bits == bits
+        assert key.p.bit_length() == bits // 2
+        assert key.q.bit_length() == bits // 2
+        key.validate()
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            generate_key(63, random.Random(0))
+
+    def test_deterministic(self):
+        a = generate_key(64, random.Random(5))
+        b = generate_key(64, random.Random(5))
+        assert a == b
+
+    def test_avoid_respected(self):
+        a = generate_key(64, random.Random(5))
+        b = generate_key(64, random.Random(5), avoid={a.p, a.q})
+        assert {b.p, b.q}.isdisjoint({a.p, a.q})
+
+    def test_public_strips_private(self):
+        key = generate_key(64, random.Random(1))
+        pub = key.public()
+        assert pub.n == key.n and pub.e == key.e
+        assert not pub.is_private
+        assert pub.p is None
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        key = generate_key(128, random.Random(2))
+        for m in (0, 1, 42, key.n - 1, 0xDEADBEEF):
+            assert decrypt(encrypt(m, key), key) == m
+
+    def test_encryption_changes_message(self):
+        key = generate_key(128, random.Random(3))
+        assert encrypt(1234567, key) != 1234567
+
+    def test_message_range_enforced(self):
+        key = generate_key(64, random.Random(4))
+        with pytest.raises(ValueError):
+            encrypt(key.n, key)
+        with pytest.raises(ValueError):
+            encrypt(-1, key)
+        with pytest.raises(ValueError):
+            decrypt(key.n, key)
+
+    def test_decrypt_needs_private(self):
+        key = generate_key(64, random.Random(5)).public()
+        with pytest.raises(ValueError):
+            decrypt(123, key)
+
+
+class TestRecoverKey:
+    def test_recovers_full_key(self):
+        key = generate_key(128, random.Random(6))
+        recovered = recover_key(key.n, key.e, key.p)
+        assert recovered.d == key.d
+        assert {recovered.p, recovered.q} == {key.p, key.q}
+        # and it actually decrypts
+        c = encrypt(987654321, key.public())
+        assert decrypt(c, recovered) == 987654321
+
+    def test_recover_from_q_works_too(self):
+        key = generate_key(128, random.Random(7))
+        recovered = recover_key(key.n, key.e, key.q)
+        assert recovered.d == key.d
+
+    def test_non_divisor_rejected(self):
+        key = generate_key(64, random.Random(8))
+        with pytest.raises(ValueError):
+            recover_key(key.n, key.e, 7919 if key.n % 7919 else 7927)
+
+    def test_composite_cofactor_rejected(self):
+        # n with three factors is not an RSA modulus
+        with pytest.raises(ValueError):
+            recover_key(3 * 5 * 7, 17, 3)

@@ -1,0 +1,113 @@
+"""Tests for PEM armor and high-level key serialisation."""
+
+import random
+
+import pytest
+
+from repro.rsa.keys import decrypt, encrypt, generate_key
+from repro.rsa.pem import (
+    PEMError,
+    load_public_moduli,
+    pem_decode,
+    pem_decode_all,
+    pem_encode,
+    private_key_from_pem,
+    private_key_to_pem,
+    public_key_from_pem,
+    public_key_to_pem,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_key(128, random.Random(7))
+
+
+class TestArmor:
+    def test_roundtrip(self):
+        label, der = pem_decode(pem_encode(b"\x01\x02\x03", "TEST DATA"))
+        assert label == "TEST DATA"
+        assert der == b"\x01\x02\x03"
+
+    def test_line_width(self):
+        text = pem_encode(bytes(100), "X")
+        body_lines = text.splitlines()[1:-1]
+        assert all(len(line) <= 64 for line in body_lines)
+
+    def test_label_mismatch(self):
+        with pytest.raises(PEMError):
+            pem_decode(pem_encode(b"x", "A"), expected_label="B")
+
+    def test_no_block(self):
+        with pytest.raises(PEMError):
+            pem_decode("just some text")
+
+    def test_bad_base64(self):
+        text = "-----BEGIN X-----\n!!!!\n-----END X-----"
+        assert pem_decode_all(text) == []  # regex rejects the body characters
+        bad = "-----BEGIN X-----\nQUJ\n-----END X-----"  # invalid b64 length
+        with pytest.raises(PEMError):
+            pem_decode_all(bad)
+
+    def test_multiple_blocks_in_order(self):
+        text = pem_encode(b"a", "ONE") + "garbage\n" + pem_encode(b"bc", "TWO")
+        assert pem_decode_all(text) == [("ONE", b"a"), ("TWO", b"bc")]
+
+
+class TestPublicKeys:
+    def test_spki_roundtrip(self, key):
+        pem = public_key_to_pem(key)
+        assert "BEGIN PUBLIC KEY" in pem
+        back = public_key_from_pem(pem)
+        assert back.n == key.n and back.e == key.e
+        assert not back.is_private
+
+    def test_pkcs1_roundtrip(self, key):
+        pem = public_key_to_pem(key, pkcs1=True)
+        assert "BEGIN RSA PUBLIC KEY" in pem
+        back = public_key_from_pem(pem)
+        assert back.n == key.n and back.e == key.e
+
+    def test_wrong_label_rejected(self):
+        with pytest.raises(PEMError):
+            public_key_from_pem(pem_encode(b"\x30\x00", "CERTIFICATE"))
+
+
+class TestPrivateKeys:
+    def test_roundtrip_decrypts(self, key):
+        pem = private_key_to_pem(key)
+        assert "BEGIN RSA PRIVATE KEY" in pem
+        back = private_key_from_pem(pem)
+        assert back.n == key.n
+        msg = 0xABCDEF % key.n
+        assert decrypt(encrypt(msg, key.public()), back) == msg
+
+    def test_public_only_rejected(self, key):
+        with pytest.raises(PEMError):
+            private_key_to_pem(key.public())
+
+
+class TestBundleLoading:
+    def test_load_public_moduli_mixed_bundle(self, key):
+        other = generate_key(128, random.Random(8))
+        bundle = (
+            public_key_to_pem(key)
+            + pem_encode(b"\x30\x00", "CERTIFICATE")  # skipped
+            + public_key_to_pem(other, pkcs1=True)
+        )
+        assert load_public_moduli(bundle) == [key.n, other.n]
+
+    def test_empty_bundle(self):
+        assert load_public_moduli("nothing here") == []
+
+    def test_attack_on_pem_bundle(self):
+        # end-to-end: serialize a weak corpus to PEM, reload, attack
+        from repro.core.attack import find_shared_primes
+        from repro.rsa.corpus import generate_weak_corpus
+
+        corpus = generate_weak_corpus(10, 64, shared_groups=(2,), seed=3)
+        bundle = "".join(public_key_to_pem(k) for k in corpus.keys)
+        moduli = load_public_moduli(bundle)
+        assert moduli == corpus.moduli
+        report = find_shared_primes(moduli, backend="scalar", group_size=4)
+        assert report.hit_pairs == corpus.weak_pair_set()

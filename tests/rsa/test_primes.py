@@ -1,0 +1,106 @@
+"""Tests for primality testing and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsa.primes import generate_prime, is_prime, small_primes
+
+
+class TestSmallPrimes:
+    def test_first_primes(self):
+        assert small_primes(30) == (2, 3, 5, 7, 11, 13, 17, 19, 23, 29)
+
+    def test_count_below_1000(self):
+        assert len(small_primes(1000)) == 168
+
+    def test_empty_below_two(self):
+        assert small_primes(2) == ()
+        assert small_primes(0) == ()
+
+
+class TestIsPrime:
+    def test_small_known(self):
+        for p in (2, 3, 5, 7, 997, 104729):
+            assert is_prime(p)
+        for c in (0, 1, 4, 9, 561, 1000, 104730):
+            assert not is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # classic Fermat-test traps
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_prime(c)
+
+    def test_strong_pseudoprimes_rejected(self):
+        # strong pseudoprimes to base 2
+        for c in (2047, 3277, 4033, 4681, 8321):
+            assert not is_prime(c)
+
+    def test_mersenne_primes(self):
+        for k in (13, 17, 19, 31, 61, 89, 107, 127):
+            assert is_prime((1 << k) - 1)
+        for k in (11, 23, 29, 37):
+            assert not is_prime((1 << k) - 1)
+
+    def test_large_known_prime(self):
+        # 2^521 - 1 is prime (13th Mersenne prime), exercises the random-base path
+        assert is_prime((1 << 521) - 1)
+
+    def test_large_known_composite(self):
+        assert not is_prime(((1 << 521) - 1) * ((1 << 127) - 1))
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=300)
+    def test_matches_trial_division(self, n):
+        def trial(n):
+            if n < 2:
+                return False
+            f = 2
+            while f * f <= n:
+                if n % f == 0:
+                    return False
+                f += 1
+            return True
+
+        assert is_prime(n) == trial(n)
+
+    def test_reproducible_above_deterministic_limit(self):
+        n = (1 << 127) - 1
+        big = n * ((1 << 89) - 1)  # composite above the deterministic limit
+        assert is_prime(big) == is_prime(big)
+        assert not is_prime(big)
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 128, 256])
+    def test_bit_length_and_top_bits(self, bits):
+        rng = random.Random(1)
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert (p >> (bits - 2)) == 0b11  # top two bits set
+        assert p % 2 == 1
+        assert is_prime(p)
+
+    def test_deterministic_for_seed(self):
+        assert generate_prime(64, random.Random(9)) == generate_prime(64, random.Random(9))
+
+    def test_avoid_respected(self):
+        rng = random.Random(2)
+        p1 = generate_prime(16, rng)
+        p2 = generate_prime(16, random.Random(2), avoid={p1})
+        assert p2 != p1
+        assert is_prime(p2)
+
+    def test_minimum_bits_enforced(self):
+        with pytest.raises(ValueError):
+            generate_prime(3, random.Random(0))
+
+    def test_product_has_double_bits(self):
+        # the property the paper's stop threshold depends on
+        rng = random.Random(3)
+        for bits in (16, 32, 64):
+            p = generate_prime(bits, rng)
+            q = generate_prime(bits, rng, avoid={p})
+            assert (p * q).bit_length() == 2 * bits

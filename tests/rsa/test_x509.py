@@ -1,0 +1,141 @@
+"""Tests for the minimal X.509 layer."""
+
+import random
+
+import pytest
+
+from repro.rsa.der import DERError
+from repro.rsa.keys import generate_key
+from repro.rsa.x509 import (
+    certificate_to_pem,
+    create_self_signed_certificate,
+    extract_moduli_from_certificates,
+    parse_certificate,
+    verify_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_key(512, random.Random(77))  # PKCS#1v1.5+SHA256 needs >= ~400 bits
+
+
+@pytest.fixture(scope="module")
+def cert(key):
+    return create_self_signed_certificate(key, common_name="alice.test", serial=42)
+
+
+class TestRoundtrip:
+    def test_parse_fields(self, key, cert):
+        info = parse_certificate(cert)
+        assert info.serial == 42
+        assert info.subject_cn == info.issuer_cn == "alice.test"
+        assert (info.n, info.e) == (key.n, key.e)
+        assert info.not_before == "250101000000Z"
+        assert info.not_after == "351231235959Z"
+
+    def test_self_signature_verifies(self, cert):
+        info = parse_certificate(cert)
+        assert verify_certificate(info)
+
+    def test_signature_fails_with_wrong_key(self, cert):
+        other = generate_key(512, random.Random(78))
+        info = parse_certificate(cert)
+        assert not verify_certificate(info, signer=other)
+
+    def test_deterministic(self, key):
+        a = create_self_signed_certificate(key, common_name="x", serial=7)
+        b = create_self_signed_certificate(key, common_name="x", serial=7)
+        assert a == b
+
+    def test_public_key_cannot_sign(self, key):
+        with pytest.raises(ValueError):
+            create_self_signed_certificate(key.public())
+
+    def test_tiny_modulus_rejected(self):
+        small = generate_key(128, random.Random(79))
+        with pytest.raises(ValueError):
+            create_self_signed_certificate(small)
+
+
+class TestTampering:
+    def test_flipped_tbs_byte_breaks_signature(self, cert):
+        info = parse_certificate(cert)
+        # find the serial INTEGER inside the raw tbs and flip a bit of it
+        tampered = bytearray(cert)
+        idx = cert.find(b"\x02\x01\x2a")  # INTEGER 42
+        assert idx > 0
+        tampered[idx + 2] ^= 1
+        try:
+            bad = parse_certificate(bytes(tampered))
+        except DERError:
+            return  # structurally rejected is fine too
+        assert not verify_certificate(bad)
+
+    def test_truncations_fail_cleanly(self, cert):
+        for cut in range(0, len(cert), 7):
+            with pytest.raises(DERError):
+                parse_certificate(cert[:cut])
+
+    def test_wrong_algorithm_rejected(self, cert):
+        # corrupt the signatureAlgorithm OID's last arc
+        tampered = bytearray(cert)
+        oid = bytes.fromhex("2a864886f70d01010b")
+        idx = cert.find(oid, len(parse_certificate(cert).tbs_raw))
+        assert idx > 0
+        tampered[idx + len(oid) - 1] = 0x0C
+        with pytest.raises(DERError):
+            parse_certificate(bytes(tampered))
+
+
+class TestBundleExtraction:
+    def test_extract_from_mixed_bundle(self, key, cert):
+        other = generate_key(512, random.Random(80))
+        cert2 = create_self_signed_certificate(other, common_name="bob.test")
+        bundle = (
+            certificate_to_pem(cert)
+            + "random scrape noise\n"
+            + certificate_to_pem(cert2)
+        )
+        assert extract_moduli_from_certificates(bundle) == [key.n, other.n]
+
+    def test_corrupt_blocks_skipped(self, cert):
+        from repro.rsa.pem import pem_encode
+
+        bundle = certificate_to_pem(cert) + pem_encode(b"\x30\x03\x02\x01\x05", "CERTIFICATE")
+        assert len(extract_moduli_from_certificates(bundle)) == 1
+
+    def test_verify_flag_drops_bad_signatures(self, key, cert):
+        # graft key's tbs with a signature from another key
+        other = generate_key(512, random.Random(81))
+        forged = create_self_signed_certificate(other, common_name="alice.test", serial=42)
+        info_f = parse_certificate(forged)
+        # swap the modulus in a naive way: build a bundle with a cert whose
+        # signature verifies and one whose does not (tampered byte)
+        tampered = bytearray(forged)
+        tampered[-3] ^= 0x01  # corrupt signature bits
+        bundle = certificate_to_pem(cert) + certificate_to_pem(bytes(tampered))
+        assert extract_moduli_from_certificates(bundle, verify=False) == [
+            parse_certificate(cert).n,
+            info_f.n,
+        ]
+        assert extract_moduli_from_certificates(bundle, verify=True) == [
+            parse_certificate(cert).n
+        ]
+
+    def test_end_to_end_attack_on_certificates(self):
+        # weak keys inside certificates: scrape -> extract -> attack
+        from repro.core.attack import find_shared_primes
+        from repro.rsa.corpus import generate_weak_corpus
+
+        corpus = generate_weak_corpus(8, 512, shared_groups=(2,), seed=82)
+        bundle = "".join(
+            certificate_to_pem(
+                create_self_signed_certificate(k, common_name=f"host{i}.test", serial=i + 1)
+            )
+            for i, k in enumerate(corpus.keys)
+        )
+        moduli = extract_moduli_from_certificates(bundle, verify=True)
+        assert moduli == corpus.moduli
+        report = find_shared_primes(moduli, backend="bulk", group_size=4)
+        assert report.hit_pairs == corpus.weak_pair_set()

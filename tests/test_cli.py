@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.rsa.pem import load_public_moduli
+
+
+class TestGcd:
+    def test_paper_pair(self, capsys):
+        assert main(["gcd", "1043915", "768955"]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    @pytest.mark.parametrize("alg", list("ABCDE"))
+    def test_all_algorithms(self, capsys, alg):
+        assert main(["gcd", "48", "32", "--algorithm", alg]) == 0
+        assert capsys.readouterr().out.strip() == "16"
+
+    def test_invalid_input_reports_error(self, capsys):
+        assert main(["gcd", "--", "-3", "5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_approx_trace_matches_table3(self, capsys):
+        assert main(["trace", "1043915", "768955", "--algorithm", "approx", "--d", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd = 5 in 9 iterations" in out
+        assert "case 4-B  (alpha, beta)=(7, 0)" in out
+
+    def test_original_trace_shows_quotients(self, capsys):
+        assert main(["trace", "1043915", "768955", "--algorithm", "original"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd = 5 in 11 iterations" in out
+        assert "Q=83" in out
+
+
+class TestKeygen:
+    def test_stdout_public(self, capsys):
+        assert main(["keygen", "--bits", "64", "--count", "2", "--seed", "k"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("BEGIN PUBLIC KEY") == 2
+        assert len(load_public_moduli(out)) == 2
+
+    def test_private_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "keys.pem"
+        assert main(
+            ["keygen", "--bits", "64", "--private", "--out", str(out_file), "--seed", "k"]
+        ) == 0
+        assert "BEGIN RSA PRIVATE KEY" in out_file.read_text()
+
+    def test_deterministic(self, capsys):
+        main(["keygen", "--bits", "64", "--seed", "same"])
+        a = capsys.readouterr().out
+        main(["keygen", "--bits", "64", "--seed", "same"])
+        b = capsys.readouterr().out
+        assert a == b
+
+
+class TestCorpusAndScan:
+    @pytest.fixture()
+    def corpus_file(self, tmp_path, capsys):
+        path = tmp_path / "corpus.json"
+        rc = main(
+            [
+                "corpus",
+                "--keys", "12",
+                "--bits", "64",
+                "--groups", "2,3",
+                "--seed", "cli-test",
+                "--out", str(path),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        return path
+
+    def test_corpus_reports_plants(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        main(["corpus", "--keys", "8", "--bits", "64", "--groups", "2", "--out", str(path), "--seed", "x"])
+        out = capsys.readouterr().out
+        assert "1 weak pair(s) planted" in out
+        assert path.exists()
+
+    @pytest.mark.parametrize("backend", ["bulk", "scalar", "batch"])
+    def test_scan_corpus_all_backends(self, corpus_file, capsys, backend):
+        rc = main(["scan", "--corpus", str(corpus_file), "--backend", backend, "--group-size", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WEAK keys" in out
+        assert "all 4 planted pair(s) found" in out
+
+    def test_scan_pem_bundle(self, tmp_path, capsys):
+        corpus_json = tmp_path / "c.json"
+        pem = tmp_path / "bundle.pem"
+        main(
+            [
+                "corpus", "--keys", "10", "--bits", "64", "--groups", "2",
+                "--seed", "pem-scan", "--out", str(corpus_json), "--pem", str(pem),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["scan", "--pem", str(pem), "--group-size", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WEAK keys" in out
+
+    def test_scan_json_output(self, corpus_file, capsys):
+        rc = main(["scan", "--corpus", str(corpus_file), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["moduli"] == 12
+        assert len(payload["hits"]) == 4
+        for hit in payload["hits"]:
+            assert int(hit["prime"]) > 1
+
+    def test_scan_too_few_keys(self, tmp_path, capsys):
+        pem = tmp_path / "one.pem"
+        main(["keygen", "--bits", "64", "--out", str(pem), "--seed", "solo"])
+        capsys.readouterr()
+        assert main(["scan", "--pem", str(pem)]) == 2
+        assert "need at least 2" in capsys.readouterr().err
+
+
+class TestCensus:
+    def test_census_output(self, capsys):
+        rc = main(["census", "--bits", "64", "--pairs", "4", "--seed", "c"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(E) Approximate Euclidean algorithm" in out
+        assert "(E) - (B)" in out
+
+    def test_census_early(self, capsys):
+        rc = main(["census", "--bits", "64", "--pairs", "4", "--early"])
+        assert rc == 0
+        assert "early-terminate" in capsys.readouterr().out
+
+
+class TestCertificateFlow:
+    def test_keygen_certs_then_scan(self, tmp_path, capsys):
+        bundle = tmp_path / "certs.pem"
+        rc = main(
+            ["keygen", "--bits", "512", "--count", "3", "--cert",
+             "--out", str(bundle), "--seed", "certs"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert bundle.read_text().count("BEGIN CERTIFICATE") == 3
+        rc = main(["scan", "--certs", str(bundle), "--verify-certs", "--group-size", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no shared primes found" in out
+
+    def test_scan_certs_finds_weak_pair(self, tmp_path, capsys):
+        from repro.rsa.corpus import generate_weak_corpus
+        from repro.rsa.x509 import certificate_to_pem, create_self_signed_certificate
+
+        corpus = generate_weak_corpus(6, 512, shared_groups=(2,), seed="cli-cert")
+        bundle = tmp_path / "scrape.pem"
+        bundle.write_text(
+            "".join(
+                certificate_to_pem(create_self_signed_certificate(k, serial=i + 1))
+                for i, k in enumerate(corpus.keys)
+            )
+        )
+        rc = main(["scan", "--certs", str(bundle), "--group-size", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WEAK keys" in out

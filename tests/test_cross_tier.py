@@ -1,0 +1,142 @@
+"""Cross-tier equivalence: every implementation tier must agree exactly.
+
+The library carries each algorithm at up to three tiers — Python-int
+reference, instrumented word-array, vectorised bulk — plus the independent
+Lehmer and batch-GCD routes to the same answers.  These tests drive all of
+them over shared seeded workloads and insist on *exact* agreement of
+results and (where defined) iteration counts.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.bulk.engine import BulkGcdEngine
+from repro.core.batch_gcd import batch_gcd
+from repro.gcd.lehmer import gcd_lehmer
+from repro.gcd.reference import (
+    GcdStats,
+    gcd_approx,
+    gcd_binary,
+    gcd_fast,
+    gcd_fast_binary,
+    gcd_original,
+)
+from repro.gcd.word import (
+    WordGcdStats,
+    gcd_approx_words,
+    gcd_binary_words,
+    gcd_fast_binary_words,
+    gcd_fast_words,
+    gcd_original_words,
+)
+from repro.mp.wordint import WordInt
+from repro.util.bits import word_count
+
+TIERS = {
+    "A": (gcd_original, gcd_original_words, None),
+    "B": (gcd_fast, gcd_fast_words, None),
+    "C": (gcd_binary, gcd_binary_words, "binary"),
+    "D": (gcd_fast_binary, gcd_fast_binary_words, "fast_binary"),
+    "E": (gcd_approx, gcd_approx_words, "approx"),
+}
+
+
+def _workload(seed, n, bits):
+    rng = random.Random(seed)
+    return [
+        (rng.getrandbits(bits) | 1, rng.getrandbits(bits) | 1) for _ in range(n)
+    ]
+
+
+def _wordints(x, y, d=32):
+    cap = max(word_count(x, d), word_count(y, d), 1)
+    return (
+        WordInt.from_int(x, d, capacity=cap, name="X"),
+        WordInt.from_int(y, d, capacity=cap, name="Y"),
+    )
+
+
+@pytest.mark.parametrize("letter", sorted(TIERS))
+def test_three_tiers_agree(letter):
+    ref_fn, word_fn, bulk_alg = TIERS[letter]
+    pairs = _workload(f"tier-{letter}", 12, 160)
+    expected = [math.gcd(a, b) for a, b in pairs]
+
+    if letter == "E":
+        ref = [ref_fn(a, b, d=32) for a, b in pairs]
+    else:
+        ref = [ref_fn(a, b) for a, b in pairs]
+    assert ref == expected
+
+    word = [word_fn(*_wordints(a, b)) for a, b in pairs]
+    assert word == expected
+
+    if bulk_alg is not None:
+        bulk = BulkGcdEngine(d=32, algorithm=bulk_alg).run_pairs(pairs).gcds
+        assert bulk == expected
+
+
+@pytest.mark.parametrize("letter", sorted(TIERS))
+def test_iteration_counts_agree_across_tiers(letter):
+    ref_fn, word_fn, bulk_alg = TIERS[letter]
+    pairs = _workload(f"iters-{letter}", 6, 128)
+    for a, b in pairs:
+        rs = GcdStats()
+        if letter == "E":
+            ref_fn(a, b, d=32, stats=rs)
+        else:
+            ref_fn(a, b, stats=rs)
+        ws = WordGcdStats()
+        word_fn(*_wordints(a, b), stats=ws)
+        assert ws.iterations == rs.iterations
+        if bulk_alg is not None:
+            r = BulkGcdEngine(d=32, algorithm=bulk_alg).run_pairs([(a, b)])
+            assert int(r.iterations[0]) == rs.iterations
+
+
+def test_independent_algorithms_agree():
+    pairs = _workload("independent", 10, 200)
+    for a, b in pairs:
+        g = math.gcd(a, b)
+        assert gcd_lehmer(a, b) == g
+        assert gcd_approx(a, b) == g
+
+
+def test_batch_gcd_consistent_with_pairwise():
+    # a weak corpus where batch and pairwise must identify the same factor
+    rng = random.Random("batch-tier")
+    from repro.rsa.primes import generate_prime
+
+    shared = generate_prime(32, rng)
+    others = [generate_prime(32, rng, avoid={shared}) for _ in range(5)]
+    ns = [shared * others[0], shared * others[1]] + [
+        others[2] * others[3], others[3] * others[4] + 2  # last one arbitrary odd
+    ]
+    ns = [n if n % 2 else n + 1 for n in ns]
+    per_mod = batch_gcd(ns)
+    assert per_mod[0] % shared == 0 and per_mod[1] % shared == 0
+    assert gcd_approx(ns[0] | 1, ns[1] | 1) % shared == 0
+
+
+def test_early_terminate_consistent_across_tiers():
+    from repro.rsa.corpus import generate_weak_corpus
+
+    corpus = generate_weak_corpus(8, 128, shared_groups=(2,), seed="tier-early")
+    sb = corpus.bits // 2
+    pairs = [
+        (corpus.moduli[i], corpus.moduli[j])
+        for i in range(4)
+        for j in range(i + 1, 8)
+    ]
+    expected = []
+    for a, b in pairs:
+        g = math.gcd(a, b)
+        expected.append(g if g > 1 else 1)
+    ref = [gcd_approx(a, b, stop_bits=sb) for a, b in pairs]
+    word = [
+        gcd_approx_words(*_wordints(a, b), stop_bits=sb) for a, b in pairs
+    ]
+    bulk = BulkGcdEngine().run_pairs(pairs, stop_bits=sb).gcds
+    assert ref == word == bulk == expected

@@ -1,0 +1,173 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit_length,
+    int_from_words_be,
+    int_from_words_le,
+    is_even,
+    is_odd,
+    rshift_to_odd,
+    top_two_words,
+    trailing_zeros,
+    word_count,
+    words_from_int_be,
+    words_from_int_le,
+)
+
+nonneg = st.integers(min_value=0, max_value=1 << 4100)
+positive = st.integers(min_value=1, max_value=1 << 4100)
+word_sizes = st.sampled_from([2, 4, 8, 16, 32, 64])
+
+
+class TestBitLength:
+    def test_zero(self):
+        assert bit_length(0) == 0
+
+    def test_small_values(self):
+        assert bit_length(1) == 1
+        assert bit_length(2) == 2
+        assert bit_length(3) == 2
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length(-1)
+
+    @given(nonneg)
+    def test_matches_python(self, x):
+        assert bit_length(x) == x.bit_length()
+
+
+class TestTrailingZeros:
+    def test_zero_is_zero(self):
+        assert trailing_zeros(0) == 0
+
+    def test_odd_numbers_have_none(self):
+        for x in (1, 3, 5, 223, 1043915):
+            assert trailing_zeros(x) == 0
+
+    def test_powers_of_two(self):
+        for k in range(0, 200, 7):
+            assert trailing_zeros(1 << k) == k
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            trailing_zeros(-4)
+
+    @given(positive, st.integers(min_value=0, max_value=300))
+    def test_shift_roundtrip(self, odd_base, k):
+        odd = odd_base | 1
+        assert trailing_zeros(odd << k) == k
+
+
+class TestRshiftToOdd:
+    def test_zero(self):
+        assert rshift_to_odd(0) == 0
+
+    def test_paper_example(self):
+        # Section II: rshift(1101,0100) = 0011,0101
+        assert rshift_to_odd(0b11010100) == 0b110101
+
+    @given(positive)
+    def test_result_is_odd(self, x):
+        assert rshift_to_odd(x) & 1 == 1
+
+    @given(positive)
+    def test_only_twos_removed(self, x):
+        r = rshift_to_odd(x)
+        q, rem = divmod(x, r)
+        assert rem == 0
+        assert q & (q - 1) == 0  # quotient is a power of two
+
+
+class TestParity:
+    @given(nonneg)
+    def test_even_odd_partition(self, x):
+        assert is_even(x) != is_odd(x)
+        assert is_even(x) == (x % 2 == 0)
+
+
+class TestWordCount:
+    def test_zero(self):
+        assert word_count(0, 32) == 0
+
+    def test_boundaries(self):
+        assert word_count(1, 4) == 1
+        assert word_count(15, 4) == 1
+        assert word_count(16, 4) == 2
+        assert word_count((1 << 32) - 1, 32) == 1
+        assert word_count(1 << 32, 32) == 2
+
+    def test_bad_d_rejected(self):
+        with pytest.raises(ValueError):
+            word_count(5, 1)
+
+    @given(positive, word_sizes)
+    def test_definition(self, x, d):
+        lc = word_count(x, d)
+        assert (1 << (d * (lc - 1))) <= x < (1 << (d * lc))
+
+
+class TestWordConversions:
+    def test_known_le(self):
+        # 0x1234 with d=4 -> LE nibbles [4, 3, 2, 1]
+        assert words_from_int_le(0x1234, 4) == [4, 3, 2, 1]
+        assert words_from_int_be(0x1234, 4) == [1, 2, 3, 4]
+
+    def test_padding(self):
+        assert words_from_int_le(5, 8, length=4) == [5, 0, 0, 0]
+        assert words_from_int_be(5, 8, length=4) == [0, 0, 0, 5]
+
+    def test_too_small_length_rejected(self):
+        with pytest.raises(ValueError):
+            words_from_int_le(0x1234, 4, length=2)
+
+    def test_invalid_word_rejected(self):
+        with pytest.raises(ValueError):
+            int_from_words_le([16], 4)
+        with pytest.raises(ValueError):
+            int_from_words_le([-1], 4)
+
+    @given(nonneg, word_sizes)
+    def test_le_roundtrip(self, x, d):
+        assert int_from_words_le(words_from_int_le(x, d), d) == x
+
+    @given(nonneg, word_sizes)
+    def test_be_roundtrip(self, x, d):
+        assert int_from_words_be(words_from_int_be(x, d), d) == x
+
+    @given(nonneg, word_sizes, st.integers(min_value=0, max_value=8))
+    def test_padded_roundtrip(self, x, d, extra):
+        length = word_count(x, d) + extra
+        if length == 0:
+            length = 1
+        assert int_from_words_le(words_from_int_le(x, d, length), d) == x
+
+
+class TestTopTwoWords:
+    def test_paper_example(self):
+        # Section III: X = 1101,1001,0000,0011 (d=4) has x1x2 = 1101,1001 = 217
+        assert top_two_words(0b1101100100000011, 4) == 0b11011001
+        assert top_two_words(0b11011001, 4) == 0b11011001  # 2 words: unchanged
+
+    def test_single_word(self):
+        assert top_two_words(0b1101, 4) == 0b1101
+
+    def test_zero(self):
+        assert top_two_words(0, 4) == 0
+
+    @given(positive, word_sizes)
+    def test_fits_two_words(self, x, d):
+        assert top_two_words(x, d) < (1 << (2 * d))
+
+    @given(positive, word_sizes)
+    def test_is_shift_by_whole_words(self, x, d):
+        tt = top_two_words(x, d)
+        lx = word_count(x, d)
+        shift = max(0, (lx - 2) * d)
+        assert tt == x >> shift

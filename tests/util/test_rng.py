@@ -1,0 +1,46 @@
+"""Tests for deterministic RNG derivation."""
+
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(42, "primes", 512)
+        b = derive_rng(42, "primes", 512)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_scope_separates_streams(self):
+        a = derive_rng(42, "primes", 512)
+        b = derive_rng(42, "primes", 1024)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_seed_separates_streams(self):
+        a = derive_rng(1, "x")
+        b = derive_rng(2, "x")
+        assert a.random() != b.random()
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        a = derive_rng(0, "ab", "c")
+        b = derive_rng(0, "a", "bc")
+        assert a.random() != b.random()
+
+    def test_string_seed_supported(self):
+        a = derive_rng("experiment-7", "moduli")
+        b = derive_rng("experiment-7", "moduli")
+        assert a.getrandbits(64) == b.getrandbits(64)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        s1 = spawn_seeds(42, 10, "workers")
+        s2 = spawn_seeds(42, 10, "workers")
+        assert s1 == s2
+        assert len(s1) == 10
+
+    def test_children_distinct(self):
+        seeds = spawn_seeds(42, 100, "workers")
+        assert len(set(seeds)) == 100
+
+    def test_children_fit_64_bits(self):
+        assert all(0 <= s < (1 << 64) for s in spawn_seeds(7, 50))
