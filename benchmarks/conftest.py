@@ -60,3 +60,30 @@ def report(capsys):
                 print(line)
 
     return _print
+
+
+@pytest.fixture
+def telemetry():
+    """A fresh measurement bundle for benchmarks that want pipeline metrics
+    (pass it as ``telemetry=`` to any attack entry point)."""
+    from repro.telemetry import Telemetry
+
+    return Telemetry.create()
+
+
+@pytest.fixture
+def metrics_report(report, telemetry):
+    """Print a one-block metrics summary after the benchmark body runs."""
+
+    def _dump(title: str = "metrics") -> None:
+        snap = telemetry.snapshot()
+        lines = [f"-- {title} --"]
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<40} {value}")
+        for path, s in snap["stages"].items():
+            lines.append(
+                f"  stage {path:<34} n={s['count']} total={s['total_seconds']:.4f}s"
+            )
+        report(*lines)
+
+    return _dump

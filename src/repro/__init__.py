@@ -16,18 +16,21 @@ The heavy lifting lives in the subpackages:
 * :mod:`repro.bulk`   — the NumPy SIMT bulk engine (GPU analog)
 * :mod:`repro.gpusim` — the UMM memory-model simulator
 * :mod:`repro.core`   — the all-pairs attack and the batch-GCD baseline
+* :mod:`repro.telemetry` — metrics, stage timing, progress, JSONL events
 """
 
 from repro.bulk import BulkGcdEngine
 from repro.core import batch_gcd, break_keys, find_shared_primes
 from repro.gcd import approx, gcd, gcd_approx
 from repro.rsa import RSAKey, generate_key, generate_weak_corpus, recover_key
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BulkGcdEngine",
     "RSAKey",
+    "Telemetry",
     "approx",
     "batch_gcd",
     "break_keys",

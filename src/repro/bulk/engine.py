@@ -20,6 +20,7 @@ The engine implements:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.bulk.kernels import (
 )
 from repro.bulk.layout import BulkOperands
 from repro.gcd.approx import approx
+from repro.telemetry import Telemetry
 from repro.util.bits import rshift_to_odd, word_count
 
 __all__ = ["BulkGcdEngine", "BulkResult"]
@@ -87,6 +89,7 @@ class BulkGcdEngine:
         capacity: int | None = None,
         record_masks: bool = False,
         compact: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> BulkResult:
         """Compute the GCD of every (odd, odd) pair in lock step.
 
@@ -100,6 +103,10 @@ class BulkGcdEngine:
         of finished CUDA blocks freeing the SMs for waiting ones.  Results
         are bit-identical either way; ``record_masks`` is incompatible with
         compaction (lane positions change mid-run).
+        ``telemetry`` adds this run to a shared measurement bundle: the
+        lock-step loop is timed as a ``kernel`` stage span and the
+        ``kernel.*`` counters/histograms of ``docs/OBSERVABILITY.md``
+        accumulate into its registry.
         """
         if compact and record_masks:
             raise ValueError("record_masks cannot be combined with compact")
@@ -141,6 +148,49 @@ class BulkGcdEngine:
         }[self.algorithm]
 
         orig = np.arange(n)  # original index of each live column
+        with telemetry.timer.span("kernel") if telemetry else nullcontext():
+            orig = self._lockstep_loop(
+                x, y, step=step, orig=orig, stop_bits=stop_bits,
+                compact=compact, record_masks=record_masks, result=result,
+            )
+
+        for lane in range(orig.size):
+            oj = int(orig[lane])
+            result.gcds[oj] = 1 if early[oj] else x.column(lane)
+        result.early_terminated = early
+        if telemetry is not None:
+            reg = telemetry.registry
+            reg.counter("kernel.runs").inc()
+            reg.counter("kernel.lanes").inc(n)
+            reg.counter("kernel.loop_trips").inc(result.loop_trips)
+            reg.counter("kernel.scalar_steps").inc(result.scalar_steps)
+            reg.counter("kernel.beta_nonzero").inc(result.beta_nonzero)
+            reg.counter("kernel.early_terminated").inc(int(early.sum()))
+            reg.histogram("kernel.batch_pairs").observe(n)
+            if result.loop_trips:
+                reg.histogram("kernel.trips_per_batch").observe(result.loop_trips)
+        return result
+
+    def _lockstep_loop(
+        self,
+        x: BulkOperands,
+        y: BulkOperands,
+        *,
+        step,
+        orig: np.ndarray,
+        stop_bits: int | None,
+        compact: bool,
+        record_masks: bool,
+        result: BulkResult,
+    ) -> np.ndarray:
+        """The warp-wide do-while loop, split out so a telemetry span can
+        time exactly the lock-step portion of :meth:`run_pairs`.
+
+        Returns the final live-column → original-index map (compaction
+        shrinks it; the caller reads surviving columns through it)."""
+        early = result.early_terminated
+        iterations = result.iterations
+        divergence = result.divergence
         while True:
             active = y.lengths > 0
             if stop_bits is not None:
@@ -167,12 +217,7 @@ class BulkGcdEngine:
             iterations[orig[active]] += 1
             result.loop_trips += 1
             divergence.record(active, keep_mask=record_masks)
-
-        for lane in range(orig.size):
-            oj = int(orig[lane])
-            result.gcds[oj] = 1 if early[oj] else x.column(lane)
-        result.early_terminated = early
-        return result
+        return orig
 
     def run_pairs_general(
         self,

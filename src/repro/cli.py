@@ -20,10 +20,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro.core.attack import find_shared_primes
+from repro.mp.memlog import CountingMemLog
+from repro.telemetry import ProgressUpdate, Telemetry
 from repro.gcd.census import run_all_algorithms
 from repro.gcd.reference import ALGORITHM_NAMES, gcd as gcd_any
 from repro.gcd.trace import (
@@ -96,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--group-size", type=int, default=64, help="Section VI r (batch size)")
     sc.add_argument("--no-early-terminate", action="store_true")
     sc.add_argument("--json", action="store_true", help="emit a JSON report")
+    sc.add_argument(
+        "--stats-json", type=Path, default=None, metavar="PATH",
+        help="write the full stats report (stage timings, throughput, "
+        "histogram quantiles) as JSON to PATH ('-' for stdout)",
+    )
+    sc.add_argument(
+        "--progress", action="store_true",
+        help="report progress (throughput + ETA) on stderr during the scan",
+    )
+    sc.add_argument(
+        "--events-jsonl", type=Path, default=None, metavar="PATH",
+        help="stream structured JSONL events (scan.start/block.done/...) to PATH",
+    )
+    sc.add_argument(
+        "--memlog", action="store_true",
+        help="count Section IV word accesses (scalar backend only; slow — "
+        "routes every GCD through the instrumented word-array tier)",
+    )
 
     ce = sub.add_parser("census", help="iteration statistics (Table IV slice)")
     ce.add_argument("--bits", type=int, default=128)
@@ -174,6 +193,11 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stderr_progress(update: ProgressUpdate) -> None:
+    """The ``scan --progress`` callback: one self-overwriting stderr line."""
+    print(f"\r{update.render()}", end="", file=sys.stderr, flush=True)
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     expected = None
     if args.pem:
@@ -193,47 +217,85 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(f"error: {source} holds {len(moduli)} key(s); need at least 2", file=sys.stderr)
         return 2
 
-    t0 = time.perf_counter()
-    report = find_shared_primes(
-        moduli,
-        backend=args.backend,
-        algorithm=args.algorithm,
-        group_size=args.group_size,
-        early_terminate=not args.no_early_terminate,
-    )
-    elapsed = time.perf_counter() - t0
+    progress_cb = _stderr_progress if args.progress else None
+    event_stream = None
+    try:
+        if args.events_jsonl is not None:
+            event_stream = args.events_jsonl.open("w")
+        telemetry = Telemetry.create(
+            progress_callback=progress_cb,
+            progress_interval_seconds=0.2,
+            event_stream=event_stream,
+        )
+        report = find_shared_primes(
+            moduli,
+            backend=args.backend,
+            algorithm=args.algorithm,
+            group_size=args.group_size,
+            early_terminate=not args.no_early_terminate,
+            telemetry=telemetry,
+            memlog=CountingMemLog() if args.memlog else None,
+        )
+    finally:
+        if event_stream is not None:
+            event_stream.close()
+    if args.progress:
+        print(file=sys.stderr)  # finish the \r progress line
+    elapsed = report.elapsed_seconds
+
+    payload = {
+        "source": source,
+        "moduli": report.m,
+        "pairs_tested": report.pairs_tested,
+        "backend": report.backend,
+        "algorithm": report.algorithm,
+        "elapsed_seconds": elapsed,
+        "pairs_per_second": report.pairs_tested / elapsed if elapsed > 0 else 0.0,
+        "hits": [
+            {"i": h.i, "j": h.j, "prime": str(h.prime)} for h in report.hits
+        ],
+        "metrics": report.metrics,
+    }
+    if expected is not None:
+        payload["ground_truth_matched"] = report.hit_pairs == expected
+    # with --stats-json -, stdout IS the JSON report; the human summary
+    # moves to stderr so the output stays machine-parseable
+    human = sys.stdout
+    if args.stats_json is not None:
+        text = json.dumps(payload, indent=2)
+        if str(args.stats_json) == "-":
+            print(text)
+            human = sys.stderr
+        else:
+            args.stats_json.write_text(text + "\n")
+            print(f"stats report -> {args.stats_json}")
 
     if args.json:
-        payload = {
-            "source": source,
-            "moduli": report.m,
-            "pairs_tested": report.pairs_tested,
-            "backend": report.backend,
-            "elapsed_seconds": elapsed,
-            "hits": [
-                {"i": h.i, "j": h.j, "prime": str(h.prime)} for h in report.hits
-            ],
-        }
-        if expected is not None:
-            payload["ground_truth_matched"] = report.hit_pairs == expected
         print(json.dumps(payload, indent=2))
         return 0 if expected is None or payload["ground_truth_matched"] else 1
     else:
         print(
             f"scanned {report.pairs_tested} pairs of {report.m} moduli "
-            f"({report.backend}) in {elapsed:.2f}s"
+            f"({report.backend}) in {elapsed:.2f}s",
+            file=human,
         )
         for h in report.hits:
-            print(f"WEAK keys {h.i} and {h.j} share prime {h.prime:#x}")
+            print(f"WEAK keys {h.i} and {h.j} share prime {h.prime:#x}", file=human)
         if not report.hits:
-            print("no shared primes found")
+            print("no shared primes found", file=human)
     if expected is not None:
         if report.hit_pairs == expected:
-            print(f"ground truth: all {len(expected)} planted pair(s) found, no extras")
+            print(
+                f"ground truth: all {len(expected)} planted pair(s) found, no extras",
+                file=human,
+            )
         else:
             missing = expected - report.hit_pairs
             extra = report.hit_pairs - expected
-            print(f"ground truth MISMATCH: missing={sorted(missing)} extra={sorted(extra)}")
+            print(
+                f"ground truth MISMATCH: missing={sorted(missing)} extra={sorted(extra)}",
+                file=human,
+            )
             return 1
     return 0
 

@@ -19,7 +19,6 @@ Backends:
 from __future__ import annotations
 
 import math
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -27,7 +26,15 @@ from repro.bulk.engine import BulkGcdEngine
 from repro.core.batch_gcd import batch_gcd
 from repro.core.pairing import all_pair_count, block_schedule
 from repro.gcd.reference import ALGORITHMS, gcd_approx
+from repro.gcd.word import (
+    gcd_approx_words,
+    gcd_binary_words,
+    gcd_fast_binary_words,
+)
+from repro.mp.memlog import CountingMemLog
+from repro.mp.wordint import WordInt
 from repro.rsa.keys import RSAKey, recover_key
+from repro.telemetry import Telemetry, record_memlog
 
 __all__ = ["WeakHit", "AttackReport", "find_shared_primes", "break_keys"]
 
@@ -67,6 +74,9 @@ class AttackReport:
     elapsed_seconds: float = 0.0
     #: lock-step loop trips summed over blocks (bulk backend only)
     loop_trips: int = 0
+    #: telemetry snapshot: counters/gauges/histograms/stages
+    #: (see docs/OBSERVABILITY.md); always populated by the pipeline
+    metrics: dict = field(default_factory=dict)
 
     @property
     def hit_pairs(self) -> set[tuple[int, int]]:
@@ -88,6 +98,8 @@ def find_shared_primes(
     d: int = 32,
     group_size: int = 64,
     early_terminate: bool = True,
+    telemetry: Telemetry | None = None,
+    memlog: CountingMemLog | None = None,
 ) -> AttackReport:
     """Find every pair of moduli sharing a prime factor.
 
@@ -95,6 +107,13 @@ def find_shared_primes(
     batch of at most ``r²`` pairs.  ``early_terminate`` applies the
     Section V rule with ``stop_bits = s/2`` where ``s`` is the common
     modulus bit length (required to hold for all moduli when enabled).
+
+    ``telemetry`` supplies the measurement bundle (a private one is created
+    otherwise); the run's snapshot always lands in ``report.metrics``, and
+    ``report.elapsed_seconds`` stays populated for compatibility.
+    ``memlog`` (scalar backend only) routes every GCD through the
+    word-array tier with Section IV access instrumentation, folding the
+    word-traffic counts into the same metrics snapshot.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -102,6 +121,10 @@ def find_shared_primes(
         raise ValueError("need at least two moduli")
     if any(n <= 1 or n % 2 == 0 for n in moduli):
         raise ValueError("RSA moduli must be odd and > 1")
+    if memlog is not None and backend != "scalar":
+        raise ValueError(
+            "memlog instrumentation requires the scalar backend (word-array tier)"
+        )
     bits = max(n.bit_length() for n in moduli)
     stop_bits = bits // 2 if early_terminate else None
     if early_terminate and any(n.bit_length() != bits for n in moduli):
@@ -110,17 +133,44 @@ def find_shared_primes(
             "or pass early_terminate=False"
         )
 
-    t0 = time.perf_counter()
+    tel = telemetry if telemetry is not None else Telemetry.create()
     report = AttackReport(m=len(moduli), bits=bits, backend=backend, algorithm=algorithm)
+    tel.registry.gauge("scan.moduli").set(len(moduli))
+    tel.registry.gauge("scan.bits").set(bits)
+    tel.emit("scan.start", backend=backend, algorithm=algorithm,
+             moduli=len(moduli), bits=bits)
 
-    if backend == "batch":
-        _run_batch(moduli, report)
-    else:
-        _run_pairwise(moduli, report, backend, algorithm, d, group_size, stop_bits)
+    with tel.timer.span("scan"):
+        if backend == "batch":
+            _run_batch(moduli, report, tel)
+        else:
+            _run_pairwise(
+                moduli, report, backend, algorithm, d, group_size, stop_bits,
+                tel, memlog,
+            )
 
-    report.elapsed_seconds = time.perf_counter() - t0
+    report.elapsed_seconds = tel.timer.total_seconds("scan")
     report.hits.sort(key=lambda h: (h.i, h.j))
+    reg = tel.registry
+    reg.counter("scan.pairs_tested").inc(report.pairs_tested)
+    reg.counter("scan.hits").inc(len(report.hits))
+    if report.elapsed_seconds > 0:
+        reg.gauge("scan.pairs_per_second").set(
+            report.pairs_tested / report.elapsed_seconds
+        )
+    if memlog is not None:
+        record_memlog(reg, memlog)
+    report.metrics = tel.snapshot()
+    tel.emit("scan.done", pairs_tested=report.pairs_tested,
+             hits=len(report.hits), elapsed_seconds=report.elapsed_seconds)
     return report
+
+
+_WORD_TIER = {
+    "approx": gcd_approx_words,
+    "binary": gcd_binary_words,
+    "fast_binary": gcd_fast_binary_words,
+}
 
 
 def _run_pairwise(
@@ -131,9 +181,13 @@ def _run_pairwise(
     d: int,
     group_size: int,
     stop_bits: int | None,
+    tel: Telemetry,
+    memlog: CountingMemLog | None,
 ) -> None:
     schedule = block_schedule(len(moduli), group_size)
     report.blocks = len(schedule)
+    tel.registry.gauge("scan.blocks").set(len(schedule))
+    tel.set_progress_total(all_pair_count(len(moduli)))
     engine = BulkGcdEngine(d=d, algorithm=algorithm) if backend == "bulk" else None
     letter = {"approx": "E", "fast_binary": "D", "binary": "C"}.get(algorithm)
     if backend == "scalar" and letter is None:
@@ -143,25 +197,43 @@ def _run_pairwise(
         if not idx:
             continue
         values = [(moduli[a], moduli[b]) for a, b in idx]
-        if engine is not None:
-            result = engine.run_pairs(values, stop_bits=stop_bits, compact=True)
-            gcds = result.gcds
-            report.loop_trips += result.loop_trips
-        else:
-            if algorithm == "approx":
+        with tel.timer.span("block"):
+            if engine is not None:
+                result = engine.run_pairs(
+                    values, stop_bits=stop_bits, compact=True, telemetry=tel
+                )
+                gcds = result.gcds
+                report.loop_trips += result.loop_trips
+            elif memlog is not None:
+                word_gcd = _WORD_TIER[algorithm]
+                gcds = [
+                    word_gcd(
+                        WordInt.from_int(a, d, name="X"),
+                        WordInt.from_int(b, d, name="Y"),
+                        stop_bits=stop_bits,
+                        log=memlog,
+                    )
+                    for a, b in values
+                ]
+            elif algorithm == "approx":
                 gcds = [gcd_approx(a, b, d=d, stop_bits=stop_bits) for a, b in values]
             else:
                 fn = ALGORITHMS[letter]
                 gcds = [fn(a, b, stop_bits=stop_bits) for a, b in values]
         report.pairs_tested += len(idx)
+        tel.registry.histogram("scan.block_pairs").observe(len(idx))
+        block_hits = 0
         for (a, b), g in zip(idx, gcds):
             if g > 1:
                 report.hits.append(WeakHit(a, b, g))
+                block_hits += 1
+        tel.advance(len(idx))
+        tel.emit("block.done", i=block.i, j=block.j, pairs=len(idx), hits=block_hits)
 
 
-def _run_batch(moduli: list[int], report: AttackReport) -> None:
+def _run_batch(moduli: list[int], report: AttackReport, tel: Telemetry) -> None:
     """Bernstein batch GCD, then group per-modulus factors into pairs."""
-    per_modulus = batch_gcd(moduli)
+    per_modulus = batch_gcd(moduli, telemetry=tel)
     report.pairs_tested = all_pair_count(len(moduli))  # covered implicitly
     report.blocks = 0
     by_prime: dict[int, list[int]] = defaultdict(list)

@@ -23,48 +23,81 @@ and memory vs embarrassing parallelism) is measured in
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
+
+from repro.telemetry import Telemetry
 
 __all__ = ["product_tree", "remainder_tree", "batch_gcd"]
 
 
-def product_tree(values: list[int]) -> list[list[int]]:
+def product_tree(
+    values: list[int], *, telemetry: Telemetry | None = None
+) -> list[list[int]]:
     """Bottom-up product tree: ``levels[0]`` is the input, the last level
     holds the single total product.
 
-    Odd-length levels carry their last element up unmultiplied.
+    Odd-length levels carry their last element up unmultiplied.  With
+    ``telemetry``, each level's build time lands in the
+    ``batch.product_level_seconds`` histogram — the tree's upper levels
+    multiply ever-larger integers, and that skew is exactly what the
+    all-pairs-vs-batch trade-off hinges on.
     """
     if not values:
         raise ValueError("product tree needs at least one value")
+    clock = telemetry.timer.clock if telemetry else None
     levels = [list(values)]
     while len(levels[-1]) > 1:
+        t0 = clock() if clock else 0.0
         prev = levels[-1]
         nxt = [prev[k] * prev[k + 1] for k in range(0, len(prev) - 1, 2)]
         if len(prev) % 2:
             nxt.append(prev[-1])
         levels.append(nxt)
+        if telemetry is not None:
+            telemetry.registry.histogram("batch.product_level_seconds").observe(
+                clock() - t0
+            )
+            telemetry.advance(1)
+    if telemetry is not None:
+        telemetry.registry.gauge("batch.levels").set(len(levels))
     return levels
 
 
-def remainder_tree(levels: list[list[int]], *, square: bool = True) -> list[int]:
+def remainder_tree(
+    levels: list[list[int]],
+    *,
+    square: bool = True,
+    telemetry: Telemetry | None = None,
+) -> list[int]:
     """Push the root product down: leaf ``i`` receives ``N mod n_i²``.
 
     ``square=False`` yields plain ``N mod n_i`` (useful for divisibility
     scans); batch GCD needs the squared form so the cofactor survives the
-    reduction.
+    reduction.  With ``telemetry``, per-level descent times land in the
+    ``batch.remainder_level_seconds`` histogram.
     """
+    clock = telemetry.timer.clock if telemetry else None
     root = levels[-1][0]
     rems = [root]
     for level in reversed(levels[:-1]):
+        t0 = clock() if clock else 0.0
         nxt = []
         for k, value in enumerate(level):
             parent = rems[k // 2]
             mod = value * value if square else value
             nxt.append(parent % mod)
         rems = nxt
+        if telemetry is not None:
+            telemetry.registry.histogram("batch.remainder_level_seconds").observe(
+                clock() - t0
+            )
+            telemetry.advance(1)
     return rems
 
 
-def batch_gcd(moduli: list[int]) -> list[int]:
+def batch_gcd(
+    moduli: list[int], *, telemetry: Telemetry | None = None
+) -> list[int]:
     """For each modulus, its GCD with the product of all the others.
 
     Returns one value per input: 1 (shares nothing), a proper factor (shares
@@ -72,16 +105,27 @@ def batch_gcd(moduli: list[int]) -> list[int]:
     duplicated key).  Pairing the hits back to partners needs one extra
     pairwise pass over the (few) flagged moduli; :mod:`repro.core.attack`
     does that.
+
+    With ``telemetry``, the three phases are timed as ``product_tree``,
+    ``remainder_tree`` and ``final_gcds`` stage spans, with per-tree-level
+    histograms recorded by the tree builders themselves.
     """
     if len(moduli) < 2:
         raise ValueError("batch GCD needs at least two moduli")
     if any(n <= 0 for n in moduli):
         raise ValueError("moduli must be positive")
-    levels = product_tree(moduli)
-    rems = remainder_tree(levels)
-    out = []
-    for n, r in zip(moduli, rems):
-        # r = N mod n^2; (N/n) mod n = (r / n) exactly because n | N
-        cofactor = (r // n) % n
-        out.append(math.gcd(n, cofactor))
+    span = telemetry.timer.span if telemetry else (lambda name: nullcontext())
+    with span("product_tree"):
+        levels = product_tree(moduli, telemetry=telemetry)
+    with span("remainder_tree"):
+        rems = remainder_tree(levels, telemetry=telemetry)
+    with span("final_gcds"):
+        out = []
+        for n, r in zip(moduli, rems):
+            # r = N mod n^2; (N/n) mod n = (r / n) exactly because n | N
+            cofactor = (r // n) % n
+            out.append(math.gcd(n, cofactor))
+    if telemetry is not None:
+        telemetry.registry.counter("batch.moduli").inc(len(moduli))
+        telemetry.advance(1)
     return out

@@ -13,11 +13,11 @@ groups, and only blocks touching a new group are launched.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import WeakHit
+from repro.telemetry import Telemetry
 
 __all__ = ["BatchReport", "IncrementalScanner"]
 
@@ -32,6 +32,8 @@ class BatchReport:
     pairs_tested: int = 0
     hits: list[WeakHit] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: scanner-lifetime telemetry snapshot as of this batch's completion
+    metrics: dict = field(default_factory=dict)
 
     @property
     def hit_pairs(self) -> set[tuple[int, int]]:
@@ -49,10 +51,13 @@ class IncrementalScanner:
         d: int = 32,
         chunk_pairs: int = 4096,
         early_terminate: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """``bits`` fixes the modulus size up front (the early-terminate
         threshold must be corpus-wide); ``chunk_pairs`` caps bulk batch
-        sizes so memory stays bounded as the corpus grows."""
+        sizes so memory stays bounded as the corpus grows.  ``telemetry``
+        persists across batches — the scanner is long-lived, so its
+        counters tell the stream's whole story."""
         if bits < 16 or bits % 2:
             raise ValueError(f"bits must be an even size >= 16, got {bits}")
         if chunk_pairs < 1:
@@ -61,6 +66,7 @@ class IncrementalScanner:
         self.stop_bits = bits // 2 if early_terminate else None
         self.chunk_pairs = chunk_pairs
         self.engine = BulkGcdEngine(d=d, algorithm=algorithm)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.create()
         self.moduli: list[int] = []
         self.all_hits: list[WeakHit] = []
         self.total_pairs_tested = 0
@@ -75,7 +81,7 @@ class IncrementalScanner:
                 raise ValueError(
                     f"modulus of {n.bit_length()} bits in a {self.bits}-bit scanner"
                 )
-        t0 = time.perf_counter()
+        tel = self.telemetry
         base = len(self.moduli)
         report = BatchReport(
             batch_index=self._batches,
@@ -83,6 +89,8 @@ class IncrementalScanner:
             total_keys=base + len(new_moduli),
         )
         self._batches += 1
+        tel.emit("batch.start", batch=report.batch_index,
+                 new_keys=report.new_keys, total_keys=report.total_keys)
 
         # pairs: every new key against every old key, plus new-new pairs
         index_pairs: list[tuple[int, int]] = []
@@ -92,18 +100,33 @@ class IncrementalScanner:
             index_pairs.extend((base + t, gk) for t in range(k))
         self.moduli.extend(new_moduli)
 
-        for start in range(0, len(index_pairs), self.chunk_pairs):
-            chunk = index_pairs[start : start + self.chunk_pairs]
-            values = [(self.moduli[a], self.moduli[b]) for a, b in chunk]
-            result = self.engine.run_pairs(values, stop_bits=self.stop_bits, compact=True)
-            for (a, b), g in zip(chunk, result.gcds):
-                if g > 1:
-                    report.hits.append(WeakHit(a, b, g))
+        before = tel.timer.total_seconds("batch")
+        with tel.timer.span("batch"):
+            for start in range(0, len(index_pairs), self.chunk_pairs):
+                chunk = index_pairs[start : start + self.chunk_pairs]
+                values = [(self.moduli[a], self.moduli[b]) for a, b in chunk]
+                result = self.engine.run_pairs(
+                    values, stop_bits=self.stop_bits, compact=True, telemetry=tel
+                )
+                for (a, b), g in zip(chunk, result.gcds):
+                    if g > 1:
+                        report.hits.append(WeakHit(a, b, g))
+                tel.advance(len(chunk))
         report.pairs_tested = len(index_pairs)
         self.total_pairs_tested += len(index_pairs)
         self.all_hits.extend(report.hits)
         self.all_hits.sort(key=lambda h: (h.i, h.j))
-        report.elapsed_seconds = time.perf_counter() - t0
+        report.elapsed_seconds = tel.timer.total_seconds("batch") - before
+        reg = tel.registry
+        reg.counter("incremental.batches").inc()
+        reg.counter("incremental.keys").inc(len(new_moduli))
+        reg.counter("scan.pairs_tested").inc(report.pairs_tested)
+        reg.counter("scan.hits").inc(len(report.hits))
+        reg.histogram("incremental.batch_pairs").observe(report.pairs_tested)
+        report.metrics = tel.snapshot()
+        tel.emit("batch.done", batch=report.batch_index,
+                 pairs=report.pairs_tested, hits=len(report.hits),
+                 elapsed_seconds=report.elapsed_seconds)
         return report
 
     @property

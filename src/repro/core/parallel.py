@@ -8,17 +8,24 @@ modulus vector), so the decomposition is embarrassingly parallel, exactly
 like the CUDA grid.
 
 The modulus vector is shipped to each worker once via the pool initializer
-(fork shares it copy-on-write on Linux), not per task.
+(fork shares it copy-on-write on Linux), not per task.  Telemetry follows
+the same shape: every worker accumulates into its *own*
+:class:`~repro.telemetry.metrics.MetricsRegistry` (created in the
+initializer, so cross-process writes never race), each task result carries
+the worker's pid, and the workers' registries are merged into the parent's
+at join — counters add, histograms pool, so ``kernel.*`` statistics span
+the whole fleet.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import time
+import os
 
 from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import AttackReport, WeakHit
-from repro.core.pairing import block_schedule
+from repro.core.pairing import all_pair_count, block_schedule
+from repro.telemetry import MetricsRegistry, StageTimer, Telemetry
 
 __all__ = ["find_shared_primes_parallel"]
 
@@ -26,30 +33,42 @@ __all__ = ["find_shared_primes_parallel"]
 _WORKER_MODULI: list[int] = []
 _WORKER_ENGINE: BulkGcdEngine | None = None
 _WORKER_STOP: int | None = None
+_WORKER_TEL: Telemetry | None = None
 
 
 def _init_worker(moduli: list[int], algorithm: str, d: int, stop_bits: int | None) -> None:
-    global _WORKER_MODULI, _WORKER_ENGINE, _WORKER_STOP
+    global _WORKER_MODULI, _WORKER_ENGINE, _WORKER_STOP, _WORKER_TEL
     _WORKER_MODULI = moduli
     _WORKER_ENGINE = BulkGcdEngine(d=d, algorithm=algorithm)
     _WORKER_STOP = stop_bits
+    registry = MetricsRegistry()
+    _WORKER_TEL = Telemetry(registry=registry, timer=StageTimer(registry=registry))
 
 
-def _run_block(block_spec: tuple[int, int, int, int]) -> tuple[list[tuple[int, int, int]], int, int]:
-    """Process one block; returns (hits, pairs_tested, loop_trips)."""
+def _run_block(
+    block_spec: tuple[int, int, int, int],
+) -> tuple[list[tuple[int, int, int]], int, int, int, MetricsRegistry]:
+    """Process one block; returns (hits, pairs_tested, loop_trips, worker
+    pid, the worker's *cumulative* registry)."""
     from repro.core.pairing import BlockTask
 
     i, j, r, m = block_spec
     block = BlockTask(i=i, j=j, group_size=r, m=m)
     idx = list(block.pairs())
+    pid = os.getpid()
     if not idx:
-        return [], 0, 0
+        return [], 0, 0, pid, _WORKER_TEL.registry
     values = [(_WORKER_MODULI[a], _WORKER_MODULI[b]) for a, b in idx]
-    result = _WORKER_ENGINE.run_pairs(values, stop_bits=_WORKER_STOP, compact=True)
+    with _WORKER_TEL.timer.span("block"):
+        result = _WORKER_ENGINE.run_pairs(
+            values, stop_bits=_WORKER_STOP, compact=True, telemetry=_WORKER_TEL
+        )
+    _WORKER_TEL.registry.counter("worker.pairs_tested").inc(len(idx))
+    _WORKER_TEL.registry.histogram("scan.block_pairs").observe(len(idx))
     hits = [
         (a, b, g) for (a, b), g in zip(idx, result.gcds) if g > 1
     ]
-    return hits, len(idx), result.loop_trips
+    return hits, len(idx), result.loop_trips, pid, _WORKER_TEL.registry
 
 
 def find_shared_primes_parallel(
@@ -60,12 +79,14 @@ def find_shared_primes_parallel(
     d: int = 32,
     group_size: int = 64,
     early_terminate: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> AttackReport:
     """All-pairs scan with one worker process per core.
 
     Semantics match :func:`repro.core.attack.find_shared_primes` with the
     ``bulk`` backend; only the execution strategy differs.  ``processes``
-    defaults to ``os.cpu_count()``.
+    defaults to ``os.cpu_count()``.  ``report.metrics`` carries the merged
+    per-worker registries plus a ``parallel.workers`` gauge.
     """
     if len(moduli) < 2:
         raise ValueError("need at least two moduli")
@@ -82,17 +103,42 @@ def find_shared_primes_parallel(
         m=len(moduli), bits=bits, backend="parallel", algorithm=algorithm, blocks=len(specs)
     )
 
-    t0 = time.perf_counter()
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    with ctx.Pool(
-        processes=processes,
-        initializer=_init_worker,
-        initargs=(list(moduli), algorithm, d, stop_bits),
-    ) as pool:
-        for hits, pairs, trips in pool.imap_unordered(_run_block, specs):
-            report.pairs_tested += pairs
-            report.loop_trips += trips
-            report.hits.extend(WeakHit(a, b, g) for a, b, g in hits)
-    report.elapsed_seconds = time.perf_counter() - t0
+    tel = telemetry if telemetry is not None else Telemetry.create()
+    tel.registry.gauge("scan.moduli").set(len(moduli))
+    tel.registry.gauge("scan.bits").set(bits)
+    tel.registry.gauge("scan.blocks").set(len(specs))
+    tel.set_progress_total(all_pair_count(len(moduli)))
+    tel.emit("scan.start", backend="parallel", algorithm=algorithm,
+             moduli=len(moduli), bits=bits)
+
+    # one cumulative registry per worker pid; merged after the pool joins
+    worker_registries: dict[int, MetricsRegistry] = {}
+    with tel.timer.span("scan"):
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        with ctx.Pool(
+            processes=processes,
+            initializer=_init_worker,
+            initargs=(list(moduli), algorithm, d, stop_bits),
+        ) as pool:
+            for hits, pairs, trips, pid, registry in pool.imap_unordered(_run_block, specs):
+                report.pairs_tested += pairs
+                report.loop_trips += trips
+                report.hits.extend(WeakHit(a, b, g) for a, b, g in hits)
+                worker_registries[pid] = registry  # later snapshots supersede
+                tel.advance(pairs)
+    for registry in worker_registries.values():
+        tel.registry.merge(registry)
+    report.elapsed_seconds = tel.timer.total_seconds("scan")
     report.hits.sort(key=lambda h: (h.i, h.j))
+    reg = tel.registry
+    reg.gauge("parallel.workers").set(len(worker_registries))
+    reg.counter("scan.pairs_tested").inc(report.pairs_tested)
+    reg.counter("scan.hits").inc(len(report.hits))
+    if report.elapsed_seconds > 0:
+        reg.gauge("scan.pairs_per_second").set(
+            report.pairs_tested / report.elapsed_seconds
+        )
+    report.metrics = tel.snapshot()
+    tel.emit("scan.done", pairs_tested=report.pairs_tested,
+             hits=len(report.hits), elapsed_seconds=report.elapsed_seconds)
     return report

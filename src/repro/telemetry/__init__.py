@@ -1,0 +1,102 @@
+"""Unified observability for the attack pipeline.
+
+The paper's argument is numbers all the way down — iteration counts,
+word-access counts, microseconds per GCD — and this package is where the
+reproduction keeps its own: one :class:`MetricsRegistry` of counters,
+gauges and quantile histograms; :class:`StageTimer` spans that nest the
+way the pipeline nests (scan → block → kernel); a :class:`ProgressReporter`
+for the quadratic all-pairs scans; and a JSONL :class:`JsonlEventEmitter`
+for machine consumers.  `docs/OBSERVABILITY.md` documents the metric names
+and the JSONL schema.
+
+:class:`Telemetry` bundles the four so pipeline entry points take a single
+optional argument::
+
+    tel = Telemetry.create()
+    report = find_shared_primes(moduli, telemetry=tel)
+    report.metrics           # == tel.snapshot(); always populated
+
+Every pipeline function creates a private bundle when handed ``None``, so
+``report.metrics`` is never missing and callers pay for exactly the
+reporting they asked for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, IO
+
+from repro.telemetry.bridge import record_memlog
+from repro.telemetry.events import SCHEMA_VERSION, JsonlEventEmitter
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.progress import ProgressReporter, ProgressUpdate
+from repro.telemetry.timing import StageStats, StageTimer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlEventEmitter",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "ProgressUpdate",
+    "StageStats",
+    "StageTimer",
+    "Telemetry",
+    "record_memlog",
+]
+
+
+@dataclass
+class Telemetry:
+    """The pipeline-facing bundle: registry + timer (+ progress + events)."""
+
+    registry: MetricsRegistry
+    timer: StageTimer
+    progress: ProgressReporter | None = None
+    events: JsonlEventEmitter | None = None
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        progress_callback: Callable[[ProgressUpdate], None] | None = None,
+        progress_interval_seconds: float = 0.0,
+        event_stream: IO[str] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> Telemetry:
+        """A fresh bundle; progress/events are attached only when asked for."""
+        registry = MetricsRegistry()
+        timer = StageTimer(registry=registry, clock=clock)
+        progress = None
+        if progress_callback is not None:
+            progress = ProgressReporter(
+                callback=progress_callback,
+                min_interval_seconds=progress_interval_seconds,
+                clock=clock,
+            )
+        events = JsonlEventEmitter(event_stream, clock=clock) if event_stream else None
+        return cls(registry=registry, timer=timer, progress=progress, events=events)
+
+    def set_progress_total(self, total: int) -> None:
+        """Declare the work-unit total once it is known (pairs, levels, …)."""
+        if self.progress is not None:
+            self.progress.total = total
+
+    def advance(self, units: int = 1) -> None:
+        """Forward to the progress reporter, if any."""
+        if self.progress is not None:
+            self.progress.advance(units)
+
+    def emit(self, event: str, /, **fields) -> None:
+        """Forward to the event emitter, if any."""
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def snapshot(self) -> dict:
+        """The combined JSON-ready view: metrics plus stage timings."""
+        snap = self.registry.snapshot()
+        snap["stages"] = self.timer.snapshot()
+        return snap

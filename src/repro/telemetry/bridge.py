@@ -1,0 +1,42 @@
+"""Bridges from pre-existing instrumentation into the metrics registry.
+
+The word-level :class:`~repro.mp.memlog.CountingMemLog` predates this
+package — it backs the paper's Section IV access-count experiments — and
+the UMM cost model produces its own estimates.  These helpers fold such
+sources into a :class:`~repro.telemetry.metrics.MetricsRegistry` so a scan
+report shows *one* coherent set of numbers: wall time, pair throughput,
+and ``3·s/d + O(1)`` word traffic side by side.
+"""
+
+from __future__ import annotations
+
+from repro.mp.memlog import CountingMemLog
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["record_memlog"]
+
+
+def record_memlog(
+    registry: MetricsRegistry,
+    log: CountingMemLog,
+    *,
+    prefix: str = "memlog",
+) -> None:
+    """Fold a counting memlog's totals into the registry.
+
+    Emits ``<prefix>.reads`` / ``.writes`` / ``.swaps`` counters, per-array
+    ``<prefix>.reads.<array>`` / ``.writes.<array>`` counters, and a
+    ``<prefix>.accesses_per_iteration`` histogram (the quantity the paper
+    bounds by ``3·s/d + O(1)``).  Safe to call repeatedly only with fresh
+    logs — counters accumulate.
+    """
+    registry.counter(f"{prefix}.reads").inc(log.reads)
+    registry.counter(f"{prefix}.writes").inc(log.writes)
+    registry.counter(f"{prefix}.swaps").inc(log.swaps)
+    for array, n in sorted(log.per_array_reads.items()):
+        registry.counter(f"{prefix}.reads.{array}").inc(n)
+    for array, n in sorted(log.per_array_writes.items()):
+        registry.counter(f"{prefix}.writes.{array}").inc(n)
+    hist = registry.histogram(f"{prefix}.accesses_per_iteration")
+    for accesses in log.per_iteration:
+        hist.observe(accesses)

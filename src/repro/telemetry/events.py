@@ -1,0 +1,64 @@
+"""Structured JSONL event emission for machine consumers.
+
+One event per line, one JSON object per event, schema version pinned so
+downstream parsers (dashboards, regression bots comparing scan runs) can
+rely on it.  Every line carries:
+
+* ``v``     — the schema version (:data:`SCHEMA_VERSION`);
+* ``seq``   — a per-emitter monotone sequence number (gap-free, so a
+  truncated log is detectable);
+* ``t``     — seconds since the emitter was created (monotonic clock, so
+  deltas are meaningful even when the wall clock steps);
+* ``event`` — the event name (``scan.start``, ``block.done``, …);
+
+plus the event's own fields, which must be JSON-serialisable.  Emission is
+line-buffered and flushed per event: a crashed scan leaves a readable log.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, IO
+
+__all__ = ["SCHEMA_VERSION", "JsonlEventEmitter"]
+
+#: bump when the envelope (v/seq/t/event) changes shape
+SCHEMA_VERSION = 1
+
+
+class JsonlEventEmitter:
+    """Writes one JSON object per line to a text stream."""
+
+    def __init__(
+        self,
+        stream: IO[str],
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.stream = stream
+        self.clock = clock
+        self.seq = 0
+        self._start = clock()
+
+    def emit(self, event: str, /, **fields) -> dict:
+        """Write one event; returns the emitted object (tests inspect it).
+
+        Reserved envelope keys cannot be shadowed by ``fields``.
+        """
+        if not event:
+            raise ValueError("event name must be non-empty")
+        clash = {"v", "seq", "t", "event"} & set(fields)
+        if clash:
+            raise ValueError(f"fields shadow envelope keys: {sorted(clash)}")
+        record = {
+            "v": SCHEMA_VERSION,
+            "seq": self.seq,
+            "t": self.clock() - self._start,
+            "event": event,
+            **fields,
+        }
+        self.seq += 1
+        self.stream.write(json.dumps(record, sort_keys=False) + "\n")
+        self.stream.flush()
+        return record

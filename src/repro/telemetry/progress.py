@@ -1,0 +1,102 @@
+"""Progress reporting for long all-pairs scans: throughput, ETA, callbacks.
+
+An all-pairs scan over ``m`` moduli is ``m(m−1)/2`` pairs — quadratic, so a
+production corpus runs for minutes to hours and *must* say where it is.
+:class:`ProgressReporter` tracks completed work units (pairs, tree levels,
+batches), derives throughput and an ETA from wall time, and invokes a
+callback at most once per ``min_interval_seconds`` (rate limiting keeps the
+callback out of the hot loop's profile).  The terminal callback used by
+``scan --progress`` lives in :mod:`repro.cli`; the reporter itself is
+presentation-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ProgressUpdate", "ProgressReporter"]
+
+
+@dataclass(frozen=True)
+class ProgressUpdate:
+    """One progress observation, as passed to callbacks."""
+
+    completed: int
+    total: int | None
+    elapsed_seconds: float
+    #: work units per second over the whole run so far (0 before any time passes)
+    throughput: float
+    #: seconds until done at current throughput; None when unknowable
+    eta_seconds: float | None
+    #: fraction complete in [0, 1]; None when total is unknown
+    fraction: float | None
+
+    def render(self) -> str:
+        """A one-line human form (used by ``scan --progress``)."""
+        if self.total is not None and self.fraction is not None:
+            head = f"{self.completed}/{self.total} ({self.fraction * 100.0:5.1f}%)"
+        else:
+            head = f"{self.completed} units"
+        tail = f"{self.throughput:,.0f}/s"
+        if self.eta_seconds is not None:
+            tail += f", ETA {self.eta_seconds:,.0f}s"
+        return f"{head} at {tail}"
+
+
+class ProgressReporter:
+    """Counts completed work units and reports at a bounded rate."""
+
+    def __init__(
+        self,
+        total: int | None = None,
+        *,
+        callback: Callable[[ProgressUpdate], None] | None = None,
+        min_interval_seconds: float = 0.0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if total is not None and total < 0:
+            raise ValueError("total must be non-negative")
+        self.total = total
+        self.callback = callback
+        self.min_interval_seconds = min_interval_seconds
+        self.clock = clock
+        self.completed = 0
+        self._start = clock()
+        self._last_report = float("-inf")
+
+    def advance(self, units: int = 1) -> None:
+        """Record ``units`` more completed; maybe fire the callback."""
+        if units < 0:
+            raise ValueError("progress only advances")
+        self.completed += units
+        if self.callback is None:
+            return
+        now = self.clock()
+        finished = self.total is not None and self.completed >= self.total
+        if finished or now - self._last_report >= self.min_interval_seconds:
+            self._last_report = now
+            self.callback(self.update())
+
+    def update(self) -> ProgressUpdate:
+        """The current observation (computed fresh; no side effects)."""
+        elapsed = max(self.clock() - self._start, 0.0)
+        throughput = self.completed / elapsed if elapsed > 0 else 0.0
+        fraction = None
+        eta = None
+        if self.total is not None and self.total > 0:
+            fraction = min(self.completed / self.total, 1.0)
+            if throughput > 0:
+                eta = max(self.total - self.completed, 0) / throughput
+        elif self.total == 0:
+            fraction = 1.0
+            eta = 0.0
+        return ProgressUpdate(
+            completed=self.completed,
+            total=self.total,
+            elapsed_seconds=elapsed,
+            throughput=throughput,
+            eta_seconds=eta,
+            fraction=fraction,
+        )

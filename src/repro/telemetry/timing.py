@@ -1,0 +1,101 @@
+"""Nested stage timing: the structured replacement for ad-hoc perf_counter.
+
+A :class:`StageTimer` hands out context-manager *spans*; spans nest, and a
+completed span records its duration under its slash-joined path::
+
+    with timer.span("scan"):
+        for block in schedule:
+            with timer.span("block"):
+                with timer.span("kernel"):
+                    ...
+
+yields stage paths ``scan``, ``scan/block`` and ``scan/block/kernel`` —
+the hierarchy of the attack pipeline itself.  Durations feed a
+:class:`~repro.telemetry.metrics.Histogram` per path (when a registry is
+attached, as ``stage.<path>.seconds``) plus always-on aggregate
+:class:`StageStats`, so reports can show both totals and p95s.
+
+The clock is injectable; tests drive spans with a fake clock and assert
+exact nesting arithmetic (a child's total can never exceed its parent's).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["StageStats", "StageTimer"]
+
+
+@dataclass
+class StageStats:
+    """Aggregate timings of one stage path."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+
+class StageTimer:
+    """Span-based timing keyed by nested stage paths."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.clock = clock
+        self.stages: dict[str, StageStats] = {}
+        self._stack: list[str] = []
+
+    @property
+    def current_path(self) -> str:
+        """The slash-joined path of the innermost open span ('' outside)."""
+        return "/".join(self._stack)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time one stage; nested spans extend the path."""
+        if not name or "/" in name:
+            raise ValueError(f"span names are single path segments, got {name!r}")
+        self._stack.append(name)
+        path = self.current_path
+        start = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - start
+            popped = self._stack.pop()
+            assert popped == name
+            self.stages.setdefault(path, StageStats()).record(elapsed)
+            if self.registry is not None:
+                self.registry.histogram(f"stage.{path}.seconds").observe(elapsed)
+
+    def total_seconds(self, path: str) -> float:
+        """Summed duration of every completed span at ``path`` (0 if none)."""
+        stats = self.stages.get(path)
+        return stats.total_seconds if stats else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-path aggregates, sorted by path."""
+        return {
+            path: {
+                "count": s.count,
+                "total_seconds": s.total_seconds,
+                "min_seconds": s.min_seconds,
+                "max_seconds": s.max_seconds,
+            }
+            for path, s in sorted(self.stages.items())
+        }

@@ -1,0 +1,93 @@
+"""Cross-backend oracle: every backend must tell the same story.
+
+The ``bulk`` SIMT engine, the ``scalar`` reference loop, the Bernstein
+``batch`` tree and the multi-process ``parallel`` pool are four routes to
+one answer; on a seeded weak corpus they must report the *identical* hit
+set (indices and shared primes), and the metrics payload each produces
+must account for exactly the all-pairs coverage ``m(m−1)/2`` — including
+the batch backend's post-hoc re-pairing path.
+"""
+
+import pytest
+
+from repro.core.attack import find_shared_primes
+from repro.core.pairing import all_pair_count
+from repro.core.parallel import find_shared_primes_parallel
+from repro.rsa.corpus import generate_weak_corpus
+
+BACKENDS = ("bulk", "scalar", "batch")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # 2-groups, a 3-group and a duplicate-prone layout: hits of every shape
+    return generate_weak_corpus(48, 96, shared_groups=(2, 2, 3), seed="oracle")
+
+
+@pytest.fixture(scope="module")
+def reports(corpus):
+    return {
+        backend: find_shared_primes(corpus.moduli, backend=backend)
+        for backend in BACKENDS
+    }
+
+
+class TestIdenticalHitSets:
+    def test_ground_truth_found(self, corpus, reports):
+        for backend in BACKENDS:
+            assert reports[backend].hit_pairs == corpus.weak_pair_set(), backend
+
+    def test_hits_identical_across_backends(self, reports):
+        baseline = [(h.i, h.j, h.prime) for h in reports["bulk"].hits]
+        for backend in ("scalar", "batch"):
+            got = [(h.i, h.j, h.prime) for h in reports[backend].hits]
+            assert got == baseline, backend
+
+    def test_parallel_matches_bulk(self, corpus, reports):
+        par = find_shared_primes_parallel(corpus.moduli, processes=2)
+        baseline = [(h.i, h.j, h.prime) for h in reports["bulk"].hits]
+        assert [(h.i, h.j, h.prime) for h in par.hits] == baseline
+        assert par.metrics["counters"]["scan.pairs_tested"] == all_pair_count(par.m)
+
+
+class TestMetricsConsistency:
+    def test_pairs_tested_equals_all_pair_count(self, corpus, reports):
+        expect = all_pair_count(len(corpus.moduli))
+        for backend in BACKENDS:
+            r = reports[backend]
+            assert r.pairs_tested == expect, backend
+            assert r.metrics["counters"]["scan.pairs_tested"] == expect, backend
+
+    def test_metrics_payload_always_populated(self, reports):
+        for backend, r in reports.items():
+            assert set(r.metrics) == {"counters", "gauges", "histograms", "stages"}
+            assert r.metrics["counters"]["scan.hits"] == len(r.hits), backend
+            assert "scan" in r.metrics["stages"], backend
+            assert r.metrics["stages"]["scan"]["total_seconds"] > 0, backend
+
+    def test_elapsed_seconds_stays_populated(self, reports):
+        # compatibility: the pre-telemetry field must keep working
+        for backend, r in reports.items():
+            assert r.elapsed_seconds > 0, backend
+            assert r.elapsed_seconds == r.metrics["stages"]["scan"]["total_seconds"]
+
+    def test_batch_backend_tree_level_metrics(self, reports):
+        m = reports["batch"].metrics
+        assert m["gauges"]["batch.levels"] >= 2
+        assert m["histograms"]["batch.product_level_seconds"]["count"] >= 1
+        assert m["histograms"]["batch.remainder_level_seconds"]["count"] >= 1
+        for stage in ("scan/product_tree", "scan/remainder_tree", "scan/final_gcds"):
+            assert stage in m["stages"]
+
+
+def test_duplicate_key_agreement():
+    """A duplicated modulus (both primes shared) must be reported the same
+    way by the pairwise backends and the batch re-pairing path."""
+    corpus = generate_weak_corpus(12, 96, shared_groups=(2,), seed="dup")
+    moduli = list(corpus.moduli)
+    moduli.append(moduli[3])  # redeploy key 3 verbatim
+    reports = [find_shared_primes(moduli, backend=b) for b in BACKENDS]
+    baseline = {(h.i, h.j, h.prime) for h in reports[0].hits}
+    assert (3, len(moduli) - 1, moduli[3]) in baseline
+    for r in reports[1:]:
+        assert {(h.i, h.j, h.prime) for h in r.hits} == baseline, r.backend

@@ -98,3 +98,22 @@ class TestIncrementalScanner:
             (i, j) for (i, j) in corpus.weak_pair_set() if i < 8 and j < 8
         }
         assert {(h.i, h.j) for h in scanner.all_hits} == expected
+
+
+class TestIncrementalTelemetry:
+    def test_batch_reports_carry_metrics(self):
+        from repro.rsa.corpus import generate_weak_corpus
+
+        corpus = generate_weak_corpus(20, 64, shared_groups=(2,), seed="inc-tel")
+        scanner = IncrementalScanner(bits=64)
+        first = scanner.add_batch(corpus.moduli[:10])
+        second = scanner.add_batch(corpus.moduli[10:])
+        # counters are scanner-lifetime: the second snapshot covers both batches
+        assert second.metrics["counters"]["incremental.batches"] == 2
+        assert (
+            second.metrics["counters"]["scan.pairs_tested"]
+            == first.pairs_tested + second.pairs_tested
+            == 20 * 19 // 2
+        )
+        assert second.metrics["stages"]["batch"]["count"] == 2
+        assert first.elapsed_seconds > 0 and second.elapsed_seconds > 0

@@ -1,0 +1,169 @@
+"""Property-based differential suite: every GCD tier against ``math.gcd``.
+
+The repo carries the same mathematical function at several tiers —
+reference algorithms A–E, Lehmer's algorithm, and the instrumented
+word-array tier — and the paper's whole argument rests on them being
+*exactly* equal.  These tests fuzz operands across bit lengths 8–2048,
+plus the adversarial shapes that historically break quotient-estimating
+GCDs: equal inputs, one-word operands, powers of two, and ``x = q·y ± 1``
+(a maximal quotient followed by a unit remainder, which stresses the
+Approximate Euclid ``β > 0`` branch).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gcd.lehmer import LehmerStats, gcd_lehmer
+from repro.gcd.reference import ALGORITHMS, GcdStats, gcd, gcd_approx
+from repro.gcd.word import gcd_approx_words, gcd_binary_words, gcd_fast_binary_words
+from repro.mp.wordint import WordInt
+
+LETTERS = sorted(ALGORITHMS)
+
+
+@st.composite
+def sized_int(draw, min_bits=8, max_bits=2048):
+    """An integer with a uniformly drawn bit length in [min_bits, max_bits]."""
+    bits = draw(st.integers(min_bits, max_bits))
+    return draw(st.integers(2 ** (bits - 1), 2 ** bits - 1))
+
+
+def odd(n: int) -> int:
+    return n | 1
+
+
+class TestReferenceTier:
+    @settings(max_examples=60, deadline=None)
+    @given(x=sized_int(), y=sized_int())
+    def test_all_five_match_math_gcd(self, x, y):
+        expect = math.gcd(x, y)
+        for letter in LETTERS:
+            assert gcd(x, y, algorithm=letter) == expect, letter
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=sized_int(), y=sized_int(), d=st.sampled_from([4, 8, 16, 32]))
+    def test_approx_word_sizes(self, x, y, d):
+        assert gcd(x, y, algorithm="E", d=d) == math.gcd(x, y)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=sized_int())
+    def test_equal_inputs(self, x):
+        for letter in LETTERS:
+            assert gcd(x, x, algorithm=letter) == x, letter
+
+    @settings(max_examples=60, deadline=None)
+    @given(k=st.integers(0, 2048), j=st.integers(0, 2048))
+    def test_powers_of_two(self, k, j):
+        expect = 1 << min(k, j)
+        for letter in LETTERS:
+            assert gcd(1 << k, 1 << j, algorithm=letter) == expect, letter
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=st.integers(1, 2**32 - 1), y=st.integers(1, 2**32 - 1))
+    def test_one_word_operands(self, x, y):
+        expect = math.gcd(x, y)
+        for letter in LETTERS:
+            assert gcd(x, y, algorithm=letter) == expect, letter
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        y=sized_int(min_bits=8, max_bits=512),
+        q=sized_int(min_bits=8, max_bits=512),
+        sign=st.sampled_from([-1, 1]),
+    )
+    def test_near_multiple_quotients(self, y, q, sign):
+        """``x = q·y ± 1``: a huge multi-word quotient then a tiny residue —
+        exactly the shape where an α·D^β estimate must not overshoot."""
+        y = odd(y)
+        x = q * y + sign
+        if x <= 0:
+            x += 2
+        assert gcd(x, y, algorithm="E") == math.gcd(x, y)
+
+    @settings(max_examples=40, deadline=None)
+    @given(y=sized_int(min_bits=96, max_bits=512), q=sized_int(min_bits=96, max_bits=512))
+    def test_beta_branch_exercised_and_exact(self, y, q):
+        """Multi-word quotients force β > 0 (Case 3/4 splits); the result
+        must stay exact and the branch must actually fire on this shape."""
+        y = odd(y)
+        x = odd(q * y + 1)
+        stats = GcdStats()
+        assert gcd_approx(x, y, d=4, stats=stats) == math.gcd(x, y)
+        assert stats.beta_nonzero > 0
+
+
+class TestLehmerTier:
+    @settings(max_examples=50, deadline=None)
+    @given(x=sized_int(), y=sized_int())
+    def test_matches_math_gcd(self, x, y):
+        assert gcd_lehmer(x, y) == math.gcd(x, y)
+
+    @settings(max_examples=50, deadline=None)
+    @given(y=sized_int(max_bits=512), q=sized_int(max_bits=512), sign=st.sampled_from([-1, 1]))
+    def test_near_multiple_quotients(self, y, q, sign):
+        x = max(q * y + sign, 1)
+        stats = LehmerStats()
+        assert gcd_lehmer(x, y, stats=stats) == math.gcd(x, y)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=sized_int())
+    def test_equal_inputs(self, x):
+        assert gcd_lehmer(x, x) == x
+
+
+class TestWordArrayTier:
+    """The instrumented tier mutates its operands, so each call gets fresh
+    WordInts; operands must be odd (paper Section II precondition)."""
+
+    WORD_FNS = [gcd_approx_words, gcd_binary_words, gcd_fast_binary_words]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=sized_int(max_bits=384),
+        y=sized_int(max_bits=384),
+        d=st.sampled_from([8, 16, 32]),
+    )
+    def test_all_word_algorithms_match(self, x, y, d):
+        x, y = odd(x), odd(y)
+        expect = math.gcd(x, y)
+        for fn in self.WORD_FNS:
+            got = fn(WordInt.from_int(x, d, name="X"), WordInt.from_int(y, d, name="Y"))
+            assert got == expect, fn.__name__
+
+    @settings(max_examples=25, deadline=None)
+    @given(y=sized_int(max_bits=256), q=sized_int(max_bits=256))
+    def test_near_multiple_quotients(self, y, q):
+        y = odd(y)
+        x = odd(q * y + 1)
+        got = gcd_approx_words(
+            WordInt.from_int(x, 8, name="X"), WordInt.from_int(y, 8, name="Y")
+        )
+        assert got == math.gcd(x, y)
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=sized_int(max_bits=256))
+    def test_equal_inputs(self, x):
+        x = odd(x)
+        got = gcd_approx_words(
+            WordInt.from_int(x, 16, name="X"), WordInt.from_int(x, 16, name="Y")
+        )
+        assert got == x
+
+
+@pytest.mark.parametrize("letter", LETTERS)
+@pytest.mark.parametrize(
+    "x, y",
+    [
+        (1, 1),
+        (1, 2**2048 - 1),
+        (2**2047, 2**2047),
+        (3, 2**1024),
+        (2**521 - 1, 2**607 - 1),         # coprime Mersenne primes
+        ((2**127 - 1) * 3**50, (2**127 - 1) * 5**40),  # big shared factor
+    ],
+)
+def test_pinned_adversarial_pairs(letter, x, y):
+    """Deterministic regression anchors alongside the randomized sweep."""
+    assert gcd(x, y, algorithm=letter) == math.gcd(x, y)

@@ -1,0 +1,126 @@
+"""Fuzz tests for the RSA parsing layer: web-scraped input is hostile.
+
+The attack ingests PEM bundles scraped from the open Internet, so the
+parsers' failure mode matters as much as their success mode: truncated or
+bit-flipped DER must raise a *clean* :class:`ValueError` (``DERError`` /
+``PEMError`` both subclass it) — never an ``IndexError``, never an
+unbounded loop — and valid blocks must survive arbitrary mutation of the
+text *around* them, because scrapes interleave keys with HTML, headers and
+other PEM labels.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rsa.der import (
+    DERError,
+    decode_rsa_private_key,
+    decode_rsa_public_key,
+    decode_subject_public_key_info,
+    encode_rsa_public_key,
+    encode_subject_public_key_info,
+)
+from repro.rsa.keys import generate_key
+from repro.rsa.pem import (
+    PEMError,
+    load_public_moduli,
+    pem_decode,
+    public_key_to_pem,
+)
+from repro.util.rng import derive_rng
+
+KEY = generate_key(128, derive_rng("pem-fuzz", 128))
+SPKI = encode_subject_public_key_info(KEY.n, KEY.e)
+PKCS1 = encode_rsa_public_key(KEY.n, KEY.e)
+PEM_TEXT = public_key_to_pem(KEY)
+
+DECODERS = [
+    (decode_subject_public_key_info, SPKI),
+    (decode_rsa_public_key, PKCS1),
+]
+
+
+class TestDerTruncation:
+    @pytest.mark.parametrize("decoder, der", DECODERS)
+    def test_every_truncation_raises_value_error(self, decoder, der):
+        """Exhaustive, not sampled: every proper prefix must fail cleanly."""
+        for cut in range(len(der)):
+            with pytest.raises(ValueError):
+                decoder(der[:cut])
+
+    @pytest.mark.parametrize("decoder, der", DECODERS)
+    def test_trailing_garbage_rejected(self, decoder, der):
+        with pytest.raises(DERError):
+            decoder(der + b"\x00")
+
+    def test_private_key_truncation(self):
+        from repro.rsa.der import encode_rsa_private_key
+
+        der = encode_rsa_private_key(KEY.n, KEY.e, KEY.d, KEY.p, KEY.q)
+        for cut in range(0, len(der), 7):
+            with pytest.raises(ValueError):
+                decode_rsa_private_key(der[:cut])
+
+
+class TestDerBitFlips:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        pos=st.integers(0, len(SPKI) - 1),
+        bit=st.integers(0, 7),
+    )
+    def test_single_bit_flip_never_crashes(self, pos, bit):
+        """A flipped bit either still parses (payload bits) or raises a
+        ValueError subclass — nothing else escapes, and it terminates."""
+        mutated = bytearray(SPKI)
+        mutated[pos] ^= 1 << bit
+        try:
+            n, e = decode_subject_public_key_info(bytes(mutated))
+        except ValueError:
+            return
+        assert n >= 0 and e >= 0
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_random_bytes_never_crash(self, data):
+        for decoder, _ in DECODERS:
+            try:
+                decoder(data)
+            except ValueError:
+                pass
+
+
+class TestPemArmorMutation:
+    def test_truncated_armor_raises_pem_error(self):
+        for cut in (10, len(PEM_TEXT) // 2, len(PEM_TEXT) - 5):
+            with pytest.raises(PEMError):
+                pem_decode(PEM_TEXT[:cut])
+
+    @settings(max_examples=100, deadline=None)
+    @given(pos=st.integers(0, len(PEM_TEXT) - 1), ch=st.characters(min_codepoint=32, max_codepoint=126))
+    def test_character_substitution_never_crashes(self, pos, ch):
+        mutated = PEM_TEXT[:pos] + ch + PEM_TEXT[pos + 1:]
+        try:
+            moduli = load_public_moduli(mutated)
+        except ValueError:
+            return
+        # parsed fine: either unharmed, or the block was damaged out of
+        # recognition and skipped
+        assert moduli in ([], [KEY.n]) or len(moduli) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(prefix=st.text(max_size=200), suffix=st.text(max_size=200))
+    def test_surrounding_text_mutation_preserves_round_trip(self, prefix, suffix):
+        """Valid blocks must survive arbitrary junk around them — unless the
+        junk itself forms the armor sentinel."""
+        for fragment in (prefix, suffix):
+            if "-----" in fragment:
+                return
+        bundle = prefix + "\n" + PEM_TEXT + "\n" + suffix
+        assert load_public_moduli(bundle) == [KEY.n]
+
+    def test_scrape_like_bundle(self):
+        bundle = (
+            "<html><pre>\n" + PEM_TEXT +
+            "</pre>\nServer: nginx\n" + PEM_TEXT + "trailing prose"
+        )
+        assert load_public_moduli(bundle) == [KEY.n, KEY.n]

@@ -1,0 +1,81 @@
+"""JSONL event emitter: schema stability is the whole contract."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import SCHEMA_VERSION, JsonlEventEmitter, Telemetry
+
+from tests.telemetry.test_timing import FakeClock
+
+ENVELOPE_KEYS = ["v", "seq", "t", "event"]
+
+
+def emit_and_parse(emitter_calls):
+    buf = io.StringIO()
+    clock = FakeClock()
+    em = JsonlEventEmitter(buf, clock=clock)
+    for event, fields in emitter_calls:
+        clock.tick(1.0)
+        em.emit(event, **fields)
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestSchema:
+    def test_envelope_keys_and_order(self):
+        records = emit_and_parse([("scan.start", {"moduli": 10})])
+        (rec,) = records
+        assert list(rec)[:4] == ENVELOPE_KEYS
+        assert rec["v"] == SCHEMA_VERSION
+        assert rec["event"] == "scan.start"
+        assert rec["moduli"] == 10
+
+    def test_seq_is_gap_free_and_t_monotone(self):
+        records = emit_and_parse(
+            [("a", {}), ("b", {}), ("c", {})]
+        )
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        ts = [r["t"] for r in records]
+        assert ts == sorted(ts)
+
+    def test_one_object_per_line(self):
+        buf = io.StringIO()
+        em = JsonlEventEmitter(buf, clock=FakeClock())
+        em.emit("x", nested={"a": [1, 2]})
+        em.emit("y")
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # each line independently parseable
+
+    def test_envelope_shadowing_rejected(self):
+        em = JsonlEventEmitter(io.StringIO(), clock=FakeClock())
+        with pytest.raises(ValueError):
+            em.emit("x", seq=9)
+        with pytest.raises(ValueError):
+            em.emit("x", event="other")
+
+    def test_empty_event_name_rejected(self):
+        em = JsonlEventEmitter(io.StringIO(), clock=FakeClock())
+        with pytest.raises(ValueError):
+            em.emit("")
+
+
+class TestScanEventStream:
+    def test_scan_emits_start_blocks_done(self):
+        from repro.core.attack import find_shared_primes
+        from repro.rsa.corpus import generate_weak_corpus
+
+        corpus = generate_weak_corpus(10, 64, shared_groups=(2,), seed="ev")
+        buf = io.StringIO()
+        tel = Telemetry.create(event_stream=buf)
+        find_shared_primes(corpus.moduli, telemetry=tel)
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        names = [r["event"] for r in records]
+        assert names[0] == "scan.start"
+        assert names[-1] == "scan.done"
+        assert "block.done" in names
+        done = records[-1]
+        assert done["pairs_tested"] == 45
+        assert done["hits"] == 1

@@ -1,0 +1,59 @@
+"""Per-worker registry merge: the fleet's numbers must add up exactly.
+
+:mod:`repro.core.parallel` gives each worker process its own registry and
+merges them into the parent's at join; these tests pin the accounting —
+merged counters must equal the single-process totals, with no double
+counting from the cumulative per-task snapshots.
+"""
+
+import pytest
+
+from repro.core.attack import find_shared_primes
+from repro.core.pairing import all_pair_count
+from repro.core.parallel import find_shared_primes_parallel
+from repro.rsa.corpus import generate_weak_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_weak_corpus(40, 64, shared_groups=(2, 2), seed="merge")
+
+
+@pytest.fixture(scope="module")
+def parallel_report(corpus):
+    # group_size 8 -> many blocks, so workers each process several tasks and
+    # the later-snapshot-supersedes-earlier merge path is actually exercised
+    return find_shared_primes_parallel(corpus.moduli, processes=2, group_size=8)
+
+
+class TestMergedCounters:
+    def test_pair_accounting_is_exact(self, corpus, parallel_report):
+        expect = all_pair_count(len(corpus.moduli))
+        c = parallel_report.metrics["counters"]
+        assert parallel_report.pairs_tested == expect
+        assert c["scan.pairs_tested"] == expect
+        # worker-side counter, merged across registries: must agree exactly
+        # (any double merge of a cumulative snapshot would inflate this)
+        assert c["worker.pairs_tested"] == expect
+        assert c["kernel.lanes"] == expect
+
+    def test_kernel_totals_match_single_process(self, corpus, parallel_report):
+        solo = find_shared_primes(corpus.moduli, group_size=8)
+        pc = parallel_report.metrics["counters"]
+        sc = solo.metrics["counters"]
+        for name in ("kernel.lanes", "kernel.loop_trips", "kernel.early_terminated",
+                     "kernel.runs", "scan.hits"):
+            assert pc[name] == sc[name], name
+
+    def test_worker_gauge_and_hits(self, corpus, parallel_report):
+        assert 1 <= parallel_report.metrics["gauges"]["parallel.workers"] <= 2
+        assert parallel_report.hit_pairs == corpus.weak_pair_set()
+
+    def test_histograms_pooled_across_workers(self, parallel_report):
+        h = parallel_report.metrics["histograms"]["kernel.batch_pairs"]
+        # one sample per non-empty block, pooled from every worker
+        assert h["count"] >= parallel_report.blocks // 2
+        assert h["sum"] == parallel_report.pairs_tested
+
+    def test_elapsed_seconds_populated(self, parallel_report):
+        assert parallel_report.elapsed_seconds > 0

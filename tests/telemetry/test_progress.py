@@ -1,0 +1,92 @@
+"""ProgressReporter: throughput/ETA arithmetic and callback rate limiting."""
+
+import pytest
+
+from repro.telemetry import ProgressReporter
+
+from tests.telemetry.test_timing import FakeClock
+
+
+class TestArithmetic:
+    def test_throughput_and_eta(self):
+        clock = FakeClock()
+        p = ProgressReporter(total=100, clock=clock)
+        clock.tick(2.0)
+        p.advance(20)
+        u = p.update()
+        assert u.completed == 20
+        assert u.throughput == pytest.approx(10.0)
+        assert u.eta_seconds == pytest.approx(8.0)
+        assert u.fraction == pytest.approx(0.2)
+
+    def test_unknown_total(self):
+        clock = FakeClock()
+        p = ProgressReporter(clock=clock)
+        clock.tick(1.0)
+        p.advance(5)
+        u = p.update()
+        assert u.total is None and u.fraction is None and u.eta_seconds is None
+        assert u.throughput == pytest.approx(5.0)
+
+    def test_zero_elapsed_throughput_is_zero(self):
+        p = ProgressReporter(total=10, clock=FakeClock())
+        p.advance(3)
+        assert p.update().throughput == 0.0
+
+    def test_fraction_clamped_past_total(self):
+        clock = FakeClock()
+        p = ProgressReporter(total=10, clock=clock)
+        clock.tick(1.0)
+        p.advance(15)
+        u = p.update()
+        assert u.fraction == 1.0
+        assert u.eta_seconds == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(total=1, clock=FakeClock()).advance(-1)
+
+
+class TestCallbacks:
+    def test_rate_limited(self):
+        clock = FakeClock()
+        seen = []
+        p = ProgressReporter(
+            total=1000, callback=seen.append,
+            min_interval_seconds=1.0, clock=clock,
+        )
+        p.advance(1)                 # fires (first report)
+        for _ in range(10):
+            p.advance(1)             # all inside the interval: suppressed
+        clock.tick(1.5)
+        p.advance(1)                 # interval elapsed: fires
+        assert len(seen) == 2
+
+    def test_completion_always_fires(self):
+        clock = FakeClock()
+        seen = []
+        p = ProgressReporter(
+            total=10, callback=seen.append,
+            min_interval_seconds=60.0, clock=clock,
+        )
+        p.advance(9)
+        p.advance(1)                 # reaches total: must fire despite limiter
+        assert seen[-1].completed == 10
+        assert seen[-1].fraction == 1.0
+
+
+class TestRender:
+    def test_render_with_total(self):
+        clock = FakeClock()
+        p = ProgressReporter(total=200, clock=clock)
+        clock.tick(1.0)
+        p.advance(50)
+        text = p.update().render()
+        assert "50/200" in text and "25.0%" in text and "ETA" in text
+
+    def test_render_without_total(self):
+        clock = FakeClock()
+        p = ProgressReporter(clock=clock)
+        clock.tick(1.0)
+        p.advance(7)
+        assert "7 units" in p.update().render()

@@ -1,0 +1,108 @@
+"""StageTimer: nested span paths, exact arithmetic under a fake clock."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, StageTimer
+
+
+class FakeClock:
+    """A clock tests can step deterministically."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpans:
+    def test_single_span_duration(self, clock):
+        t = StageTimer(clock=clock)
+        with t.span("scan"):
+            clock.tick(2.5)
+        assert t.total_seconds("scan") == 2.5
+        assert t.stages["scan"].count == 1
+
+    def test_nested_paths(self, clock):
+        t = StageTimer(clock=clock)
+        with t.span("scan"):
+            clock.tick(1.0)
+            with t.span("block"):
+                clock.tick(2.0)
+                with t.span("kernel"):
+                    clock.tick(4.0)
+        assert set(t.stages) == {"scan", "scan/block", "scan/block/kernel"}
+        assert t.total_seconds("scan") == 7.0
+        assert t.total_seconds("scan/block") == 6.0
+        assert t.total_seconds("scan/block/kernel") == 4.0
+
+    def test_child_total_never_exceeds_parent(self, clock):
+        """Timing monotonicity: each nesting level is a superset interval."""
+        t = StageTimer(clock=clock)
+        for _ in range(5):
+            with t.span("scan"):
+                clock.tick(0.5)
+                with t.span("block"):
+                    clock.tick(1.25)
+        assert t.total_seconds("scan/block") <= t.total_seconds("scan")
+        assert t.stages["scan"].count == t.stages["scan/block"].count == 5
+
+    def test_sibling_spans_share_a_path(self, clock):
+        t = StageTimer(clock=clock)
+        with t.span("scan"):
+            for seconds in (1.0, 3.0):
+                with t.span("block"):
+                    clock.tick(seconds)
+        stats = t.stages["scan/block"]
+        assert stats.count == 2
+        assert stats.min_seconds == 1.0
+        assert stats.max_seconds == 3.0
+        assert stats.total_seconds == 4.0
+
+    def test_exception_still_records_and_unwinds(self, clock):
+        t = StageTimer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with t.span("scan"):
+                clock.tick(1.0)
+                raise RuntimeError
+        assert t.total_seconds("scan") == 1.0
+        assert t.current_path == ""
+
+    def test_current_path(self, clock):
+        t = StageTimer(clock=clock)
+        assert t.current_path == ""
+        with t.span("a"):
+            with t.span("b"):
+                assert t.current_path == "a/b"
+        assert t.current_path == ""
+
+    def test_rejects_path_separators_in_names(self, clock):
+        t = StageTimer(clock=clock)
+        with pytest.raises(ValueError):
+            with t.span("a/b"):
+                pass
+
+    def test_registry_histogram_mirrors_spans(self, clock):
+        reg = MetricsRegistry()
+        t = StageTimer(registry=reg, clock=clock)
+        with t.span("scan"):
+            clock.tick(2.0)
+        h = reg.histogram("stage.scan.seconds")
+        assert h.samples == [2.0]
+
+    def test_snapshot_schema(self, clock):
+        t = StageTimer(clock=clock)
+        with t.span("scan"):
+            clock.tick(1.0)
+        snap = t.snapshot()
+        assert set(snap["scan"]) == {
+            "count", "total_seconds", "min_seconds", "max_seconds"
+        }

@@ -169,3 +169,116 @@ class TestCertificateFlow:
         out = capsys.readouterr().out
         assert rc == 0
         assert "WEAK keys" in out
+
+
+class TestScanStats:
+    """The observability surface: scan --stats-json / --progress / --memlog.
+
+    The 200-modulus corpus mirrors the PR's acceptance scenario: the stats
+    report must carry stage timings, pair throughput, histogram quantiles
+    and (with --memlog) word-access counts.
+    """
+
+    @pytest.fixture(scope="class")
+    def corpus_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("stats") / "corpus.json"
+        rc = main(
+            ["corpus", "--keys", "200", "--bits", "96", "--groups", "2,2,3",
+             "--seed", "stats", "--out", str(path)]
+        )
+        assert rc == 0
+        return path
+
+    @pytest.mark.parametrize("backend", ["bulk", "scalar", "batch"])
+    def test_stats_json_report(self, corpus_path, tmp_path, capsys, backend):
+        out = tmp_path / f"stats-{backend}.json"
+        rc = main(
+            ["scan", "--corpus", str(corpus_path), "--backend", backend,
+             "--stats-json", str(out)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["moduli"] == 200
+        assert payload["pairs_tested"] == 200 * 199 // 2
+        assert payload["ground_truth_matched"] is True
+        assert payload["pairs_per_second"] > 0
+        metrics = payload["metrics"]
+        assert metrics["stages"]["scan"]["total_seconds"] > 0
+        assert metrics["counters"]["scan.pairs_tested"] == payload["pairs_tested"]
+        # at least one histogram with real quantiles
+        quantiled = [
+            h for h in metrics["histograms"].values() if h["count"] > 0
+        ]
+        assert quantiled and all("p50" in h and "p95" in h for h in quantiled)
+
+    def test_stats_json_hit_sets_identical_across_backends(
+        self, corpus_path, tmp_path, capsys
+    ):
+        hits = {}
+        for backend in ("bulk", "scalar", "batch"):
+            out = tmp_path / f"x-{backend}.json"
+            rc = main(
+                ["scan", "--corpus", str(corpus_path), "--backend", backend,
+                 "--stats-json", str(out)]
+            )
+            assert rc == 0
+            payload = json.loads(out.read_text())
+            hits[backend] = [(h["i"], h["j"], h["prime"]) for h in payload["hits"]]
+        capsys.readouterr()
+        assert hits["bulk"] == hits["scalar"] == hits["batch"]
+
+    def test_stats_json_to_stdout(self, corpus_path, capsys):
+        rc = main(["scan", "--corpus", str(corpus_path), "--stats-json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert "metrics" in payload
+
+    def test_progress_writes_to_stderr(self, corpus_path, capsys):
+        rc = main(["scan", "--corpus", str(corpus_path), "--progress"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "%" in captured.err and "ETA" in captured.err
+
+    def test_memlog_word_access_counts(self, tmp_path, capsys):
+        small = tmp_path / "small.json"
+        assert main(
+            ["corpus", "--keys", "16", "--bits", "64", "--groups", "2",
+             "--seed", "ml", "--out", str(small)]
+        ) == 0
+        out = tmp_path / "memlog.json"
+        rc = main(
+            ["scan", "--corpus", str(small), "--backend", "scalar",
+             "--memlog", "--stats-json", str(out)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        counters = json.loads(out.read_text())["metrics"]["counters"]
+        assert counters["memlog.reads"] > 0
+        assert counters["memlog.writes"] > 0
+        hist = json.loads(out.read_text())["metrics"]["histograms"]
+        assert hist["memlog.accesses_per_iteration"]["count"] > 0
+
+    def test_memlog_requires_scalar_backend(self, tmp_path, capsys):
+        small = tmp_path / "s.json"
+        assert main(
+            ["corpus", "--keys", "4", "--bits", "64", "--seed", "x",
+             "--out", str(small)]
+        ) == 0
+        rc = main(["scan", "--corpus", str(small), "--backend", "bulk", "--memlog"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "scalar backend" in err
+
+    def test_events_jsonl(self, corpus_path, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["scan", "--corpus", str(corpus_path), "--events-jsonl", str(events)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        records = [json.loads(line) for line in events.read_text().splitlines()]
+        assert records[0]["event"] == "scan.start"
+        assert records[-1]["event"] == "scan.done"
+        assert all(r["v"] == 1 for r in records)
