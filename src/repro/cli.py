@@ -6,6 +6,7 @@ Subcommands (``python -m repro <cmd> --help`` for details):
 keygen     generate RSA keys as a PEM bundle (optionally private)
 corpus     build a weak-key corpus (JSON ground truth + optional PEM bundle)
 scan       all-pairs shared-prime scan over a PEM bundle or corpus JSON
+batchscan  sharded, checkpointed batch-GCD pipeline (resumable, disk-spooled)
 census     iteration statistics of algorithms A–E (a Table IV slice)
 trace      print a paper-style trace (Tables I–III) for one pair
 gcd        one GCD with a chosen algorithm
@@ -23,6 +24,7 @@ import sys
 from pathlib import Path
 
 from repro.core.attack import find_shared_primes
+from repro.core.pipeline import PipelineConfig, run_pipeline
 from repro.mp.memlog import CountingMemLog
 from repro.telemetry import ProgressUpdate, Telemetry
 from repro.gcd.census import run_all_algorithms
@@ -35,7 +37,13 @@ from repro.gcd.trace import (
     trace_fast_binary,
     trace_original,
 )
-from repro.rsa.corpus import WeakCorpus, generate_weak_corpus
+from repro.rsa.corpus import (
+    ModulusStream,
+    WeakCorpus,
+    generate_weak_corpus,
+    stream_moduli,
+    write_moduli_text,
+)
 from repro.rsa.keys import generate_key
 from repro.rsa.pem import load_public_moduli, private_key_to_pem, public_key_to_pem
 from repro.rsa.x509 import (
@@ -82,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
     co.add_argument("--seed", default="0")
     co.add_argument("--out", type=Path, required=True, help="corpus JSON output path")
     co.add_argument("--pem", type=Path, default=None, help="also write a public PEM bundle")
+    co.add_argument(
+        "--moduli-out", type=Path, default=None,
+        help="also write bare moduli as streaming text (one per line) — "
+        "the batchscan pipeline's at-scale input format",
+    )
 
     sc = sub.add_parser("scan", help="all-pairs shared-prime scan")
     src = sc.add_mutually_exclusive_group(required=True)
@@ -116,6 +129,57 @@ def build_parser() -> argparse.ArgumentParser:
         "routes every GCD through the instrumented word-array tier)",
     )
 
+    bs = sub.add_parser(
+        "batchscan",
+        help="sharded batch-GCD pipeline: disk-spooled trees, resumable checkpoints",
+    )
+    bsrc = bs.add_mutually_exclusive_group(required=True)
+    bsrc.add_argument("--corpus", type=Path, help="corpus JSON (scored against ground truth)")
+    bsrc.add_argument("--pem", type=Path, help="PEM bundle of public keys (streamed)")
+    bsrc.add_argument(
+        "--moduli", type=Path,
+        help="text file of moduli, one per line (the streaming at-scale format)",
+    )
+    bs.add_argument(
+        "--spool-dir", type=Path, required=True,
+        help="directory for spilled tree levels and the checkpoint manifest",
+    )
+    bs.add_argument(
+        "--shard-size", type=int, default=1024,
+        help="moduli ingested per shard (default 1024)",
+    )
+    bs.add_argument(
+        "--memory-budget", default="256m", metavar="BYTES",
+        help="bytes of tree nodes held in RAM at once; suffixes k/m/g "
+        "(default 256m) — smaller budgets mean more, smaller chunks",
+    )
+    bs.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for tree levels and the leaf pass "
+        "(default 0 = in-process)",
+    )
+    bs.add_argument(
+        "--resume", action="store_true",
+        help="continue from the spool directory's last verified checkpoint",
+    )
+    bs.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failed stage before giving up (default 1)",
+    )
+    bs.add_argument("--json", action="store_true", help="emit a JSON report")
+    bs.add_argument(
+        "--stats-json", type=Path, default=None, metavar="PATH",
+        help="write the full stats report as JSON to PATH ('-' for stdout)",
+    )
+    bs.add_argument(
+        "--progress", action="store_true",
+        help="report per-stage progress on stderr",
+    )
+    bs.add_argument(
+        "--events-jsonl", type=Path, default=None, metavar="PATH",
+        help="stream structured JSONL events (pipeline.stage.done/...) to PATH",
+    )
+
     ce = sub.add_parser("census", help="iteration statistics (Table IV slice)")
     ce.add_argument("--bits", type=int, default=128)
     ce.add_argument("--pairs", type=int, default=20)
@@ -143,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
         "keygen": _cmd_keygen,
         "corpus": _cmd_corpus,
         "scan": _cmd_scan,
+        "batchscan": _cmd_batchscan,
         "census": _cmd_census,
         "trace": _cmd_trace,
         "gcd": _cmd_gcd,
@@ -190,6 +255,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     if args.pem:
         args.pem.write_text("".join(public_key_to_pem(k) for k in corpus.keys))
         print(f"public PEM bundle -> {args.pem}")
+    if args.moduli_out:
+        count = write_moduli_text(args.moduli_out, corpus.moduli)
+        print(f"{count} bare moduli (streaming text) -> {args.moduli_out}")
     return 0
 
 
@@ -292,6 +360,125 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         else:
             missing = expected - report.hit_pairs
             extra = report.hit_pairs - expected
+            print(
+                f"ground truth MISMATCH: missing={sorted(missing)} extra={sorted(extra)}",
+                file=human,
+            )
+            return 1
+    return 0
+
+
+def _parse_bytes(text: str) -> int:
+    """``"65536"``, ``"64k"``, ``"256m"``, ``"2g"`` → bytes."""
+    text = str(text).strip().lower()
+    factor = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}.get(text[-1:], 1)
+    digits = text[:-1] if factor != 1 else text
+    try:
+        value = int(digits) * factor
+    except ValueError:
+        raise ValueError(f"not a byte size: {text!r} (use e.g. 65536, 64k, 256m)") from None
+    if value < 1:
+        raise ValueError("memory budget must be positive")
+    return value
+
+
+def _cmd_batchscan(args: argparse.Namespace) -> int:
+    expected = None
+    if args.corpus:
+        corpus = WeakCorpus.from_json(args.corpus.read_text())
+        moduli = corpus.moduli
+        source: object = ModulusStream(
+            source=str(args.corpus), _factory=lambda: iter(moduli), count=len(moduli)
+        )
+        expected = corpus.weak_pair_set()
+        source_name = str(args.corpus)
+    elif args.pem:
+        source = stream_moduli(args.pem, format="pem")
+        source_name = str(args.pem)
+    else:
+        source = stream_moduli(args.moduli, format="text")
+        source_name = str(args.moduli)
+
+    config = PipelineConfig(
+        spool_dir=args.spool_dir,
+        shard_size=args.shard_size,
+        memory_budget=_parse_bytes(args.memory_budget),
+        workers=args.workers,
+        resume=args.resume,
+        retries=args.retries,
+    )
+    progress_cb = _stderr_progress if args.progress else None
+    event_stream = None
+    try:
+        if args.events_jsonl is not None:
+            event_stream = args.events_jsonl.open("w")
+        telemetry = Telemetry.create(
+            progress_callback=progress_cb,
+            progress_interval_seconds=0.2,
+            event_stream=event_stream,
+        )
+        result = run_pipeline(source, config, telemetry=telemetry)
+    finally:
+        if event_stream is not None:
+            event_stream.close()
+    if args.progress:
+        print(file=sys.stderr)  # finish the \r progress line
+
+    payload = {
+        "source": source_name,
+        "spool_dir": str(result.spool_dir),
+        "moduli": result.n_moduli,
+        "levels": result.levels,
+        "resumed": result.resumed,
+        "stages_run": result.stages_run,
+        "stages_skipped": result.stages_skipped,
+        "elapsed_seconds": result.elapsed_seconds,
+        "hits": [
+            {"i": h.i, "j": h.j, "prime": str(h.prime)} for h in result.hits
+        ],
+        "metrics": result.metrics,
+    }
+    if expected is not None:
+        payload["ground_truth_matched"] = result.hit_pairs == expected
+    human = sys.stdout
+    if args.stats_json is not None:
+        text = json.dumps(payload, indent=2)
+        if str(args.stats_json) == "-":
+            print(text)
+            human = sys.stderr
+        else:
+            args.stats_json.write_text(text + "\n")
+            print(f"stats report -> {args.stats_json}")
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0 if expected is None or payload["ground_truth_matched"] else 1
+
+    spilled = result.metrics["counters"].get("pipeline.bytes_spilled", 0)
+    resumed = (
+        f" (resumed; {len(result.stages_skipped)} stage(s) skipped)"
+        if result.resumed
+        else ""
+    )
+    print(
+        f"batch-GCD pipeline: {result.n_moduli} moduli, {result.levels} tree "
+        f"levels, {len(result.stages_run)} stage(s) in {result.elapsed_seconds:.2f}s, "
+        f"{spilled} bytes spooled{resumed}",
+        file=human,
+    )
+    for h in result.hits:
+        print(f"WEAK keys {h.i} and {h.j} share prime {h.prime:#x}", file=human)
+    if not result.hits:
+        print("no shared primes found", file=human)
+    if expected is not None:
+        if result.hit_pairs == expected:
+            print(
+                f"ground truth: all {len(expected)} planted pair(s) found, no extras",
+                file=human,
+            )
+        else:
+            missing = expected - result.hit_pairs
+            extra = result.hit_pairs - expected
             print(
                 f"ground truth MISMATCH: missing={sorted(missing)} extra={sorted(extra)}",
                 file=human,

@@ -14,17 +14,31 @@ and large memory, while all-pairs GCD is embarrassingly parallel with tiny
 working state, which is exactly the niche the paper's GPU kernel targets.
 """
 
-from repro.core.attack import AttackReport, WeakHit, break_keys, find_shared_primes
+from repro.core.attack import (
+    AttackReport,
+    WeakHit,
+    break_keys,
+    find_shared_primes,
+    group_batch_hits,
+)
 from repro.core.batch_gcd import batch_gcd, product_tree, remainder_tree
 from repro.core.incremental import BatchReport, IncrementalScanner
 from repro.core.pairing import BlockTask, all_pair_count, block_schedule, block_pairs
-from repro.core.parallel import find_shared_primes_parallel
+from repro.core.parallel import find_shared_primes_parallel, run_chunked
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    quick_check,
+    run_pipeline,
+)
 
 __all__ = [
     "AttackReport",
     "BatchReport",
     "BlockTask",
     "IncrementalScanner",
+    "PipelineConfig",
+    "PipelineResult",
     "WeakHit",
     "all_pair_count",
     "batch_gcd",
@@ -33,6 +47,10 @@ __all__ = [
     "break_keys",
     "find_shared_primes",
     "find_shared_primes_parallel",
+    "group_batch_hits",
     "product_tree",
+    "quick_check",
     "remainder_tree",
+    "run_chunked",
+    "run_pipeline",
 ]

@@ -36,7 +36,13 @@ from repro.mp.wordint import WordInt
 from repro.rsa.keys import RSAKey, recover_key
 from repro.telemetry import Telemetry, record_memlog
 
-__all__ = ["WeakHit", "AttackReport", "find_shared_primes", "break_keys"]
+__all__ = [
+    "WeakHit",
+    "AttackReport",
+    "find_shared_primes",
+    "group_batch_hits",
+    "break_keys",
+]
 
 _BACKENDS = ("bulk", "scalar", "batch")
 
@@ -49,6 +55,11 @@ class WeakHit:
     factors shared — the same key deployed twice).  Duplicates break both
     deployments' confidentiality jointly but do not factor the modulus, so
     :func:`break_keys` reports rather than factors them.
+
+    >>> WeakHit(0, 2, 11).is_duplicate([33, 35, 55])
+    False
+    >>> WeakHit(0, 1, 33).is_duplicate([33, 33, 55])
+    True
     """
 
     i: int
@@ -62,7 +73,13 @@ class WeakHit:
 
 @dataclass
 class AttackReport:
-    """Everything one attack run learned, plus its accounting."""
+    """Everything one attack run learned, plus its accounting.
+
+    >>> r = AttackReport(m=3, bits=6, backend="scalar", algorithm="approx",
+    ...                  pairs_tested=3, elapsed_seconds=0.003)
+    >>> r.microseconds_per_gcd
+    1000.0
+    """
 
     m: int
     bits: int
@@ -114,6 +131,13 @@ def find_shared_primes(
     ``memlog`` (scalar backend only) routes every GCD through the
     word-array tier with Section IV access instrumentation, folding the
     word-traffic counts into the same metrics snapshot.
+
+    >>> report = find_shared_primes([33, 35, 55], backend="scalar",
+    ...                             early_terminate=False)
+    >>> [(h.i, h.j, h.prime) for h in report.hits]
+    [(0, 2, 11), (1, 2, 5)]
+    >>> report.pairs_tested
+    3
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -236,25 +260,46 @@ def _run_batch(moduli: list[int], report: AttackReport, tel: Telemetry) -> None:
     per_modulus = batch_gcd(moduli, telemetry=tel)
     report.pairs_tested = all_pair_count(len(moduli))  # covered implicitly
     report.blocks = 0
+    flagged = [
+        (idx, moduli[idx], g) for idx, g in enumerate(per_modulus) if g > 1
+    ]
+    report.hits.extend(group_batch_hits(flagged))
+
+
+def group_batch_hits(flagged: list[tuple[int, int, int]]) -> list[WeakHit]:
+    """Turn per-modulus batch-GCD results into explicit weak *pairs*.
+
+    ``flagged`` holds ``(index, modulus, gcd)`` triples for every modulus
+    whose batch GCD came back non-trivial — the only moduli a pairing pass
+    needs, which is why the sharded pipeline can stream everything else
+    straight to disk.  A gcd equal to the full modulus (both primes shared
+    elsewhere, e.g. a duplicated key) is split by pairwise GCD against the
+    other flagged moduli; everything else groups by the shared prime, and
+    each group of ``k`` moduli yields its ``k·(k−1)/2`` pairs.
+
+    >>> hits = group_batch_hits([(0, 33, 11), (2, 55, 55), (4, 35, 5)])
+    >>> [(h.i, h.j, h.prime) for h in sorted(hits, key=lambda h: (h.i, h.j))]
+    [(0, 2, 11), (2, 4, 5)]
+    """
     by_prime: dict[int, list[int]] = defaultdict(list)
-    for idx, g in enumerate(per_modulus):
-        if g == 1:
-            continue
-        if g == moduli[idx]:
+    for idx, n, g in flagged:
+        if g == n:
             # modulus shares both primes (e.g. a duplicated key); split it by
             # pairwise gcd against the other flagged moduli
-            for jdx, g2 in enumerate(per_modulus):
-                if jdx != idx and g2 > 1:
-                    shared = math.gcd(moduli[idx], moduli[jdx])
+            for jdx, n2, _ in flagged:
+                if jdx != idx:
+                    shared = math.gcd(n, n2)
                     if shared > 1:
                         by_prime[shared].append(idx)
             continue
         by_prime[g].append(idx)
+    hits = []
     for prime, members in by_prime.items():
         members = sorted(set(members))
         for a_pos, a in enumerate(members):
             for b in members[a_pos + 1 :]:
-                report.hits.append(WeakHit(a, b, prime))
+                hits.append(WeakHit(a, b, prime))
+    return hits
 
 
 def break_keys(
@@ -266,6 +311,15 @@ def break_keys(
     shared "prime" is the whole modulus) are skipped — they flag a reused
     key but yield no factorisation.  Raises if a hit's prime does not
     actually divide the corresponding modulus (corrupt report).
+
+    >>> from repro.rsa.keys import key_from_primes
+    >>> keys = [key_from_primes(101, 103), key_from_primes(101, 107),
+    ...         key_from_primes(109, 113)]
+    >>> report = find_shared_primes([k.n for k in keys], backend="scalar",
+    ...                             early_terminate=False)
+    >>> broken = break_keys(keys, report)
+    >>> sorted(broken), broken[0].p
+    ([0, 1], 101)
     """
     broken: dict[int, RSAKey] = {}
     for hit in report.hits:

@@ -31,7 +31,7 @@ __all__ = ["product_tree", "remainder_tree", "batch_gcd"]
 
 
 def product_tree(
-    values: list[int], *, telemetry: Telemetry | None = None
+    values: list[int], *, keep_levels: bool = True, telemetry: Telemetry | None = None
 ) -> list[list[int]]:
     """Bottom-up product tree: ``levels[0]`` is the input, the last level
     holds the single total product.
@@ -41,18 +41,42 @@ def product_tree(
     ``batch.product_level_seconds`` histogram — the tree's upper levels
     multiply ever-larger integers, and that skew is exactly what the
     all-pairs-vs-batch trade-off hinges on.
+
+    ``keep_levels=False`` is the root-only path: each level is dropped as
+    soon as its parent level exists, so the peak retained node count is
+    ``~1.5·m`` instead of the full tree's ``2·m − 1`` (every level's bytes
+    roughly equal the input's, so the full tree costs ``height ×`` the
+    input in RAM).  The return value is then a single-level list holding
+    only the root.  Callers that need the remainder-tree descent (i.e.
+    :func:`batch_gcd`) must keep the levels; callers that only need
+    ``N = Π n_i`` — e.g. the pipeline's single-modulus
+    :func:`repro.core.pipeline.quick_check` — should not pay for them.
+    Either way the gauge ``batch.peak_retained_nodes`` records the peak.
+
+    >>> product_tree([3, 5, 7])
+    [[3, 5, 7], [15, 7], [105]]
+    >>> product_tree([3, 5, 7], keep_levels=False)
+    [[105]]
     """
     if not values:
         raise ValueError("product tree needs at least one value")
     clock = telemetry.timer.clock if telemetry else None
     levels = [list(values)]
+    retained = len(levels[0])
+    peak = retained
     while len(levels[-1]) > 1:
         t0 = clock() if clock else 0.0
         prev = levels[-1]
         nxt = [prev[k] * prev[k + 1] for k in range(0, len(prev) - 1, 2)]
         if len(prev) % 2:
             nxt.append(prev[-1])
-        levels.append(nxt)
+        peak = max(peak, retained + len(nxt))  # prev still referenced here
+        if keep_levels:
+            levels.append(nxt)
+            retained += len(nxt)
+        else:
+            levels = [nxt]
+            retained = len(nxt)
         if telemetry is not None:
             telemetry.registry.histogram("batch.product_level_seconds").observe(
                 clock() - t0
@@ -60,6 +84,7 @@ def product_tree(
             telemetry.advance(1)
     if telemetry is not None:
         telemetry.registry.gauge("batch.levels").set(len(levels))
+        telemetry.registry.gauge("batch.peak_retained_nodes").max_of(peak)
     return levels
 
 
@@ -75,6 +100,9 @@ def remainder_tree(
     scans); batch GCD needs the squared form so the cofactor survives the
     reduction.  With ``telemetry``, per-level descent times land in the
     ``batch.remainder_level_seconds`` histogram.
+
+    >>> remainder_tree(product_tree([3, 5, 7]))  # 105 mod {9, 25, 49}
+    [6, 5, 7]
     """
     clock = telemetry.timer.clock if telemetry else None
     root = levels[-1][0]
@@ -109,6 +137,9 @@ def batch_gcd(
     With ``telemetry``, the three phases are timed as ``product_tree``,
     ``remainder_tree`` and ``final_gcds`` stage spans, with per-tree-level
     histograms recorded by the tree builders themselves.
+
+    >>> batch_gcd([33, 35, 55])  # 55 = 5 * 11 shares both its primes
+    [11, 5, 55]
     """
     if len(moduli) < 2:
         raise ValueError("batch GCD needs at least two moduli")

@@ -24,7 +24,13 @@ __all__ = ["BatchReport", "IncrementalScanner"]
 
 @dataclass
 class BatchReport:
-    """What one arriving batch revealed."""
+    """What one arriving batch revealed.
+
+    >>> from repro.core.attack import WeakHit
+    >>> BatchReport(batch_index=0, new_keys=2, total_keys=5,
+    ...             hits=[WeakHit(1, 3, 7)]).hit_pairs
+    {(1, 3)}
+    """
 
     batch_index: int
     new_keys: int
@@ -41,7 +47,18 @@ class BatchReport:
 
 
 class IncrementalScanner:
-    """Streamed all-pairs scanning over an append-only modulus collection."""
+    """Streamed all-pairs scanning over an append-only modulus collection.
+
+    >>> scanner = IncrementalScanner(bits=16)
+    >>> first = scanner.add_batch([193 * 197, 211 * 227])
+    >>> (first.pairs_tested, first.hits)
+    (1, [])
+    >>> second = scanner.add_batch([193 * 199])  # only 2 new pairs scanned
+    >>> [(h.i, h.j, h.prime) for h in second.hits]
+    [(0, 2, 193)]
+    >>> scanner.coverage_is_complete()
+    True
+    """
 
     def __init__(
         self,

@@ -21,13 +21,24 @@ __all__ = ["BlockTask", "block_schedule", "block_pairs", "all_pair_count", "thre
 
 
 def all_pair_count(m: int) -> int:
-    """``m(m−1)/2`` — the pair total the schedule must cover exactly."""
+    """``m(m−1)/2`` — the pair total the schedule must cover exactly.
+
+    >>> all_pair_count(4)
+    6
+    """
     return m * (m - 1) // 2
 
 
 @dataclass(frozen=True)
 class BlockTask:
-    """One CUDA block of the Section VI grid: group indices ``(i, j)``."""
+    """One CUDA block of the Section VI grid: group indices ``(i, j)``.
+
+    >>> block = BlockTask(i=0, j=1, group_size=2, m=4)
+    >>> list(block.pairs())
+    [(0, 2), (0, 3), (1, 2), (1, 3)]
+    >>> block.pair_count()
+    4
+    """
 
     i: int
     j: int
@@ -57,6 +68,9 @@ def block_pairs(i: int, j: int, r: int, m: int) -> Iterator[tuple[int, int]]:
 
     Requires ``i ≤ j`` (blocks with ``i > j`` terminate immediately in the
     paper and are never scheduled here).
+
+    >>> list(block_pairs(0, 0, 3, 6))  # diagonal block: intra-group pairs
+    [(0, 1), (0, 2), (1, 2)]
     """
     if i > j:
         raise ValueError("blocks below the diagonal do no work; schedule i <= j only")
@@ -75,7 +89,11 @@ def block_pairs(i: int, j: int, r: int, m: int) -> Iterator[tuple[int, int]]:
 
 
 def thread_pairs(i: int, j: int, k: int, r: int, m: int) -> list[tuple[int, int]]:
-    """The pairs thread ``k`` of block ``(i, j)`` computes, in paper order."""
+    """The pairs thread ``k`` of block ``(i, j)`` computes, in paper order.
+
+    >>> thread_pairs(0, 1, 1, 2, 4)  # thread 1 of block (0, 1)
+    [(1, 2), (1, 3)]
+    """
     gi = _group_members(i, r, m)
     gj = _group_members(j, r, m)
     a = i * r + k
@@ -92,6 +110,11 @@ def block_schedule(m: int, r: int) -> list[BlockTask]:
     Together their pairs partition the full ``m(m−1)/2`` set (verified by
     the tests); ``m`` need not be a multiple of ``r`` — the last group is
     simply short, unlike the paper's power-of-two benchmark sizes.
+
+    >>> [(b.i, b.j) for b in block_schedule(4, 2)]
+    [(0, 0), (0, 1), (1, 1)]
+    >>> sum(b.pair_count() for b in block_schedule(10, 3)) == all_pair_count(10)
+    True
     """
     if m < 2:
         raise ValueError("need at least two moduli")

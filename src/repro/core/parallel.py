@@ -1,4 +1,4 @@
-"""Multi-process all-pairs attack: the "multicore CPU" comparator.
+"""Multi-process execution: the all-pairs comparator and chunked maps.
 
 The paper's introduction contrasts GPUs with multicore processors; this
 backend is that other branch — the Section VI block schedule fanned out
@@ -15,19 +15,39 @@ initializer, so cross-process writes never race), each task result carries
 the worker's pid, and the workers' registries are merged into the parent's
 at join — counters add, histograms pool, so ``kernel.*`` statistics span
 the whole fleet.
+
+The second half of this module is the sharded batch-GCD pipeline's
+execution layer: :func:`run_chunked` maps picklable chunk functions
+(:func:`product_chunk`, :func:`remainder_chunk`, :func:`leaf_gcd_chunk`)
+over a lazy chunk stream through a ``ProcessPoolExecutor``, preserving
+order with a bounded number of chunks in flight so memory stays inside the
+pipeline's budget no matter how long the stream runs.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import AttackReport, WeakHit
 from repro.core.pairing import all_pair_count, block_schedule
 from repro.telemetry import MetricsRegistry, StageTimer, Telemetry
 
-__all__ = ["find_shared_primes_parallel"]
+__all__ = [
+    "find_shared_primes_parallel",
+    "run_chunked",
+    "product_chunk",
+    "remainder_chunk",
+    "leaf_gcd_chunk",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 # worker-process globals, set once by _init_worker
 _WORKER_MODULI: list[int] = []
@@ -87,6 +107,11 @@ def find_shared_primes_parallel(
     ``bulk`` backend; only the execution strategy differs.  ``processes``
     defaults to ``os.cpu_count()``.  ``report.metrics`` carries the merged
     per-worker registries plus a ``parallel.workers`` gauge.
+
+    >>> report = find_shared_primes_parallel([33, 35, 55], processes=2,
+    ...                                      early_terminate=False)
+    >>> sorted(report.hit_pairs)
+    [(0, 2), (1, 2)]
     """
     if len(moduli) < 2:
         raise ValueError("need at least two moduli")
@@ -142,3 +167,86 @@ def find_shared_primes_parallel(
     tel.emit("scan.done", pairs_tested=report.pairs_tested,
              hits=len(report.hits), elapsed_seconds=report.elapsed_seconds)
     return report
+
+
+# -- chunked work units for the sharded batch-GCD pipeline ---------------------
+#
+# These are module-level so ProcessPoolExecutor can pickle them by reference;
+# each takes one self-contained chunk and returns plain ints, so a work unit
+# crosses the process boundary exactly twice (arguments out, results back).
+
+
+def product_chunk(groups: Sequence[tuple[int, ...]]) -> list[int]:
+    """One product-tree work unit: multiply each tuple of siblings.
+
+    A one-element tuple is an odd level's carried node and passes through
+    unchanged (``math.prod`` of a singleton).
+
+    >>> product_chunk([(3, 5), (7,)])
+    [15, 7]
+    """
+    return [math.prod(group) for group in groups]
+
+
+def remainder_chunk(items: Sequence[tuple[int, int]]) -> list[int]:
+    """One remainder-tree work unit: ``parent mod value²`` per child.
+
+    ``items`` holds ``(parent_remainder, node_value)`` pairs; the squared
+    modulus is what lets the cofactor survive down to the leaves.
+
+    >>> remainder_chunk([(1000, 7), (1000, 11)])
+    [20, 32]
+    """
+    return [parent % (value * value) for parent, value in items]
+
+
+def leaf_gcd_chunk(items: Sequence[tuple[int, int]]) -> list[int]:
+    """One final-pass work unit: ``gcd(n, (N/n) mod n)`` from ``N mod n²``.
+
+    ``items`` holds ``(modulus, leaf_remainder)`` pairs; the division is
+    exact because ``n`` divides ``N``.
+
+    >>> n, m = 15, 21  # N = 315; leaf remainder for 15 is 315 % 225 = 90
+    >>> leaf_gcd_chunk([(15, 90)])
+    [3]
+    """
+    return [math.gcd(n, (r // n) % n) for n, r in items]
+
+
+def run_chunked(
+    fn: Callable[[_T], _R],
+    chunks: Iterable[_T],
+    *,
+    workers: int = 0,
+    max_in_flight: int | None = None,
+) -> Iterator[_R]:
+    """Map ``fn`` over a lazy stream of chunks, in order, optionally parallel.
+
+    ``workers <= 1`` runs inline (deterministic, zero-overhead — the mode
+    tests and small corpora use).  Otherwise a ``ProcessPoolExecutor`` with
+    ``workers`` processes consumes the stream with at most
+    ``max_in_flight`` (default ``workers + 2``) chunks submitted at once,
+    yielding results in submission order — the bounded window is what keeps
+    a disk-backed pipeline stage's working set proportional to the worker
+    count rather than the level size.
+
+    >>> list(run_chunked(sum, iter([[1, 2], [3, 4]])))
+    [3, 7]
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1:
+        for chunk in chunks:
+            yield fn(chunk)
+        return
+    window = max_in_flight if max_in_flight is not None else workers + 2
+    if window < 1:
+        raise ValueError("max_in_flight must be >= 1")
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending: deque = deque()
+        for chunk in chunks:
+            pending.append(pool.submit(fn, chunk))
+            if len(pending) >= window:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()

@@ -1,0 +1,612 @@
+"""Sharded, checkpointed batch GCD: the memory-bounded scaling path.
+
+:func:`repro.core.batch_gcd.batch_gcd` is quasi-linear but builds the
+whole product and remainder tree in RAM — at millions of moduli the tree
+is many times the corpus size and a crash loses everything.  This module
+runs the same mathematics as a sequence of *stages*, each of which streams
+records from disk blobs (:mod:`repro.core.spool`) through a bounded
+working set and commits its output to a checkpoint manifest
+(:mod:`repro.core.checkpoint`) before the next stage starts:
+
+========================  ====================================================
+``ingest``                moduli stream → validated ``product-000.bin``
+``product.k`` (k=1…L)     level ``k−1`` blob → pairwise products, level ``k``
+``remainder.k`` (k=L−1…0) parent remainders + level ``k`` values →
+                          ``N mod value²`` per node
+``leaf``                  leaf remainders → one GCD per modulus (``gcds.bin``)
+``pairing``               flagged moduli → explicit weak pairs (``hits.json``)
+========================  ====================================================
+
+Memory is governed by an explicit byte budget: stages cut their streams
+into chunks whose on-disk size fits the budget, and
+:func:`repro.core.parallel.run_chunked` keeps only a bounded window of
+chunks in flight across the ``ProcessPoolExecutor``.  A killed run resumes
+from the last committed stage (``resume=True``); corrupted blobs or an
+unreadable manifest fall back to re-running the affected stages.  See
+``docs/BATCH_PIPELINE.md`` for the full architecture walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.core.attack import WeakHit, group_batch_hits
+from repro.core.batch_gcd import product_tree
+from repro.core.checkpoint import CheckpointStore, Manifest, StageRecord
+from repro.core.parallel import leaf_gcd_chunk, product_chunk, remainder_chunk, run_chunked
+from repro.core.spool import BlobInfo, iter_blob, read_blob, record_nbytes, write_blob
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "quick_check",
+    "level_sizes",
+    "stage_plan",
+]
+
+DEFAULT_MEMORY_BUDGET = 256 * 2**20  # 256 MiB of in-flight tree nodes
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything a ``batchscan`` run is parameterised by.
+
+    ``memory_budget`` bounds the bytes of tree nodes held in RAM at once
+    (chunking math in ``docs/BATCH_PIPELINE.md``); ``workers <= 1`` runs
+    stages inline, larger values fan chunks across a process pool.
+    ``retries`` is the number of *re*-attempts per failed stage before the
+    run gives up.
+
+    >>> PipelineConfig(spool_dir="/tmp/spool").shard_size
+    1024
+    """
+
+    spool_dir: str | Path
+    shard_size: int = 1024
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    workers: int = 0
+    resume: bool = False
+    retries: int = 1
+
+    def chunk_bytes(self) -> int:
+        """Per-chunk byte target: budget spread over the in-flight window.
+
+        ``run_chunked`` keeps up to ``workers + 2`` chunks submitted plus
+        one being assembled and one result in hand — call it four windows
+        of ``max(workers, 1)`` — so each chunk gets ``budget / (4·W)``.
+
+        >>> PipelineConfig(spool_dir="x", memory_budget=1 << 20, workers=4).chunk_bytes()
+        65536
+        """
+        return max(256, self.memory_budget // (4 * max(self.workers, 1)))
+
+
+@dataclass
+class PipelineResult:
+    """What one pipeline run (or resume) produced.
+
+    >>> r = PipelineResult(n_moduli=4, levels=2, spool_dir=Path("/tmp/s"))
+    >>> r.hit_pairs
+    set()
+    """
+
+    n_moduli: int
+    levels: int
+    spool_dir: Path
+    hits: list[WeakHit] = field(default_factory=list)
+    stages_run: list[str] = field(default_factory=list)
+    stages_skipped: list[str] = field(default_factory=list)
+    resumed: bool = False
+    elapsed_seconds: float = 0.0
+    #: telemetry snapshot (see docs/OBSERVABILITY.md), always populated
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def hit_pairs(self) -> set[tuple[int, int]]:
+        return {(h.i, h.j) for h in self.hits}
+
+
+def level_sizes(n_moduli: int) -> list[int]:
+    """Node counts per tree level, leaves first (odd levels carry one up).
+
+    >>> level_sizes(5)
+    [5, 3, 2, 1]
+    """
+    if n_moduli < 1:
+        raise ValueError("need at least one modulus")
+    sizes = [n_moduli]
+    while sizes[-1] > 1:
+        s = sizes[-1]
+        sizes.append(s // 2 + (s & 1))
+    return sizes
+
+
+def stage_plan(n_moduli: int) -> list[tuple[str, str]]:
+    """The ordered ``(stage name, blob file)`` plan for ``n_moduli`` keys.
+
+    Deterministic in ``n_moduli`` alone — which is what lets a resumed run
+    rebuild the plan from the manifest's ingest record and line its
+    completed stages up against it.
+
+    >>> stage_plan(4)  # doctest: +NORMALIZE_WHITESPACE
+    [('ingest', 'product-000.bin'), ('product.1', 'product-001.bin'),
+     ('product.2', 'product-002.bin'), ('remainder.1', 'remainder-001.bin'),
+     ('remainder.0', 'remainder-000.bin'), ('leaf', 'gcds.bin'),
+     ('pairing', 'hits.json')]
+    """
+    top = len(level_sizes(n_moduli)) - 1
+    plan = [("ingest", "product-000.bin")]
+    for k in range(1, top + 1):
+        plan.append((f"product.{k}", f"product-{k:03d}.bin"))
+    for k in range(top - 1, -1, -1):
+        plan.append((f"remainder.{k}", f"remainder-{k:03d}.bin"))
+    plan.append(("leaf", "gcds.bin"))
+    plan.append(("pairing", "hits.json"))
+    return plan
+
+
+# -- stage bodies --------------------------------------------------------------
+
+
+def _chunks_by_bytes(
+    records: Iterator[tuple], chunk_bytes: int, nbytes_of: Callable[[tuple], int]
+) -> Iterator[list]:
+    """Greedy byte-budgeted chunking: cut when the next record would overflow."""
+    chunk: list = []
+    size = 0
+    for record in records:
+        chunk.append(record)
+        size += nbytes_of(record)
+        if size >= chunk_bytes:
+            yield chunk
+            chunk = []
+            size = 0
+    if chunk:
+        yield chunk
+
+
+def _validated(moduli: Iterable[int]) -> Iterator[int]:
+    for n in moduli:
+        if n <= 1 or n % 2 == 0:
+            raise ValueError(f"RSA moduli must be odd and > 1, got {n}")
+        yield n
+
+
+def _ingest_stage(
+    source: Iterable[int], path: Path, config: PipelineConfig, tel: Telemetry
+) -> BlobInfo:
+    from repro.rsa.corpus import shard_moduli
+
+    def records() -> Iterator[int]:
+        for shard in shard_moduli(_validated(source), config.shard_size):
+            tel.registry.counter("pipeline.shards").inc()
+            tel.registry.counter("pipeline.moduli").inc(len(shard))
+            yield from shard
+
+    info = write_blob(path, records())
+    if info.count < 2:
+        raise ValueError(f"batch GCD needs at least two moduli, got {info.count}")
+    return info
+
+
+def _product_stage(src: Path, dst: Path, config: PipelineConfig, tel: Telemetry) -> BlobInfo:
+    def groups() -> Iterator[tuple[int, ...]]:
+        it = iter_blob(src)
+        for a in it:
+            b = next(it, None)
+            yield (a,) if b is None else (a, b)
+
+    chunks = _chunks_by_bytes(
+        groups(), config.chunk_bytes(), lambda g: sum(record_nbytes(v) for v in g)
+    )
+    return _write_chunked(product_chunk, chunks, dst, config, tel)
+
+
+def _remainder_stage(
+    parent_blob: Path, value_blob: Path, dst: Path, config: PipelineConfig, tel: Telemetry
+) -> BlobInfo:
+    def items() -> Iterator[tuple[int, int]]:
+        parents = iter_blob(parent_blob)
+        parent = next(parents)
+        parent_idx = 0
+        for child_idx, value in enumerate(iter_blob(value_blob)):
+            while child_idx // 2 > parent_idx:
+                parent = next(parents)
+                parent_idx += 1
+            yield parent, value
+
+    chunks = _chunks_by_bytes(
+        items(),
+        config.chunk_bytes(),
+        lambda item: record_nbytes(item[0]) + record_nbytes(item[1]),
+    )
+    return _write_chunked(remainder_chunk, chunks, dst, config, tel)
+
+
+def _leaf_stage(
+    moduli_blob: Path, rem_blob: Path, dst: Path, config: PipelineConfig, tel: Telemetry
+) -> BlobInfo:
+    items = zip(iter_blob(moduli_blob), iter_blob(rem_blob))
+    chunks = _chunks_by_bytes(
+        items,
+        config.chunk_bytes(),
+        lambda item: record_nbytes(item[0]) + record_nbytes(item[1]),
+    )
+    return _write_chunked(leaf_gcd_chunk, chunks, dst, config, tel)
+
+
+def _write_chunked(fn, chunks, dst: Path, config: PipelineConfig, tel: Telemetry) -> BlobInfo:
+    def results() -> Iterator[int]:
+        for out in run_chunked(fn, _counted(chunks, tel), workers=config.workers):
+            yield from out
+
+    return write_blob(dst, results())
+
+
+def _counted(chunks: Iterator[list], tel: Telemetry) -> Iterator[list]:
+    for chunk in chunks:
+        tel.registry.counter("pipeline.chunks").inc()
+        tel.registry.histogram("pipeline.chunk_items").observe(len(chunk))
+        yield chunk
+
+
+def _pairing_stage(moduli_blob: Path, gcd_blob: Path, dst: Path) -> tuple[list[WeakHit], int]:
+    flagged = [
+        (idx, n, g)
+        for idx, (n, g) in enumerate(zip(iter_blob(moduli_blob), iter_blob(gcd_blob)))
+        if g > 1
+    ]
+    hits = sorted(group_batch_hits(flagged), key=lambda h: (h.i, h.j))
+    payload = {
+        "hits": [{"i": h.i, "j": h.j, "prime": str(h.prime)} for h in hits],
+        "flagged": len(flagged),
+    }
+    tmp = dst.with_name(dst.name + ".tmp")
+    with tmp.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, dst)
+    return hits, dst.stat().st_size
+
+
+def _load_hits(path: Path) -> list[WeakHit]:
+    raw = json.loads(path.read_text())
+    return [WeakHit(h["i"], h["j"], int(h["prime"])) for h in raw["hits"]]
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+def run_pipeline(
+    source: Iterable[int],
+    config: PipelineConfig,
+    *,
+    telemetry: Telemetry | None = None,
+    _stage_hook: Callable[[str], None] | None = None,
+) -> PipelineResult:
+    """Run (or resume) the sharded batch-GCD pipeline over ``source``.
+
+    ``source`` is any iterable of moduli — typically a
+    :class:`repro.rsa.corpus.ModulusStream` so nothing is materialised.  It
+    is only consumed when the ``ingest`` stage actually runs; a resume
+    whose ingest blob verifies never re-reads it.  ``_stage_hook`` is a
+    test seam invoked after each stage commits (crash-injection tests raise
+    from it to simulate a kill between stages).
+
+    Returns a :class:`PipelineResult`; equivalent to in-memory
+    ``batch_gcd`` + pairing on the same moduli (property-tested in
+    ``tests/core/test_pipeline.py``).
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     result = run_pipeline([33, 35, 55], PipelineConfig(spool_dir=d))
+    ...     [(h.i, h.j, h.prime) for h in result.hits]
+    [(0, 2, 11), (1, 2, 5)]
+    """
+    spool_dir = Path(config.spool_dir)
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    store = CheckpointStore(spool_dir)
+    tel = telemetry if telemetry is not None else Telemetry.create()
+    reg = tel.registry
+    reg.gauge("pipeline.workers").set(max(config.workers, 1))
+    reg.gauge("pipeline.memory_budget").set(config.memory_budget)
+
+    manifest, completed = _resume_state(store, config, tel)
+    done_names = {record.name for record in completed}
+
+    result = PipelineResult(
+        n_moduli=0, levels=0, spool_dir=spool_dir, resumed=bool(completed)
+    )
+    hook = _stage_hook if _stage_hook is not None else (lambda stage: None)
+
+    with tel.timer.span("pipeline"):
+        # -- ingest (special-cased: it defines the plan for everything else)
+        ingest_record = manifest.stage("ingest")
+        if ingest_record is None:
+            tel.emit("pipeline.stage.start", stage="ingest")
+            info, seconds = _attempt(
+                "ingest",
+                lambda: _ingest_stage(
+                    source, spool_dir / "product-000.bin", config, tel
+                ),
+                config,
+                tel,
+            )
+            ingest_record = _commit(store, manifest, "ingest", info, seconds, config, tel)
+            result.stages_run.append("ingest")
+            hook("ingest")
+        else:
+            result.stages_skipped.append("ingest")
+
+        n = ingest_record.count
+        sizes = level_sizes(n)
+        top = len(sizes) - 1
+        plan = stage_plan(n)
+        result.n_moduli = n
+        result.levels = top
+        reg.gauge("pipeline.levels").max_of(top)
+        tel.set_progress_total(len(plan))
+        tel.advance(1)  # ingest, whether freshly run or resumed
+        tel.emit(
+            "pipeline.start",
+            moduli=n,
+            levels=top,
+            stages=len(plan),
+            resumed=result.resumed,
+            shard_size=config.shard_size,
+            memory_budget=config.memory_budget,
+            workers=config.workers,
+        )
+
+        for name, blob in plan[1:]:
+            if name in done_names:
+                result.stages_skipped.append(name)
+                tel.advance(1)
+                tel.emit("pipeline.stage.skip", stage=name)
+                continue
+            tel.emit("pipeline.stage.start", stage=name)
+            dst = spool_dir / blob
+            if name == "pairing":
+                (hits, nbytes), seconds = _attempt(
+                    name,
+                    lambda: _pairing_stage(
+                        spool_dir / "product-000.bin", spool_dir / "gcds.bin", dst
+                    ),
+                    config,
+                    tel,
+                )
+                info = BlobInfo(
+                    path=dst, count=len(hits), nbytes=nbytes,
+                    sha256=_file_sha256(dst),
+                )
+                result.hits = hits
+            else:
+                stage_fn = _stage_body(name, spool_dir, dst, top, config, tel)
+                info, seconds = _attempt(name, stage_fn, config, tel)
+                _check_count(name, info, sizes, n)
+            _commit(store, manifest, name, info, seconds, config, tel)
+            result.stages_run.append(name)
+            tel.advance(1)
+            hook(name)
+
+        if not result.hits and "pairing" in done_names:
+            result.hits = _load_hits(spool_dir / "hits.json")
+
+    result.elapsed_seconds = tel.timer.total_seconds("pipeline")
+    reg.counter("pipeline.hits").inc(len(result.hits))
+    result.metrics = tel.snapshot()
+    tel.emit(
+        "pipeline.done",
+        moduli=result.n_moduli,
+        hits=len(result.hits),
+        stages_run=len(result.stages_run),
+        stages_skipped=len(result.stages_skipped),
+        elapsed_seconds=result.elapsed_seconds,
+    )
+    return result
+
+
+def _stage_body(
+    name: str, spool_dir: Path, dst: Path, top: int, config: PipelineConfig, tel: Telemetry
+) -> Callable[[], BlobInfo]:
+    kind, _, level = name.partition(".")
+    if kind == "product":
+        k = int(level)
+        src = spool_dir / f"product-{k - 1:03d}.bin"
+        return lambda: _observed(
+            "pipeline.product_level_seconds",
+            lambda: _product_stage(src, dst, config, tel),
+            tel,
+        )
+    if kind == "remainder":
+        k = int(level)
+        parent = (
+            spool_dir / f"product-{top:03d}.bin"
+            if k == top - 1
+            else spool_dir / f"remainder-{k + 1:03d}.bin"
+        )
+        values = spool_dir / f"product-{k:03d}.bin"
+        return lambda: _observed(
+            "pipeline.remainder_level_seconds",
+            lambda: _remainder_stage(parent, values, dst, config, tel),
+            tel,
+        )
+    if kind == "leaf":
+        return lambda: _leaf_stage(
+            spool_dir / "product-000.bin", spool_dir / "remainder-000.bin", dst, config, tel
+        )
+    raise ValueError(f"unknown stage {name!r}")
+
+
+def _observed(histogram: str, fn: Callable[[], BlobInfo], tel: Telemetry) -> BlobInfo:
+    t0 = tel.timer.clock()
+    info = fn()
+    tel.registry.histogram(histogram).observe(tel.timer.clock() - t0)
+    return info
+
+
+def _check_count(name: str, info: BlobInfo, sizes: list[int], n: int) -> None:
+    kind, _, level = name.partition(".")
+    expected = n if kind == "leaf" else sizes[int(level)]
+    if info.count != expected:
+        raise RuntimeError(
+            f"stage {name} produced {info.count} records, expected {expected}"
+        )
+
+
+def _attempt(name: str, fn: Callable, config: PipelineConfig, tel: Telemetry):
+    """Run one stage body under its span, with retries; returns (out, secs).
+
+    Spans use the stage *kind* (``product``, not ``product.3``) so the
+    ``stage.pipeline/<kind>.seconds`` histogram cardinality stays bounded;
+    per-level skew lands in the ``pipeline.*_level_seconds`` histograms.
+    """
+    kind = name.partition(".")[0]
+    last_error: Exception | None = None
+    for attempt in range(config.retries + 1):
+        t0 = tel.timer.clock()
+        try:
+            with tel.timer.span(kind):
+                out = fn()
+            return out, tel.timer.clock() - t0
+        except Exception as exc:  # noqa: BLE001 — retry anything stage-level
+            last_error = exc
+            if attempt < config.retries:
+                tel.registry.counter("pipeline.stage_retries").inc()
+                tel.emit(
+                    "pipeline.stage.retry",
+                    stage=name,
+                    attempt=attempt + 1,
+                    error=repr(exc),
+                )
+    raise last_error
+
+
+def _commit(
+    store: CheckpointStore,
+    manifest: Manifest,
+    name: str,
+    info: BlobInfo,
+    seconds: float,
+    config: PipelineConfig,
+    tel: Telemetry,
+) -> StageRecord:
+    record = StageRecord(
+        name=name,
+        blob=info.path.name,
+        count=info.count,
+        nbytes=info.nbytes,
+        sha256=info.sha256,
+        seconds=seconds,
+    )
+    manifest.stages.append(record)
+    if name == "ingest":
+        manifest.config = {
+            "n_moduli": info.count,
+            "shard_size": config.shard_size,
+            "memory_budget": config.memory_budget,
+            "workers": config.workers,
+        }
+    store.save(manifest)
+    tel.registry.counter("pipeline.bytes_spilled").inc(info.nbytes)
+    tel.registry.histogram("pipeline.stage_bytes").observe(info.nbytes)
+    tel.emit(
+        "pipeline.stage.done",
+        stage=name,
+        records=info.count,
+        nbytes=info.nbytes,
+        seconds=seconds,
+    )
+    return record
+
+
+def _resume_state(
+    store: CheckpointStore, config: PipelineConfig, tel: Telemetry
+) -> tuple[Manifest, list[StageRecord]]:
+    """Decide what survives from a previous run in this spool directory."""
+    if not config.resume:
+        return Manifest(), []
+    manifest = store.load()
+    if manifest is None:
+        tel.emit("pipeline.resume", usable=False, reason="missing or unreadable manifest")
+        return Manifest(), []
+    ingest = manifest.stage("ingest")
+    if ingest is None or manifest.stages[0].name != "ingest":
+        tel.emit("pipeline.resume", usable=False, reason="no completed ingest stage")
+        return Manifest(), []
+    if not store.verify(ingest):
+        tel.emit("pipeline.resume", usable=False, reason="ingest blob corrupt")
+        tel.registry.counter("pipeline.resume.stages_invalidated").inc(len(manifest.stages))
+        return Manifest(), []
+    expected = [name for name, _ in stage_plan(ingest.count)]
+    completed = store.verified_prefix(manifest, expected)
+    invalidated = len(manifest.stages) - len(completed)
+    if invalidated:
+        tel.registry.counter("pipeline.resume.stages_invalidated").inc(invalidated)
+    manifest.stages = list(completed)
+    store.save(manifest)
+    tel.registry.counter("pipeline.resume.stages_skipped").inc(len(completed))
+    tel.emit(
+        "pipeline.resume",
+        usable=True,
+        completed=[record.name for record in completed],
+        invalidated=invalidated,
+    )
+    return manifest, completed
+
+
+# -- single-key arrival check --------------------------------------------------
+
+
+def quick_check(
+    new_moduli: Iterable[int],
+    *,
+    spool_dir: str | Path | None = None,
+    corpus_moduli: Iterable[int] | None = None,
+) -> list[int]:
+    """GCD each *arriving* modulus against a whole corpus in one shot.
+
+    For a modulus ``n`` outside the corpus, ``gcd(n, N mod n)`` with
+    ``N = Π n_i`` is non-trivial exactly when ``n`` shares a prime with
+    some corpus key — the O(|N|) streaming complement to a full rescan.  A
+    modulus already *in* the corpus returns ``n`` itself (``N mod n = 0``),
+    flagging it like a duplicate key.
+
+    The corpus product comes from a finished pipeline run's root blob
+    (``spool_dir``) or is computed root-only from ``corpus_moduli`` via
+    ``product_tree(..., keep_levels=False)`` — the path that never retains
+    inner tree levels.
+
+    >>> quick_check([91, 13], corpus_moduli=[33, 35, 55])  # 91 = 7 * 13
+    [7, 1]
+    """
+    if (spool_dir is None) == (corpus_moduli is None):
+        raise ValueError("pass exactly one of spool_dir or corpus_moduli")
+    if spool_dir is not None:
+        store = CheckpointStore(spool_dir)
+        manifest = store.load()
+        if manifest is None:
+            raise ValueError(f"no readable manifest in {spool_dir}")
+        tops = [r for r in manifest.stages if r.name.startswith("product.")]
+        if manifest.stage("ingest") is None or not tops:
+            raise ValueError(f"{spool_dir} has no completed product tree")
+        root_record = max(tops, key=lambda r: int(r.name.partition(".")[2]))
+        root = read_blob(Path(spool_dir) / root_record.blob)[0]
+    else:
+        root = product_tree(list(corpus_moduli), keep_levels=False)[-1][0]
+    return [math.gcd(n, root % n) for n in new_moduli]
+
+
+def _file_sha256(path: Path) -> str:
+    from repro.core.spool import blob_sha256
+
+    return blob_sha256(path)

@@ -1,0 +1,165 @@
+"""On-disk spill storage for tree levels: length-prefixed integer blobs.
+
+The sharded batch-GCD pipeline (:mod:`repro.core.pipeline`) never holds a
+whole product- or remainder-tree level in RAM; each level lives on disk as
+a *blob* — a flat file of big integers — and stages stream records through
+a bounded working set.  The format is deliberately primitive so a partial
+write is detectable and a reader needs no index:
+
+* 8-byte magic ``b"RGSPOOL1"``;
+* then one record per integer: a 4-byte little-endian byte count followed
+  by that many little-endian value bytes (zero encodes as a zero-length
+  record).
+
+Blob writes go to a ``.tmp`` sibling and are renamed into place only after
+the last record and an ``fsync``, so a crash mid-stage never leaves a
+truncated file under a committed name — the checkpoint manifest
+(:mod:`repro.core.checkpoint`) additionally pins each blob's SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["SpoolError", "BlobInfo", "write_blob", "iter_blob", "read_blob", "blob_sha256"]
+
+MAGIC = b"RGSPOOL1"
+_LEN_BYTES = 4
+
+
+class SpoolError(ValueError):
+    """A malformed, truncated, or foreign spool blob."""
+
+
+@dataclass(frozen=True)
+class BlobInfo:
+    """What one completed blob write produced (recorded in the manifest).
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     info = write_blob(pathlib.Path(d, "x.bin"), [10, 20])
+    ...     (info.count, info.nbytes > len(MAGIC), len(info.sha256))
+    (2, True, 64)
+    """
+
+    path: Path
+    count: int
+    nbytes: int
+    sha256: str
+
+
+def _encode_record(value: int) -> bytes:
+    if value < 0:
+        raise SpoolError("spool blobs hold non-negative integers only")
+    body = value.to_bytes((value.bit_length() + 7) // 8, "little")
+    if len(body) >= 1 << (8 * _LEN_BYTES):
+        raise SpoolError("integer too large for a spool record")
+    return len(body).to_bytes(_LEN_BYTES, "little") + body
+
+
+def record_nbytes(value: int) -> int:
+    """On-disk size of one record — the pipeline's memory-budget unit.
+
+    >>> record_nbytes(0), record_nbytes(255), record_nbytes(256)
+    (4, 5, 6)
+    """
+    return _LEN_BYTES + (value.bit_length() + 7) // 8
+
+
+def write_blob(path: str | Path, values: Iterable[int]) -> BlobInfo:
+    """Stream ``values`` into a blob at ``path``; atomic rename on success.
+
+    Returns the :class:`BlobInfo` (count, byte size, SHA-256 of the final
+    file contents).  The input is consumed lazily, so a generator-backed
+    level is spilled with O(1) records in memory.
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = pathlib.Path(d, "level.bin")
+    ...     info = write_blob(p, iter([7, 0, 1 << 100]))
+    ...     read_blob(p) == [7, 0, 1 << 100]
+    True
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    digest = hashlib.sha256()
+    count = 0
+    nbytes = 0
+    with tmp.open("wb") as fh:
+        fh.write(MAGIC)
+        digest.update(MAGIC)
+        nbytes += len(MAGIC)
+        for value in values:
+            record = _encode_record(value)
+            fh.write(record)
+            digest.update(record)
+            count += 1
+            nbytes += len(record)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return BlobInfo(path=path, count=count, nbytes=nbytes, sha256=digest.hexdigest())
+
+
+def iter_blob(path: str | Path) -> Iterator[int]:
+    """Yield a blob's integers in order, reading one record at a time.
+
+    Raises :class:`SpoolError` on a missing magic header or a truncated
+    record — the signal the checkpoint layer treats as a corrupt stage.
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = pathlib.Path(d, "level.bin")
+    ...     _ = write_blob(p, [3, 5])
+    ...     list(iter_blob(p))
+    [3, 5]
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        if fh.read(len(MAGIC)) != MAGIC:
+            raise SpoolError(f"{path} is not a spool blob (bad magic)")
+        while True:
+            head = fh.read(_LEN_BYTES)
+            if not head:
+                return
+            if len(head) < _LEN_BYTES:
+                raise SpoolError(f"{path}: truncated record header")
+            length = int.from_bytes(head, "little")
+            body = fh.read(length)
+            if len(body) < length:
+                raise SpoolError(f"{path}: truncated record body")
+            yield int.from_bytes(body, "little")
+
+
+def read_blob(path: str | Path) -> list[int]:
+    """The whole blob as a list (tests and small root-level reads only).
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = pathlib.Path(d, "root.bin")
+    ...     _ = write_blob(p, [42])
+    ...     read_blob(p)
+    [42]
+    """
+    return list(iter_blob(path))
+
+
+def blob_sha256(path: str | Path) -> str:
+    """SHA-256 of the file contents — the checkpoint verification hash.
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = pathlib.Path(d, "x.bin")
+    ...     info = write_blob(p, [9])
+    ...     blob_sha256(p) == info.sha256
+    True
+    """
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()

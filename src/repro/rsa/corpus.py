@@ -14,20 +14,35 @@ reloaded without regenerating primes.
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass, field
-from itertools import combinations
+from itertools import combinations, islice
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
 
 from repro.rsa.keys import DEFAULT_E, RSAKey, generate_key, key_from_primes
 from repro.rsa.primes import generate_prime
 from repro.util.rng import derive_rng
 
-__all__ = ["WeakPair", "WeakCorpus", "generate_weak_corpus"]
+__all__ = [
+    "WeakPair",
+    "WeakCorpus",
+    "generate_weak_corpus",
+    "ModulusStream",
+    "stream_moduli",
+    "shard_moduli",
+    "write_moduli_text",
+]
 
 
 @dataclass(frozen=True)
 class WeakPair:
-    """Ground truth: keys ``i`` and ``j`` (i < j) share ``prime``."""
+    """Ground truth: keys ``i`` and ``j`` (i < j) share ``prime``.
+
+    >>> WeakPair(i=0, j=3, prime=101)
+    WeakPair(i=0, j=3, prime=101)
+    """
 
     i: int
     j: int
@@ -36,7 +51,14 @@ class WeakPair:
 
 @dataclass
 class WeakCorpus:
-    """A deterministic collection of RSA keys with known weak pairs."""
+    """A deterministic collection of RSA keys with known weak pairs.
+
+    >>> c = generate_weak_corpus(4, 32, shared_groups=(2,), seed=1)
+    >>> (c.n_keys, c.total_pairs, len(c.weak_pair_set()))
+    (4, 6, 1)
+    >>> WeakCorpus.from_json(c.to_json()).moduli == c.moduli
+    True
+    """
 
     bits: int
     seed: int | str
@@ -117,6 +139,11 @@ def generate_weak_corpus(
 
     The construction: each group gets one shared prime ``P``; member ``k``
     of the group gets modulus ``P·q_k`` with a fresh unique prime ``q_k``.
+
+    >>> c = generate_weak_corpus(4, 32, shared_groups=(2,), seed=1)
+    >>> w = c.weak_pairs[0]
+    >>> (c.moduli[w.i] % w.prime, c.moduli[w.j] % w.prime)
+    (0, 0)
     """
     if n_keys < 2:
         raise ValueError("a corpus needs at least two keys")
@@ -168,3 +195,155 @@ def generate_weak_corpus(
 
     weak_pairs.sort(key=lambda w: (w.i, w.j))
     return WeakCorpus(bits=bits, seed=seed, keys=list(keys), weak_pairs=weak_pairs)
+
+
+# -- streaming modulus sources -------------------------------------------------
+#
+# The sharded pipeline's scaling story starts here: its input is an
+# *iterator* of moduli, never a materialised ``list[int]``, so a corpus
+# bigger than RAM flows through ingest one shard at a time.
+
+
+@dataclass(frozen=True)
+class ModulusStream:
+    """A restartable, lazy source of RSA moduli.
+
+    Iterating yields moduli in order; each iteration restarts from the
+    beginning (the factory builds a fresh iterator), so a resumed pipeline
+    can re-read its input.  ``count`` is filled in when the source knows it
+    cheaply and ``None`` otherwise.
+
+    >>> s = ModulusStream(source="<literal>", _factory=lambda: iter([33, 35]), count=2)
+    >>> list(s), list(s)  # restartable
+    ([33, 35], [33, 35])
+    """
+
+    source: str
+    _factory: Callable[[], Iterator[int]]
+    count: int | None = None
+
+    def __iter__(self) -> Iterator[int]:
+        return self._factory()
+
+
+def _iter_text_moduli(path: Path) -> Iterator[int]:
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            try:
+                yield int(text, 16) if text.lower().startswith("0x") else int(text)
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: not an integer: {text!r}") from None
+
+
+def _iter_pem_moduli(path: Path) -> Iterator[int]:
+    # line-level streaming: accumulate one armored block at a time, never the
+    # whole bundle.  Only the two public-key labels carry moduli; others
+    # (certificates, junk between blocks) are skipped, matching
+    # ``repro.rsa.pem.load_public_moduli``.
+    from repro.rsa.der import decode_rsa_public_key, decode_subject_public_key_info
+
+    label = None
+    body: list[str] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("-----BEGIN "):
+                label = line.removeprefix("-----BEGIN ").removesuffix("-----")
+                body = []
+            elif label is not None and line.startswith("-----END "):
+                der = base64.b64decode("".join(body))
+                if label == "PUBLIC KEY":
+                    yield decode_subject_public_key_info(der)[0]
+                elif label == "RSA PUBLIC KEY":
+                    yield decode_rsa_public_key(der)[0]
+                label = None
+            elif label is not None:
+                body.append(line)
+
+
+def _iter_corpus_moduli(path: Path) -> Iterator[int]:
+    # corpus JSON is one document, so this source costs a full parse up
+    # front (documented in docs/BATCH_PIPELINE.md); the text format is the
+    # one that streams for real.
+    raw = json.loads(path.read_text())
+    for key in raw["keys"]:
+        yield int(key["n"])
+
+
+def stream_moduli(path: str | Path, *, format: str = "auto") -> ModulusStream:
+    """Open a modulus source on disk without materialising ``list[int]``.
+
+    ``format`` is one of ``"text"`` (one decimal or ``0x``-hex modulus per
+    line, ``#`` comments), ``"pem"`` (a public-key bundle, streamed block
+    by block), ``"corpus"`` (corpus JSON — parsed whole, then yielded
+    lazily) or ``"auto"``, which sniffs the first bytes: ``{`` means
+    corpus, ``-----BEGIN`` means PEM, anything else text.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = Path(d, "moduli.txt")
+    ...     _ = p.write_text("33\\n0x23  # 35 in hex\\n\\n55\\n")
+    ...     list(stream_moduli(p))
+    [33, 35, 55]
+    """
+    path = Path(path)
+    if format == "auto":
+        with path.open() as fh:
+            head = fh.read(64).lstrip()
+        if head.startswith("{"):
+            format = "corpus"
+        elif head.startswith("-----BEGIN"):
+            format = "pem"
+        else:
+            format = "text"
+    factories = {
+        "text": _iter_text_moduli,
+        "pem": _iter_pem_moduli,
+        "corpus": _iter_corpus_moduli,
+    }
+    if format not in factories:
+        raise ValueError(f"unknown modulus source format {format!r}")
+    factory = factories[format]
+    return ModulusStream(source=str(path), _factory=lambda: factory(path))
+
+
+def shard_moduli(moduli: Iterable[int], shard_size: int) -> Iterator[list[int]]:
+    """Chop a modulus stream into lists of at most ``shard_size``.
+
+    This is the pipeline's ingest granularity: one shard is read, validated
+    and spilled at a time, so peak ingest memory is one shard regardless of
+    corpus size.
+
+    >>> [shard for shard in shard_moduli(iter(range(5)), 2)]
+    [[0, 1], [2, 3], [4]]
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    iterator = iter(moduli)
+    while shard := list(islice(iterator, shard_size)):
+        yield shard
+
+
+def write_moduli_text(path: str | Path, moduli: Iterable[int]) -> int:
+    """Write moduli as the streaming text format; returns the count.
+
+    The inverse of ``stream_moduli(path, format="text")`` — the format the
+    pipeline recommends for corpora too large for JSON in RAM.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = Path(d, "m.txt")
+    ...     write_moduli_text(p, [33, 55])
+    ...     list(stream_moduli(p))
+    2
+    [33, 55]
+    """
+    count = 0
+    with Path(path).open("w") as fh:
+        for n in moduli:
+            fh.write(f"{n}\n")
+            count += 1
+    return count

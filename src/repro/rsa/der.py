@@ -75,7 +75,11 @@ def _tlv(tag: int, body: bytes) -> bytes:
 
 
 def encode_integer(value: int) -> bytes:
-    """DER INTEGER (two's complement, minimal length; negatives supported)."""
+    """DER INTEGER (two's complement, minimal length; negatives supported).
+
+    >>> encode_integer(5).hex(), encode_integer(128).hex()
+    ('020105', '02020080')
+    """
     if value == 0:
         return _tlv(TAG_INTEGER, b"\x00")
     length = (value.bit_length() // 8) + 1  # always leaves a sign bit
@@ -93,12 +97,20 @@ def encode_integer(value: int) -> bytes:
 
 
 def encode_null() -> bytes:
-    """DER NULL."""
+    """DER NULL.
+
+    >>> encode_null().hex()
+    '0500'
+    """
     return _tlv(TAG_NULL, b"")
 
 
 def encode_object_identifier(arcs: tuple[int, ...]) -> bytes:
-    """DER OBJECT IDENTIFIER from its arc tuple."""
+    """DER OBJECT IDENTIFIER from its arc tuple.
+
+    >>> encode_object_identifier(RSA_ENCRYPTION_OID).hex()
+    '06092a864886f70d010101'
+    """
     if len(arcs) < 2 or arcs[0] > 2 or (arcs[0] < 2 and arcs[1] > 39):
         raise DERError(f"invalid OID arcs {arcs}")
     body = bytearray([arcs[0] * 40 + arcs[1]])
@@ -115,29 +127,49 @@ def encode_object_identifier(arcs: tuple[int, ...]) -> bytes:
 
 
 def encode_bit_string(data: bytes, unused_bits: int = 0) -> bytes:
-    """DER BIT STRING (byte-aligned payloads use ``unused_bits = 0``)."""
+    """DER BIT STRING (byte-aligned payloads use ``unused_bits = 0``).
+
+    >>> encode_bit_string(b"\\xff").hex()
+    '030200ff'
+    """
     if not 0 <= unused_bits <= 7:
         raise DERError("unused_bits out of range")
     return _tlv(TAG_BIT_STRING, bytes([unused_bits]) + data)
 
 
 def encode_sequence(*members: bytes) -> bytes:
-    """DER SEQUENCE of already-encoded members."""
+    """DER SEQUENCE of already-encoded members.
+
+    >>> encode_sequence(encode_integer(1), encode_null()).hex()
+    '30050201010500'
+    """
     return _tlv(TAG_SEQUENCE, b"".join(members))
 
 
 def encode_set(*members: bytes) -> bytes:
-    """DER SET OF already-encoded members (sorted, as DER requires)."""
+    """DER SET OF already-encoded members (sorted, as DER requires).
+
+    >>> encode_set(encode_integer(2), encode_integer(1)).hex()
+    '3106020101020102'
+    """
     return _tlv(TAG_SET, b"".join(sorted(members)))
 
 
 def encode_octet_string(data: bytes) -> bytes:
-    """DER OCTET STRING."""
+    """DER OCTET STRING.
+
+    >>> encode_octet_string(b"ab").hex()
+    '04026162'
+    """
     return _tlv(TAG_OCTET_STRING, data)
 
 
 def encode_printable_string(text: str) -> bytes:
-    """DER PrintableString (ASCII subset used in certificate names)."""
+    """DER PrintableString (ASCII subset used in certificate names).
+
+    >>> encode_printable_string("CA").hex()
+    '13024341'
+    """
     allowed = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?")
     if not set(text) <= allowed:
         raise DERError(f"not printable-string safe: {text!r}")
@@ -145,14 +177,22 @@ def encode_printable_string(text: str) -> bytes:
 
 
 def encode_utc_time(text: str) -> bytes:
-    """DER UTCTime from a ``YYMMDDHHMMSSZ`` string."""
+    """DER UTCTime from a ``YYMMDDHHMMSSZ`` string.
+
+    >>> encode_utc_time("260101000000Z").hex()
+    '170d3236303130313030303030305a'
+    """
     if len(text) != 13 or not text[:-1].isdigit() or text[-1] != "Z":
         raise DERError(f"UTCTime must be YYMMDDHHMMSSZ, got {text!r}")
     return _tlv(TAG_UTC_TIME, text.encode("ascii"))
 
 
 def encode_explicit(tag_number: int, inner: bytes) -> bytes:
-    """Context-specific EXPLICIT constructed tag ``[n]`` wrapping ``inner``."""
+    """Context-specific EXPLICIT constructed tag ``[n]`` wrapping ``inner``.
+
+    >>> encode_explicit(0, encode_integer(2)).hex()
+    'a003020102'
+    """
     if not 0 <= tag_number <= 30:
         raise DERError("explicit tag number out of range")
     return _tlv(0xA0 | tag_number, inner)
@@ -163,7 +203,14 @@ def encode_explicit(tag_number: int, inner: bytes) -> bytes:
 
 @dataclass
 class DERReader:
-    """A strict cursor over DER bytes."""
+    """A strict cursor over DER bytes.
+
+    >>> DERReader(encode_integer(300)).read_integer()
+    300
+    >>> seq = DERReader(encode_sequence(encode_integer(7))).enter_sequence()
+    >>> seq.read_integer()
+    7
+    """
 
     data: bytes
     pos: int = 0
@@ -290,14 +337,22 @@ class DERReader:
 
 
 def encode_rsa_public_key(n: int, e: int) -> bytes:
-    """PKCS#1 ``RSAPublicKey``."""
+    """PKCS#1 ``RSAPublicKey``.
+
+    >>> encode_rsa_public_key(187, 3).hex()  # 187 = 0xbb needs a sign byte
+    '3007020200bb020103'
+    """
     if n <= 0 or e <= 0:
         raise DERError("modulus and exponent must be positive")
     return encode_sequence(encode_integer(n), encode_integer(e))
 
 
 def decode_rsa_public_key(data: bytes) -> tuple[int, int]:
-    """Parse a PKCS#1 ``RSAPublicKey``; returns ``(n, e)``."""
+    """Parse a PKCS#1 ``RSAPublicKey``; returns ``(n, e)``.
+
+    >>> decode_rsa_public_key(encode_rsa_public_key(187, 3))
+    (187, 3)
+    """
     outer = DERReader(data)
     seq = outer.enter_sequence()
     outer.expect_end()
@@ -312,7 +367,12 @@ def decode_rsa_public_key(data: bytes) -> tuple[int, int]:
 def encode_rsa_private_key(
     n: int, e: int, d: int, p: int, q: int
 ) -> bytes:
-    """PKCS#1 ``RSAPrivateKey`` (version 0, CRT parameters derived)."""
+    """PKCS#1 ``RSAPrivateKey`` (version 0, CRT parameters derived).
+
+    >>> der = encode_rsa_private_key(187, 3, 107, 11, 17)
+    >>> der[:2].hex()  # SEQUENCE of 9 INTEGERs
+    '301c'
+    """
     if min(n, e, d, p, q) <= 0:
         raise DERError("non-positive RSA parameters")
     if p * q != n:
@@ -337,6 +397,10 @@ def decode_rsa_private_key(data: bytes) -> dict[str, int]:
     """Parse a PKCS#1 ``RSAPrivateKey``; returns the named fields.
 
     Validates version 0, ``p·q = n`` and the CRT exponents.
+
+    >>> f = decode_rsa_private_key(encode_rsa_private_key(187, 3, 107, 11, 17))
+    >>> (f["n"], f["d"], f["p"], f["q"])
+    (187, 107, 11, 17)
     """
     outer = DERReader(data)
     seq = outer.enter_sequence()
@@ -354,7 +418,11 @@ def decode_rsa_private_key(data: bytes) -> dict[str, int]:
 
 
 def encode_subject_public_key_info(n: int, e: int) -> bytes:
-    """X.509 ``SubjectPublicKeyInfo`` wrapping a PKCS#1 public key."""
+    """X.509 ``SubjectPublicKeyInfo`` wrapping a PKCS#1 public key.
+
+    >>> encode_subject_public_key_info(187, 3)[:2].hex()
+    '301b'
+    """
     algorithm = encode_sequence(
         encode_object_identifier(RSA_ENCRYPTION_OID), encode_null()
     )
@@ -367,6 +435,9 @@ def decode_subject_public_key_info(data: bytes) -> tuple[int, int]:
     """Parse an X.509 ``SubjectPublicKeyInfo``; returns ``(n, e)``.
 
     Only the rsaEncryption algorithm is accepted.
+
+    >>> decode_subject_public_key_info(encode_subject_public_key_info(187, 3))
+    (187, 3)
     """
     outer = DERReader(data)
     spki = outer.enter_sequence()

@@ -26,7 +26,12 @@ DEFAULT_E = 65537
 
 @dataclass(frozen=True)
 class RSAKey:
-    """An RSA key pair; ``p``/``q``/``d`` are ``None`` for public-only keys."""
+    """An RSA key pair; ``p``/``q``/``d`` are ``None`` for public-only keys.
+
+    >>> key = key_from_primes(11, 17, e=3)
+    >>> (key.bits, key.is_private, key.public().is_private)
+    (8, True, False)
+    """
 
     n: int
     e: int
@@ -64,6 +69,10 @@ def key_from_primes(p: int, q: int, e: int = DEFAULT_E) -> RSAKey:
 
     Raises if ``e`` is not invertible mod ``(p−1)(q−1)`` — callers that
     generate primes should resample in that (rare with e = 65537) case.
+
+    >>> key = key_from_primes(11, 17, e=3)
+    >>> (key.n, key.d, (key.d * key.e) % 160)  # phi = 10 * 16
+    (187, 107, 1)
     """
     if p == q:
         raise ValueError("p and q must be distinct")
@@ -87,6 +96,10 @@ def generate_key(
     ``bits`` must be even.  Primes have their top two bits set so the
     modulus has exactly ``bits`` bits.  ``avoid`` excludes primes already
     used elsewhere (corpus generation).
+
+    >>> key = generate_key(32, random.Random(0))
+    >>> (key.bits, key.validate())
+    (32, None)
     """
     if bits % 2:
         raise ValueError(f"modulus size must be even, got {bits}")
@@ -109,6 +122,10 @@ def recover_key(n: int, e: int, p: int) -> RSAKey:
     This is the paper's pay-off step: the GCD attack yields ``p``; this
     yields ``d``.  Raises if ``p`` does not actually divide ``n`` or the
     cofactor is not prime (i.e. the caller's "factor" is wrong).
+
+    >>> recovered = recover_key(187, 3, 11)
+    >>> (recovered.q, recovered.d)
+    (17, 107)
     """
     if p <= 1 or n % p != 0:
         raise ValueError(f"{p} does not divide n")
@@ -119,7 +136,12 @@ def recover_key(n: int, e: int, p: int) -> RSAKey:
 
 
 def encrypt(message: int, key: RSAKey) -> int:
-    """Textbook RSA: ``C = M^e mod n`` (requires ``0 ≤ M < n``)."""
+    """Textbook RSA: ``C = M^e mod n`` (requires ``0 ≤ M < n``).
+
+    >>> key = key_from_primes(11, 17, e=3)
+    >>> encrypt(42, key)
+    36
+    """
     if not 0 <= message < key.n:
         raise ValueError("message out of range [0, n)")
     return pow(message, key.e, key.n)
@@ -131,6 +153,10 @@ def decrypt(cipher: int, key: RSAKey) -> int:
     When the factors are available the CRT shortcut is used (two half-size
     exponentiations plus Garner recombination, ~4x fewer bit operations) —
     one more place a leaked factor beats the public-only view.
+
+    >>> key = key_from_primes(11, 17, e=3)
+    >>> decrypt(encrypt(42, key), key)
+    42
     """
     if key.d is None:
         raise ValueError("decryption needs a private key")

@@ -25,7 +25,11 @@ _RANDOM_ROUNDS = 40  # error probability <= 4^-40 per composite
 
 @lru_cache(maxsize=8)
 def small_primes(limit: int = 1000) -> tuple[int, ...]:
-    """All primes below ``limit`` via Eratosthenes (cached)."""
+    """All primes below ``limit`` via Eratosthenes (cached).
+
+    >>> small_primes(20)
+    (2, 3, 5, 7, 11, 13, 17, 19)
+    """
     if limit < 2:
         return ()
     sieve = bytearray([1]) * limit
@@ -54,6 +58,9 @@ def is_prime(n: int, rng: random.Random | None = None) -> bool:
     Deterministic (provably correct) below ~3.3e24; above that, 40 rounds of
     random bases drawn from ``rng`` (a private PRNG seeded from ``n`` when
     none is given, keeping results reproducible).
+
+    >>> is_prime(97), is_prime(91)  # 91 = 7 * 13
+    (True, False)
     """
     if n < 2:
         return False
@@ -83,6 +90,10 @@ def generate_prime(bits: int, rng: random.Random, *, avoid: frozenset[int] | set
     trial division against the small-prime sieve before each Miller–Rabin
     test.  ``avoid`` excludes specific primes (corpus generation uses it so
     "distinct" primes really are distinct).
+
+    >>> p = generate_prime(16, random.Random(1))
+    >>> (p.bit_length(), is_prime(p), p >> 14)  # top two bits set
+    (16, True, 3)
     """
     if bits < 4:
         raise ValueError(f"need at least 4 bits for a top-two-bits-set prime, got {bits}")

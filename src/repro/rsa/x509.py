@@ -65,7 +65,13 @@ SHA256_OID = (2, 16, 840, 1, 101, 3, 4, 2, 1)
 
 @dataclass(frozen=True)
 class CertificateInfo:
-    """The fields this profile carries, plus what verification needs."""
+    """The fields this profile carries, plus what verification needs.
+
+    >>> CertificateInfo(serial=1, issuer_cn="ca", subject_cn="ca",
+    ...                 not_before="250101000000Z", not_after="351231235959Z",
+    ...                 n=187, e=3, tbs_raw=b"", signature=0).bits
+    8
+    """
 
     serial: int
     issuer_cn: str
@@ -121,6 +127,13 @@ def create_self_signed_certificate(
 
     Validity strings are fixed rather than clock-derived so certificate
     bytes are fully deterministic for a given key and parameters.
+
+    >>> import random
+    >>> from repro.rsa.keys import generate_key
+    >>> key = generate_key(512, random.Random(42))
+    >>> der = create_self_signed_certificate(key, common_name="test.example")
+    >>> parse_certificate(der).subject_cn
+    'test.example'
     """
     if not key.is_private:
         raise ValueError("signing needs a private key")
@@ -140,7 +153,15 @@ def create_self_signed_certificate(
 
 
 def parse_certificate(der: bytes) -> CertificateInfo:
-    """Parse a certificate of this module's profile."""
+    """Parse a certificate of this module's profile.
+
+    >>> import random
+    >>> from repro.rsa.keys import generate_key
+    >>> key = generate_key(512, random.Random(42))
+    >>> info = parse_certificate(create_self_signed_certificate(key, serial=7))
+    >>> (info.serial, info.n == key.n, info.not_before)
+    (7, True, '250101000000Z')
+    """
     outer = DERReader(der)
     cert = outer.enter_sequence()
     outer.expect_end()
@@ -201,7 +222,18 @@ def _parse_name(reader: DERReader) -> str:
 
 
 def verify_certificate(info: CertificateInfo, signer: RSAKey | None = None) -> bool:
-    """Check the PKCS#1 v1.5 signature; default signer is the cert's own key."""
+    """Check the PKCS#1 v1.5 signature; default signer is the cert's own key.
+
+    >>> import random
+    >>> from dataclasses import replace
+    >>> from repro.rsa.keys import generate_key
+    >>> key = generate_key(512, random.Random(42))
+    >>> info = parse_certificate(create_self_signed_certificate(key))
+    >>> verify_certificate(info)
+    True
+    >>> verify_certificate(replace(info, signature=info.signature ^ 1))
+    False
+    """
     n = signer.n if signer else info.n
     e = signer.e if signer else info.e
     expected = _emsa_pkcs1_v15(info.tbs_raw, (n.bit_length() + 7) // 8)
@@ -209,7 +241,11 @@ def verify_certificate(info: CertificateInfo, signer: RSAKey | None = None) -> b
 
 
 def certificate_to_pem(der: bytes) -> str:
-    """PEM-armor a certificate."""
+    """PEM-armor a certificate.
+
+    >>> certificate_to_pem(b"\\x30\\x00").splitlines()[0]
+    '-----BEGIN CERTIFICATE-----'
+    """
     return pem_encode(der, "CERTIFICATE")
 
 
@@ -218,6 +254,13 @@ def extract_moduli_from_certificates(text: str, *, verify: bool = False) -> list
 
     With ``verify=True`` certificates whose self-signature fails are
     skipped — scrapes contain truncated and corrupted blobs.
+
+    >>> import random
+    >>> from repro.rsa.keys import generate_key
+    >>> key = generate_key(512, random.Random(42))
+    >>> pem = certificate_to_pem(create_self_signed_certificate(key))
+    >>> extract_moduli_from_certificates(pem, verify=True) == [key.n]
+    True
     """
     moduli = []
     for label, der in pem_decode_all(text):

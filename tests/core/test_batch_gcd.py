@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.batch_gcd import batch_gcd, product_tree, remainder_tree
+from repro.telemetry import Telemetry
 
 
 class TestProductTree:
@@ -26,6 +27,30 @@ class TestProductTree:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             product_tree([])
+
+    def test_keep_levels_false_returns_root_only(self):
+        values = [3, 5, 7, 11]
+        assert product_tree(values, keep_levels=False) == [[3 * 5 * 7 * 11]]
+
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 32), min_size=1, max_size=25))
+    @settings(max_examples=50)
+    def test_keep_levels_false_same_root(self, values):
+        full = product_tree(values)
+        assert product_tree(values, keep_levels=False) == [full[-1]]
+
+    @pytest.mark.parametrize("m", [4, 8, 16, 64])
+    def test_peak_retained_nodes_regression(self, m):
+        # keep_levels=True retains the whole tree: 2m-1 nodes for power-of-two
+        # m.  The root-only path holds only the current level plus the one
+        # being built: m + m/2 at its peak — the regression this guards.
+        tel_full = Telemetry.create()
+        product_tree([3] * m, telemetry=tel_full)
+        tel_lean = Telemetry.create()
+        product_tree([3] * m, keep_levels=False, telemetry=tel_lean)
+        peak = lambda t: t.registry.gauge("batch.peak_retained_nodes").value
+        assert peak(tel_full) == 2 * m - 1
+        assert peak(tel_lean) == m + m // 2
+        assert peak(tel_lean) < peak(tel_full)
 
 
 class TestRemainderTree:

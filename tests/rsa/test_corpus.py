@@ -5,7 +5,13 @@ from itertools import combinations
 
 import pytest
 
-from repro.rsa.corpus import WeakCorpus, generate_weak_corpus
+from repro.rsa.corpus import (
+    WeakCorpus,
+    generate_weak_corpus,
+    shard_moduli,
+    stream_moduli,
+    write_moduli_text,
+)
 
 BITS = 64  # small keys keep corpus tests fast
 
@@ -103,3 +109,54 @@ class TestSerialisation:
         back = WeakCorpus.from_json(c.to_json())
         assert back.moduli == c.moduli
         assert all(not k.is_private for k in back.keys)
+
+
+class TestStreaming:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_weak_corpus(6, BITS, shared_groups=(2,), seed=11)
+
+    def test_text_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "m.txt"
+        assert write_moduli_text(path, corpus.moduli) == 6
+        stream = stream_moduli(path)
+        assert list(stream) == corpus.moduli
+        assert list(stream) == corpus.moduli  # restartable
+        assert stream.source == str(path)
+
+    def test_text_hex_comments_blanks(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("# header\n33\n\n0x23  # 35\n55\n")
+        assert list(stream_moduli(path, format="text")) == [33, 35, 55]
+
+    def test_text_garbage_names_line(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("33\nnope\n")
+        with pytest.raises(ValueError, match="m.txt:2"):
+            list(stream_moduli(path))
+
+    def test_corpus_json_auto_sniffed(self, corpus, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(corpus.to_json())
+        assert list(stream_moduli(path)) == corpus.moduli
+
+    def test_pem_bundle_auto_sniffed(self, corpus, tmp_path):
+        from repro.rsa.pem import public_key_to_pem
+
+        path = tmp_path / "keys.pem"
+        path.write_text("".join(public_key_to_pem(k) for k in corpus.keys))
+        assert list(stream_moduli(path)) == corpus.moduli
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("33\n")
+        with pytest.raises(ValueError, match="unknown modulus source format"):
+            stream_moduli(path, format="csv")
+
+    def test_shard_moduli_sizes(self):
+        shards = list(shard_moduli(iter(range(7)), 3))
+        assert shards == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_shard_size_validated(self):
+        with pytest.raises(ValueError):
+            list(shard_moduli([1, 2], 0))

@@ -282,3 +282,88 @@ class TestScanStats:
         assert records[0]["event"] == "scan.start"
         assert records[-1]["event"] == "scan.done"
         assert all(r["v"] == 1 for r in records)
+
+
+class TestBatchscan:
+    """The sharded, checkpointed pipeline behind ``repro batchscan``."""
+
+    @pytest.fixture(scope="class")
+    def corpus_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("batchscan") / "corpus.json"
+        rc = main(
+            ["corpus", "--keys", "20", "--bits", "64", "--groups", "2,3",
+             "--seed", "batchscan", "--out", str(path),
+             "--moduli-out", str(path.with_suffix(".txt"))]
+        )
+        assert rc == 0
+        return path
+
+    def test_corpus_against_ground_truth(self, corpus_path, tmp_path, capsys):
+        rc = main(
+            ["batchscan", "--corpus", str(corpus_path),
+             "--spool-dir", str(tmp_path / "spool"), "--shard-size", "6"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WEAK keys" in out
+        assert "all 4 planted pair(s) found" in out
+
+    def test_moduli_text_source(self, corpus_path, tmp_path, capsys):
+        rc = main(
+            ["batchscan", "--moduli", str(corpus_path.with_suffix(".txt")),
+             "--spool-dir", str(tmp_path / "spool"), "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["moduli"] == 20
+        assert len(payload["hits"]) == 4
+        assert "ground_truth_matched" not in payload
+
+    def test_resume_skips_completed_stages(self, corpus_path, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        args = ["batchscan", "--corpus", str(corpus_path), "--spool-dir", str(spool)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resumed"] is True
+        assert payload["stages_run"] == []
+        assert payload["ground_truth_matched"] is True
+        assert {(h["i"], h["j"]) for h in payload["hits"]} == {
+            tuple(map(int, line.split()[2:5:2]))
+            for line in first.splitlines() if line.startswith("WEAK")
+        }
+
+    def test_memory_budget_suffixes(self, corpus_path, tmp_path, capsys):
+        rc = main(
+            ["batchscan", "--corpus", str(corpus_path),
+             "--spool-dir", str(tmp_path / "spool"),
+             "--memory-budget", "4k", "--workers", "2", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["gauges"]["pipeline.memory_budget"] == 4096
+        assert payload["ground_truth_matched"] is True
+
+    def test_events_jsonl_stream(self, corpus_path, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["batchscan", "--corpus", str(corpus_path),
+             "--spool-dir", str(tmp_path / "spool"),
+             "--events-jsonl", str(events)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        records = [json.loads(line) for line in events.read_text().splitlines()]
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert records[-1]["event"] == "pipeline.done"
+        assert any(r["event"] == "pipeline.stage.done" for r in records)
+
+    def test_stats_json_to_stdout(self, corpus_path, tmp_path, capsys):
+        rc = main(
+            ["batchscan", "--corpus", str(corpus_path),
+             "--spool-dir", str(tmp_path / "spool"), "--stats-json", "-"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["pipeline.bytes_spilled"] > 0
