@@ -3,14 +3,20 @@
 A pipeline run owns a *spool directory*; alongside the level blobs
 (:mod:`repro.core.spool`) lives ``manifest.json``, rewritten atomically
 after every completed stage.  The manifest records the run configuration
-(so a resume against different parameters restarts instead of mixing
-incompatible trees) and, per completed stage, the blob file name, record
-count, byte size, SHA-256 and wall time.
+(for provenance — so a stats dump or post-mortem can say what parameters
+produced these blobs) and, per completed stage, the blob file name,
+record count, byte size, SHA-256 and wall time.
 
 Resume semantics (see ``docs/BATCH_PIPELINE.md``):
 
 * a missing or unparsable manifest means "start from scratch";
-* a config mismatch discards the checkpoint entirely;
+* the stored config is *not* compared on resume: no current config field
+  (``shard_size``, ``memory_budget``, ``workers``) affects blob contents,
+  so resuming with different parameters is safe and keeps the checkpoint.
+  What pins the checkpoint to its input is the ingest blob's SHA-256, and
+  the stage plan is rederived from the ingest record's count alone.  If a
+  future config field ever changes blob contents, resume must start
+  comparing it here;
 * completed stages are re-verified by re-hashing their blobs; the first
   corrupt or missing blob truncates the completed prefix there, so the
   affected stage (and everything after it) re-runs cleanly.

@@ -298,9 +298,13 @@ def run_pipeline(
     ``source`` is any iterable of moduli — typically a
     :class:`repro.rsa.corpus.ModulusStream` so nothing is materialised.  It
     is only consumed when the ``ingest`` stage actually runs; a resume
-    whose ingest blob verifies never re-reads it.  ``_stage_hook`` is a
-    test seam invoked after each stage commits (crash-injection tests raise
-    from it to simulate a kill between stages).
+    whose ingest blob verifies never re-reads it.  Ingest retries require a
+    *re-iterable* source: a one-shot iterator (anything with ``__next__``,
+    e.g. a generator) is accepted, but its ingest failures are never
+    retried — re-iterating would read only the unconsumed tail and commit
+    a silently truncated corpus.  ``_stage_hook`` is a test seam invoked
+    after each stage commits (crash-injection tests raise from it to
+    simulate a kill between stages).
 
     Returns a :class:`PipelineResult`; equivalent to in-memory
     ``batch_gcd`` + pairing on the same moduli (property-tested in
@@ -333,6 +337,9 @@ def run_pipeline(
         ingest_record = manifest.stage("ingest")
         if ingest_record is None:
             tel.emit("pipeline.stage.start", stage="ingest")
+            # A one-shot iterator cannot be re-read: retrying it would ingest
+            # only the unconsumed tail, committing a silently truncated corpus.
+            ingest_retries = 0 if hasattr(source, "__next__") else config.retries
             info, seconds = _attempt(
                 "ingest",
                 lambda: _ingest_stage(
@@ -340,6 +347,7 @@ def run_pipeline(
                 ),
                 config,
                 tel,
+                retries=ingest_retries,
             )
             ingest_record = _commit(store, manifest, "ingest", info, seconds, config, tel)
             result.stages_run.append("ingest")
@@ -463,16 +471,44 @@ def _check_count(name: str, info: BlobInfo, sizes: list[int], n: int) -> None:
         )
 
 
-def _attempt(name: str, fn: Callable, config: PipelineConfig, tel: Telemetry):
+#: metrics incremented *inside* stage bodies — rolled back when an attempt
+#: fails so a retried stage doesn't double-count its records
+_STAGE_COUNTERS = ("pipeline.shards", "pipeline.moduli", "pipeline.chunks")
+_STAGE_HISTOGRAMS = ("pipeline.chunk_items",)
+
+
+def _attempt(
+    name: str,
+    fn: Callable,
+    config: PipelineConfig,
+    tel: Telemetry,
+    *,
+    retries: int | None = None,
+):
     """Run one stage body under its span, with retries; returns (out, secs).
 
     Spans use the stage *kind* (``product``, not ``product.3``) so the
     ``stage.pipeline/<kind>.seconds`` histogram cardinality stays bounded;
     per-level skew lands in the ``pipeline.*_level_seconds`` histograms.
+    A failed attempt rolls its in-stage record counters back to the
+    pre-attempt marks, so only the successful attempt's records survive in
+    the metrics snapshot.  ``retries`` overrides ``config.retries`` (the
+    ingest stage uses it to disable retries for one-shot sources).
     """
+    if retries is None:
+        retries = config.retries
     kind = name.partition(".")[0]
+    reg = tel.registry
     last_error: Exception | None = None
-    for attempt in range(config.retries + 1):
+    for attempt in range(retries + 1):
+        counter_marks = {
+            n: reg.counters[n].value for n in _STAGE_COUNTERS if n in reg.counters
+        }
+        hist_marks = {
+            n: len(reg.histograms[n].samples)
+            for n in _STAGE_HISTOGRAMS
+            if n in reg.histograms
+        }
         t0 = tel.timer.clock()
         try:
             with tel.timer.span(kind):
@@ -480,8 +516,14 @@ def _attempt(name: str, fn: Callable, config: PipelineConfig, tel: Telemetry):
             return out, tel.timer.clock() - t0
         except Exception as exc:  # noqa: BLE001 — retry anything stage-level
             last_error = exc
-            if attempt < config.retries:
-                tel.registry.counter("pipeline.stage_retries").inc()
+            for n in _STAGE_COUNTERS:
+                if n in reg.counters:
+                    reg.counters[n].value = counter_marks.get(n, 0)
+            for n in _STAGE_HISTOGRAMS:
+                if n in reg.histograms:
+                    del reg.histograms[n].samples[hist_marks.get(n, 0):]
+            if attempt < retries:
+                reg.counter("pipeline.stage_retries").inc()
                 tel.emit(
                     "pipeline.stage.retry",
                     stage=name,
@@ -584,7 +626,9 @@ def quick_check(
     The corpus product comes from a finished pipeline run's root blob
     (``spool_dir``) or is computed root-only from ``corpus_moduli`` via
     ``product_tree(..., keep_levels=False)`` — the path that never retains
-    inner tree levels.
+    inner tree levels.  A spool whose product tree never reached the root
+    (a run killed mid-tree) raises ``ValueError`` rather than GCD-ing
+    against a partial-level value that covers only part of the corpus.
 
     >>> quick_check([91, 13], corpus_moduli=[33, 35, 55])  # 91 = 7 * 13
     [7, 1]
@@ -596,10 +640,17 @@ def quick_check(
         manifest = store.load()
         if manifest is None:
             raise ValueError(f"no readable manifest in {spool_dir}")
-        tops = [r for r in manifest.stages if r.name.startswith("product.")]
-        if manifest.stage("ingest") is None or not tops:
+        ingest = manifest.stage("ingest")
+        if ingest is None:
             raise ValueError(f"{spool_dir} has no completed product tree")
-        root_record = max(tops, key=lambda r: int(r.name.partition(".")[2]))
+        top = len(level_sizes(ingest.count)) - 1
+        root_record = manifest.stage(f"product.{top}")
+        if root_record is None or root_record.count != 1:
+            raise ValueError(
+                f"{spool_dir} has no completed product tree root: a run killed "
+                f"mid-tree leaves partial levels whose values are not the corpus "
+                f"product (finish the run or resume it first)"
+            )
         root = read_blob(Path(spool_dir) / root_record.blob)[0]
     else:
         root = product_tree(list(corpus_moduli), keep_levels=False)[-1][0]

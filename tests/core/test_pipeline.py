@@ -249,6 +249,53 @@ class TestCrashResume:
                 AlwaysBroken(), PipelineConfig(spool_dir=tmp_path, retries=2)
             )
 
+    def test_one_shot_source_works_when_ingest_succeeds(
+        self, corpus, oracle_hits, tmp_path
+    ):
+        result = run_pipeline(
+            iter(corpus.moduli), PipelineConfig(spool_dir=tmp_path)
+        )
+        assert _hit_triples(result) == oracle_hits
+
+    def test_one_shot_source_failure_is_not_retried(self, corpus, tmp_path):
+        # Retrying a partially consumed generator would re-read only the
+        # unconsumed tail and commit a silently truncated corpus.
+        def flaky_gen():
+            yield from corpus.moduli[:5]
+            raise OSError("transient read failure")
+
+        with pytest.raises(OSError, match="transient"):
+            run_pipeline(
+                flaky_gen(), PipelineConfig(spool_dir=tmp_path, retries=3)
+            )
+        # nothing was committed: no truncated ingest blob to resume from
+        assert CheckpointStore(tmp_path).load() is None
+
+    def test_retry_does_not_double_count_stage_metrics(self, corpus, tmp_path):
+        calls = {"n": 0}
+        real_moduli = corpus.moduli
+
+        class FlakyMidway:
+            def __iter__(self):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    def gen():
+                        yield from real_moduli[:7]  # > one shard, then die
+                        raise OSError("transient read failure")
+
+                    return gen()
+                return iter(real_moduli)
+
+        result = run_pipeline(
+            FlakyMidway(),
+            PipelineConfig(spool_dir=tmp_path, shard_size=4, retries=1),
+        )
+        counters = result.metrics["counters"]
+        assert counters["pipeline.stage_retries"] == 1
+        # only the successful attempt's records are counted
+        assert counters["pipeline.moduli"] == 12
+        assert counters["pipeline.shards"] == 3
+
 
 class TestTelemetry:
     def test_events_and_metrics(self, corpus, tmp_path):
@@ -286,6 +333,19 @@ class TestQuickCheck:
     def test_spool_without_tree_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="manifest"):
             quick_check([7], spool_dir=tmp_path)
+
+    @pytest.mark.parametrize("killed_at", ["ingest", "product.1", "product.3"])
+    def test_partial_tree_spool_rejected(self, corpus, tmp_path, killed_at):
+        # A run killed mid-tree has partial-level blobs whose first value is
+        # NOT the corpus product; GCD-ing against it gives false negatives.
+        with pytest.raises(_Kill):
+            run_pipeline(
+                corpus.moduli,
+                PipelineConfig(spool_dir=tmp_path),
+                _stage_hook=_kill_after(killed_at),
+            )
+        with pytest.raises(ValueError, match="root"):
+            quick_check([corpus.moduli[0]], spool_dir=tmp_path)
 
     def test_exactly_one_source_required(self, tmp_path):
         with pytest.raises(ValueError, match="exactly one"):
