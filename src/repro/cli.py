@@ -7,6 +7,7 @@ keygen     generate RSA keys as a PEM bundle (optionally private)
 corpus     build a weak-key corpus (JSON ground truth + optional PEM bundle)
 scan       all-pairs shared-prime scan over a PEM bundle or corpus JSON
 batchscan  sharded, checkpointed batch-GCD pipeline (resumable, disk-spooled)
+backends   show detected big-integer backends and what ``auto`` resolves to
 census     iteration statistics of algorithms A–E (a Table IV slice)
 trace      print a paper-style trace (Tables I–III) for one pair
 gcd        one GCD with a chosen algorithm
@@ -51,6 +52,7 @@ from repro.rsa.x509 import (
     create_self_signed_certificate,
     extract_moduli_from_certificates,
 )
+from repro.util.intops import BACKEND_CHOICES, backend_info, resolve_backend
 from repro.util.rng import derive_rng
 
 __all__ = ["main", "build_parser"]
@@ -106,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --certs: skip certificates whose self-signature fails",
     )
     sc.add_argument("--backend", choices=("bulk", "scalar", "batch"), default="bulk")
+    sc.add_argument(
+        "--int-backend", choices=BACKEND_CHOICES, default=None, metavar="NAME",
+        help="big-integer implementation for the batch trees and hit grouping "
+        "(auto/python/gmpy2; default: REPRO_INT_BACKEND or auto)",
+    )
     sc.add_argument("--algorithm", choices=("approx", "fast_binary", "binary"), default="approx")
     sc.add_argument("--group-size", type=int, default=64, help="Section VI r (batch size)")
     sc.add_argument("--no-early-terminate", action="store_true")
@@ -166,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="re-attempts per failed stage before giving up (default 1)",
     )
+    bs.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None, metavar="NAME",
+        help="big-integer implementation for every pipeline stage "
+        "(auto/python/gmpy2; default: REPRO_INT_BACKEND or auto)",
+    )
     bs.add_argument("--json", action="store_true", help="emit a JSON report")
     bs.add_argument(
         "--stats-json", type=Path, default=None, metavar="PATH",
@@ -179,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-jsonl", type=Path, default=None, metavar="PATH",
         help="stream structured JSONL events (pipeline.stage.done/...) to PATH",
     )
+
+    be = sub.add_parser(
+        "backends",
+        help="show detected big-integer backends and what 'auto' resolves to",
+    )
+    be.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     ce = sub.add_parser("census", help="iteration statistics (Table IV slice)")
     ce.add_argument("--bits", type=int, default=128)
@@ -208,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "corpus": _cmd_corpus,
         "scan": _cmd_scan,
         "batchscan": _cmd_batchscan,
+        "backends": _cmd_backends,
         "census": _cmd_census,
         "trace": _cmd_trace,
         "gcd": _cmd_gcd,
@@ -261,6 +280,28 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    info = backend_info()
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    print("big-integer backends:")
+    for name in info["available"]:
+        if name == "gmpy2":
+            versions = info["gmpy2"]
+            detail = f"gmpy2 {versions.get('gmpy2', '?')}, {versions.get('mp', '?')}"
+        else:
+            detail = f"CPython int ({sys.version.split()[0]})"
+        print(f"  {name:<8} available   {detail}")
+    if not info["gmpy2"]["installed"]:
+        reason = info["gmpy2"].get("error", "not importable")
+        print(f"  gmpy2    missing     {reason} (pip install -e '.[fast]')")
+    env = info["env"]
+    print(f"REPRO_INT_BACKEND = {env if env else '(unset)'}")
+    print(f"auto resolves to: {info['auto']}")
+    return 0
+
+
 def _stderr_progress(update: ProgressUpdate) -> None:
     """The ``scan --progress`` callback: one self-overwriting stderr line."""
     print(f"\r{update.render()}", end="", file=sys.stderr, flush=True)
@@ -303,6 +344,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             early_terminate=not args.no_early_terminate,
             telemetry=telemetry,
             memlog=CountingMemLog() if args.memlog else None,
+            int_backend=args.int_backend,
         )
     finally:
         if event_stream is not None:
@@ -317,6 +359,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         "pairs_tested": report.pairs_tested,
         "backend": report.backend,
         "algorithm": report.algorithm,
+        "int_backend": resolve_backend(args.int_backend).name,
         "elapsed_seconds": elapsed,
         "pairs_per_second": report.pairs_tested / elapsed if elapsed > 0 else 0.0,
         "hits": [
@@ -406,6 +449,7 @@ def _cmd_batchscan(args: argparse.Namespace) -> int:
         workers=args.workers,
         resume=args.resume,
         retries=args.retries,
+        backend=args.backend,
     )
     progress_cb = _stderr_progress if args.progress else None
     event_stream = None
@@ -427,6 +471,7 @@ def _cmd_batchscan(args: argparse.Namespace) -> int:
     payload = {
         "source": source_name,
         "spool_dir": str(result.spool_dir),
+        "int_backend": resolve_backend(args.backend).name,
         "moduli": result.n_moduli,
         "levels": result.levels,
         "resumed": result.resumed,

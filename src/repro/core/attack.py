@@ -18,7 +18,6 @@ Backends:
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -35,6 +34,7 @@ from repro.mp.memlog import CountingMemLog
 from repro.mp.wordint import WordInt
 from repro.rsa.keys import RSAKey, recover_key
 from repro.telemetry import Telemetry, record_memlog
+from repro.util.intops import IntBackend, resolve_backend
 
 __all__ = [
     "WeakHit",
@@ -117,6 +117,7 @@ def find_shared_primes(
     early_terminate: bool = True,
     telemetry: Telemetry | None = None,
     memlog: CountingMemLog | None = None,
+    int_backend: str | IntBackend | None = None,
 ) -> AttackReport:
     """Find every pair of moduli sharing a prime factor.
 
@@ -124,6 +125,13 @@ def find_shared_primes(
     batch of at most ``r²`` pairs.  ``early_terminate`` applies the
     Section V rule with ``stop_bits = s/2`` where ``s`` is the common
     modulus bit length (required to hold for all moduli when enabled).
+
+    ``int_backend`` selects the big-integer implementation
+    (:mod:`repro.util.intops`) for the ``batch`` backend's trees and the
+    hit-grouping pass; the ``bulk``/``scalar`` backends deliberately keep
+    their word-level arithmetic (it is the paper's measurement subject).
+    The resolved name lands in the ``backend.name`` gauge and the
+    ``scan.start`` event either way, so reports are self-describing.
 
     ``telemetry`` supplies the measurement bundle (a private one is created
     otherwise); the run's snapshot always lands in ``report.metrics``, and
@@ -157,16 +165,18 @@ def find_shared_primes(
             "or pass early_terminate=False"
         )
 
+    B = resolve_backend(int_backend)
     tel = telemetry if telemetry is not None else Telemetry.create()
     report = AttackReport(m=len(moduli), bits=bits, backend=backend, algorithm=algorithm)
     tel.registry.gauge("scan.moduli").set(len(moduli))
     tel.registry.gauge("scan.bits").set(bits)
+    tel.registry.gauge("backend.name").set(B.name)
     tel.emit("scan.start", backend=backend, algorithm=algorithm,
-             moduli=len(moduli), bits=bits)
+             moduli=len(moduli), bits=bits, int_backend=B.name)
 
     with tel.timer.span("scan"):
         if backend == "batch":
-            _run_batch(moduli, report, tel)
+            _run_batch(moduli, report, tel, B)
         else:
             _run_pairwise(
                 moduli, report, backend, algorithm, d, group_size, stop_bits,
@@ -255,18 +265,24 @@ def _run_pairwise(
         tel.emit("block.done", i=block.i, j=block.j, pairs=len(idx), hits=block_hits)
 
 
-def _run_batch(moduli: list[int], report: AttackReport, tel: Telemetry) -> None:
+def _run_batch(
+    moduli: list[int], report: AttackReport, tel: Telemetry, B: IntBackend
+) -> None:
     """Bernstein batch GCD, then group per-modulus factors into pairs."""
-    per_modulus = batch_gcd(moduli, telemetry=tel)
+    per_modulus = batch_gcd(moduli, telemetry=tel, backend=B)
     report.pairs_tested = all_pair_count(len(moduli))  # covered implicitly
     report.blocks = 0
     flagged = [
         (idx, moduli[idx], g) for idx, g in enumerate(per_modulus) if g > 1
     ]
-    report.hits.extend(group_batch_hits(flagged))
+    report.hits.extend(group_batch_hits(flagged, backend=B))
 
 
-def group_batch_hits(flagged: list[tuple[int, int, int]]) -> list[WeakHit]:
+def group_batch_hits(
+    flagged: list[tuple[int, int, int]],
+    *,
+    backend: str | IntBackend | None = None,
+) -> list[WeakHit]:
     """Turn per-modulus batch-GCD results into explicit weak *pairs*.
 
     ``flagged`` holds ``(index, modulus, gcd)`` triples for every modulus
@@ -275,12 +291,15 @@ def group_batch_hits(flagged: list[tuple[int, int, int]]) -> list[WeakHit]:
     straight to disk.  A gcd equal to the full modulus (both primes shared
     elsewhere, e.g. a duplicated key) is split by pairwise GCD against the
     other flagged moduli; everything else groups by the shared prime, and
-    each group of ``k`` moduli yields its ``k·(k−1)/2`` pairs.
+    each group of ``k`` moduli yields its ``k·(k−1)/2`` pairs.  Hit primes
+    are plain ``int`` whatever ``backend`` computes the splitting GCDs.
 
     >>> hits = group_batch_hits([(0, 33, 11), (2, 55, 55), (4, 35, 5)])
     >>> [(h.i, h.j, h.prime) for h in sorted(hits, key=lambda h: (h.i, h.j))]
     [(0, 2, 11), (2, 4, 5)]
     """
+    B = resolve_backend(backend)
+    gcd, to_int = B.gcd, B.to_int
     by_prime: dict[int, list[int]] = defaultdict(list)
     for idx, n, g in flagged:
         if g == n:
@@ -288,11 +307,11 @@ def group_batch_hits(flagged: list[tuple[int, int, int]]) -> list[WeakHit]:
             # pairwise gcd against the other flagged moduli
             for jdx, n2, _ in flagged:
                 if jdx != idx:
-                    shared = math.gcd(n, n2)
+                    shared = to_int(gcd(n, n2))
                     if shared > 1:
                         by_prime[shared].append(idx)
             continue
-        by_prime[g].append(idx)
+        by_prime[to_int(g)].append(idx)
     hits = []
     for prime, members in by_prime.items():
         members = sorted(set(members))

@@ -26,7 +26,6 @@ pipeline's budget no matter how long the stream runs.
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
 import os
 from collections import deque
@@ -37,6 +36,7 @@ from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import AttackReport, WeakHit
 from repro.core.pairing import all_pair_count, block_schedule
 from repro.telemetry import MetricsRegistry, StageTimer, Telemetry
+from repro.util.intops import resolve_backend
 
 __all__ = [
     "find_shared_primes_parallel",
@@ -171,24 +171,32 @@ def find_shared_primes_parallel(
 
 # -- chunked work units for the sharded batch-GCD pipeline ---------------------
 #
-# These are module-level so ProcessPoolExecutor can pickle them by reference;
-# each takes one self-contained chunk and returns plain ints, so a work unit
-# crosses the process boundary exactly twice (arguments out, results back).
+# These are module-level so ProcessPoolExecutor can pickle them by reference
+# (the pipeline binds the resolved backend name with functools.partial, which
+# pickles too); each takes one self-contained chunk and returns backend-native
+# integers, so a work unit crosses the process boundary exactly twice
+# (arguments out, results back) and never pays an int↔mpz conversion inside
+# the worker — blob readers already hand the chunks over backend-native.
 
 
-def product_chunk(groups: Sequence[tuple[int, ...]]) -> list[int]:
+def product_chunk(
+    groups: Sequence[tuple[int, ...]], backend: str = "python"
+) -> list[int]:
     """One product-tree work unit: multiply each tuple of siblings.
 
     A one-element tuple is an odd level's carried node and passes through
-    unchanged (``math.prod`` of a singleton).
+    unchanged (the product of a singleton).
 
     >>> product_chunk([(3, 5), (7,)])
     [15, 7]
     """
-    return [math.prod(group) for group in groups]
+    prod = resolve_backend(backend).prod
+    return [prod(group) for group in groups]
 
 
-def remainder_chunk(items: Sequence[tuple[int, int]]) -> list[int]:
+def remainder_chunk(
+    items: Sequence[tuple[int, int]], backend: str = "python"
+) -> list[int]:
     """One remainder-tree work unit: ``parent mod value²`` per child.
 
     ``items`` holds ``(parent_remainder, node_value)`` pairs; the squared
@@ -197,20 +205,27 @@ def remainder_chunk(items: Sequence[tuple[int, int]]) -> list[int]:
     >>> remainder_chunk([(1000, 7), (1000, 11)])
     [20, 32]
     """
-    return [parent % (value * value) for parent, value in items]
+    B = resolve_backend(backend)
+    sqr, mod = B.sqr, B.mod
+    return [mod(parent, sqr(value)) for parent, value in items]
 
 
-def leaf_gcd_chunk(items: Sequence[tuple[int, int]]) -> list[int]:
+def leaf_gcd_chunk(
+    items: Sequence[tuple[int, int]], backend: str = "python"
+) -> list[int]:
     """One final-pass work unit: ``gcd(n, (N/n) mod n)`` from ``N mod n²``.
 
     ``items`` holds ``(modulus, leaf_remainder)`` pairs; the division is
-    exact because ``n`` divides ``N``.
+    exact because ``n`` divides ``N`` (see
+    :meth:`repro.util.intops.IntBackend.leaf_gcd` — the one home of the
+    leaf formula).
 
     >>> n, m = 15, 21  # N = 315; leaf remainder for 15 is 315 % 225 = 90
     >>> leaf_gcd_chunk([(15, 90)])
     [3]
     """
-    return [math.gcd(n, (r // n) % n) for n, r in items]
+    leaf_gcd = resolve_backend(backend).leaf_gcd
+    return [leaf_gcd(n, r) for n, r in items]
 
 
 def run_chunked(

@@ -29,9 +29,9 @@ unreadable manifest fall back to re-running the affected stages.  See
 from __future__ import annotations
 
 import json
-import math
 import os
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
@@ -41,6 +41,7 @@ from repro.core.checkpoint import CheckpointStore, Manifest, StageRecord
 from repro.core.parallel import leaf_gcd_chunk, product_chunk, remainder_chunk, run_chunked
 from repro.core.spool import BlobInfo, iter_blob, read_blob, record_nbytes, write_blob
 from repro.telemetry import Telemetry
+from repro.util.intops import IntBackend, resolve_backend
 
 __all__ = [
     "PipelineConfig",
@@ -62,7 +63,11 @@ class PipelineConfig:
     (chunking math in ``docs/BATCH_PIPELINE.md``); ``workers <= 1`` runs
     stages inline, larger values fan chunks across a process pool.
     ``retries`` is the number of *re*-attempts per failed stage before the
-    run gives up.
+    run gives up.  ``backend`` names the big-integer implementation
+    (``auto``/``python``/``gmpy2``, see :mod:`repro.util.intops`;
+    ``None`` defers to ``REPRO_INT_BACKEND``, then ``auto``); the resolved
+    name is pinned into every chunk work unit, so all workers compute with
+    the same arithmetic no matter what is importable where.
 
     >>> PipelineConfig(spool_dir="/tmp/spool").shard_size
     1024
@@ -74,6 +79,7 @@ class PipelineConfig:
     workers: int = 0
     resume: bool = False
     retries: int = 1
+    backend: str | None = None
 
     def chunk_bytes(self) -> int:
         """Per-chunk byte target: budget spread over the in-flight window.
@@ -196,9 +202,11 @@ def _ingest_stage(
     return info
 
 
-def _product_stage(src: Path, dst: Path, config: PipelineConfig, tel: Telemetry) -> BlobInfo:
+def _product_stage(
+    src: Path, dst: Path, config: PipelineConfig, tel: Telemetry, B: IntBackend
+) -> BlobInfo:
     def groups() -> Iterator[tuple[int, ...]]:
-        it = iter_blob(src)
+        it = iter_blob(src, backend=B)
         for a in it:
             b = next(it, None)
             yield (a,) if b is None else (a, b)
@@ -206,17 +214,22 @@ def _product_stage(src: Path, dst: Path, config: PipelineConfig, tel: Telemetry)
     chunks = _chunks_by_bytes(
         groups(), config.chunk_bytes(), lambda g: sum(record_nbytes(v) for v in g)
     )
-    return _write_chunked(product_chunk, chunks, dst, config, tel)
+    return _write_chunked(partial(product_chunk, backend=B.name), chunks, dst, config, tel)
 
 
 def _remainder_stage(
-    parent_blob: Path, value_blob: Path, dst: Path, config: PipelineConfig, tel: Telemetry
+    parent_blob: Path,
+    value_blob: Path,
+    dst: Path,
+    config: PipelineConfig,
+    tel: Telemetry,
+    B: IntBackend,
 ) -> BlobInfo:
     def items() -> Iterator[tuple[int, int]]:
-        parents = iter_blob(parent_blob)
+        parents = iter_blob(parent_blob, backend=B)
         parent = next(parents)
         parent_idx = 0
-        for child_idx, value in enumerate(iter_blob(value_blob)):
+        for child_idx, value in enumerate(iter_blob(value_blob, backend=B)):
             while child_idx // 2 > parent_idx:
                 parent = next(parents)
                 parent_idx += 1
@@ -227,19 +240,28 @@ def _remainder_stage(
         config.chunk_bytes(),
         lambda item: record_nbytes(item[0]) + record_nbytes(item[1]),
     )
-    return _write_chunked(remainder_chunk, chunks, dst, config, tel)
+    return _write_chunked(
+        partial(remainder_chunk, backend=B.name), chunks, dst, config, tel
+    )
 
 
 def _leaf_stage(
-    moduli_blob: Path, rem_blob: Path, dst: Path, config: PipelineConfig, tel: Telemetry
+    moduli_blob: Path,
+    rem_blob: Path,
+    dst: Path,
+    config: PipelineConfig,
+    tel: Telemetry,
+    B: IntBackend,
 ) -> BlobInfo:
-    items = zip(iter_blob(moduli_blob), iter_blob(rem_blob))
+    items = zip(iter_blob(moduli_blob, backend=B), iter_blob(rem_blob, backend=B))
     chunks = _chunks_by_bytes(
         items,
         config.chunk_bytes(),
         lambda item: record_nbytes(item[0]) + record_nbytes(item[1]),
     )
-    return _write_chunked(leaf_gcd_chunk, chunks, dst, config, tel)
+    return _write_chunked(
+        partial(leaf_gcd_chunk, backend=B.name), chunks, dst, config, tel
+    )
 
 
 def _write_chunked(fn, chunks, dst: Path, config: PipelineConfig, tel: Telemetry) -> BlobInfo:
@@ -257,13 +279,15 @@ def _counted(chunks: Iterator[list], tel: Telemetry) -> Iterator[list]:
         yield chunk
 
 
-def _pairing_stage(moduli_blob: Path, gcd_blob: Path, dst: Path) -> tuple[list[WeakHit], int]:
+def _pairing_stage(
+    moduli_blob: Path, gcd_blob: Path, dst: Path, B: IntBackend
+) -> tuple[list[WeakHit], int]:
     flagged = [
         (idx, n, g)
         for idx, (n, g) in enumerate(zip(iter_blob(moduli_blob), iter_blob(gcd_blob)))
         if g > 1
     ]
-    hits = sorted(group_batch_hits(flagged), key=lambda h: (h.i, h.j))
+    hits = sorted(group_batch_hits(flagged, backend=B), key=lambda h: (h.i, h.j))
     payload = {
         "hits": [{"i": h.i, "j": h.j, "prime": str(h.prime)} for h in hits],
         "flagged": len(flagged),
@@ -319,10 +343,12 @@ def run_pipeline(
     spool_dir = Path(config.spool_dir)
     spool_dir.mkdir(parents=True, exist_ok=True)
     store = CheckpointStore(spool_dir)
+    B = resolve_backend(config.backend)
     tel = telemetry if telemetry is not None else Telemetry.create()
     reg = tel.registry
     reg.gauge("pipeline.workers").set(max(config.workers, 1))
     reg.gauge("pipeline.memory_budget").set(config.memory_budget)
+    reg.gauge("backend.name").set(B.name)
 
     manifest, completed = _resume_state(store, config, tel)
     done_names = {record.name for record in completed}
@@ -373,6 +399,7 @@ def run_pipeline(
             shard_size=config.shard_size,
             memory_budget=config.memory_budget,
             workers=config.workers,
+            int_backend=B.name,
         )
 
         for name, blob in plan[1:]:
@@ -387,7 +414,7 @@ def run_pipeline(
                 (hits, nbytes), seconds = _attempt(
                     name,
                     lambda: _pairing_stage(
-                        spool_dir / "product-000.bin", spool_dir / "gcds.bin", dst
+                        spool_dir / "product-000.bin", spool_dir / "gcds.bin", dst, B
                     ),
                     config,
                     tel,
@@ -398,7 +425,7 @@ def run_pipeline(
                 )
                 result.hits = hits
             else:
-                stage_fn = _stage_body(name, spool_dir, dst, top, config, tel)
+                stage_fn = _stage_body(name, spool_dir, dst, top, config, tel, B)
                 info, seconds = _attempt(name, stage_fn, config, tel)
                 _check_count(name, info, sizes, n)
             _commit(store, manifest, name, info, seconds, config, tel)
@@ -424,7 +451,13 @@ def run_pipeline(
 
 
 def _stage_body(
-    name: str, spool_dir: Path, dst: Path, top: int, config: PipelineConfig, tel: Telemetry
+    name: str,
+    spool_dir: Path,
+    dst: Path,
+    top: int,
+    config: PipelineConfig,
+    tel: Telemetry,
+    B: IntBackend,
 ) -> Callable[[], BlobInfo]:
     kind, _, level = name.partition(".")
     if kind == "product":
@@ -432,7 +465,7 @@ def _stage_body(
         src = spool_dir / f"product-{k - 1:03d}.bin"
         return lambda: _observed(
             "pipeline.product_level_seconds",
-            lambda: _product_stage(src, dst, config, tel),
+            lambda: _product_stage(src, dst, config, tel, B),
             tel,
         )
     if kind == "remainder":
@@ -445,12 +478,17 @@ def _stage_body(
         values = spool_dir / f"product-{k:03d}.bin"
         return lambda: _observed(
             "pipeline.remainder_level_seconds",
-            lambda: _remainder_stage(parent, values, dst, config, tel),
+            lambda: _remainder_stage(parent, values, dst, config, tel, B),
             tel,
         )
     if kind == "leaf":
         return lambda: _leaf_stage(
-            spool_dir / "product-000.bin", spool_dir / "remainder-000.bin", dst, config, tel
+            spool_dir / "product-000.bin",
+            spool_dir / "remainder-000.bin",
+            dst,
+            config,
+            tel,
+            B,
         )
     raise ValueError(f"unknown stage {name!r}")
 
@@ -557,6 +595,7 @@ def _commit(
             "shard_size": config.shard_size,
             "memory_budget": config.memory_budget,
             "workers": config.workers,
+            "backend": resolve_backend(config.backend).name,
         }
     store.save(manifest)
     tel.registry.counter("pipeline.bytes_spilled").inc(info.nbytes)
@@ -614,6 +653,7 @@ def quick_check(
     *,
     spool_dir: str | Path | None = None,
     corpus_moduli: Iterable[int] | None = None,
+    backend: str | IntBackend | None = None,
 ) -> list[int]:
     """GCD each *arriving* modulus against a whole corpus in one shot.
 
@@ -621,7 +661,11 @@ def quick_check(
     ``N = Π n_i`` is non-trivial exactly when ``n`` shares a prime with
     some corpus key — the O(|N|) streaming complement to a full rescan.  A
     modulus already *in* the corpus returns ``n`` itself (``N mod n = 0``),
-    flagging it like a duplicate key.
+    flagging it like a duplicate key.  (This membership semantics is why
+    the formula here is deliberately *not* the batch-GCD leaf formula
+    ``leaf_gcd(n, N mod n²)``: an arriving modulus need not divide ``N``,
+    so no exact division exists; ``gcd(n, N mod n) = gcd(n, N)`` is the
+    whole-corpus test.)
 
     The corpus product comes from a finished pipeline run's root blob
     (``spool_dir``) or is computed root-only from ``corpus_moduli`` via
@@ -635,6 +679,7 @@ def quick_check(
     """
     if (spool_dir is None) == (corpus_moduli is None):
         raise ValueError("pass exactly one of spool_dir or corpus_moduli")
+    B = resolve_backend(backend)
     if spool_dir is not None:
         store = CheckpointStore(spool_dir)
         manifest = store.load()
@@ -651,10 +696,13 @@ def quick_check(
                 f"mid-tree leaves partial levels whose values are not the corpus "
                 f"product (finish the run or resume it first)"
             )
-        root = read_blob(Path(spool_dir) / root_record.blob)[0]
+        root = next(iter_blob(Path(spool_dir) / root_record.blob, backend=B))
     else:
-        root = product_tree(list(corpus_moduli), keep_levels=False)[-1][0]
-    return [math.gcd(n, root % n) for n in new_moduli]
+        root = product_tree(
+            list(corpus_moduli), keep_levels=False, backend=B, native=True
+        )[-1][0]
+    gcd, mod, to_int = B.gcd, B.mod, B.to_int
+    return [to_int(gcd(n, mod(root, n))) for n in new_moduli]
 
 
 def _file_sha256(path: Path) -> str:

@@ -55,6 +55,8 @@ class BlobInfo:
 def _encode_record(value: int) -> bytes:
     if value < 0:
         raise SpoolError("spool blobs hold non-negative integers only")
+    if type(value) is not int:
+        value = int(value)  # backend-native values (e.g. gmpy2 mpz)
     body = value.to_bytes((value.bit_length() + 7) // 8, "little")
     if len(body) >= 1 << (8 * _LEN_BYTES):
         raise SpoolError("integer too large for a spool record")
@@ -105,11 +107,16 @@ def write_blob(path: str | Path, values: Iterable[int]) -> BlobInfo:
     return BlobInfo(path=path, count=count, nbytes=nbytes, sha256=digest.hexdigest())
 
 
-def iter_blob(path: str | Path) -> Iterator[int]:
+def iter_blob(path: str | Path, *, backend=None) -> Iterator[int]:
     """Yield a blob's integers in order, reading one record at a time.
 
     Raises :class:`SpoolError` on a missing magic header or a truncated
     record — the signal the checkpoint layer treats as a corrupt stage.
+
+    ``backend`` (an :class:`repro.util.intops.IntBackend`) decodes records
+    straight to backend-native values — under gmpy2 the pipeline's chunk
+    payloads are born as ``mpz`` at deserialisation, so workers never pay
+    a per-record ``int → mpz`` conversion.  ``None`` keeps plain ``int``.
 
     >>> import tempfile, pathlib
     >>> with tempfile.TemporaryDirectory() as d:
@@ -119,6 +126,11 @@ def iter_blob(path: str | Path) -> Iterator[int]:
     [3, 5]
     """
     path = Path(path)
+    decode = (
+        backend.from_bytes
+        if backend is not None
+        else (lambda body: int.from_bytes(body, "little"))
+    )
     with path.open("rb") as fh:
         if fh.read(len(MAGIC)) != MAGIC:
             raise SpoolError(f"{path} is not a spool blob (bad magic)")
@@ -132,7 +144,7 @@ def iter_blob(path: str | Path) -> Iterator[int]:
             body = fh.read(length)
             if len(body) < length:
                 raise SpoolError(f"{path}: truncated record body")
-            yield int.from_bytes(body, "little")
+            yield decode(body)
 
 
 def read_blob(path: str | Path) -> list[int]:

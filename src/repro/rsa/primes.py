@@ -6,12 +6,20 @@ filtering during generation is cheap.  Primes are generated OpenSSL-style:
 top *two* bits forced to 1, so the product of two ``k``-bit primes always
 has exactly ``2k`` bits — the property the paper's early-terminate threshold
 (``s/2`` bits) relies on.
+
+The modular exponentiations dominate generation time, so they route
+through the pluggable big-integer backend (:mod:`repro.util.intops`) —
+with gmpy2 installed, corpus generation for benchmarks runs several times
+faster while the primes produced for a fixed seed stay bit-identical
+(``tests/core/test_backend_parity.py`` holds that line).
 """
 
 from __future__ import annotations
 
 import random
 from functools import lru_cache
+
+from repro.util.intops import IntBackend, resolve_backend
 
 __all__ = ["small_primes", "is_prime", "generate_prime"]
 
@@ -40,24 +48,37 @@ def small_primes(limit: int = 1000) -> tuple[int, ...]:
     return tuple(i for i in range(limit) if sieve[i])
 
 
-def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
-    """One MR witness round; True means "possibly prime"."""
-    x = pow(a, d, n)
-    if x == 1 or x == n - 1:
+def _miller_rabin_round(n, a: int, d: int, r: int, B: IntBackend) -> bool:
+    """One MR witness round; True means "possibly prime".
+
+    ``n`` arrives backend-native so every round of the same test reuses
+    one conversion; the powmod/sqr/mod chain is the generation hot path.
+    """
+    powmod, sqr, mod = B.powmod, B.sqr, B.mod
+    x = powmod(a, d, n)
+    minus_one = n - 1
+    if x == 1 or x == minus_one:
         return True
     for _ in range(r - 1):
-        x = (x * x) % n
-        if x == n - 1:
+        x = mod(sqr(x), n)
+        if x == minus_one:
             return True
     return False
 
 
-def is_prime(n: int, rng: random.Random | None = None) -> bool:
+def is_prime(
+    n: int,
+    rng: random.Random | None = None,
+    *,
+    backend: str | IntBackend | None = None,
+) -> bool:
     """Miller–Rabin primality test.
 
     Deterministic (provably correct) below ~3.3e24; above that, 40 rounds of
     random bases drawn from ``rng`` (a private PRNG seeded from ``n`` when
-    none is given, keeping results reproducible).
+    none is given, keeping results reproducible).  ``backend`` selects the
+    big-integer implementation; the verdict (and therefore every prime a
+    fixed seed generates) is backend-independent.
 
     >>> is_prime(97), is_prime(91)  # 91 = 7 * 13
     (True, False)
@@ -80,7 +101,9 @@ def is_prime(n: int, rng: random.Random | None = None) -> bool:
         if rng is None:
             rng = random.Random(n & ((1 << 64) - 1))
         bases = tuple(rng.randrange(2, n - 1) for _ in range(_RANDOM_ROUNDS))
-    return all(_miller_rabin_round(n, a, d, r) for a in bases)
+    B = resolve_backend(backend)
+    n_native = B.from_int(n)
+    return all(_miller_rabin_round(n_native, a, d, r, B) for a in bases)
 
 
 def generate_prime(bits: int, rng: random.Random, *, avoid: frozenset[int] | set[int] = frozenset()) -> int:

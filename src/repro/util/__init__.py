@@ -1,9 +1,18 @@
-"""Shared low-level helpers: bit manipulation and deterministic RNG plumbing.
+"""Shared low-level helpers: bits, deterministic RNG, and int backends.
 
-Everything in this package operates on plain Python ``int`` values; the
-word-array representation lives in :mod:`repro.mp`.
+The bit helpers operate on plain Python ``int`` values; the word-array
+representation lives in :mod:`repro.mp`; :mod:`repro.util.intops` is the
+pluggable big-integer backend seam (python/gmpy2) the GCD hot paths
+compute through.
 """
 
+from repro.util.intops import (
+    BACKEND_CHOICES,
+    IntBackend,
+    available_backends,
+    backend_info,
+    resolve_backend,
+)
 from repro.util.bits import (
     bit_length,
     int_from_words_be,
@@ -20,12 +29,17 @@ from repro.util.bits import (
 from repro.util.rng import derive_rng, spawn_seeds
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "IntBackend",
+    "available_backends",
+    "backend_info",
     "bit_length",
     "derive_rng",
     "int_from_words_be",
     "int_from_words_le",
     "is_even",
     "is_odd",
+    "resolve_backend",
     "rshift_to_odd",
     "spawn_seeds",
     "top_two_words",

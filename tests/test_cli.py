@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.rsa.pem import load_public_moduli
+from repro.util.intops import available_backends
 
 
 class TestGcd:
@@ -367,3 +368,70 @@ class TestBatchscan:
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["metrics"]["counters"]["pipeline.bytes_spilled"] > 0
+
+    def test_backend_flag_recorded(self, corpus_path, tmp_path, capsys):
+        rc = main(
+            ["batchscan", "--corpus", str(corpus_path),
+             "--spool-dir", str(tmp_path / "spool"),
+             "--backend", "python", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["int_backend"] == "python"
+        assert payload["metrics"]["gauges"]["backend.name"] == "python"
+
+
+class TestBackendsCommand:
+    """``repro backends`` and the int-backend selection flags."""
+
+    def test_text_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out and "available" in out
+        assert "REPRO_INT_BACKEND" in out
+        assert "auto resolves to:" in out
+
+    def test_json_listing(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert "python" in info["available"]
+        assert info["auto"] in info["available"]
+        assert isinstance(info["gmpy2"]["installed"], bool)
+
+    def test_env_var_shown(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_INT_BACKEND", "python")
+        assert main(["backends"]) == 0
+        assert "REPRO_INT_BACKEND = python" in capsys.readouterr().out
+
+    @pytest.fixture()
+    def corpus_file(self, tmp_path, capsys):
+        path = tmp_path / "corpus.json"
+        assert main(
+            ["corpus", "--keys", "10", "--bits", "64", "--groups", "2",
+             "--seed", "be", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_scan_int_backend_recorded(self, corpus_file, capsys):
+        rc = main(
+            ["scan", "--corpus", str(corpus_file), "--backend", "batch",
+             "--int-backend", "python", "--stats-json", "-"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["int_backend"] == "python"
+        assert payload["metrics"]["gauges"]["backend.name"] == "python"
+
+    @pytest.mark.skipif(
+        "gmpy2" in available_backends(), reason="gmpy2 IS installed here"
+    )
+    def test_requesting_missing_gmpy2_fails_loudly(self, corpus_file, capsys):
+        rc = main(
+            ["scan", "--corpus", str(corpus_file), "--backend", "batch",
+             "--int-backend", "gmpy2"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "gmpy2" in err
