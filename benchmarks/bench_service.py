@@ -1,0 +1,331 @@
+"""Registry-service throughput: submissions/sec and ticket latency vs linger.
+
+Every other benchmark here times an algorithm; this one times the *service*
+(``docs/SERVICE.md``) the way a client experiences it: a real
+:class:`~repro.service.http.HttpServer` on a loopback port, hammered by
+concurrent keep-alive HTTP clients each submitting **single keys** with
+``?wait=1`` — the worst case for the micro-batcher, since every key is its
+own request and its own round-trip.  The sweep varies ``linger_ms``, the
+batching latency/throughput dial:
+
+* ``linger 0``   — flush at the next worker wakeup; minimum latency,
+  one registry fsync per tiny batch;
+* larger lingers — submissions coalesce into bigger scan batches; p50
+  latency rises by roughly the linger, throughput rises with batch size.
+
+Results land in ``BENCH_service.json`` (schema ``repro.bench_service/1``):
+per linger setting, submissions/sec over the wall clock plus p50/p99
+ticket latency.  Moduli are synthetic honest semiprimes over small primes
+(cheap to generate, genuinely pairwise coprime apart from a planted hit
+per ~200 keys), so the service performs the full dedup →
+incremental-scan → durable-commit cycle at a realistic hit rate.
+
+Runs standalone (CI uses this form, with a throughput floor)::
+
+    PYTHONPATH=src REPRO_BENCH_SERVICE_MIN_RPS=500 \
+        python benchmarks/bench_service.py --quick --out BENCH_service.json
+
+and is also collected by pytest as a quick smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import random
+import statistics
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.rsa.primes import generate_prime
+from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
+from repro.util.intops import backend_info
+
+SCHEMA = "repro.bench_service/1"
+
+QUICK_KEYS, QUICK_CLIENTS = 800, 48
+FULL_KEYS, FULL_CLIENTS = 4000, 64
+DEFAULT_LINGERS = (0.0, 5.0, 20.0)
+BITS = 64
+
+
+@dataclass
+class RunResult:
+    """One linger setting's measurement — a row of ``runs``."""
+
+    linger_ms: float
+    keys: int
+    clients: int
+    seconds: float
+    submissions_per_second: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    flushes: int
+    mean_flush_keys: float
+    registered: int
+    hits: int
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+
+def synthetic_moduli(n: int, bits: int, seed: str) -> list[int]:
+    """``n`` unique honest ``bits``-bit semiprimes from distinct primes.
+
+    Unlike ``bench_e2e_scaling``'s semiprime-*shaped* random values, these
+    must be genuinely pairwise coprime: random odd 64-bit values share a
+    small factor ~39 % of the time, which would drown the service in
+    bogus "hits" and measure hit bookkeeping instead of serving.  Every
+    ~200th modulus deliberately reuses its predecessor's prime so the hit
+    path is exercised at a realistic (rare) rate.
+    """
+    rng = random.Random((seed, n, bits).__repr__())
+    half = bits // 2
+    seen_primes: set[int] = set()
+    out: list[int] = []
+    prev_p = None
+    for k in range(n):
+        if k % 200 == 199 and prev_p is not None:
+            p = prev_p  # plant one shared-prime pair per ~200 keys
+        else:
+            p = generate_prime(half, rng, avoid=seen_primes)
+            seen_primes.add(p)
+        q = generate_prime(half, rng, avoid=seen_primes)
+        seen_primes.add(q)
+        prev_p = p
+        out.append(p * q)
+    return out
+
+
+class KeepAliveClient:
+    """A minimal pipelining-free HTTP/1.1 client over one connection."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def post_json(self, path: str, doc: dict) -> tuple[int, dict]:
+        body = json.dumps(doc).encode()
+        self.writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        payload = await self.reader.readexactly(length)
+        return status, json.loads(payload)
+
+
+async def _client_task(
+    port: int, moduli: list[int], latencies: list[float]
+) -> int:
+    """Submit each modulus as its own waited request; record latencies."""
+    client = KeepAliveClient(port)
+    await client.connect()
+    registered = 0
+    try:
+        for n in moduli:
+            t0 = time.perf_counter()
+            status, doc = await client.post_json(
+                "/submit?wait=1", {"moduli": [hex(n)]}
+            )
+            latencies.append(time.perf_counter() - t0)
+            if status == 429:
+                # honest backpressure: honour the estimate and resubmit
+                await asyncio.sleep(float(doc.get("retry_after", 0.05)))
+                status, doc = await client.post_json(
+                    "/submit?wait=1", {"moduli": [hex(n)]}
+                )
+            assert status == 200, doc
+            if doc["results"][0]["status"] == "registered":
+                registered += 1
+    finally:
+        await client.close()
+    return registered
+
+
+async def _run_one(
+    linger_ms: float, moduli: list[int], clients: int, state_dir: Path
+) -> RunResult:
+    service = WeakKeyService(
+        ServiceConfig(
+            state_dir=state_dir, bits=BITS, linger_ms=linger_ms,
+            max_batch=max(64, clients), max_pending=8192,
+        )
+    )
+    server = HttpServer(service, port=0)
+    await server.start()
+    latencies: list[float] = []
+    shards = [moduli[k::clients] for k in range(clients)]
+    try:
+        t0 = time.perf_counter()
+        registered = await asyncio.gather(
+            *(_client_task(server.port, shard, latencies) for shard in shards)
+        )
+        elapsed = time.perf_counter() - t0
+        snap = service.telemetry.snapshot()
+    finally:
+        await server.close()
+    lat_ms = sorted(x * 1000 for x in latencies)
+    q = statistics.quantiles(lat_ms, n=100, method="inclusive")
+    flushes = snap["counters"].get("batcher.flushes", 0)
+    return RunResult(
+        linger_ms=linger_ms,
+        keys=len(moduli),
+        clients=clients,
+        seconds=round(elapsed, 4),
+        submissions_per_second=round(len(moduli) / elapsed, 1),
+        p50_ms=round(q[49], 3),
+        p99_ms=round(q[98], 3),
+        max_ms=round(lat_ms[-1], 3),
+        flushes=flushes,
+        mean_flush_keys=round(len(moduli) / flushes, 1) if flushes else 0.0,
+        registered=sum(registered),
+        hits=len(service.registry.hits),
+        latencies_ms=[round(x, 3) for x in lat_ms],
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        description="registry-service submission throughput vs linger"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help=f"CI smoke scale ({QUICK_KEYS} keys, {QUICK_CLIENTS} "
+                        "clients)")
+    p.add_argument("--keys", type=int, default=None,
+                   help="total single-key submissions per linger setting")
+    p.add_argument("--clients", type=int, default=None,
+                   help="concurrent keep-alive HTTP clients")
+    p.add_argument("--lingers", type=lambda s: tuple(float(x) for x in s.split(",")),
+                   default=DEFAULT_LINGERS,
+                   help="comma-separated linger_ms settings to sweep "
+                        f"(default {','.join(str(x) for x in DEFAULT_LINGERS)})")
+    p.add_argument("--min-rps", type=float,
+                   default=float(os.environ.get("REPRO_BENCH_SERVICE_MIN_RPS", "0")),
+                   help="fail unless the best setting sustains this many "
+                        "submissions/sec (default: REPRO_BENCH_SERVICE_MIN_RPS "
+                        "or no floor)")
+    p.add_argument("--seed", default="bench-service")
+    p.add_argument("--out", default="BENCH_service.json",
+                   help='output path ("-" for stdout)')
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    keys = args.keys or (QUICK_KEYS if args.quick else FULL_KEYS)
+    clients = args.clients or (QUICK_CLIENTS if args.quick else FULL_CLIENTS)
+    moduli = synthetic_moduli(keys, BITS, args.seed)
+
+    runs: list[RunResult] = []
+    for linger in args.lingers:
+        with tempfile.TemporaryDirectory(prefix="bench_service_") as d:
+            r = asyncio.run(_run_one(linger, moduli, clients, Path(d) / "state"))
+        runs.append(r)
+        print(
+            f"  linger={linger:>5.1f}ms  {r.submissions_per_second:8.1f} subs/s"
+            f"  p50={r.p50_ms:7.2f}ms  p99={r.p99_ms:7.2f}ms"
+            f"  flushes={r.flushes} (mean {r.mean_flush_keys} keys)",
+            file=sys.stderr,
+        )
+
+    best = max(r.submissions_per_second for r in runs)
+    doc = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "quick": args.quick, "keys": keys, "clients": clients,
+            "bits": BITS, "lingers_ms": list(args.lingers),
+            "min_rps": args.min_rps, "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "int_backends": backend_info(),
+        },
+        "runs": [
+            {k: v for k, v in asdict(r).items() if k != "latencies_ms"}
+            for r in runs
+        ],
+        "best_submissions_per_second": best,
+    }
+    payload = json.dumps(doc, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(payload)
+    else:
+        Path(args.out).write_text(payload)
+        print(f"wrote {args.out} ({len(runs)} runs)", file=sys.stderr)
+
+    if args.min_rps and best < args.min_rps:
+        print(
+            f"THROUGHPUT FLOOR FAILED: best {best:.1f} subs/s "
+            f"< required {args.min_rps:.1f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_service_quick(tmp_path, report):
+    """Smoke: the quick sweep runs, every key registers, schema is stable."""
+    out = tmp_path / "BENCH_service.json"
+    rc = main([
+        "--quick", "--keys", "300", "--clients", "16",
+        "--lingers", "0,10", "--out", str(out),
+    ])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == SCHEMA
+    assert len(doc["runs"]) == 2
+    for r in doc["runs"]:
+        assert r["registered"] == r["keys"]  # synthetic moduli are unique
+        assert r["submissions_per_second"] > 0
+        assert r["p50_ms"] <= r["p99_ms"] <= r["max_ms"]
+        assert r["flushes"] >= 1
+    lines = ["", "== registry service sweep =="]
+    for r in doc["runs"]:
+        lines.append(
+            f"  linger={r['linger_ms']:>5.1f}ms "
+            f"{r['submissions_per_second']:8.1f} subs/s  "
+            f"p50={r['p50_ms']:.2f}ms p99={r['p99_ms']:.2f}ms "
+            f"flushes={r['flushes']}"
+        )
+    report(*lines)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ keygen     generate RSA keys as a PEM bundle (optionally private)
 corpus     build a weak-key corpus (JSON ground truth + optional PEM bundle)
 scan       all-pairs shared-prime scan over a PEM bundle or corpus JSON
 batchscan  sharded, checkpointed batch-GCD pipeline (resumable, disk-spooled)
+serve      long-running weak-key registry service (HTTP, durable state dir)
+submit     client for a running registry service (submit keys, fetch hits)
 backends   show detected big-integer backends and what ``auto`` resolves to
 census     iteration statistics of algorithms A–E (a Table IV slice)
 trace      print a paper-style trace (Tables I–III) for one pair
@@ -20,8 +22,13 @@ emits a structured report.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 from repro.core.attack import find_shared_primes
@@ -46,6 +53,7 @@ from repro.rsa.corpus import (
     write_moduli_text,
 )
 from repro.rsa.keys import generate_key
+from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
 from repro.rsa.pem import load_public_moduli, private_key_to_pem, public_key_to_pem
 from repro.rsa.x509 import (
     certificate_to_pem,
@@ -192,6 +200,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured JSONL events (pipeline.stage.done/...) to PATH",
     )
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the weak-key registry service (async submissions, "
+        "micro-batched incremental scanning, durable state)",
+    )
+    sv.add_argument(
+        "--state-dir", type=Path, required=True,
+        help="directory for the durable registry (created if missing; "
+        "survives kill -9)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8571,
+        help="TCP port (default 8571; 0 = OS-assigned, see --port-file)",
+    )
+    sv.add_argument(
+        "--port-file", type=Path, default=None,
+        help="write the bound port here once listening (for --port 0 scripts)",
+    )
+    sv.add_argument(
+        "--bits", type=int, default=0,
+        help="pin the modulus size; 0 (default) pins to the first "
+        "submitted key and persists the choice",
+    )
+    sv.add_argument(
+        "--int-backend", choices=BACKEND_CHOICES, default=None, metavar="NAME",
+        help="big-integer implementation for the scan hot path "
+        "(auto/python/gmpy2; default: REPRO_INT_BACKEND or auto)",
+    )
+    sv.add_argument(
+        "--scan-engine", choices=("native", "bulk"), default="native",
+        help="per-pair GCD tier: 'native' (int-backend; serving default) "
+        "or 'bulk' (the paper's SIMT simulation)",
+    )
+    sv.add_argument(
+        "--max-batch", type=int, default=256,
+        help="flush a scan batch at this many keys (default 256)",
+    )
+    sv.add_argument(
+        "--linger-ms", type=float, default=20.0,
+        help="max milliseconds a submission waits for batch-mates (default 20)",
+    )
+    sv.add_argument(
+        "--max-pending", type=int, default=4096,
+        help="admission-queue bound in keys; beyond it submissions get "
+        "429 + Retry-After (default 4096)",
+    )
+    sv.add_argument(
+        "--events-jsonl", type=Path, default=None, metavar="PATH",
+        help="stream structured JSONL events (service.start/batcher.flush/"
+        "registry.commit/...) to PATH",
+    )
+
+    sm = sub.add_parser(
+        "submit",
+        help="submit keys to (or query) a running registry service",
+    )
+    sm.add_argument(
+        "--url", default="http://127.0.0.1:8571",
+        help="service base URL (default http://127.0.0.1:8571)",
+    )
+    sm.add_argument("hex_moduli", nargs="*", metavar="MODULUS",
+                    help="hex moduli to submit (0x prefix optional)")
+    sm.add_argument("--pem", type=Path, default=None,
+                    help="PEM bundle of public keys to submit")
+    sm.add_argument(
+        "--moduli", type=Path, default=None,
+        help="text file of moduli, one per line (decimal or 0x-hex)",
+    )
+    sm.add_argument(
+        "--fetch", choices=("hits", "broken", "health", "metrics"), default=None,
+        help="fetch a service view instead of submitting",
+    )
+    sm.add_argument(
+        "--wait", action="store_true",
+        help="long-poll until the submission's verdicts are in",
+    )
+    sm.add_argument(
+        "--chunk", type=int, default=500,
+        help="keys per HTTP request for bulk submissions (default 500)",
+    )
+    sm.add_argument(
+        "--retries", type=int, default=5,
+        help="max retries on 429 backpressure, honouring Retry-After (default 5)",
+    )
+    sm.add_argument("--timeout", type=float, default=120.0,
+                    help="per-request timeout in seconds (default 120)")
+    sm.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
     be = sub.add_parser(
         "backends",
         help="show detected big-integer backends and what 'auto' resolves to",
@@ -226,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
         "corpus": _cmd_corpus,
         "scan": _cmd_scan,
         "batchscan": _cmd_batchscan,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "backends": _cmd_backends,
         "census": _cmd_census,
         "trace": _cmd_trace,
@@ -529,6 +628,176 @@ def _cmd_batchscan(args: argparse.Namespace) -> int:
                 file=human,
             )
             return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.bits and (args.bits < 16 or args.bits % 2):
+        raise ValueError(f"--bits must be an even size >= 16, got {args.bits}")
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        bits=args.bits or None,
+        engine=args.scan_engine,
+        int_backend=args.int_backend,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        max_pending=args.max_pending,
+    )
+    event_stream = args.events_jsonl.open("w") if args.events_jsonl else None
+    try:
+        telemetry = Telemetry.create(event_stream=event_stream)
+        service = WeakKeyService(config, telemetry=telemetry)
+        server = HttpServer(service, host=args.host, port=args.port)
+
+        async def run() -> None:
+            await server.start()
+            if args.port_file is not None:
+                args.port_file.write_text(f"{server.port}\n")
+            print(
+                f"weak-key registry listening on {server.address} — "
+                f"{service.registry.n_keys} key(s), "
+                f"{len(service.registry.hits)} hit(s) restored from "
+                f"{args.state_dir}",
+                flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+            await stop.wait()
+            print("draining backlog and shutting down...", file=sys.stderr)
+            await server.close()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:  # signal handlers unavailable: hard stop
+            pass
+    finally:
+        if event_stream is not None:
+            event_stream.close()
+    return 0
+
+
+def _service_request(
+    method: str,
+    url: str,
+    payload: dict | None,
+    *,
+    timeout: float,
+    retries: int = 0,
+) -> dict:
+    """One JSON round-trip with the service, retrying 429 backpressure."""
+    body = json.dumps(payload).encode() if payload is not None else None
+    attempt = 0
+    while True:
+        request = urllib.request.Request(
+            url, data=body, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            if exc.code == 429 and attempt < retries:
+                attempt += 1
+                retry_after = exc.headers.get("Retry-After", "0.5")
+                try:
+                    delay = min(max(float(retry_after), 0.05), 30.0)
+                except ValueError:
+                    delay = 0.5
+                print(
+                    f"backpressure (429): retrying in {delay:.2f}s "
+                    f"({attempt}/{retries})",
+                    file=sys.stderr,
+                )
+                time.sleep(delay)
+                continue
+            raise ValueError(f"service returned {exc.code}: {detail}") from None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    if args.fetch:
+        path = {
+            "hits": "/hits", "broken": "/broken",
+            "health": "/healthz", "metrics": "/metricsz",
+        }[args.fetch]
+        payload = _service_request("GET", base + path, None, timeout=args.timeout)
+        if args.json or args.fetch == "metrics":
+            print(json.dumps(payload, indent=2))
+        elif args.fetch == "hits":
+            for h in payload["hits"]:
+                print(f"WEAK keys {h['i']} and {h['j']} share prime {h['prime']}")
+            print(f"{len(payload['hits'])} hit(s) across {payload['keys']} key(s)")
+        elif args.fetch == "broken":
+            for entry in payload["broken"]:
+                print(f"key {entry['index']} ({entry['modulus']}): private key recovered")
+            print(f"{len(payload['broken'])} private key(s) recovered")
+        else:
+            for name, value in payload.items():
+                print(f"{name}: {value}")
+        return 0
+
+    # gather submissions: positional hex, --moduli text file, --pem bundle
+    docs: list[dict] = []
+    moduli: list[object] = [m if m.lower().startswith("0x") else "0x" + m
+                            for m in args.hex_moduli]
+    if args.moduli is not None:
+        moduli.extend(int(n) for n in stream_moduli(args.moduli, format="text"))
+    for start in range(0, len(moduli), max(1, args.chunk)):
+        docs.append({"moduli": moduli[start : start + args.chunk]})
+    if args.pem is not None:
+        docs.append({"pem": args.pem.read_text()})
+    if not docs:
+        raise ValueError("nothing to submit (give moduli, --moduli or --pem)")
+
+    wait = "?wait=1" if args.wait else ""
+    responses = [
+        _service_request(
+            "POST", f"{base}/submit{wait}", doc,
+            timeout=args.timeout, retries=args.retries,
+        )
+        for doc in docs
+    ]
+    if args.json:
+        print(json.dumps(responses, indent=2))
+    tally = {"registered": 0, "duplicate": 0, "invalid": 0}
+    weak_lines = []
+    submitted = rejected = 0
+    for response in responses:
+        submitted += response["submitted"]
+        rejected += len(response.get("rejected", ()))
+        for result in response.get("results") or ():
+            tally[result["status"]] = tally.get(result["status"], 0) + 1
+            if result.get("weak"):
+                for h in result["hits"]:
+                    weak_lines.append(
+                        f"WEAK key {result['index']} shares prime "
+                        f"{h['prime']} with key {h['partner']}"
+                    )
+    if not args.json:
+        if args.wait:
+            print(
+                f"submitted {submitted} key(s) in {len(responses)} request(s): "
+                f"{tally['registered']} registered, {tally['duplicate']} "
+                f"duplicate, {tally['invalid']} invalid, {rejected} unparsable"
+            )
+            for line in weak_lines:
+                print(line)
+        else:
+            tickets = ", ".join(r["ticket"] for r in responses)
+            print(
+                f"submitted {submitted} key(s) in {len(responses)} request(s); "
+                f"ticket(s): {tickets}"
+            )
     return 0
 
 

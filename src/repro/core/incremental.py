@@ -18,8 +18,14 @@ from dataclasses import dataclass, field
 from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import WeakHit
 from repro.telemetry import Telemetry
+from repro.util.intops import IntBackend, resolve_backend
 
-__all__ = ["BatchReport", "IncrementalScanner"]
+__all__ = ["BatchReport", "IncrementalScanner", "SNAPSHOT_VERSION"]
+
+#: bump when the :meth:`IncrementalScanner.snapshot` payload changes shape
+SNAPSHOT_VERSION = 1
+
+_ENGINES = ("bulk", "native")
 
 
 @dataclass
@@ -68,21 +74,36 @@ class IncrementalScanner:
         d: int = 32,
         chunk_pairs: int = 4096,
         early_terminate: bool = True,
+        engine: str = "bulk",
+        int_backend: str | IntBackend | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         """``bits`` fixes the modulus size up front (the early-terminate
         threshold must be corpus-wide); ``chunk_pairs`` caps bulk batch
         sizes so memory stays bounded as the corpus grows.  ``telemetry``
         persists across batches — the scanner is long-lived, so its
-        counters tell the stream's whole story."""
+        counters tell the stream's whole story.
+
+        ``engine`` picks the per-pair GCD tier: ``"bulk"`` (default) is
+        the paper's SIMT simulation, the measurement subject; ``"native"``
+        computes each pair's GCD with the pluggable big-integer backend
+        (:mod:`repro.util.intops`, selected by ``int_backend``) — the
+        serving fast path, where throughput matters more than fidelity to
+        the word-level model.  Hit sets are identical either way."""
         if bits < 16 or bits % 2:
             raise ValueError(f"bits must be an even size >= 16, got {bits}")
         if chunk_pairs < 1:
             raise ValueError("chunk_pairs must be >= 1")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
         self.bits = bits
         self.stop_bits = bits // 2 if early_terminate else None
         self.chunk_pairs = chunk_pairs
-        self.engine = BulkGcdEngine(d=d, algorithm=algorithm)
+        self.algorithm = algorithm
+        self.d = d
+        self.engine_name = engine
+        self.engine = BulkGcdEngine(d=d, algorithm=algorithm) if engine == "bulk" else None
+        self.backend = resolve_backend(int_backend) if engine == "native" else None
         self.telemetry = telemetry if telemetry is not None else Telemetry.create()
         self.moduli: list[int] = []
         self.all_hits: list[WeakHit] = []
@@ -122,10 +143,15 @@ class IncrementalScanner:
             for start in range(0, len(index_pairs), self.chunk_pairs):
                 chunk = index_pairs[start : start + self.chunk_pairs]
                 values = [(self.moduli[a], self.moduli[b]) for a, b in chunk]
-                result = self.engine.run_pairs(
-                    values, stop_bits=self.stop_bits, compact=True, telemetry=tel
-                )
-                for (a, b), g in zip(chunk, result.gcds):
+                if self.engine is not None:
+                    result = self.engine.run_pairs(
+                        values, stop_bits=self.stop_bits, compact=True, telemetry=tel
+                    )
+                    gcds = result.gcds
+                else:
+                    gcd, to_int = self.backend.gcd, self.backend.to_int
+                    gcds = [to_int(gcd(a, b)) for a, b in values]
+                for (a, b), g in zip(chunk, gcds):
                     if g > 1:
                         report.hits.append(WeakHit(a, b, g))
                 tel.advance(len(chunk))
@@ -155,3 +181,86 @@ class IncrementalScanner:
         the invariant that incremental scanning never misses a pair."""
         m = len(self.moduli)
         return self.total_pairs_tested == m * (m - 1) // 2
+
+    def snapshot(self) -> dict:
+        """The scanner's whole state as a JSON-ready dict.
+
+        Everything :meth:`restore` needs to resume the stream without
+        rescanning a single old-vs-old pair: the corpus, every hit found so
+        far, the pairs-tested accounting, and the scan configuration.  The
+        registry service persists an equivalent of this across restarts.
+
+        >>> s = IncrementalScanner(bits=16)
+        >>> _ = s.add_batch([193 * 197, 193 * 199])
+        >>> s2 = IncrementalScanner.restore(s.snapshot())
+        >>> (s2.n_keys, [(h.i, h.j) for h in s2.all_hits], s2.coverage_is_complete())
+        (2, [(0, 1)], True)
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "bits": self.bits,
+            "engine": self.engine_name,
+            "algorithm": self.algorithm,
+            "d": self.d,
+            "chunk_pairs": self.chunk_pairs,
+            "early_terminate": self.stop_bits is not None,
+            "moduli": list(self.moduli),
+            "hits": [[h.i, h.j, h.prime] for h in self.all_hits],
+            "total_pairs_tested": self.total_pairs_tested,
+            "batches": self._batches,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        *,
+        int_backend: str | IntBackend | None = None,
+        telemetry: Telemetry | None = None,
+        **overrides,
+    ) -> IncrementalScanner:
+        """Rebuild a scanner from a :meth:`snapshot` payload.
+
+        The restored scanner picks up exactly where the snapshot left off:
+        the next :meth:`add_batch` scans only new-vs-old and new-vs-new
+        pairs, and no hit already in the snapshot is ever re-reported.
+        ``overrides`` may replace any scan-configuration field recorded in
+        the snapshot (``algorithm``, ``d``, ``chunk_pairs``,
+        ``early_terminate``, ``engine``) — the corpus facts cannot change.
+        """
+        if not isinstance(state, dict):
+            raise ValueError("snapshot must be a dict")
+        if state.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported scanner snapshot version {state.get('version')!r}"
+            )
+        config = {
+            "bits": int(state["bits"]),
+            "algorithm": state["algorithm"],
+            "d": int(state["d"]),
+            "chunk_pairs": int(state["chunk_pairs"]),
+            "early_terminate": bool(state["early_terminate"]),
+            "engine": state["engine"],
+        }
+        unknown = set(overrides) - (set(config) - {"bits"})
+        if unknown:
+            raise ValueError(f"unknown restore overrides: {sorted(unknown)}")
+        config.update(overrides)
+        scanner = cls(int_backend=int_backend, telemetry=telemetry, **config)
+        moduli = [int(n) for n in state["moduli"]]
+        for n in moduli:
+            if n <= 1 or n % 2 == 0 or n.bit_length() != scanner.bits:
+                raise ValueError(f"snapshot modulus {n} invalid for a {scanner.bits}-bit scanner")
+        hits = [WeakHit(int(i), int(j), int(p)) for i, j, p in state["hits"]]
+        m = len(moduli)
+        for h in hits:
+            if not (0 <= h.i < h.j < m):
+                raise ValueError(f"snapshot hit ({h.i}, {h.j}) out of range for {m} keys")
+        total = int(state["total_pairs_tested"])
+        if not 0 <= total <= m * (m - 1) // 2:
+            raise ValueError(f"snapshot pairs_tested {total} impossible for {m} keys")
+        scanner.moduli = moduli
+        scanner.all_hits = sorted(hits, key=lambda h: (h.i, h.j))
+        scanner.total_pairs_tested = total
+        scanner._batches = int(state["batches"])
+        return scanner

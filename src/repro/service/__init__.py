@@ -1,0 +1,35 @@
+"""The weak-key registry service: the reproduction as a long-lived process.
+
+The paper's corpus is a stream scraped from the live Web, and the ROADMAP's
+north star is a system serving that stream at scale.  This package turns
+the batch tooling into exactly that:
+
+* :mod:`repro.service.registry` — a durable, deduplicating store of every
+  modulus ever submitted and every weak-key hit ever found, built on the
+  pipeline's RGSPOOL1 blobs and checkpoint manifest so ``kill -9`` loses
+  nothing that was acknowledged;
+* :mod:`repro.service.batcher` — an asyncio micro-batcher that coalesces
+  concurrent submissions into scan batches (flush on size or linger) with
+  bounded backlog and explicit backpressure;
+* :mod:`repro.service.http` — the service glue plus a stdlib-only asyncio
+  HTTP server: submit keys, poll tickets, fetch hits and broken private
+  keys, ``/healthz`` and ``/metricsz``.
+
+``repro serve`` runs it; ``repro submit`` talks to it; ``docs/SERVICE.md``
+documents the API and the durability model.
+"""
+
+from repro.service.batcher import BacklogFull, MicroBatcher, Ticket
+from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
+from repro.service.registry import RegistryError, WeakKeyRegistry
+
+__all__ = [
+    "BacklogFull",
+    "HttpServer",
+    "MicroBatcher",
+    "RegistryError",
+    "ServiceConfig",
+    "Ticket",
+    "WeakKeyRegistry",
+    "WeakKeyService",
+]

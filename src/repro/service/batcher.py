@@ -1,0 +1,278 @@
+"""Admission queue: micro-batching concurrent submissions for the scanner.
+
+The incremental scanner's cost model rewards batching — a batch of ``k``
+new keys against ``m`` old ones costs ``k·m + k(k−1)/2`` pairs however the
+``k`` arrive, but each flush pays fixed overheads (telemetry, registry
+commit, an fsync'd manifest rewrite).  The :class:`MicroBatcher` therefore
+coalesces concurrent submissions and flushes when either
+
+* the pending batch reaches ``max_batch`` keys, or
+* the oldest pending key has lingered ``linger_ms`` milliseconds
+
+— the classic micro-batching latency/throughput dial.  A single worker
+task drains flushes in arrival order through the caller's async ``scan``
+callable, so scans are strictly serialised (the scanner and registry are
+not concurrent-safe and never need to be).
+
+Backpressure is explicit and bounded: at most ``max_pending`` keys may be
+queued; past that, :meth:`MicroBatcher.submit` raises :class:`BacklogFull`
+carrying a ``retry_after`` estimate derived from the observed scan rate,
+which the HTTP layer turns into ``429`` + ``Retry-After``.  Nothing is
+silently dropped and memory stays bounded no matter how fast clients push.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+from collections import deque
+from typing import Awaitable, Callable, Sequence
+
+from repro.telemetry import Telemetry
+
+__all__ = ["BacklogFull", "Ticket", "MicroBatcher"]
+
+#: ticket lifecycle states
+QUEUED, SCANNING, DONE, FAILED = "queued", "scanning", "done", "failed"
+
+
+class BacklogFull(RuntimeError):
+    """The admission queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float, pending: int) -> None:
+        super().__init__(
+            f"admission queue full ({pending} keys pending); "
+            f"retry in {retry_after:.2f}s"
+        )
+        self.retry_after = retry_after
+        self.pending = pending
+
+
+class Ticket:
+    """One submission's handle: poll it, await it, serialise it.
+
+    ``results`` holds one dict per submitted key, in submission order,
+    populated when the batch containing that key finishes scanning (a
+    submission larger than ``max_batch`` may span several flushes; the
+    ticket completes when the last key resolves).
+    """
+
+    def __init__(self, ticket_id: str, n_keys: int, created: float) -> None:
+        self.id = ticket_id
+        self.status = QUEUED
+        self.created = created
+        self.completed: float | None = None
+        self.error: str | None = None
+        self.results: list[dict | None] = [None] * n_keys
+        self._remaining = n_keys
+        self._done = asyncio.get_running_loop().create_future()
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.results)
+
+    async def wait(self) -> Ticket:
+        """Block until every key in the submission has a result."""
+        await asyncio.shield(self._done)
+        return self
+
+    def as_dict(self) -> dict:
+        """The JSON-ready poll view."""
+        payload: dict = {
+            "ticket": self.id,
+            "status": self.status,
+            "submitted": self.n_keys,
+        }
+        if self.status == DONE:
+            payload["results"] = self.results
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    def _resolve(self, pos: int, result: dict, now: float) -> None:
+        if self.results[pos] is None:
+            self._remaining -= 1
+        self.results[pos] = result
+        if self._remaining == 0 and not self._done.done():
+            self.status = DONE
+            self.completed = now
+            self._done.set_result(self)
+
+    def _fail(self, message: str, now: float) -> None:
+        if not self._done.done():
+            self.status = FAILED
+            self.error = message
+            self.completed = now
+            self._done.set_result(self)
+
+
+class MicroBatcher:
+    """Coalesces submissions into scan batches on a dedicated worker task.
+
+    ``scan`` is an async callable ``(items) -> list[dict]`` returning one
+    result dict per item, in order; the service implements it as the
+    dedup + incremental-scan + registry-commit step over ``(modulus,
+    exponent)`` items.  The batcher treats items and results as opaque —
+    it only counts keys and routes results back to tickets.
+    """
+
+    def __init__(
+        self,
+        scan: Callable[[list], Awaitable[list[dict]]],
+        *,
+        max_batch: int = 256,
+        linger_ms: float = 20.0,
+        max_pending: int = 4096,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if linger_ms < 0:
+            raise ValueError("linger_ms must be >= 0")
+        if max_pending < max_batch:
+            raise ValueError("max_pending must be >= max_batch")
+        self.scan = scan
+        self.max_batch = max_batch
+        self.linger = linger_ms / 1000.0
+        self.max_pending = max_pending
+        self.telemetry = telemetry if telemetry is not None else Telemetry.create()
+        #: (item, ticket, position-in-ticket)
+        self._pending: deque[tuple[object, Ticket, int]] = deque()
+        self._arrived = asyncio.Event()
+        self._worker: asyncio.Task | None = None
+        self._closing = False
+        self._ids = itertools.count()
+        #: EWMA of keys scanned per second; seeds the retry-after estimate
+        self._rate: float | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the flush worker (idempotent)."""
+        if self._worker is None:
+            self._closing = False
+            self._worker = asyncio.ensure_future(self._run())
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` (default) flush the backlog first."""
+        if self._worker is None:
+            return
+        self._closing = True
+        if not drain:
+            now = asyncio.get_running_loop().time()
+            while self._pending:
+                _, ticket, _ = self._pending.popleft()
+                ticket._fail("service shutting down", now)
+        self._arrived.set()  # wake the worker so it can observe _closing
+        await self._worker
+        self._worker = None
+
+    # -- admission -------------------------------------------------------------
+
+    @property
+    def pending_keys(self) -> int:
+        return len(self._pending)
+
+    def submit(self, items: Sequence) -> Ticket:
+        """Queue one submission; returns its :class:`Ticket` immediately.
+
+        Raises :class:`BacklogFull` when admitting the submission would
+        push the queue past ``max_pending`` keys — the whole submission is
+        rejected, never a prefix of it.
+        """
+        if self._worker is None or self._closing:
+            raise RuntimeError("batcher is not running")
+        if not items:
+            raise ValueError("a submission must contain at least one key")
+        loop = asyncio.get_running_loop()
+        if len(self._pending) + len(items) > self.max_pending:
+            retry_after = self._retry_after(len(items))
+            self.telemetry.registry.counter("batcher.rejected_submissions").inc()
+            self.telemetry.registry.counter("batcher.rejected_keys").inc(len(items))
+            raise BacklogFull(retry_after, len(self._pending))
+        ticket = Ticket(
+            f"{next(self._ids):06d}-{secrets.token_hex(4)}", len(items), loop.time()
+        )
+        for pos, item in enumerate(items):
+            self._pending.append((item, ticket, pos))
+        reg = self.telemetry.registry
+        reg.counter("batcher.submissions").inc()
+        reg.counter("batcher.keys_submitted").inc(len(items))
+        reg.gauge("batcher.pending_keys").set(len(self._pending))
+        self._arrived.set()
+        return ticket
+
+    def _retry_after(self, n_keys: int) -> float:
+        """How long until ``n_keys`` could plausibly be admitted."""
+        backlog = max(0, len(self._pending) + n_keys - self.max_pending)
+        if self._rate and self._rate > 0:
+            estimate = backlog / self._rate + self.linger
+        else:
+            estimate = self.linger * 2 + 0.05
+        return min(max(estimate, 0.05), 30.0)
+
+    # -- the flush worker ------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closing:
+                    return
+                self._arrived.clear()
+                await self._arrived.wait()
+                continue
+            # linger from the moment the batch head arrived, then cut
+            deadline = loop.time() + self.linger
+            while len(self._pending) < self.max_batch and not self._closing:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._arrived.clear()
+                try:
+                    await asyncio.wait_for(self._arrived.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(self.max_batch, len(self._pending)))
+            ]
+            self.telemetry.registry.gauge("batcher.pending_keys").set(len(self._pending))
+            await self._flush(batch, loop)
+
+    async def _flush(
+        self, batch: list[tuple[int, Ticket, int]], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        for _, ticket, _ in batch:
+            if ticket.status == QUEUED:
+                ticket.status = SCANNING
+        reg = self.telemetry.registry
+        reg.counter("batcher.flushes").inc()
+        reg.histogram("batcher.flush_keys").observe(len(batch))
+        started = loop.time()
+        try:
+            results = await self.scan([item for item, _, _ in batch])
+        except Exception as exc:  # the scan seam failed; fail the whole flush
+            reg.counter("batcher.failed_flushes").inc()
+            now = loop.time()
+            message = f"scan failed: {exc}"
+            for _, ticket, _ in batch:
+                ticket._fail(message, now)
+            return
+        elapsed = loop.time() - started
+        if len(results) != len(batch):
+            raise RuntimeError(
+                f"scan returned {len(results)} results for {len(batch)} keys"
+            )
+        if elapsed > 0:
+            rate = len(batch) / elapsed
+            self._rate = rate if self._rate is None else 0.7 * self._rate + 0.3 * rate
+        now = loop.time()
+        for (_, ticket, pos), result in zip(batch, results):
+            ticket._resolve(pos, result, now)
+            reg.histogram("batcher.ticket_wait_seconds").observe(now - ticket.created)
+        self.telemetry.emit(
+            "batcher.flush", keys=len(batch), seconds=elapsed,
+            pending=len(self._pending),
+        )

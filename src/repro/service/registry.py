@@ -1,0 +1,382 @@
+"""Durable weak-key registry: every submitted modulus, every hit, forever.
+
+The registry is the service's source of truth.  It reuses the batch
+pipeline's storage primitives — RGSPOOL1 integer blobs
+(:mod:`repro.core.spool`) pinned by SHA-256 in an atomically rewritten
+manifest (:mod:`repro.core.checkpoint`) — so the same crash guarantees
+hold: a batch is *committed* only once both of its blobs are fully written,
+fsynced and recorded in the manifest; anything less is invisible after a
+restart.
+
+Layout of one state directory::
+
+    state/
+      manifest.json       config + one (keys.N, hits.N) stage pair per batch
+      keys-000000.bin     batch 0's fresh moduli, in global-index order
+      hits-000000.bin     batch 0's new hits as flat (i, j, prime) triples
+      keys-000001.bin     ...
+
+Commit protocol (the order is the durability argument):
+
+1. ``keys-N.bin`` is written via tmp + rename + fsync (atomic);
+2. ``hits-N.bin`` likewise;
+3. ``manifest.json`` is rewritten (atomic) with both stage records appended.
+
+``kill -9`` between any two steps leaves at worst stray unreferenced blob
+files with the *next* batch's names — the next commit simply overwrites
+them.  On load, every referenced blob is re-hashed; the first corrupt or
+missing blob truncates the registry to the last whole verified batch (and
+the manifest is rewritten to match, so the damage never grows).
+
+Dedup semantics: a modulus is an identity.  Submitting one the registry
+already holds returns the existing key's index and cached verdict; it is
+*never* paired against itself, and the resubmission count is exposed as the
+``registry.duplicate_submissions`` gauge (persisted across restarts).  Key
+*reuse across deployments* is therefore read off that gauge and the ticket
+``duplicate`` statuses — not, as in the one-shot attack, from a hit whose
+"prime" is the whole modulus.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.attack import WeakHit
+from repro.core.checkpoint import CheckpointStore, Manifest, StageRecord
+from repro.core.incremental import SNAPSHOT_VERSION
+from repro.core.spool import SpoolError, read_blob, write_blob
+from repro.rsa.keys import DEFAULT_E
+from repro.telemetry import Telemetry
+
+__all__ = ["RegistryError", "RegisteredBatch", "WeakKeyRegistry", "REGISTRY_FORMAT"]
+
+REGISTRY_FORMAT = "weak-key-registry/1"
+
+
+class RegistryError(ValueError):
+    """A corrupt registry invariant or an invalid commit."""
+
+
+@dataclass(frozen=True)
+class RegisteredBatch:
+    """What one committed batch added.
+
+    >>> RegisteredBatch(index=0, base=0, n_keys=3, n_hits=1).n_keys
+    3
+    """
+
+    index: int
+    base: int
+    n_keys: int
+    n_hits: int
+
+
+class WeakKeyRegistry:
+    """The service's persistent, deduplicating modulus + hit store.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     reg = WeakKeyRegistry(d)
+    ...     _ = reg.load()
+    ...     _ = reg.commit_batch([193 * 197, 193 * 199], [WeakHit(0, 1, 193)])
+    ...     reg2 = WeakKeyRegistry(d)
+    ...     _ = reg2.load()
+    ...     (reg2.n_keys, reg2.index_of(193 * 199), [(h.i, h.j) for h in reg2.hits])
+    (2, 1, [(0, 1)])
+    """
+
+    def __init__(self, state_dir: str | Path, *, telemetry: Telemetry | None = None) -> None:
+        self.state_dir = Path(state_dir)
+        self.store = CheckpointStore(self.state_dir)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.create()
+        self.moduli: list[int] = []
+        self.hits: list[WeakHit] = []
+        self.bits: int | None = None
+        self.duplicate_submissions = 0
+        self._index: dict[int, int] = {}
+        self._hits_by_key: dict[int, list[WeakHit]] = defaultdict(list)
+        self._exponents: dict[int, int] = {}
+        self._manifest = Manifest(config=self._config())
+        self._batches = 0
+        self._lock = threading.Lock()
+
+    # -- persistence -----------------------------------------------------------
+
+    def _config(self) -> dict:
+        return {
+            "format": REGISTRY_FORMAT,
+            "bits": self.bits,
+            "duplicate_submissions": self.duplicate_submissions,
+            "exponents": {str(i): e for i, e in sorted(self._exponents.items())},
+        }
+
+    def load(self) -> int:
+        """Restore state from disk; returns the number of batches restored.
+
+        A missing or unparsable manifest means a fresh registry.  A
+        parseable manifest of the wrong format raises — this layer refuses
+        to clobber, say, a batchscan spool directory.  Verified-prefix
+        semantics drop any trailing half-committed or corrupt batch and
+        rewrite the manifest so the next run starts from a clean boundary.
+        """
+        manifest = self.store.load()
+        if manifest is None:
+            self._manifest = Manifest(config=self._config())
+            return 0
+        fmt = manifest.config.get("format")
+        if fmt != REGISTRY_FORMAT:
+            raise RegistryError(
+                f"{self.store.path} is not a weak-key registry (format {fmt!r})"
+            )
+        expected = [record.name for record in manifest.stages]
+        prefix = self.store.verified_prefix(manifest, expected)
+
+        moduli: list[int] = []
+        hits: list[WeakHit] = []
+        batches = 0
+        pos = 0
+        while pos + 1 < len(prefix):
+            keys_rec, hits_rec = prefix[pos], prefix[pos + 1]
+            if keys_rec.name != f"keys.{batches}" or hits_rec.name != f"hits.{batches}":
+                break
+            try:
+                batch_moduli = read_blob(self.state_dir / keys_rec.blob)
+                flat = read_blob(self.state_dir / hits_rec.blob)
+            except (OSError, SpoolError) as exc:
+                raise RegistryError(f"verified blob became unreadable: {exc}") from exc
+            if len(flat) % 3:
+                raise RegistryError(
+                    f"{hits_rec.blob}: hit blob holds {len(flat)} records, not triples"
+                )
+            moduli.extend(batch_moduli)
+            hits.extend(
+                WeakHit(flat[k], flat[k + 1], flat[k + 2])
+                for k in range(0, len(flat), 3)
+            )
+            batches += 1
+            pos += 2
+
+        dropped = len(manifest.stages) - 2 * batches
+        index: dict[int, int] = {}
+        for gidx, n in enumerate(moduli):
+            if n in index:
+                raise RegistryError(
+                    f"registry invariant broken: modulus at index {gidx} "
+                    f"duplicates index {index[n]}"
+                )
+            index[n] = gidx
+        for h in hits:
+            if not 0 <= h.i < h.j < len(moduli):
+                raise RegistryError(f"hit ({h.i}, {h.j}) out of range for {len(moduli)} keys")
+
+        self.moduli = moduli
+        self._index = index
+        self.hits = sorted(hits, key=lambda h: (h.i, h.j))
+        self._hits_by_key = defaultdict(list)
+        for h in self.hits:
+            self._hits_by_key[h.i].append(h)
+            self._hits_by_key[h.j].append(h)
+        self.bits = manifest.config.get("bits")
+        self.duplicate_submissions = int(manifest.config.get("duplicate_submissions", 0))
+        self._exponents = {
+            int(i): int(e) for i, e in manifest.config.get("exponents", {}).items()
+        }
+        self._batches = batches
+        if dropped:
+            manifest.stages = manifest.stages[: 2 * batches]
+            self.telemetry.registry.counter("registry.dropped_stages").inc(dropped)
+        manifest.config = self._config()
+        self._manifest = manifest
+        if dropped:
+            self.store.save(manifest)  # self-heal: forget the corrupt tail
+        self._update_gauges()
+        self.telemetry.emit(
+            "registry.loaded", keys=self.n_keys, batches=batches,
+            hits=len(self.hits), dropped_stages=dropped,
+        )
+        return batches
+
+    def commit_batch(
+        self,
+        new_moduli: list[int],
+        new_hits: list[WeakHit],
+        *,
+        exponents: dict[int, int] | None = None,
+        seconds: float = 0.0,
+    ) -> RegisteredBatch:
+        """Durably append one *scanned* batch: fresh moduli plus their hits.
+
+        The caller guarantees the contract the durability story rests on:
+        ``new_moduli`` are deduplicated (against the registry and among
+        themselves) and have already been scanned against every registered
+        key, and ``new_hits`` are exactly the hits that scan produced (in
+        global indices, each touching at least one new key).  ``exponents``
+        maps *global* index → public exponent for keys whose ``e`` is not
+        65537.  Returns only after everything is fsynced and manifested.
+        """
+        with self._lock:
+            base = len(self.moduli)
+            seen: set[int] = set()
+            for n in new_moduli:
+                if n in self._index or n in seen:
+                    raise RegistryError(f"modulus already registered: {n}")
+                if self.bits is not None and n.bit_length() != self.bits:
+                    raise RegistryError(
+                        f"modulus of {n.bit_length()} bits in a {self.bits}-bit registry"
+                    )
+                seen.add(n)
+            total = base + len(new_moduli)
+            for h in new_hits:
+                if not (0 <= h.i < h.j < total) or h.j < base:
+                    raise RegistryError(
+                        f"hit ({h.i}, {h.j}) does not touch batch [{base}, {total})"
+                    )
+            for gidx, e in (exponents or {}).items():
+                if not base <= gidx < total:
+                    raise RegistryError(f"exponent for index {gidx} outside the batch")
+
+            if self.bits is None and new_moduli:
+                self.bits = new_moduli[0].bit_length()
+
+            batch = self._batches
+            keys_name = f"keys-{batch:06d}.bin"
+            hits_name = f"hits-{batch:06d}.bin"
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            keys_info = write_blob(self.state_dir / keys_name, new_moduli)
+            flat: list[int] = []
+            for h in new_hits:
+                flat.extend((h.i, h.j, h.prime))
+            hits_info = write_blob(self.state_dir / hits_name, flat)
+
+            for gidx, e in (exponents or {}).items():
+                if e != DEFAULT_E:
+                    self._exponents[gidx] = e
+            self._manifest.stages.append(
+                StageRecord(
+                    name=f"keys.{batch}", blob=keys_name, count=keys_info.count,
+                    nbytes=keys_info.nbytes, sha256=keys_info.sha256, seconds=seconds,
+                )
+            )
+            self._manifest.stages.append(
+                StageRecord(
+                    name=f"hits.{batch}", blob=hits_name, count=hits_info.count,
+                    nbytes=hits_info.nbytes, sha256=hits_info.sha256, seconds=0.0,
+                )
+            )
+            self._manifest.config = self._config()
+            self.store.save(self._manifest)
+
+            for n in new_moduli:
+                self._index[n] = len(self.moduli)
+                self.moduli.append(n)
+            sorted_new = sorted(new_hits, key=lambda h: (h.i, h.j))
+            self.hits.extend(sorted_new)
+            self.hits.sort(key=lambda h: (h.i, h.j))
+            for h in sorted_new:
+                self._hits_by_key[h.i].append(h)
+                self._hits_by_key[h.j].append(h)
+            self._batches += 1
+            self._update_gauges()
+        self.telemetry.emit(
+            "registry.commit", batch=batch, new_keys=len(new_moduli),
+            new_hits=len(new_hits), total_keys=self.n_keys,
+        )
+        return RegisteredBatch(
+            index=batch, base=base, n_keys=len(new_moduli), n_hits=len(new_hits)
+        )
+
+    def note_duplicates(self, count: int = 1, *, persist: bool = False) -> None:
+        """Count resubmissions of already-registered moduli.
+
+        The count is folded into the manifest config at the next commit;
+        ``persist=True`` rewrites the manifest immediately (used for
+        batches that turned out to be *all* duplicates, which commit
+        nothing else).
+        """
+        if count < 0:
+            raise ValueError("duplicate count only moves forward")
+        with self._lock:
+            self.duplicate_submissions += count
+            self._update_gauges()
+            if persist and self._manifest is not None:
+                self._manifest.config = self._config()
+                self.store.save(self._manifest)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.moduli)
+
+    @property
+    def n_batches(self) -> int:
+        return self._batches
+
+    def index_of(self, n: int) -> int | None:
+        """The global index of ``n``, or ``None`` if never registered."""
+        return self._index.get(n)
+
+    def exponent_of(self, index: int) -> int:
+        """The public exponent recorded for key ``index`` (default 65537)."""
+        return self._exponents.get(index, DEFAULT_E)
+
+    def hits_for(self, index: int) -> list[WeakHit]:
+        """Every hit involving key ``index`` (empty when the key is sound)."""
+        return list(self._hits_by_key.get(index, ()))
+
+    def verdict(self, index: int) -> dict:
+        """The JSON-ready verdict for one registered key, as of now.
+
+        A verdict can only ever move from sound to weak — future
+        submissions may reveal a shared prime, never retract one.
+        """
+        hits = self.hits_for(index)
+        return {
+            "index": index,
+            "weak": bool(hits),
+            "hits": [
+                {"partner": h.j if h.i == index else h.i, "prime": hex(h.prime)}
+                for h in hits
+            ],
+        }
+
+    def scanner_snapshot(self, **scan_config) -> dict:
+        """An :meth:`IncrementalScanner.restore`-ready snapshot of the corpus.
+
+        Valid because of the commit contract: every committed batch was
+        fully scanned against all keys registered before it, so coverage is
+        exactly complete — restart never rescans an old-vs-old pair.
+        ``scan_config`` supplies the scan parameters (``algorithm``, ``d``,
+        ``chunk_pairs``, ``early_terminate``, ``engine``).
+        """
+        if self.bits is None:
+            raise RegistryError("registry holds no keys yet; nothing to snapshot")
+        with self._lock:
+            m = len(self.moduli)
+            config = {
+                "algorithm": "approx", "d": 32, "chunk_pairs": 4096,
+                "early_terminate": True, "engine": "native",
+            }
+            unknown = set(scan_config) - set(config)
+            if unknown:
+                raise RegistryError(f"unknown scan config: {sorted(unknown)}")
+            config.update(scan_config)
+            return {
+                "version": SNAPSHOT_VERSION,
+                "bits": self.bits,
+                **config,
+                "moduli": list(self.moduli),
+                "hits": [[h.i, h.j, h.prime] for h in self.hits],
+                "total_pairs_tested": m * (m - 1) // 2,
+                "batches": self._batches,
+            }
+
+    def _update_gauges(self) -> None:
+        reg = self.telemetry.registry
+        reg.gauge("registry.keys").set(self.n_keys)
+        reg.gauge("registry.batches").set(self._batches)
+        reg.gauge("registry.hits").set(len(self.hits))
+        reg.gauge("registry.duplicate_submissions").set(self.duplicate_submissions)

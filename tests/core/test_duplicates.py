@@ -41,6 +41,73 @@ class TestCorpusDuplicates:
         assert back.weak_pairs == corpus.weak_pairs
 
 
+class TestServiceDuplicates:
+    """The registry service path: a reused modulus is an identity, not a hit.
+
+    The one-shot attack reports duplicates as gcd == n hits; the service
+    instead dedups at admission — the resubmission gets the cached verdict,
+    is never paired against itself, and bumps a persistent gauge.
+    """
+
+    def _submit_all(self, tmp_path, corpus, resubmit):
+        import asyncio
+
+        from repro.service.http import ServiceConfig, WeakKeyService
+
+        async def run():
+            service = WeakKeyService(ServiceConfig(state_dir=tmp_path, linger_ms=1.0))
+            await service.start()
+            try:
+                first = await service.submit(
+                    [(n, 65537) for n in corpus.moduli]
+                ).wait()
+                again = None
+                if resubmit:
+                    again = await service.submit(
+                        [(n, 65537) for n in resubmit]
+                    ).wait()
+                return service, first, again
+            finally:
+                await service.stop()
+
+        return asyncio.run(run())
+
+    def test_duplicate_gets_cached_verdict_not_self_pair(self, tmp_path, corpus):
+        dup = [w for w in corpus.weak_pairs if w.prime == corpus.keys[w.i].n][0]
+        service, first, _ = self._submit_all(tmp_path, corpus, [])
+        verdicts = first.results
+        assert verdicts[dup.i]["status"] == "registered"
+        assert verdicts[dup.j]["status"] == "duplicate"
+        # both positions resolve to the same registered key...
+        assert verdicts[dup.j]["index"] == verdicts[dup.i]["index"]
+        # ...and no self-pair hit exists anywhere in the registry
+        n = corpus.moduli[dup.i]
+        assert all(h.prime != n for h in service.registry.hits)
+
+    def test_resubmission_counts_as_gauge_not_hit(self, tmp_path, corpus):
+        service, _, again = self._submit_all(tmp_path, corpus, corpus.moduli[:3])
+        assert [r["status"] for r in again.results] == ["duplicate"] * 3
+        # 1 planted duplicate + 3 resubmissions
+        assert service.registry.duplicate_submissions == 4
+        snap = service.telemetry.snapshot()
+        assert snap["gauges"]["registry.duplicate_submissions"] == 4
+        # hit count matches the genuinely shared prime only
+        shared = [w for w in corpus.weak_pairs if w.prime != corpus.keys[w.i].n]
+        assert len(service.registry.hits) == len(shared)
+
+    def test_duplicate_verdict_reflects_later_weakness(self, tmp_path, corpus):
+        # resubmit a key that IS weak: the cached verdict must say so
+        shared = [w for w in corpus.weak_pairs if w.prime != corpus.keys[w.i].n][0]
+        service, _, again = self._submit_all(
+            tmp_path, corpus, [corpus.moduli[shared.i]]
+        )
+        verdict = again.results[0]
+        assert verdict["status"] == "duplicate" and verdict["weak"]
+        # registry indices shift past the deduped key: map via the modulus
+        partner = service.registry.index_of(corpus.moduli[shared.j])
+        assert verdict["hits"][0]["partner"] == partner
+
+
 @pytest.mark.parametrize("backend", ["bulk", "scalar", "batch"])
 class TestAttackWithDuplicates:
     def test_all_plants_found(self, corpus, backend):

@@ -100,6 +100,81 @@ class TestIncrementalScanner:
         assert {(h.i, h.j) for h in scanner.all_hits} == expected
 
 
+class TestSnapshotRestore:
+    def test_roundtrip_equals_uninterrupted_run(self, corpus):
+        straight = IncrementalScanner(bits=BITS)
+        for start in range(0, corpus.n_keys, 6):
+            straight.add_batch(corpus.moduli[start : start + 6])
+
+        interrupted = IncrementalScanner(bits=BITS)
+        interrupted.add_batch(corpus.moduli[:6])
+        resumed = IncrementalScanner.restore(interrupted.snapshot())
+        for start in range(6, corpus.n_keys, 6):
+            resumed.add_batch(corpus.moduli[start : start + 6])
+
+        assert resumed.moduli == straight.moduli
+        assert resumed.all_hits == straight.all_hits
+        assert resumed.total_pairs_tested == straight.total_pairs_tested
+        assert resumed.coverage_is_complete()
+
+    def test_restore_never_rescans_or_rereports(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:10])
+        old_hits = set(scanner.all_hits)
+        resumed = IncrementalScanner.restore(scanner.snapshot())
+        rep = resumed.add_batch(corpus.moduli[10:])
+        k, m = corpus.n_keys - 10, 10
+        assert rep.pairs_tested == k * m + k * (k - 1) // 2
+        # batch reports only ever carry hits touching the new batch
+        assert all(h.j >= 10 for h in rep.hits)
+        assert not old_hits & set(rep.hits)
+
+    def test_snapshot_is_json_ready(self, corpus):
+        import json
+
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:5])
+        back = IncrementalScanner.restore(json.loads(json.dumps(scanner.snapshot())))
+        assert back.moduli == scanner.moduli
+
+    def test_restore_config_overrides(self, corpus):
+        scanner = IncrementalScanner(bits=BITS, chunk_pairs=7)
+        scanner.add_batch(corpus.moduli[:5])
+        resumed = IncrementalScanner.restore(
+            scanner.snapshot(), engine="native", chunk_pairs=100
+        )
+        assert resumed.engine_name == "native" and resumed.chunk_pairs == 100
+        with pytest.raises(ValueError, match="unknown restore overrides"):
+            IncrementalScanner.restore(scanner.snapshot(), bits=128)
+
+    def test_restore_rejects_corrupt_snapshots(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:4])
+        good = scanner.snapshot()
+        with pytest.raises(ValueError, match="version"):
+            IncrementalScanner.restore({**good, "version": 99})
+        with pytest.raises(ValueError, match="invalid"):
+            IncrementalScanner.restore({**good, "moduli": [6]})
+        with pytest.raises(ValueError, match="out of range"):
+            IncrementalScanner.restore({**good, "hits": [[0, 9, 3]]})
+        with pytest.raises(ValueError, match="impossible"):
+            IncrementalScanner.restore({**good, "total_pairs_tested": 1000})
+        with pytest.raises(ValueError, match="dict"):
+            IncrementalScanner.restore("nope")
+
+    def test_native_engine_matches_bulk(self, corpus):
+        bulk = IncrementalScanner(bits=BITS, engine="bulk")
+        native = IncrementalScanner(bits=BITS, engine="native")
+        for start in range(0, corpus.n_keys, 5):
+            bulk.add_batch(corpus.moduli[start : start + 5])
+            native.add_batch(corpus.moduli[start : start + 5])
+        assert bulk.all_hits == native.all_hits
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            IncrementalScanner(bits=BITS, engine="quantum")
+
+
 class TestIncrementalTelemetry:
     def test_batch_reports_carry_metrics(self):
         from repro.rsa.corpus import generate_weak_corpus

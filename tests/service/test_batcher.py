@@ -1,0 +1,189 @@
+"""Micro-batcher semantics: coalescing, linger, backpressure, draining."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batcher import BacklogFull, MicroBatcher
+
+
+class RecordingScan:
+    """A scan seam that records every flushed batch and can be gated."""
+
+    def __init__(self, *, gate: bool = False, fail: bool = False) -> None:
+        self.batches: list[list] = []
+        self.fail = fail
+        self._gate = gate
+        self._open = None  # created lazily inside the running loop
+        self.entered = None
+
+    async def __call__(self, items: list) -> list[dict]:
+        if self.entered is None:
+            self.entered = asyncio.Event()
+        self.entered.set()
+        if self._gate:
+            if self._open is None:
+                self._open = asyncio.Event()
+            await self._open.wait()
+        if self.fail:
+            raise RuntimeError("scan exploded")
+        self.batches.append(list(items))
+        return [{"status": "registered", "item": item} for item in items]
+
+    def open(self) -> None:
+        if self._open is None:
+            self._open = asyncio.Event()
+        self._open.set()
+
+
+class TestFlushTriggers:
+    def test_flush_on_max_batch(self):
+        async def run():
+            scan = RecordingScan()
+            b = MicroBatcher(scan, max_batch=4, linger_ms=10_000)
+            await b.start()
+            ticket = b.submit([1, 2, 3, 4])
+            # a full batch must flush long before the 10 s linger
+            await asyncio.wait_for(ticket.wait(), timeout=2)
+            await b.stop()
+            return scan.batches, ticket
+
+        batches, ticket = asyncio.run(run())
+        assert batches == [[1, 2, 3, 4]]
+        assert ticket.status == "done"
+        assert [r["item"] for r in ticket.results] == [1, 2, 3, 4]
+
+    def test_flush_on_linger(self):
+        async def run():
+            scan = RecordingScan()
+            b = MicroBatcher(scan, max_batch=1000, linger_ms=10)
+            await b.start()
+            ticket = b.submit([1, 2])
+            await asyncio.wait_for(ticket.wait(), timeout=2)
+            await b.stop()
+            return scan.batches
+
+        assert asyncio.run(run()) == [[1, 2]]
+
+    def test_linger_coalesces_concurrent_submissions(self):
+        async def run():
+            scan = RecordingScan()
+            b = MicroBatcher(scan, max_batch=1000, linger_ms=50)
+            await b.start()
+            t1 = b.submit([1])
+            t2 = b.submit([2, 3])
+            await asyncio.wait_for(asyncio.gather(t1.wait(), t2.wait()), timeout=2)
+            await b.stop()
+            return scan.batches
+
+        # both submissions arrived within one linger window: one flush
+        assert asyncio.run(run()) == [[1, 2, 3]]
+
+    def test_oversized_submission_spans_flushes(self):
+        async def run():
+            scan = RecordingScan()
+            b = MicroBatcher(scan, max_batch=2, linger_ms=1)
+            await b.start()
+            ticket = b.submit([1, 2, 3, 4, 5])
+            await asyncio.wait_for(ticket.wait(), timeout=2)
+            await b.stop()
+            return scan.batches, ticket
+
+        batches, ticket = asyncio.run(run())
+        assert [len(batch) for batch in batches] == [2, 2, 1]
+        assert ticket.status == "done"
+        assert [r["item"] for r in ticket.results] == [1, 2, 3, 4, 5]
+
+
+class TestBackpressure:
+    def test_backlog_full_rejects_whole_submission(self):
+        async def run():
+            scan = RecordingScan(gate=True)
+            b = MicroBatcher(scan, max_batch=2, linger_ms=0, max_pending=4)
+            await b.start()
+            first = b.submit([1, 2])  # picked up and gated inside scan
+            await asyncio.wait_for(
+                asyncio.get_running_loop().create_task(_wait_entered(scan)), 2
+            )
+            b.submit([3, 4, 5, 6])  # fills the queue exactly
+            with pytest.raises(BacklogFull) as info:
+                b.submit([7])
+            assert b.pending_keys == 4  # nothing partially admitted
+            scan.open()
+            await asyncio.wait_for(first.wait(), timeout=2)
+            await b.stop()
+            return info.value
+
+        exc = asyncio.run(run())
+        assert 0.05 <= exc.retry_after <= 30.0
+        assert exc.pending == 4
+
+    def test_validation(self):
+        async def run():
+            scan = RecordingScan()
+            with pytest.raises(ValueError):
+                MicroBatcher(scan, max_batch=0)
+            with pytest.raises(ValueError):
+                MicroBatcher(scan, linger_ms=-1)
+            with pytest.raises(ValueError):
+                MicroBatcher(scan, max_batch=10, max_pending=5)
+            b = MicroBatcher(scan)
+            with pytest.raises(RuntimeError, match="not running"):
+                b.submit([1])  # never started
+            await b.start()
+            with pytest.raises(ValueError, match="at least one key"):
+                b.submit([])
+            await b.stop()
+
+        asyncio.run(run())
+
+
+class TestFailureAndShutdown:
+    def test_failed_scan_fails_every_ticket_in_flush(self):
+        async def run():
+            scan = RecordingScan(fail=True)
+            b = MicroBatcher(scan, max_batch=10, linger_ms=5)
+            await b.start()
+            t1, t2 = b.submit([1]), b.submit([2])
+            await asyncio.wait_for(asyncio.gather(t1.wait(), t2.wait()), timeout=2)
+            await b.stop()
+            return t1, t2
+
+        t1, t2 = asyncio.run(run())
+        for t in (t1, t2):
+            assert t.status == "failed"
+            assert "scan exploded" in t.error
+            assert t.as_dict()["error"] == t.error
+            assert "results" not in t.as_dict()
+
+    def test_stop_with_drain_flushes_backlog(self):
+        async def run():
+            scan = RecordingScan()
+            b = MicroBatcher(scan, max_batch=1000, linger_ms=60_000)
+            await b.start()
+            ticket = b.submit([1, 2, 3])
+            await b.stop(drain=True)  # must not wait out the 60 s linger
+            return scan.batches, ticket.status
+
+        batches, status = asyncio.run(run())
+        assert batches == [[1, 2, 3]] and status == "done"
+
+    def test_stop_without_drain_fails_pending(self):
+        async def run():
+            scan = RecordingScan()
+            b = MicroBatcher(scan, max_batch=1000, linger_ms=60_000)
+            await b.start()
+            ticket = b.submit([1, 2, 3])
+            await b.stop(drain=False)
+            return scan.batches, ticket
+
+        batches, ticket = asyncio.run(run())
+        assert batches == []
+        assert ticket.status == "failed"
+        assert "shutting down" in ticket.error
+
+
+async def _wait_entered(scan: RecordingScan) -> None:
+    while scan.entered is None:
+        await asyncio.sleep(0.001)
+    await scan.entered.wait()
