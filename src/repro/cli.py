@@ -32,7 +32,9 @@ import urllib.request
 from pathlib import Path
 
 from repro.core.attack import find_shared_primes
+from repro.core.parallel import find_shared_primes_parallel
 from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.resilience import RetryPolicy
 from repro.mp.memlog import CountingMemLog
 from repro.telemetry import ProgressUpdate, Telemetry
 from repro.gcd.census import run_all_algorithms
@@ -115,7 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-certs", action="store_true",
         help="with --certs: skip certificates whose self-signature fails",
     )
-    sc.add_argument("--backend", choices=("bulk", "scalar", "batch"), default="bulk")
+    sc.add_argument(
+        "--backend", choices=("bulk", "scalar", "batch", "parallel"), default="bulk",
+        help="'parallel' fans blocks across a supervised process pool "
+        "(worker death is healed; see docs/RESILIENCE.md)",
+    )
+    sc.add_argument(
+        "--workers", type=int, default=0,
+        help="with --backend parallel: pool size (default 0 = one per core)",
+    )
     sc.add_argument(
         "--int-backend", choices=BACKEND_CHOICES, default=None, metavar="NAME",
         help="big-integer implementation for the batch trees and hit grouping "
@@ -179,7 +189,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bs.add_argument(
         "--retries", type=int, default=1,
-        help="re-attempts per failed stage before giving up (default 1)",
+        help="re-attempts per failed stage before giving up (default 1; "
+        "only transiently-classified failures retry)",
+    )
+    bs.add_argument(
+        "--stage-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per stage across all of its attempts "
+        "(default: unbounded)",
+    )
+    bs.add_argument(
+        "--chunk-attempts", type=int, default=3,
+        help="total tries a chunk gets when its pool worker keeps dying "
+        "(default 3)",
     )
     bs.add_argument(
         "--backend", choices=BACKEND_CHOICES, default=None, metavar="NAME",
@@ -435,16 +456,28 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             progress_interval_seconds=0.2,
             event_stream=event_stream,
         )
-        report = find_shared_primes(
-            moduli,
-            backend=args.backend,
-            algorithm=args.algorithm,
-            group_size=args.group_size,
-            early_terminate=not args.no_early_terminate,
-            telemetry=telemetry,
-            memlog=CountingMemLog() if args.memlog else None,
-            int_backend=args.int_backend,
-        )
+        if args.backend == "parallel":
+            if args.memlog:
+                raise ValueError("--memlog requires the scalar backend")
+            report = find_shared_primes_parallel(
+                moduli,
+                processes=args.workers or None,
+                algorithm=args.algorithm,
+                group_size=args.group_size,
+                early_terminate=not args.no_early_terminate,
+                telemetry=telemetry,
+            )
+        else:
+            report = find_shared_primes(
+                moduli,
+                backend=args.backend,
+                algorithm=args.algorithm,
+                group_size=args.group_size,
+                early_terminate=not args.no_early_terminate,
+                telemetry=telemetry,
+                memlog=CountingMemLog() if args.memlog else None,
+                int_backend=args.int_backend,
+            )
     finally:
         if event_stream is not None:
             event_stream.close()
@@ -549,6 +582,8 @@ def _cmd_batchscan(args: argparse.Namespace) -> int:
         resume=args.resume,
         retries=args.retries,
         backend=args.backend,
+        stage_deadline=args.stage_deadline,
+        chunk_attempts=args.chunk_attempts,
     )
     progress_cb = _stderr_progress if args.progress else None
     event_stream = None
@@ -670,6 +705,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await stop.wait()
             print("draining backlog and shutting down...", file=sys.stderr)
             await server.close()
+            print(
+                "shutdown complete: backlog drained, manifest synced",
+                file=sys.stderr,
+            )
 
         try:
             asyncio.run(run())
@@ -681,6 +720,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+class _Backpressure(Exception):
+    """A retryable service response: 429 backpressure or 503 draining."""
+
+    def __init__(self, code: int, detail: str, retry_after: float) -> None:
+        super().__init__(f"service returned {code}: {detail}")
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
 def _service_request(
     method: str,
     url: str,
@@ -689,10 +738,17 @@ def _service_request(
     timeout: float,
     retries: int = 0,
 ) -> dict:
-    """One JSON round-trip with the service, retrying 429 backpressure."""
+    """One JSON round-trip with the service, retrying 429/503 responses.
+
+    Retries ride the shared :class:`repro.resilience.RetryPolicy`; the
+    server's ``Retry-After`` hint acts as a floor under the policy's own
+    backoff.  Anything else — other statuses, unreachable service — raises
+    :class:`ValueError` immediately.
+    """
     body = json.dumps(payload).encode() if payload is not None else None
-    attempt = 0
-    while True:
+    hint = [0.0]  # last Retry-After hint, floors the policy's backoff
+
+    def once() -> dict:
         request = urllib.request.Request(
             url, data=body, method=method,
             headers={"Content-Type": "application/json"},
@@ -706,21 +762,34 @@ def _service_request(
                 detail = json.loads(detail).get("error", detail)
             except ValueError:
                 pass
-            if exc.code == 429 and attempt < retries:
-                attempt += 1
-                retry_after = exc.headers.get("Retry-After", "0.5")
+            if exc.code in (429, 503):
                 try:
-                    delay = min(max(float(retry_after), 0.05), 30.0)
+                    hint[0] = min(max(float(exc.headers.get("Retry-After", "0.5")), 0.05), 30.0)
                 except ValueError:
-                    delay = 0.5
-                print(
-                    f"backpressure (429): retrying in {delay:.2f}s "
-                    f"({attempt}/{retries})",
-                    file=sys.stderr,
-                )
-                time.sleep(delay)
-                continue
+                    hint[0] = 0.5
+                raise _Backpressure(exc.code, detail, hint[0]) from None
             raise ValueError(f"service returned {exc.code}: {detail}") from None
+        except urllib.error.URLError as exc:
+            raise ValueError(f"cannot reach service at {url}: {exc.reason}") from None
+
+    def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+        code = exc.code if isinstance(exc, _Backpressure) else "?"
+        print(
+            f"backpressure ({code}): retrying in {max(delay, hint[0]):.2f}s "
+            f"({attempt}/{retries})",
+            file=sys.stderr,
+        )
+
+    policy = RetryPolicy(max_attempts=retries + 1, base_delay=0.5, max_delay=30.0)
+    try:
+        return policy.run(
+            once,
+            retryable=lambda exc: isinstance(exc, _Backpressure),
+            on_retry=on_retry,
+            sleep=lambda delay: time.sleep(max(delay, hint[0])),
+        )
+    except _Backpressure as exc:
+        raise ValueError(str(exc)) from None
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:

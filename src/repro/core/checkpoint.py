@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core.spool import blob_sha256
+from repro.resilience import faults
 
 __all__ = ["StageRecord", "Manifest", "CheckpointStore", "MANIFEST_NAME", "MANIFEST_VERSION"]
 
@@ -117,6 +118,7 @@ class CheckpointStore:
 
     def save(self, manifest: Manifest) -> None:
         """Atomically persist the manifest (tmp file + rename + fsync)."""
+        faults.fire("manifest.commit")
         self.spool_dir.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": manifest.version,

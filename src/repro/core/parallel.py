@@ -19,22 +19,26 @@ the whole fleet.
 The second half of this module is the sharded batch-GCD pipeline's
 execution layer: :func:`run_chunked` maps picklable chunk functions
 (:func:`product_chunk`, :func:`remainder_chunk`, :func:`leaf_gcd_chunk`)
-over a lazy chunk stream through a ``ProcessPoolExecutor``, preserving
-order with a bounded number of chunks in flight so memory stays inside the
-pipeline's budget no matter how long the stream runs.
+over a lazy chunk stream through a *supervised* process pool
+(:func:`repro.resilience.supervisor.supervised_map`), preserving order
+with a bounded number of chunks in flight so memory stays inside the
+pipeline's budget no matter how long the stream runs.  Supervision is
+what makes both halves survive worker death: each in-flight block/chunk
+spec is retained next to its future, a broken pool is respawned, and the
+lost units are resubmitted — a ``kill -9``'d worker costs one chunk's
+latency, not the run (see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import AttackReport, WeakHit
 from repro.core.pairing import all_pair_count, block_schedule
+from repro.resilience.supervisor import supervised_map
 from repro.telemetry import MetricsRegistry, StageTimer, Telemetry
 from repro.util.intops import resolve_backend
 
@@ -100,13 +104,23 @@ def find_shared_primes_parallel(
     group_size: int = 64,
     early_terminate: bool = True,
     telemetry: Telemetry | None = None,
+    max_attempts: int = 3,
 ) -> AttackReport:
-    """All-pairs scan with one worker process per core.
+    """All-pairs scan with one worker process per core, under supervision.
 
     Semantics match :func:`repro.core.attack.find_shared_primes` with the
     ``bulk`` backend; only the execution strategy differs.  ``processes``
     defaults to ``os.cpu_count()``.  ``report.metrics`` carries the merged
     per-worker registries plus a ``parallel.workers`` gauge.
+
+    A killed worker does not abort the run: the pool is respawned and the
+    lost blocks are resubmitted (``max_attempts`` total tries per block),
+    counted in ``resilience.worker_crashes`` / ``resilience.pool_respawns``
+    / ``resilience.chunk_retries``.  A crashed worker's *cumulative*
+    telemetry registry is merged from its last-known-good snapshot (the
+    one riding its last completed block) rather than dropped; the trailing
+    delta that died with the process is counted in
+    ``resilience.registries_lost``.
 
     >>> report = find_shared_primes_parallel([33, 35, 55], processes=2,
     ...                                      early_terminate=False)
@@ -136,23 +150,48 @@ def find_shared_primes_parallel(
     tel.emit("scan.start", backend="parallel", algorithm=algorithm,
              moduli=len(moduli), bits=bits)
 
-    # one cumulative registry per worker pid; merged after the pool joins
+    # one cumulative registry per worker pid: each result carries its
+    # worker's registry snapshot, and later snapshots supersede — so a pid
+    # that dies mid-block still contributes its last-known-good snapshot
     worker_registries: dict[int, MetricsRegistry] = {}
+    procs = processes if processes is not None else os.cpu_count() or 1
     with tel.timer.span("scan"):
-        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-        with ctx.Pool(
-            processes=processes,
-            initializer=_init_worker,
-            initargs=(list(moduli), algorithm, d, stop_bits),
-        ) as pool:
-            for hits, pairs, trips, pid, registry in pool.imap_unordered(_run_block, specs):
-                report.pairs_tested += pairs
-                report.loop_trips += trips
-                report.hits.extend(WeakHit(a, b, g) for a, b, g in hits)
-                worker_registries[pid] = registry  # later snapshots supersede
-                tel.advance(pairs)
+        if procs <= 1:
+            # single-process: run the worker body inline (no pool to lose)
+            _init_worker(list(moduli), algorithm, d, stop_bits)
+            results: Iterable = map(_run_block, specs)
+        else:
+            ctx = (
+                mp.get_context("fork")
+                if "fork" in mp.get_all_start_methods()
+                else mp.get_context()
+            )
+            results = supervised_map(
+                _run_block,
+                specs,
+                workers=procs,
+                max_in_flight=4 * procs,
+                initializer=_init_worker,
+                initargs=(list(moduli), algorithm, d, stop_bits),
+                mp_context=ctx,
+                max_attempts=max_attempts,
+                registry=tel.registry,
+            )
+        for hits, pairs, trips, pid, registry in results:
+            report.pairs_tested += pairs
+            report.loop_trips += trips
+            report.hits.extend(WeakHit(a, b, g) for a, b, g in hits)
+            worker_registries[pid] = registry  # later snapshots supersede
+            tel.advance(pairs)
     for registry in worker_registries.values():
         tel.registry.merge(registry)
+    respawns = tel.registry.counters.get("resilience.pool_respawns")
+    if respawns is not None and respawns.value:
+        # every pool generation that died took its workers' unmerged
+        # trailing registry deltas with it; last-known-good snapshots
+        # (merged above) cover everything up to each worker's final
+        # completed block
+        tel.registry.counter("resilience.registries_lost").inc(respawns.value)
     report.elapsed_seconds = tel.timer.total_seconds("scan")
     report.hits.sort(key=lambda h: (h.i, h.j))
     reg = tel.registry
@@ -234,34 +273,34 @@ def run_chunked(
     *,
     workers: int = 0,
     max_in_flight: int | None = None,
+    telemetry: Telemetry | None = None,
+    max_attempts: int = 3,
 ) -> Iterator[_R]:
     """Map ``fn`` over a lazy stream of chunks, in order, optionally parallel.
 
     ``workers <= 1`` runs inline (deterministic, zero-overhead — the mode
-    tests and small corpora use).  Otherwise a ``ProcessPoolExecutor`` with
-    ``workers`` processes consumes the stream with at most
+    tests and small corpora use).  Otherwise a supervised process pool
+    with ``workers`` processes consumes the stream with at most
     ``max_in_flight`` (default ``workers + 2``) chunks submitted at once,
     yielding results in submission order — the bounded window is what keeps
     a disk-backed pipeline stage's working set proportional to the worker
     count rather than the level size.
 
+    Two resilience guarantees (``docs/RESILIENCE.md``): a killed worker is
+    survived — the pool respawns and lost chunks resubmit, up to
+    ``max_attempts`` tries per chunk, counted in the ``resilience.*``
+    counters of ``telemetry`` — and the executor is *always* released,
+    even when the consumer abandons the generator before exhaustion
+    (``shutdown(wait=False, cancel_futures=True)`` on the way out).
+
     >>> list(run_chunked(sum, iter([[1, 2], [3, 4]])))
     [3, 7]
     """
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers <= 1:
-        for chunk in chunks:
-            yield fn(chunk)
-        return
-    window = max_in_flight if max_in_flight is not None else workers + 2
-    if window < 1:
-        raise ValueError("max_in_flight must be >= 1")
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending: deque = deque()
-        for chunk in chunks:
-            pending.append(pool.submit(fn, chunk))
-            if len(pending) >= window:
-                yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
+    return supervised_map(
+        fn,
+        chunks,
+        workers=workers,
+        max_in_flight=max_in_flight,
+        max_attempts=max_attempts,
+        registry=telemetry.registry if telemetry is not None else None,
+    )

@@ -40,6 +40,7 @@ from repro.core.batch_gcd import product_tree
 from repro.core.checkpoint import CheckpointStore, Manifest, StageRecord
 from repro.core.parallel import leaf_gcd_chunk, product_chunk, remainder_chunk, run_chunked
 from repro.core.spool import BlobInfo, iter_blob, read_blob, record_nbytes, write_blob
+from repro.resilience import RetryPolicy, classify_error
 from repro.telemetry import Telemetry
 from repro.util.intops import IntBackend, resolve_backend
 
@@ -61,9 +62,14 @@ class PipelineConfig:
 
     ``memory_budget`` bounds the bytes of tree nodes held in RAM at once
     (chunking math in ``docs/BATCH_PIPELINE.md``); ``workers <= 1`` runs
-    stages inline, larger values fan chunks across a process pool.
+    stages inline, larger values fan chunks across a *supervised* process
+    pool (worker death respawns the pool and resubmits lost chunks, up to
+    ``chunk_attempts`` tries each — see ``docs/RESILIENCE.md``).
     ``retries`` is the number of *re*-attempts per failed stage before the
-    run gives up.  ``backend`` names the big-integer implementation
+    run gives up; only transiently-classified failures are retried
+    (:func:`repro.resilience.classify_error`), with exponential backoff,
+    and ``stage_deadline`` caps each stage's wall-clock budget across all
+    of its attempts.  ``backend`` names the big-integer implementation
     (``auto``/``python``/``gmpy2``, see :mod:`repro.util.intops`;
     ``None`` defers to ``REPRO_INT_BACKEND``, then ``auto``); the resolved
     name is pinned into every chunk work unit, so all workers compute with
@@ -80,6 +86,25 @@ class PipelineConfig:
     resume: bool = False
     retries: int = 1
     backend: str | None = None
+    #: wall-clock budget per stage across all attempts, seconds (None = off)
+    stage_deadline: float | None = None
+    #: total tries a chunk gets when its worker keeps dying
+    chunk_attempts: int = 3
+
+    def retry_policy(self, retries: int | None = None) -> RetryPolicy:
+        """The stage-level policy (``retries`` overrides ``self.retries``).
+
+        >>> PipelineConfig(spool_dir="x", retries=2).retry_policy().max_attempts
+        3
+        """
+        return RetryPolicy(
+            max_attempts=(self.retries if retries is None else retries) + 1,
+            base_delay=0.05,
+            max_delay=5.0,
+            jitter=0.25,
+            seed=0,
+            deadline=self.stage_deadline,
+        )
 
     def chunk_bytes(self) -> int:
         """Per-chunk byte target: budget spread over the in-flight window.
@@ -266,7 +291,14 @@ def _leaf_stage(
 
 def _write_chunked(fn, chunks, dst: Path, config: PipelineConfig, tel: Telemetry) -> BlobInfo:
     def results() -> Iterator[int]:
-        for out in run_chunked(fn, _counted(chunks, tel), workers=config.workers):
+        outs = run_chunked(
+            fn,
+            _counted(chunks, tel),
+            workers=config.workers,
+            telemetry=tel,
+            max_attempts=config.chunk_attempts,
+        )
+        for out in outs:
             yield from out
 
     return write_blob(dst, results())
@@ -532,13 +564,17 @@ def _attempt(
     pre-attempt marks, so only the successful attempt's records survive in
     the metrics snapshot.  ``retries`` overrides ``config.retries`` (the
     ingest stage uses it to disable retries for one-shot sources).
+
+    Retries ride :class:`repro.resilience.RetryPolicy`: only transiently
+    classified failures re-attempt (a ``ValueError`` from a malformed
+    corpus fails fast), backoff is capped-exponential with seeded jitter,
+    and ``config.stage_deadline`` bounds the stage's total wall clock.
     """
-    if retries is None:
-        retries = config.retries
     kind = name.partition(".")[0]
     reg = tel.registry
-    last_error: Exception | None = None
-    for attempt in range(retries + 1):
+    policy = config.retry_policy(retries)
+
+    def body():
         counter_marks = {
             n: reg.counters[n].value for n in _STAGE_COUNTERS if n in reg.counters
         }
@@ -552,23 +588,27 @@ def _attempt(
             with tel.timer.span(kind):
                 out = fn()
             return out, tel.timer.clock() - t0
-        except Exception as exc:  # noqa: BLE001 — retry anything stage-level
-            last_error = exc
+        except Exception:
             for n in _STAGE_COUNTERS:
                 if n in reg.counters:
                     reg.counters[n].value = counter_marks.get(n, 0)
             for n in _STAGE_HISTOGRAMS:
                 if n in reg.histograms:
                     del reg.histograms[n].samples[hist_marks.get(n, 0):]
-            if attempt < retries:
-                reg.counter("pipeline.stage_retries").inc()
-                tel.emit(
-                    "pipeline.stage.retry",
-                    stage=name,
-                    attempt=attempt + 1,
-                    error=repr(exc),
-                )
-    raise last_error
+            raise
+
+    def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+        reg.counter("pipeline.stage_retries").inc()
+        tel.emit(
+            "pipeline.stage.retry",
+            stage=name,
+            attempt=attempt,
+            delay=round(delay, 4),
+            error=repr(exc),
+            kind=classify_error(exc).__name__,
+        )
+
+    return policy.run(body, on_retry=on_retry)
 
 
 def _commit(
@@ -597,7 +637,19 @@ def _commit(
             "workers": config.workers,
             "backend": resolve_backend(config.backend).name,
         }
-    store.save(manifest)
+    # the blob is already durable and the rewrite is atomic + idempotent,
+    # so a transient manifest-write blip is safe to retry in place
+    def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+        tel.registry.counter("pipeline.commit_retries").inc()
+        tel.emit(
+            "pipeline.commit.retry",
+            stage=name,
+            attempt=attempt,
+            delay=round(delay, 4),
+            error=repr(exc),
+        )
+
+    config.retry_policy().run(lambda: store.save(manifest), on_retry=on_retry)
     tel.registry.counter("pipeline.bytes_spilled").inc(info.nbytes)
     tel.registry.histogram("pipeline.stage_bytes").observe(info.nbytes)
     tel.emit(

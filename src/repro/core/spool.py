@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.resilience import faults
+
 __all__ = ["SpoolError", "BlobInfo", "write_blob", "iter_blob", "read_blob", "blob_sha256"]
 
 MAGIC = b"RGSPOOL1"
@@ -86,6 +88,7 @@ def write_blob(path: str | Path, values: Iterable[int]) -> BlobInfo:
     ...     read_blob(p) == [7, 0, 1 << 100]
     True
     """
+    faults.fire("spool.write")
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     digest = hashlib.sha256()

@@ -1,0 +1,142 @@
+"""The failure taxonomy: which errors are worth retrying, which are not.
+
+Every retry decision in the repository routes through
+:func:`classify_error`.  The split is deliberately coarse — two classes,
+not a severity lattice — because the only question a retry loop ever asks
+is *can another attempt plausibly succeed?*
+
+* :class:`TransientError` — yes: a worker process died, an IO operation
+  hiccuped, a remote end backpressured.  Bounded retries with backoff are
+  the right response.
+* :class:`FatalError` — no: the disk is full, a blob is corrupt, a
+  requested backend cannot be imported, the inputs are invalid.  Retrying
+  burns the attempt budget without changing the outcome; fail fast with
+  the original cause attached.
+
+Exceptions that are neither are classified structurally: ``OSError`` by
+errno (``ENOSPC``-family → fatal, everything else → transient),
+validation and programming errors (``ValueError``/``TypeError``/...) →
+fatal, pool breakage and timeouts → transient, and *unknown* exceptions →
+transient, because every retry loop here is bounded anyway and giving an
+unclassified failure a second chance is the cheaper mistake.
+"""
+
+from __future__ import annotations
+
+import errno
+from concurrent.futures import BrokenExecutor
+
+__all__ = [
+    "ResilienceError",
+    "TransientError",
+    "FatalError",
+    "DeadlineExceeded",
+    "WorkerCrash",
+    "ChunkFailed",
+    "PoolExhausted",
+    "classify_error",
+    "is_transient",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base of the resilience layer's own exceptions."""
+
+
+class TransientError(ResilienceError):
+    """A failure another attempt can plausibly outrun (retry with backoff)."""
+
+
+class FatalError(ResilienceError):
+    """A failure no retry can fix; surface it immediately."""
+
+
+class DeadlineExceeded(FatalError):
+    """The operation's time budget ran out (further retries are pointless)."""
+
+
+class WorkerCrash(TransientError):
+    """A pool worker process died (killed, OOM'd, or ``os._exit``)."""
+
+
+class ChunkFailed(FatalError):
+    """One work unit exhausted its per-chunk attempt budget."""
+
+
+class PoolExhausted(FatalError):
+    """The supervisor's pool-respawn budget ran out (workers die on init)."""
+
+
+#: errnos where retrying without operator intervention is futile
+_FATAL_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, "ENOSPC", None),   # no space left on device
+        getattr(errno, "EDQUOT", None),   # disk quota exceeded
+        getattr(errno, "EROFS", None),    # read-only filesystem
+        getattr(errno, "EACCES", None),   # permission denied
+        getattr(errno, "EPERM", None),    # operation not permitted
+        getattr(errno, "ENAMETOOLONG", None),
+    )
+    if code is not None
+)
+
+#: exception types whose cause is a bad program or bad input, not bad luck
+_FATAL_TYPES = (
+    ValueError,       # includes SpoolError / RegistryError (corrupt blobs)
+    TypeError,
+    KeyError,
+    AttributeError,
+    AssertionError,
+    ArithmeticError,
+    ImportError,      # a requested backend that is not installed
+    NotImplementedError,
+)
+
+_TRANSIENT_TYPES = (
+    BrokenExecutor,   # includes BrokenProcessPool: a worker died
+    ConnectionError,
+    TimeoutError,
+    InterruptedError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True iff a bounded retry of the failed operation makes sense.
+
+    Explicit taxonomy membership wins; ``OSError`` is split by errno;
+    validation/programming errors are fatal; anything unrecognised is
+    transient (retry loops are bounded, so optimism is cheap).
+
+    >>> is_transient(ConnectionResetError())
+    True
+    >>> import errno
+    >>> is_transient(OSError(errno.ENOSPC, "no space left on device"))
+    False
+    >>> is_transient(OSError("plain io hiccup"))
+    True
+    >>> is_transient(ValueError("bad modulus"))
+    False
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, FatalError):
+        return False
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return True
+    if isinstance(exc, OSError):
+        return exc.errno not in _FATAL_ERRNOS
+    if isinstance(exc, _FATAL_TYPES):
+        return False
+    return True
+
+
+def classify_error(exc: BaseException) -> type[ResilienceError]:
+    """The taxonomy class for ``exc`` (the type itself, for logs/events).
+
+    >>> classify_error(TimeoutError()).__name__
+    'TransientError'
+    >>> classify_error(ImportError("no module named gmpy2")).__name__
+    'FatalError'
+    """
+    return TransientError if is_transient(exc) else FatalError

@@ -19,6 +19,13 @@ queued; past that, :meth:`MicroBatcher.submit` raises :class:`BacklogFull`
 carrying a ``retry_after`` estimate derived from the observed scan rate,
 which the HTTP layer turns into ``429`` + ``Retry-After``.  Nothing is
 silently dropped and memory stays bounded no matter how fast clients push.
+
+Flush failures ride the shared :class:`repro.resilience.RetryPolicy`: a
+transiently failing scan (per the resilience taxonomy) is re-attempted
+with backoff before the flush's tickets are failed, and the
+``batcher.flush`` fault point (``docs/RESILIENCE.md``) fires before each
+attempt so chaos tests can exercise exactly this path.  The
+``Retry-After`` estimate is clamped to the same policy's delay bounds.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import secrets
 from collections import deque
 from typing import Awaitable, Callable, Sequence
 
+from repro.resilience import RetryPolicy, faults
 from repro.telemetry import Telemetry
 
 __all__ = ["BacklogFull", "Ticket", "MicroBatcher"]
@@ -125,6 +133,7 @@ class MicroBatcher:
         linger_ms: float = 20.0,
         max_pending: int = 4096,
         telemetry: Telemetry | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -137,6 +146,11 @@ class MicroBatcher:
         self.linger = linger_ms / 1000.0
         self.max_pending = max_pending
         self.telemetry = telemetry if telemetry is not None else Telemetry.create()
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=30.0)
+        )
         #: (item, ticket, position-in-ticket)
         self._pending: deque[tuple[object, Ticket, int]] = deque()
         self._arrived = asyncio.Event()
@@ -209,8 +223,10 @@ class MicroBatcher:
         if self._rate and self._rate > 0:
             estimate = backlog / self._rate + self.linger
         else:
-            estimate = self.linger * 2 + 0.05
-        return min(max(estimate, 0.05), 30.0)
+            estimate = self.linger * 2 + self.retry_policy.base_delay
+        return min(
+            max(estimate, self.retry_policy.base_delay), self.retry_policy.max_delay
+        )
 
     # -- the flush worker ------------------------------------------------------
 
@@ -250,10 +266,25 @@ class MicroBatcher:
         reg = self.telemetry.registry
         reg.counter("batcher.flushes").inc()
         reg.histogram("batcher.flush_keys").observe(len(batch))
+        items = [item for item, _, _ in batch]
+
+        async def attempt() -> list[dict]:
+            faults.fire("batcher.flush")
+            return await self.scan(items)
+
+        def on_retry(retry_attempt: int, delay: float, exc: BaseException) -> None:
+            reg.counter("batcher.flush_retries").inc()
+            self.telemetry.emit(
+                "batcher.flush.retry",
+                attempt=retry_attempt,
+                delay=round(delay, 4),
+                error=repr(exc),
+            )
+
         started = loop.time()
         try:
-            results = await self.scan([item for item, _, _ in batch])
-        except Exception as exc:  # the scan seam failed; fail the whole flush
+            results = await self.retry_policy.arun(attempt, on_retry=on_retry)
+        except Exception as exc:  # the scan seam failed for good; fail the flush
             reg.counter("batcher.failed_flushes").inc()
             now = loop.time()
             message = f"scan failed: {exc}"

@@ -43,6 +43,7 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.incremental import IncrementalScanner
+from repro.resilience import faults
 from repro.rsa.der import DERError, decode_rsa_public_key, decode_subject_public_key_info
 from repro.rsa.keys import DEFAULT_E, recover_key
 from repro.rsa.pem import PEMError, pem_decode_all, private_key_to_pem
@@ -138,9 +139,16 @@ class WeakKeyService:
         return restored
 
     async def stop(self, *, drain: bool = True) -> None:
-        """Flush (or fail) the backlog and release the scan thread."""
+        """Flush (or fail) the backlog, release the scan thread, sync state.
+
+        The final :meth:`~repro.service.registry.WeakKeyRegistry.sync`
+        makes the on-disk manifest exactly current (batch commits are
+        already durable; this folds in straggler config state such as
+        duplicate-submission counts observed since the last commit).
+        """
         await self.batcher.stop(drain=drain)
         self._executor.shutdown(wait=True)
+        self.registry.sync()
         self.telemetry.emit("service.stop", keys=self.registry.n_keys)
 
     def _scan_config(self) -> dict:
@@ -432,29 +440,55 @@ class HttpServer:
         host: str = "127.0.0.1",
         port: int = 8571,
         max_body: int = 8 << 20,
+        drain_grace: float = 5.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.max_body = max_body
+        self.drain_grace = drain_grace
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
+        self._draining = asyncio.Event()
+        self._active_requests = 0
 
     async def start(self) -> None:
         await self.service.start()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     async def close(self, *, drain: bool = True) -> None:
+        """Shut down in the order that loses nothing acknowledged.
+
+        1. mark draining — new submissions get ``503`` + ``Retry-After``
+           and parked long-polls wake to report their tickets as they
+           stand;
+        2. stop accepting connections;
+        3. stop the service: with ``drain`` the batcher flushes its whole
+           backlog (every queued key is scanned and durably committed)
+           and the registry syncs its manifest;
+        4. give in-flight handlers ``drain_grace`` seconds to finish
+           writing responses, then cancel whatever is left (idle
+           keep-alive connections mostly).
+        """
+        self._draining.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.service.stop(drain=drain)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_grace
+        while self._active_requests and loop.time() < deadline:
+            await asyncio.sleep(0.01)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        await self.service.stop(drain=drain)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -557,7 +591,9 @@ class HttpServer:
     async def _dispatch(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
         tel = self.service.telemetry
         tel.registry.counter("http.requests").inc()
+        self._active_requests += 1
         try:
+            faults.fire("http.handler")
             status, payload, headers = await self._route(request)
         except _HttpError as exc:
             status, payload, headers = exc.status, {"error": str(exc)}, exc.headers
@@ -566,6 +602,8 @@ class HttpServer:
         except Exception as exc:  # never let a handler kill the connection loop
             tel.registry.counter("http.internal_errors").inc()
             status, payload, headers = 500, {"error": f"internal error: {exc}"}, ()
+        finally:
+            self._active_requests -= 1
         tel.registry.counter(f"http.status.{status}").inc()
         self._write_json(
             writer, status, payload, headers=headers, keep_alive=request.keep_alive
@@ -609,6 +647,12 @@ class HttpServer:
                 "no parseable keys in submission"
                 + (f" ({len(rejected)} rejected)" if rejected else ""),
             )
+        if self._draining.is_set():
+            raise _HttpError(
+                503,
+                "service is draining; retry against the restarted instance",
+                headers=(("Retry-After", "1"),),
+            )
         try:
             ticket = self.service.submit(keys)
         except BacklogFull as exc:
@@ -618,16 +662,40 @@ class HttpServer:
                 f"admission queue full; retry after {retry}s",
                 headers=(("Retry-After", retry),),
             ) from None
+        except RuntimeError as exc:  # batcher already stopping under our feet
+            raise _HttpError(
+                503, str(exc), headers=(("Retry-After", "1"),)
+            ) from None
         wait = request.query.get("wait", ["0"])[-1] not in ("0", "", "false")
         if wait:
+            # park on the ticket OR the drain signal, whichever fires first;
+            # a drain-time wake reports the ticket as it stands (its keys
+            # are still flushed and committed by the drain itself)
+            waiters = [
+                asyncio.ensure_future(ticket.wait()),
+                asyncio.ensure_future(self._draining.wait()),
+            ]
             try:
-                await asyncio.wait_for(
-                    ticket.wait(), timeout=self.service.config.wait_timeout
+                await asyncio.wait(
+                    waiters,
+                    timeout=self.service.config.wait_timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
                 )
-            except asyncio.TimeoutError:
-                pass  # fall through: report the ticket as it stands
+            finally:
+                for waiter in waiters:
+                    waiter.cancel()
         payload = ticket.as_dict()
         if rejected:
             payload["rejected"] = rejected
-        status = 200 if ticket.completed is not None else 202
+        if ticket.completed is not None:
+            status = 200
+        elif self._draining.is_set():
+            status, payload["error"] = 503, (
+                "service draining before the verdict; queued keys are "
+                "committed by the drain — resubmit after restart for the "
+                "cached verdict"
+            )
+            return status, payload, (("Retry-After", "1"),)
+        else:
+            status = 202
         return status, payload, ()

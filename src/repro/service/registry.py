@@ -48,6 +48,7 @@ from repro.core.attack import WeakHit
 from repro.core.checkpoint import CheckpointStore, Manifest, StageRecord
 from repro.core.incremental import SNAPSHOT_VERSION
 from repro.core.spool import SpoolError, read_blob, write_blob
+from repro.resilience import RetryPolicy, faults
 from repro.rsa.keys import DEFAULT_E
 from repro.telemetry import Telemetry
 
@@ -88,10 +89,22 @@ class WeakKeyRegistry:
     (2, 1, [(0, 1)])
     """
 
-    def __init__(self, state_dir: str | Path, *, telemetry: Telemetry | None = None) -> None:
+    def __init__(
+        self,
+        state_dir: str | Path,
+        *,
+        telemetry: Telemetry | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.state_dir = Path(state_dir)
         self.store = CheckpointStore(self.state_dir)
         self.telemetry = telemetry if telemetry is not None else Telemetry.create()
+        #: commit-IO retry policy; blob writes are tmp+rename so re-running is safe
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=2.0)
+        )
         self.moduli: list[int] = []
         self.hits: list[WeakHit] = []
         self.bits: int | None = None
@@ -244,12 +257,24 @@ class WeakKeyRegistry:
             batch = self._batches
             keys_name = f"keys-{batch:06d}.bin"
             hits_name = f"hits-{batch:06d}.bin"
-            self.state_dir.mkdir(parents=True, exist_ok=True)
-            keys_info = write_blob(self.state_dir / keys_name, new_moduli)
             flat: list[int] = []
             for h in new_hits:
                 flat.extend((h.i, h.j, h.prime))
-            hits_info = write_blob(self.state_dir / hits_name, flat)
+
+            # Blob writes go to tmp + rename, so a failed attempt leaves at
+            # worst a stray .tmp that the retry overwrites — re-running the
+            # whole closure is idempotent.  Manifest stages are appended only
+            # after both blobs land, so retries never duplicate records.
+            def persist_blobs():
+                faults.fire("registry.commit")
+                self.state_dir.mkdir(parents=True, exist_ok=True)
+                k = write_blob(self.state_dir / keys_name, new_moduli)
+                v = write_blob(self.state_dir / hits_name, flat)
+                return k, v
+
+            keys_info, hits_info = self.retry_policy.run(
+                persist_blobs, on_retry=self._on_commit_retry
+            )
 
             for gidx, e in (exponents or {}).items():
                 if e != DEFAULT_E:
@@ -267,7 +292,9 @@ class WeakKeyRegistry:
                 )
             )
             self._manifest.config = self._config()
-            self.store.save(self._manifest)
+            self.retry_policy.run(
+                lambda: self.store.save(self._manifest), on_retry=self._on_commit_retry
+            )
 
             for n in new_moduli:
                 self._index[n] = len(self.moduli)
@@ -287,6 +314,31 @@ class WeakKeyRegistry:
         return RegisteredBatch(
             index=batch, base=base, n_keys=len(new_moduli), n_hits=len(new_hits)
         )
+
+    def _on_commit_retry(self, attempt: int, delay: float, exc: BaseException) -> None:
+        self.telemetry.registry.counter("registry.commit_retries").inc()
+        self.telemetry.emit(
+            "registry.commit.retry",
+            attempt=attempt,
+            delay=round(delay, 4),
+            error=repr(exc),
+        )
+
+    def sync(self) -> None:
+        """Rewrite the manifest now, folding in any unpersisted config state.
+
+        The graceful-shutdown seam: committed batches are already durable,
+        but duplicate-submission counts observed since the last commit live
+        only in memory until the next manifest rewrite.  ``sync`` makes the
+        on-disk manifest exactly current (idempotent; cheap when nothing
+        changed).
+        """
+        with self._lock:
+            self._manifest.config = self._config()
+            self.retry_policy.run(
+                lambda: self.store.save(self._manifest), on_retry=self._on_commit_retry
+            )
+        self.telemetry.emit("registry.synced", keys=self.n_keys, batches=self._batches)
 
     def note_duplicates(self, count: int = 1, *, persist: bool = False) -> None:
         """Count resubmissions of already-registered moduli.

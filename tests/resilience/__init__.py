@@ -1,0 +1,1 @@
+"""Chaos and unit tests for the resilience layer (docs/RESILIENCE.md)."""

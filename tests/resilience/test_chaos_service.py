@@ -1,0 +1,194 @@
+"""Chaos tests: batcher flush faults, registry commit faults, graceful drain."""
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.attack import WeakHit
+from repro.resilience import RetryPolicy
+from repro.resilience.faults import install_plan, parse_spec, reset_plan
+from repro.rsa.corpus import generate_weak_corpus
+from repro.service.batcher import DONE, FAILED, MicroBatcher
+from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
+from repro.service.registry import WeakKeyRegistry
+from repro.telemetry import Telemetry
+
+BITS = 64
+
+#: zero-sleep policy so chaos retries don't slow the suite down
+FAST_RETRIES = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    reset_plan()
+    yield
+    reset_plan()
+
+
+class TestBatcherFlushFaults:
+    def _batcher(self, telemetry):
+        async def scan(items):
+            return [{"status": "registered"} for _ in items]
+
+        return MicroBatcher(
+            scan, max_batch=4, linger_ms=1.0,
+            telemetry=telemetry, retry_policy=FAST_RETRIES,
+        )
+
+    def test_transient_flush_fault_is_retried_through(self):
+        install_plan(parse_spec("batcher.flush#1=error"))
+        tel = Telemetry.create()
+
+        async def run():
+            batcher = self._batcher(tel)
+            await batcher.start()
+            ticket = batcher.submit([1, 2])
+            await asyncio.wait_for(ticket.wait(), timeout=5)
+            await batcher.stop()
+            return ticket
+
+        ticket = asyncio.run(run())
+        assert ticket.status == DONE
+        counters = tel.registry.counters
+        assert counters["batcher.flush_retries"].value == 1
+        assert "batcher.failed_flushes" not in counters
+
+    def test_persistent_flush_fault_fails_the_flush(self):
+        install_plan(parse_spec("batcher.flush#1+=error"))
+        tel = Telemetry.create()
+
+        async def run():
+            batcher = self._batcher(tel)
+            await batcher.start()
+            ticket = batcher.submit([1, 2])
+            await asyncio.wait_for(ticket.wait(), timeout=5)
+            await batcher.stop(drain=False)
+            return ticket
+
+        ticket = asyncio.run(run())
+        assert ticket.status == FAILED
+        assert "injected failure" in ticket.error
+        counters = tel.registry.counters
+        assert counters["batcher.failed_flushes"].value == 1
+        assert counters["batcher.flush_retries"].value == 2  # budget of 3 attempts
+
+
+class TestRegistryCommitFaults:
+    def test_transient_commit_fault_is_retried_through(self, tmp_path):
+        install_plan(parse_spec("registry.commit#1=ioerror"))
+        tel = Telemetry.create()
+        registry = WeakKeyRegistry(tmp_path, telemetry=tel, retry_policy=FAST_RETRIES)
+        registry.load()
+        batch = registry.commit_batch([193 * 197, 193 * 199], [WeakHit(0, 1, 193)])
+        assert batch.n_keys == 2
+        assert tel.registry.counters["registry.commit_retries"].value == 1
+
+        fresh = WeakKeyRegistry(tmp_path)
+        assert fresh.load() == 1
+        assert fresh.n_keys == 2  # the retried commit is fully durable
+
+    def test_fatal_commit_fault_propagates(self, tmp_path):
+        install_plan(parse_spec("registry.commit#1=enospc"))
+        registry = WeakKeyRegistry(tmp_path, retry_policy=FAST_RETRIES)
+        registry.load()
+        with pytest.raises(OSError):
+            registry.commit_batch([193 * 197], [])
+        reset_plan()
+        fresh = WeakKeyRegistry(tmp_path)
+        assert fresh.load() == 0  # nothing half-committed
+
+
+class TestGracefulDrain:
+    """server.close(drain=True) — exactly what the SIGTERM handler runs."""
+
+    def _moduli(self):
+        corpus = generate_weak_corpus(4, BITS, shared_groups=(), seed=5)
+        return [hex(n) for n in corpus.moduli]
+
+    def test_drain_wakes_long_poll_and_commits_backlog(self, tmp_path):
+        moduli = self._moduli()
+
+        async def run():
+            config = ServiceConfig(
+                state_dir=Path(tmp_path),
+                linger_ms=60_000.0,  # no flush until the drain forces one
+                max_batch=4096,
+                wait_timeout=30.0,
+            )
+            server = HttpServer(WeakKeyService(config), port=0)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            body = json.dumps({"moduli": moduli[:2]}).encode()
+            writer.write(
+                (
+                    f"POST /submit?wait=1 HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+            await asyncio.sleep(0.2)  # the long-poll is parked on its ticket
+            await server.close()  # SIGTERM path: drain, then shut down
+            raw = await asyncio.wait_for(reader.read(), timeout=5)
+            writer.close()
+            return raw
+
+        raw = asyncio.run(run())
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        headers = head.decode("latin-1").lower()
+        doc = json.loads(payload)
+        assert status == 503
+        assert "retry-after:" in headers
+        assert doc["ticket"]
+
+        # zero lost acknowledged submissions: the drained flush committed
+        registry = WeakKeyRegistry(tmp_path)
+        registry.load()
+        assert registry.n_keys == 2
+
+    def test_submit_during_drain_gets_503_with_retry_after(self, tmp_path):
+        moduli = self._moduli()
+
+        async def run():
+            config = ServiceConfig(state_dir=Path(tmp_path), linger_ms=1.0)
+            server = HttpServer(WeakKeyService(config), port=0)
+            await server.start()
+            server._draining.set()  # drain announced, listener still up
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            body = json.dumps({"moduli": moduli}).encode()
+            writer.write(
+                (
+                    f"POST /submit HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5)
+            writer.close()
+            server._draining.clear()
+            await server.close()
+            return raw
+
+        raw = asyncio.run(run())
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert int(head.split()[1]) == 503
+        assert "retry-after:" in head.decode("latin-1").lower()
+        assert "draining" in json.loads(payload)["error"]
+
+    def test_clean_drain_with_no_load_exits_quietly(self, tmp_path):
+        async def run():
+            config = ServiceConfig(state_dir=Path(tmp_path), linger_ms=1.0)
+            server = HttpServer(WeakKeyService(config), port=0)
+            await server.start()
+            await server.close()
+            assert server.draining
+
+        asyncio.run(run())
+        # the shutdown sync persisted a manifest even with zero commits
+        registry = WeakKeyRegistry(tmp_path)
+        assert registry.load() == 0

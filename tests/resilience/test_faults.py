@@ -1,0 +1,162 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import errno
+
+import pytest
+
+from repro.resilience.faults import (
+    ENV_VAR,
+    FAULT_POINTS,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    FaultSpecError,
+    active_plan,
+    fire,
+    install_plan,
+    parse_spec,
+    reset_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    reset_plan()
+    yield
+    reset_plan()
+
+
+class TestSpecGrammar:
+    def test_single_clause(self):
+        plan = parse_spec("spool.write#2=ioerror")
+        (fault,) = plan.faults
+        assert (fault.point, fault.action, fault.nth, fault.onward) == (
+            "spool.write", "ioerror", 2, False,
+        )
+
+    def test_onward_selector(self):
+        (fault,) = parse_spec("batcher.flush#3+=error").faults
+        assert fault.nth == 3 and fault.onward
+
+    def test_probabilistic_selector(self):
+        (fault,) = parse_spec("worker.init%0.5@7=error").faults
+        assert fault.probability == 0.5 and fault.seed == 7
+
+    def test_action_argument(self):
+        (fault,) = parse_spec("chunk.execute#1=exit:9").faults
+        assert fault.action == "exit" and fault.arg == 9.0
+
+    def test_multiple_clauses(self):
+        plan = parse_spec("batcher.flush#1=error;http.handler#3=error")
+        assert [f.point for f in plan.faults] == ["batcher.flush", "http.handler"]
+
+    def test_spec_round_trips(self):
+        text = "chunk.execute#2=exit;worker.init%0.5@7=error;spool.write#1+=hang:0.5"
+        assert parse_spec(parse_spec(text).spec()).spec() == parse_spec(text).spec()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nonsense",                      # no =
+            "not.a.point#1=error",           # unknown point
+            "spool.write#x=error",           # bad hit selector
+            "spool.write%zz@1=error",        # bad probability
+            "spool.write#1=explode",         # unknown action
+            "spool.write#1=hang:soon",       # bad action argument
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_spec(bad)
+
+    def test_rejects_conflicting_selectors(self):
+        with pytest.raises(FaultSpecError):
+            Fault(point="spool.write", action="error", nth=1, probability=0.5)
+
+
+class TestTriggers:
+    def test_nth_fires_exactly_once(self):
+        fault = Fault(point="spool.write", action="error", nth=3)
+        assert [fault.triggers(h) for h in range(1, 6)] == [
+            False, False, True, False, False,
+        ]
+
+    def test_onward_fires_from_nth(self):
+        fault = Fault(point="spool.write", action="error", nth=2, onward=True)
+        assert [fault.triggers(h) for h in range(1, 5)] == [False, True, True, True]
+
+    def test_probability_is_deterministic(self):
+        a = Fault(point="worker.init", action="error", probability=0.5, seed=7)
+        b = Fault(point="worker.init", action="error", probability=0.5, seed=7)
+        c = Fault(point="worker.init", action="error", probability=0.5, seed=8)
+        draws_a = [a.triggers(h) for h in range(1, 200)]
+        assert draws_a == [b.triggers(h) for h in range(1, 200)]
+        assert draws_a != [c.triggers(h) for h in range(1, 200)]
+        assert 40 < sum(draws_a) < 160  # roughly half fire
+
+    def test_no_selector_always_fires(self):
+        fault = Fault(point="spool.write", action="error")
+        assert all(fault.triggers(h) for h in range(1, 10))
+
+
+class TestActions:
+    def test_enospc(self):
+        with pytest.raises(OSError) as info:
+            Fault(point="spool.write", action="enospc").execute()
+        assert info.value.errno == errno.ENOSPC
+
+    def test_ioerror(self):
+        with pytest.raises(OSError) as info:
+            Fault(point="spool.write", action="ioerror").execute()
+        assert info.value.errno == errno.EIO
+
+    def test_error(self):
+        with pytest.raises(FaultInjected, match="spool.write"):
+            Fault(point="spool.write", action="error").execute()
+
+    def test_hang_sleeps(self):
+        import time
+
+        t0 = time.monotonic()
+        Fault(point="spool.write", action="hang", arg=0.05).execute()
+        assert time.monotonic() - t0 >= 0.04
+
+
+class TestPlanFiring:
+    def test_counts_hits_and_injections(self):
+        plan = parse_spec("spool.write#2=error")
+        plan.fire("spool.write")
+        with pytest.raises(FaultInjected):
+            plan.fire("spool.write")
+        plan.fire("spool.write")
+        assert plan.hits == {"spool.write": 3}
+        assert plan.injected == {"spool.write": 1}
+
+    def test_unrelated_points_untouched(self):
+        plan = parse_spec("spool.write#1=error")
+        plan.fire("manifest.commit")  # armed for a different point: no-op
+        assert plan.injected == {}
+
+
+class TestGlobalArming:
+    def test_fire_is_noop_when_unarmed(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        reset_plan()
+        for point in FAULT_POINTS:
+            fire(point)  # must not raise
+
+    def test_env_spec_arms_on_first_fire(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "manifest.commit#1=error")
+        reset_plan()
+        with pytest.raises(FaultInjected):
+            fire("manifest.commit")
+        fire("manifest.commit")  # second hit: disarmed
+
+    def test_install_plan_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "manifest.commit#1=error")
+        install_plan(None)
+        fire("manifest.commit")  # explicit None plan beats the env spec
+        install_plan(parse_spec("http.handler#1=error"))
+        with pytest.raises(FaultInjected):
+            fire("http.handler")
+        assert active_plan().injected == {"http.handler": 1}

@@ -1,0 +1,227 @@
+"""Unit tests for RetryPolicy backoff/jitter/deadline math and its drivers."""
+
+import asyncio
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    FatalError,
+    RetryPolicy,
+    TransientError,
+    classify_error,
+    is_transient,
+)
+
+
+class TestBackoffMath:
+    def test_exponential_schedule_without_jitter(self):
+        p = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.0)
+        assert list(p.delays()) == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_applies(self):
+        p = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0
+        )
+        assert list(p.delays()) == [1.0, 5.0, 5.0, 5.0, 5.0]
+
+    def test_jitter_widens_within_bounds(self):
+        p = RetryPolicy(max_attempts=4, base_delay=1.0, multiplier=1.0, jitter=0.5)
+        for attempt, delay in enumerate(p.delays(), start=1):
+            assert 1.0 <= delay <= 1.5
+
+    def test_jitter_is_deterministic_in_seed(self):
+        a = RetryPolicy(max_attempts=6, jitter=0.9, seed=42)
+        b = RetryPolicy(max_attempts=6, jitter=0.9, seed=42)
+        c = RetryPolicy(max_attempts=6, jitter=0.9, seed=43)
+        assert list(a.delays()) == list(b.delays())
+        assert list(a.delays()) != list(c.delays())
+
+    def test_retry_after_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().retry_after(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"deadline": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestDeadline:
+    def test_budget_counts_down(self):
+        t = iter([0.0, 1.0, 9.0, 11.0]).__next__
+        d = Deadline(10.0, clock=t)
+        assert d.remaining() == 9.0
+        assert d.remaining() == 1.0
+        assert d.expired()
+
+    def test_unbounded(self):
+        d = Deadline(None)
+        assert d.remaining() is None
+        assert not d.expired()
+        assert d.clamp(123.0) == 123.0
+
+    def test_clamp_shortens_sleeps(self):
+        t = iter([0.0, 8.0]).__next__
+        d = Deadline(10.0, clock=t)
+        assert d.clamp(5.0) == 2.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestRunDriver:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionError("blip")
+            return "ok"
+
+        p = RetryPolicy(max_attempts=3, base_delay=0.0)
+        assert p.run(flaky, sleep=lambda s: None) == "ok"
+        assert len(calls) == 3
+
+    def test_fatal_error_fails_fast(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("bad input")
+
+        p = RetryPolicy(max_attempts=5, base_delay=0.0)
+        with pytest.raises(ValueError, match="bad input"):
+            p.run(broken, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_exhaustion_reraises_original_error(self):
+        def always():
+            raise ConnectionError("still down")
+
+        p = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with pytest.raises(ConnectionError, match="still down"):
+            p.run(always, sleep=lambda s: None)
+
+    def test_deadline_exhaustion_raises_deadline_exceeded(self):
+        clock = iter([0.0] + [100.0] * 10).__next__
+
+        def always():
+            raise ConnectionError("down")
+
+        p = RetryPolicy(max_attempts=5, base_delay=0.0, deadline=1.0)
+        with pytest.raises(DeadlineExceeded) as info:
+            p.run(always, sleep=lambda s: None, clock=clock)
+        assert isinstance(info.value.__cause__, ConnectionError)
+
+    def test_on_retry_sees_attempts_and_delays(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ConnectionError("blip")
+            return 7
+
+        p = RetryPolicy(max_attempts=3, base_delay=0.25, jitter=0.0)
+        out = p.run(
+            flaky,
+            on_retry=lambda a, d, e: seen.append((a, d)),
+            sleep=lambda s: None,
+        )
+        assert out == 7
+        assert seen == [(1, 0.25), (2, 0.5)]
+
+    def test_sleeps_are_clamped_by_deadline(self):
+        slept = []
+        clock = iter([0.0, 0.0, 0.9, 0.9, 0.95, 0.95]).__next__
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ConnectionError("blip")
+            return "ok"
+
+        p = RetryPolicy(max_attempts=3, base_delay=10.0, jitter=0.0, deadline=1.0)
+        assert p.run(flaky, sleep=slept.append, clock=clock) == "ok"
+        assert slept and all(s <= 1.0 for s in slept)
+
+    def test_custom_retryable_predicate(self):
+        def boom():
+            raise KeyError("k")
+
+        p = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(KeyError):
+            p.run(boom, retryable=lambda e: True, sleep=lambda s: None)
+        # default taxonomy: KeyError is fatal, one call only
+        calls = []
+
+        def counted():
+            calls.append(1)
+            raise KeyError("k")
+
+        with pytest.raises(KeyError):
+            p.run(counted, sleep=lambda s: None)
+        assert len(calls) == 1
+
+
+class TestAsyncDriver:
+    def test_arun_retries_then_succeeds(self):
+        calls = []
+
+        async def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ConnectionError("blip")
+            return "ok"
+
+        p = RetryPolicy(max_attempts=3, base_delay=0.0)
+        assert asyncio.run(p.arun(flaky)) == "ok"
+        assert len(calls) == 2
+
+    def test_arun_fatal_fails_fast(self):
+        async def broken():
+            raise TypeError("no")
+
+        p = RetryPolicy(max_attempts=5, base_delay=0.0)
+        with pytest.raises(TypeError):
+            asyncio.run(p.arun(broken))
+
+
+class TestTaxonomy:
+    def test_explicit_classes_win(self):
+        assert is_transient(TransientError("x"))
+        assert not is_transient(FatalError("x"))
+        assert not is_transient(DeadlineExceeded("x"))
+
+    def test_oserror_split_by_errno(self):
+        import errno
+
+        assert not is_transient(OSError(errno.ENOSPC, "full"))
+        assert not is_transient(OSError(errno.EACCES, "denied"))
+        assert is_transient(OSError(errno.EIO, "flaky disk"))
+        assert is_transient(OSError("no errno at all"))
+
+    def test_programming_errors_are_fatal(self):
+        for exc in (ValueError("v"), TypeError("t"), KeyError("k"), ImportError("i")):
+            assert not is_transient(exc)
+            assert classify_error(exc) is FatalError
+
+    def test_unknown_exceptions_default_transient(self):
+        class Weird(Exception):
+            pass
+
+        assert is_transient(Weird("?"))
+        assert classify_error(Weird("?")) is TransientError

@@ -1,0 +1,139 @@
+"""Supervised-pool tests: worker death, poison chunks, executor hygiene."""
+
+import os
+import signal
+
+import pytest
+
+from repro.resilience import ChunkFailed, PoolExhausted
+from repro.resilience.supervisor import ChunkSupervisor, supervised_map
+from repro.telemetry import MetricsRegistry
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def _double(chunk):
+    return [2 * x for x in chunk]
+
+
+def _die_once_then_double(chunk):
+    """Kill this worker process on the marked chunk — but only the first time.
+
+    The marker file makes the crash happen exactly once across respawns,
+    so the resubmitted chunk completes on the fresh pool.
+    """
+    marker, payload = chunk
+    if marker is not None and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return [2 * x for x in payload]
+
+
+def _always_die(chunk):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _explode(chunk):
+    raise ValueError("boom")
+
+
+class TestWorkerDeath:
+    def test_killed_worker_heals_and_results_match(self, tmp_path):
+        marker = str(tmp_path / "died")
+        chunks = [(None, [i]) for i in range(12)]
+        chunks[5] = (marker, [5])
+        registry = MetricsRegistry()
+        got = list(
+            supervised_map(
+                _die_once_then_double,
+                iter(chunks),
+                workers=2,
+                registry=registry,
+            )
+        )
+        assert got == [[2 * i] for i in range(12)]
+        assert registry.counters["resilience.worker_crashes"].value >= 1
+        assert registry.counters["resilience.pool_respawns"].value >= 1
+        assert registry.counters["resilience.chunk_retries"].value >= 1
+
+    def test_poison_chunk_raises_chunk_failed(self):
+        with pytest.raises(ChunkFailed, match="poison"):
+            list(
+                supervised_map(
+                    _always_die, iter([[1]]), workers=2, max_attempts=2, max_respawns=10
+                )
+            )
+
+    def test_respawn_budget_raises_pool_exhausted(self):
+        with pytest.raises(PoolExhausted, match="budget"):
+            list(
+                supervised_map(
+                    _always_die,
+                    iter([[i] for i in range(8)]),
+                    workers=2,
+                    max_attempts=100,
+                    max_respawns=2,
+                )
+            )
+
+
+class TestApplicationErrors:
+    def test_worker_exception_propagates_unchanged(self):
+        with pytest.raises(ValueError, match="boom"):
+            list(supervised_map(_explode, iter([[1]]), workers=2))
+
+    def test_inline_mode_needs_no_pickling(self):
+        calls = []
+        fn = lambda chunk: (calls.append(1), chunk)[1]  # noqa: E731
+        assert list(supervised_map(fn, iter([[1], [2]]), workers=1)) == [[1], [2]]
+        assert calls == [1, 1]
+
+
+class TestExecutorHygiene:
+    def test_abandoned_generator_shuts_pool_down(self, monkeypatch):
+        """Regression: dropping the generator early must release the pool."""
+        shutdowns = []
+        original = ChunkSupervisor.shutdown
+
+        def spy(self):
+            shutdowns.append(1)
+            original(self)
+
+        monkeypatch.setattr(ChunkSupervisor, "shutdown", spy)
+        gen = supervised_map(
+            _double, iter([[i] for i in range(50)]), workers=2, max_in_flight=2
+        )
+        assert next(gen) == [0]
+        gen.close()  # consumer walks away mid-stream
+        assert shutdowns
+
+    def test_shutdown_is_idempotent(self):
+        sup = ChunkSupervisor(_double, workers=2)
+        sup.shutdown()
+        sup.shutdown()
+
+    def test_exhausted_stream_still_shuts_down(self, monkeypatch):
+        shutdowns = []
+        original = ChunkSupervisor.shutdown
+        monkeypatch.setattr(
+            ChunkSupervisor, "shutdown", lambda self: (shutdowns.append(1), original(self))[0]
+        )
+        assert list(supervised_map(_double, iter([[1], [2]]), workers=2)) == [[2], [4]]
+        assert shutdowns
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ChunkSupervisor(_double, workers=0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            list(supervised_map(_double, iter([[1]]), workers=2, max_in_flight=0))
+
+    def test_order_preserved_under_load(self):
+        chunks = [[i, i + 1] for i in range(0, 60, 2)]
+        inline = list(supervised_map(_double, iter(chunks), workers=1))
+        pooled = list(supervised_map(_double, iter(chunks), workers=3))
+        assert pooled == inline
