@@ -198,9 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: unbounded)",
     )
     bs.add_argument(
-        "--chunk-attempts", type=int, default=3,
+        "--chunk-attempts", type=int, default=6,
         help="total tries a chunk gets when its pool worker keeps dying "
-        "(default 3)",
+        "(default 6 — under sustained crashes a healthy chunk's execution "
+        "can be aborted by a sibling worker's death, so the budget carries "
+        "headroom above the poison threshold)",
     )
     bs.add_argument(
         "--backend", choices=BACKEND_CHOICES, default=None, metavar="NAME",
@@ -466,6 +468,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 group_size=args.group_size,
                 early_terminate=not args.no_early_terminate,
                 telemetry=telemetry,
+                int_backend=args.int_backend,
             )
         else:
             report = find_shared_primes(

@@ -40,7 +40,7 @@ from repro.core.attack import AttackReport, WeakHit
 from repro.core.pairing import all_pair_count, block_schedule
 from repro.resilience.supervisor import supervised_map
 from repro.telemetry import MetricsRegistry, StageTimer, Telemetry
-from repro.util.intops import resolve_backend
+from repro.util.intops import IntBackend, resolve_backend
 
 __all__ = [
     "find_shared_primes_parallel",
@@ -104,7 +104,8 @@ def find_shared_primes_parallel(
     group_size: int = 64,
     early_terminate: bool = True,
     telemetry: Telemetry | None = None,
-    max_attempts: int = 3,
+    max_attempts: int = 6,
+    int_backend: str | IntBackend | None = None,
 ) -> AttackReport:
     """All-pairs scan with one worker process per core, under supervision.
 
@@ -112,6 +113,12 @@ def find_shared_primes_parallel(
     ``bulk`` backend; only the execution strategy differs.  ``processes``
     defaults to ``os.cpu_count()``.  ``report.metrics`` carries the merged
     per-worker registries plus a ``parallel.workers`` gauge.
+
+    ``int_backend`` is honoured the same way the ``bulk`` backend honours
+    it: the workers' word-level arithmetic is the measurement subject and
+    never touches the big-integer layer, so the resolved backend is
+    recorded in the ``backend.name`` gauge and the ``scan.start`` event
+    (reports stay self-describing) rather than changing the kernels.
 
     A killed worker does not abort the run: the pool is respawned and the
     lost blocks are resubmitted (``max_attempts`` total tries per block),
@@ -142,13 +149,15 @@ def find_shared_primes_parallel(
         m=len(moduli), bits=bits, backend="parallel", algorithm=algorithm, blocks=len(specs)
     )
 
+    B = resolve_backend(int_backend)
     tel = telemetry if telemetry is not None else Telemetry.create()
     tel.registry.gauge("scan.moduli").set(len(moduli))
     tel.registry.gauge("scan.bits").set(bits)
     tel.registry.gauge("scan.blocks").set(len(specs))
+    tel.registry.gauge("backend.name").set(B.name)
     tel.set_progress_total(all_pair_count(len(moduli)))
     tel.emit("scan.start", backend="parallel", algorithm=algorithm,
-             moduli=len(moduli), bits=bits)
+             moduli=len(moduli), bits=bits, int_backend=B.name)
 
     # one cumulative registry per worker pid: each result carries its
     # worker's registry snapshot, and later snapshots supersede — so a pid
@@ -187,11 +196,11 @@ def find_shared_primes_parallel(
         tel.registry.merge(registry)
     respawns = tel.registry.counters.get("resilience.pool_respawns")
     if respawns is not None and respawns.value:
-        # every pool generation that died took its workers' unmerged
-        # trailing registry deltas with it; last-known-good snapshots
-        # (merged above) cover everything up to each worker's final
-        # completed block
-        tel.registry.counter("resilience.registries_lost").inc(respawns.value)
+        # every pool generation that died took up to `procs` workers with
+        # it, each with its own unmerged trailing registry delta;
+        # last-known-good snapshots (merged above) cover everything up to
+        # each worker's final completed block
+        tel.registry.counter("resilience.registries_lost").inc(respawns.value * procs)
     report.elapsed_seconds = tel.timer.total_seconds("scan")
     report.hits.sort(key=lambda h: (h.i, h.j))
     reg = tel.registry
@@ -274,7 +283,7 @@ def run_chunked(
     workers: int = 0,
     max_in_flight: int | None = None,
     telemetry: Telemetry | None = None,
-    max_attempts: int = 3,
+    max_attempts: int = 6,
 ) -> Iterator[_R]:
     """Map ``fn`` over a lazy stream of chunks, in order, optionally parallel.
 

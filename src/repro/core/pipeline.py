@@ -89,7 +89,7 @@ class PipelineConfig:
     #: wall-clock budget per stage across all attempts, seconds (None = off)
     stage_deadline: float | None = None
     #: total tries a chunk gets when its worker keeps dying
-    chunk_attempts: int = 3
+    chunk_attempts: int = 6
 
     def retry_policy(self, retries: int | None = None) -> RetryPolicy:
         """The stage-level policy (``retries`` overrides ``self.retries``).

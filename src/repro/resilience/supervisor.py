@@ -10,12 +10,17 @@ cheap — a block/chunk is self-contained, so recovery is resubmission):
 
 1. results are consumed in submission order through a bounded window;
 2. when a future raises ``BrokenExecutor``, the old pool is torn down,
-   a fresh pool is spawned, and *every* in-flight spec is resubmitted in
-   order — completed results are never recomputed, so output equality
-   with an undisturbed run holds by construction;
-3. each chunk carries an attempt count; a chunk that keeps dying raises
+   a fresh pool is spawned, and every in-flight spec whose future did
+   not already hold a result is resubmitted in order — completed results
+   are never recomputed, so output equality with an undisturbed run
+   holds by construction;
+3. each chunk carries an attempt count charged only when the chunk can
+   actually have been executing (dispatch is FIFO, so that is the oldest
+   ``workers`` lost units — a unit still queued behind them merely
+   *witnessed* the crash and is resubmitted free of charge); a chunk
+   that keeps dying raises
    :class:`~repro.resilience.errors.ChunkFailed` after ``max_attempts``
-   (a poison work unit must not retry forever);
+   executions (a poison work unit must not retry forever);
 4. pool respawns are budgeted too: workers that die during *init* would
    otherwise respawn in a loop, so the supervisor gives up with
    :class:`~repro.resilience.errors.PoolExhausted` after ``max_respawns``
@@ -61,6 +66,11 @@ def _invoke(fn: Callable[[_T], _R], item: _T) -> _R:
     return fn(item)
 
 
+def _completed(future: Future) -> bool:
+    """Did this future finish with a result before the pool broke?"""
+    return future.done() and not future.cancelled() and future.exception() is None
+
+
 class _Inflight:
     """One submitted work unit: its spec, its current future, its attempts."""
 
@@ -90,7 +100,7 @@ class ChunkSupervisor:
         initializer: Callable | None = None,
         initargs: tuple = (),
         mp_context=None,
-        max_attempts: int = 3,
+        max_attempts: int = 6,
         max_respawns: int = 3,
         registry: MetricsRegistry | None = None,
     ) -> None:
@@ -144,15 +154,23 @@ class ChunkSupervisor:
             ) from cause
         self.shutdown()
         self._pool = self._spawn()
-        self._count("resilience.chunk_retries", len(self._inflight))
-        for unit in self._inflight:
-            unit.attempts += 1
-            if unit.attempts > self.max_attempts:
-                self.shutdown()
-                raise ChunkFailed(
-                    f"work unit died {unit.attempts - 1} times "
-                    f"(budget {self.max_attempts - 1} retries); treating it as poison"
-                ) from cause
+        # Futures that finished before the pool broke still hold their
+        # results — keep them, never recompute.  Of the *lost* units, only
+        # the oldest `workers` can have been executing when the pool died
+        # (dispatch is FIFO); units queued behind them never ran, so the
+        # crash is not charged against their attempt budget — max_attempts
+        # bounds executions of a unit, not respawns it happened to witness.
+        lost = [u for u in self._inflight if not _completed(u.future)]
+        self._count("resilience.chunk_retries", len(lost))
+        for position, unit in enumerate(lost):
+            if position < self.workers:
+                unit.attempts += 1
+                if unit.attempts > self.max_attempts:
+                    self.shutdown()
+                    raise ChunkFailed(
+                        f"work unit died {unit.attempts - 1} times "
+                        f"(budget {self.max_attempts - 1} retries); treating it as poison"
+                    ) from cause
             unit.future = self._pool.submit(_invoke, self.fn, unit.item)
 
     # -- submission / collection ----------------------------------------------
@@ -200,7 +218,7 @@ def supervised_map(
     initializer: Callable | None = None,
     initargs: tuple = (),
     mp_context=None,
-    max_attempts: int = 3,
+    max_attempts: int = 6,
     max_respawns: int = 3,
     registry: MetricsRegistry | None = None,
 ) -> Iterator[_R]:

@@ -467,19 +467,20 @@ class HttpServer:
         1. mark draining — new submissions get ``503`` + ``Retry-After``
            and parked long-polls wake to report their tickets as they
            stand;
-        2. stop accepting connections;
+        2. stop accepting connections (listening sockets only — do NOT
+           wait for established connections yet: an idle keep-alive
+           blocked in a read would stall the drain forever);
         3. stop the service: with ``drain`` the batcher flushes its whole
            backlog (every queued key is scanned and durably committed)
            and the registry syncs its manifest;
         4. give in-flight handlers ``drain_grace`` seconds to finish
            writing responses, then cancel whatever is left (idle
-           keep-alive connections mostly).
+           keep-alive connections mostly) and wait for every handler
+           to unwind.
         """
         self._draining.set()
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-            self._server = None
         await self.service.stop(drain=drain)
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.drain_grace
@@ -489,6 +490,12 @@ class HttpServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            # safe only now: on Python >= 3.12.1 wait_closed() blocks until
+            # every connection handler returns, and an idle keep-alive
+            # parked in _read_request only unwinds via the cancel above
+            await self._server.wait_closed()
+            self._server = None
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"

@@ -48,16 +48,14 @@ class TestWorkerKillEquivalence:
         assert baseline.hit_pairs == corpus.weak_pair_set()
 
         # every pool worker dies at its 2nd chunk; the supervisor respawns
-        # and resubmits, so the output is identical by construction.  Every
-        # respawn bumps attempts for all in-flight chunks, so sustained
-        # per-generation kills need headroom above the window size (4) to
-        # keep innocent chunks below the poison threshold.
+        # and resubmits, so the output is identical by construction.  The
+        # default chunk-attempt budget must survive this: a crash is only
+        # charged to chunks that can have been executing, so innocent
+        # chunks sharing the window never reach the poison threshold.
         monkeypatch.setenv(ENV_VAR, "chunk.execute#2=exit")
         reset_plan()  # drop the plan the baseline run cached from the empty env
         tel = Telemetry.create()
-        chaotic = _run(
-            corpus, tmp_path / "chaos", workers=2, telemetry=tel, chunk_attempts=8
-        )
+        chaotic = _run(corpus, tmp_path / "chaos", workers=2, telemetry=tel)
 
         assert chaotic.hit_pairs == baseline.hit_pairs == corpus.weak_pair_set()
         assert [(h.i, h.j, h.prime) for h in chaotic.hits] == [

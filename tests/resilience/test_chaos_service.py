@@ -180,6 +180,37 @@ class TestGracefulDrain:
         assert "retry-after:" in head.decode("latin-1").lower()
         assert "draining" in json.loads(payload)["error"]
 
+    def test_drain_survives_idle_keepalive_connection(self, tmp_path):
+        """Regression: an idle keep-alive (parked in a read, no timeout)
+        must not stall the drain.  On Python >= 3.12.1 ``wait_closed()``
+        blocks until every connection handler returns, so the shutdown
+        sequence must drain/commit and cancel leftover handlers *before*
+        waiting on the server — otherwise SIGTERM hangs with the batcher
+        backlog never flushed.
+        """
+
+        async def run():
+            config = ServiceConfig(state_dir=Path(tmp_path), linger_ms=1.0)
+            server = HttpServer(WeakKeyService(config), port=0, drain_grace=0.2)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5)
+            assert b" 200 " in head.split(b"\r\n", 1)[0] + b" "
+            length = next(
+                int(line.split(b":")[1])
+                for line in head.lower().split(b"\r\n")
+                if line.startswith(b"content-length")
+            )
+            await asyncio.wait_for(reader.readexactly(length), timeout=5)
+            # the client now goes silent: the handler sits in _read_request
+            # on a keep-alive connection with nothing more to read
+            await asyncio.wait_for(server.close(), timeout=5)
+            writer.close()
+
+        asyncio.run(run())
+
     def test_clean_drain_with_no_load_exits_quietly(self, tmp_path):
         async def run():
             config = ServiceConfig(state_dir=Path(tmp_path), linger_ms=1.0)

@@ -34,6 +34,18 @@ def _always_die(chunk):
     os.kill(os.getpid(), signal.SIGKILL)
 
 
+_EXECS = 0
+
+
+def _die_on_second_exec(chunk):
+    """Every worker process dies on its own 2nd chunk, in every generation."""
+    global _EXECS
+    _EXECS += 1
+    if _EXECS == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return [2 * x for x in chunk]
+
+
 def _explode(chunk):
     raise ValueError("boom")
 
@@ -64,6 +76,26 @@ class TestWorkerDeath:
                     _always_die, iter([[1]]), workers=2, max_attempts=2, max_respawns=10
                 )
             )
+
+    def test_innocent_chunks_survive_sustained_crashes(self):
+        """Regression: a crash is charged only to chunks that can have been
+        executing (the oldest ``workers`` lost units) — with every pool
+        generation dying, innocent chunks sharing a wide window must not
+        exhaust the *default* attempt budget just by witnessing respawns.
+        """
+        chunks = [[i] for i in range(16)]
+        registry = MetricsRegistry()
+        got = list(
+            supervised_map(
+                _die_on_second_exec,
+                iter(chunks),
+                workers=2,
+                max_in_flight=8,
+                registry=registry,
+            )
+        )
+        assert got == [[2 * i] for i in range(16)]
+        assert registry.counters["resilience.pool_respawns"].value >= 3
 
     def test_respawn_budget_raises_pool_exhausted(self):
         with pytest.raises(PoolExhausted, match="budget"):
