@@ -47,12 +47,21 @@ from pathlib import Path
 
 from repro.core.attack import find_shared_primes
 from repro.core.batch_gcd import batch_gcd
+from repro.core.incremental import SNAPSHOT_VERSION, IncrementalScanner
 from repro.core.pipeline import PipelineConfig, run_pipeline
 from repro.rsa.corpus import generate_weak_corpus
 from repro.util.intops import available_backends, backend_info, resolve_backend
 
-SCHEMA = "repro.bench_e2e/1"
+SCHEMA = "repro.bench_e2e/2"
 MODES = ("pairwise", "batch", "batchscan")
+
+#: incremental-flush sweep: engines raced on identical seeded registries
+INCR_ENGINES = ("native", "ptree", "all2all")
+QUICK_INCR_REGISTRY = (192,)
+QUICK_INCR_FLUSH = (24,)
+FULL_INCR_REGISTRY = (1_000, 10_000)
+FULL_INCR_FLUSH = (10, 100)
+INCR_BITS = 96
 
 #: pairwise work is O(m^2) in pure Python; above this many moduli it is
 #: skipped unless the user raises the cap explicitly
@@ -173,6 +182,136 @@ def run_case(
     )
 
 
+@dataclass
+class IncrementalResult:
+    """One (engine, registry, flush) flush measurement — a row of
+    ``incremental.runs``."""
+
+    engine: str
+    registry_size: int
+    flush_size: int
+    bits: int
+    cross_pairs: int
+    pairs_covered: int
+    seconds: float
+    all_seconds: list[float] = field(default_factory=list)
+    hits: int = 0
+    hits_digest: str | None = None
+    microseconds_per_pair: float | None = None
+
+
+def _incremental_corpus(
+    base: int, k: int, bits: int, seed: str
+) -> tuple[list[int], list[int]]:
+    """An honest seed registry plus a flush batch with one planted cross
+    hit spanning the boundary (so attribution paths are exercised, not
+    just flagging)."""
+    corpus = generate_weak_corpus(
+        base + k, bits, shared_groups=(2,), seed=(seed, "incr", base, k, bits)
+    )
+    moduli = list(corpus.moduli)
+    i, j = sorted(corpus.weak_pair_set())[0]
+    moduli[0], moduli[i] = moduli[i], moduli[0]
+    moduli[-1], moduli[j] = moduli[j], moduli[-1]
+    return moduli[:base], moduli[base:]
+
+
+def _seeded_scanner(seed_moduli: list[int], bits: int, engine: str) -> IncrementalScanner:
+    """A scanner that believes it already covered the seed registry —
+    exactly the service's restore path, so only the flush is timed."""
+    m = len(seed_moduli)
+    return IncrementalScanner.restore({
+        "version": SNAPSHOT_VERSION, "bits": bits, "engine": engine,
+        "int_backend": None, "algorithm": "approx", "d": 32,
+        "chunk_pairs": 4096, "early_terminate": True,
+        "moduli": seed_moduli, "hits": [],
+        "total_pairs_tested": m * (m - 1) // 2, "batches": 1,
+    })
+
+
+def run_incremental_case(
+    engine: str,
+    seed_moduli: list[int],
+    batch: list[int],
+    bits: int,
+    *,
+    repeat: int,
+) -> IncrementalResult:
+    """Time one flush of ``batch`` against a pre-seeded registry.
+
+    Scanner seeding (including the ptree tier's tree build) happens
+    outside the timed region — a long-lived service pays it once, not per
+    flush — but the flush itself includes everything a flush does:
+    scanning *and* the tree append that keeps the next flush amortized.
+    """
+    base, k = len(seed_moduli), len(batch)
+    times, report = [], None
+    for _ in range(max(1, repeat)):
+        scanner = _seeded_scanner(seed_moduli, bits, engine)
+        t0 = time.perf_counter()
+        report = scanner.add_batch(list(batch))
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    pairs = report.pairs_tested
+    return IncrementalResult(
+        engine=engine, registry_size=base, flush_size=k, bits=bits,
+        cross_pairs=base * k, pairs_covered=pairs,
+        seconds=best, all_seconds=times,
+        hits=len(report.hits), hits_digest=hits_digest(report.hits),
+        microseconds_per_pair=best / pairs * 1e6 if pairs else None,
+    )
+
+
+def _incremental_parity_failures(runs: list[IncrementalResult]) -> list[dict]:
+    """Flush-report digest mismatches across engines for the same cell."""
+    by_cell: dict[tuple[int, int], list[IncrementalResult]] = {}
+    for r in runs:
+        by_cell.setdefault((r.registry_size, r.flush_size), []).append(r)
+    failures = []
+    for (base, k), group in by_cell.items():
+        if len({r.hits_digest for r in group}) > 1:
+            failures.append({
+                "registry_size": base, "flush_size": k,
+                "digests": {r.engine: r.hits_digest for r in group},
+            })
+    return failures
+
+
+def _incremental_speedups(runs: list[IncrementalResult]) -> list[dict]:
+    """Per-cell speedup of every engine against the pairwise ``native``
+    baseline, plus the measured ptree crossover in cross pairs."""
+    base = {
+        (r.registry_size, r.flush_size): r.seconds
+        for r in runs
+        if r.engine == "native"
+    }
+    out = []
+    for r in runs:
+        if r.engine == "native":
+            continue
+        key = (r.registry_size, r.flush_size)
+        if key in base and r.seconds > 0:
+            out.append({
+                "engine": r.engine,
+                "registry_size": r.registry_size, "flush_size": r.flush_size,
+                "cross_pairs": r.cross_pairs,
+                "baseline": "native",
+                "speedup": round(base[key] / r.seconds, 3),
+            })
+    return out
+
+
+def _measured_crossover(speedups: list[dict]) -> int | None:
+    """Smallest cross-pair count at which ``ptree`` beat ``native`` — the
+    value ``AUTO_MIN_CROSS_PAIRS`` / ``REPRO_INCR_AUTO_MIN_PAIRS`` encode."""
+    winning = [
+        s["cross_pairs"]
+        for s in speedups
+        if s["engine"] == "ptree" and s["speedup"] > 1.0
+    ]
+    return min(winning) if winning else None
+
+
 def _parity_failures(runs: list[CaseResult]) -> list[dict]:
     """Digest mismatches across backends/modes for the same real corpus."""
     by_corpus: dict[tuple[int, int], list[CaseResult]] = {}
@@ -239,6 +378,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--synthetic", action="store_true",
                    help="random semiprime-shaped moduli; times the "
                         "batch_gcd kernel only (no hit parity)")
+    p.add_argument("--incremental", action="store_true",
+                   help="also sweep incremental flushes: registry size x "
+                        "batch size x engine on seeded scanners")
+    p.add_argument("--incr-registry",
+                   type=lambda s: tuple(int(x) for x in s.split(",")),
+                   default=None,
+                   help="comma-separated seeded registry sizes for the "
+                        "incremental sweep")
+    p.add_argument("--incr-flush",
+                   type=lambda s: tuple(int(x) for x in s.split(",")),
+                   default=None,
+                   help="comma-separated flush batch sizes for the "
+                        "incremental sweep")
+    p.add_argument("--incr-engines", type=lambda s: tuple(s.split(",")),
+                   default=INCR_ENGINES,
+                   help=f"comma-separated engines (default "
+                        f"{','.join(INCR_ENGINES)})")
+    p.add_argument("--min-incr-speedup", type=float,
+                   default=float(os.environ.get(
+                       "REPRO_BENCH_INCR_MIN_SPEEDUP", "0")),
+                   help="fail unless the largest cell's ptree-vs-native "
+                        "speedup reaches this floor (default: "
+                        "$REPRO_BENCH_INCR_MIN_SPEEDUP or 0 = off)")
     p.add_argument("--seed", default="bench-e2e")
     p.add_argument("--out", default="BENCH_e2e.json",
                    help='output path ("-" for stdout)')
@@ -307,7 +469,57 @@ def main(argv: list[str] | None = None) -> int:
                           f"m={r.n_moduli:<5} bits={r.bits:<5} "
                           f"{r.seconds:8.3f}s  hits={hits}", file=sys.stderr)
 
+    incr_runs: list[IncrementalResult] = []
+    incremental_doc = None
+    floor_failure = None
+    if args.incremental:
+        registry_sizes = args.incr_registry or (
+            QUICK_INCR_REGISTRY if args.quick else FULL_INCR_REGISTRY
+        )
+        flush_sizes = args.incr_flush or (
+            QUICK_INCR_FLUSH if args.quick else FULL_INCR_FLUSH
+        )
+        for base in registry_sizes:
+            for k in flush_sizes:
+                seed_moduli, batch = _incremental_corpus(
+                    base, k, INCR_BITS, args.seed
+                )
+                for engine in args.incr_engines:
+                    r = run_incremental_case(
+                        engine, seed_moduli, batch, INCR_BITS,
+                        repeat=args.repeat,
+                    )
+                    incr_runs.append(r)
+                    print(f"  flush     engine={r.engine:<8} "
+                          f"registry={r.registry_size:<6} k={r.flush_size:<4} "
+                          f"{r.seconds:8.3f}s  hits={r.hits}", file=sys.stderr)
+        incr_speedups = _incremental_speedups(incr_runs)
+        largest = max(
+            (s for s in incr_speedups if s["engine"] == "ptree"),
+            key=lambda s: s["cross_pairs"],
+            default=None,
+        )
+        if args.min_incr_speedup > 0 and largest is not None:
+            if largest["speedup"] < args.min_incr_speedup:
+                floor_failure = {
+                    "floor": args.min_incr_speedup,
+                    "measured": largest["speedup"],
+                    "cell": largest,
+                }
+        incremental_doc = {
+            "engines": list(args.incr_engines),
+            "bits": INCR_BITS,
+            "registry_sizes": list(registry_sizes),
+            "flush_sizes": list(flush_sizes),
+            "runs": [asdict(r) for r in incr_runs],
+            "speedups": incr_speedups,
+            "crossover_pairs": _measured_crossover(incr_speedups),
+            "min_speedup_floor": args.min_incr_speedup or None,
+            "floor_failure": floor_failure,
+        }
+
     failures = _parity_failures(runs)
+    incr_failures = _incremental_parity_failures(incr_runs)
     doc = {
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -317,6 +529,7 @@ def main(argv: list[str] | None = None) -> int:
             "modes": list(args.modes), "backends": backends,
             "repeat": args.repeat, "workers": args.workers,
             "pairwise_max": args.pairwise_max, "seed": args.seed,
+            "incremental": args.incremental,
         },
         "environment": {
             "python": platform.python_version(),
@@ -329,17 +542,29 @@ def main(argv: list[str] | None = None) -> int:
         "runs": [asdict(r) for r in runs],
         "comparisons": _comparisons(runs),
         "parity_failures": failures,
+        "incremental": incremental_doc,
+        "incremental_parity_failures": incr_failures,
     }
     payload = json.dumps(doc, indent=2) + "\n"
     if args.out == "-":
         sys.stdout.write(payload)
     else:
         Path(args.out).write_text(payload)
-        print(f"wrote {args.out} ({len(runs)} runs)", file=sys.stderr)
+        print(f"wrote {args.out} ({len(runs) + len(incr_runs)} runs)",
+              file=sys.stderr)
 
     if failures:
         print("HIT-LIST PARITY FAILURE across backends/modes:", file=sys.stderr)
         print(json.dumps(failures, indent=2), file=sys.stderr)
+        return 1
+    if incr_failures:
+        print("FLUSH HIT-LIST PARITY FAILURE across engines:", file=sys.stderr)
+        print(json.dumps(incr_failures, indent=2), file=sys.stderr)
+        return 1
+    if floor_failure is not None:
+        print(f"INCREMENTAL SPEEDUP FLOOR FAILURE: ptree-vs-native "
+              f"{floor_failure['measured']}x < required "
+              f"{floor_failure['floor']}x", file=sys.stderr)
         return 1
     return 0
 
@@ -363,6 +588,38 @@ def test_bench_e2e_quick(tmp_path, report):
         lines.append(
             f"  {r['mode']:<9} {r['int_backend']:<7} m={r['n_moduli']} "
             f"bits={r['bits']} {r['seconds']:.3f}s hits={r['hits']}"
+        )
+    report(*lines)
+
+
+def test_bench_incremental_quick(tmp_path, report):
+    """Smoke: the incremental-flush sweep runs and engines agree per flush."""
+    out = tmp_path / "BENCH_e2e.json"
+    rc = main([
+        "--quick", "--backends", "python", "--modes", "batch",
+        "--incremental", "--out", str(out),
+    ])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    incr = doc["incremental"]
+    assert doc["incremental_parity_failures"] == []
+    assert {r["engine"] for r in incr["runs"]} == set(INCR_ENGINES)
+    for r in incr["runs"]:
+        assert r["seconds"] > 0
+        assert r["hits"] >= 1  # the planted cross hit was found
+        assert r["pairs_covered"] == r["cross_pairs"] + (
+            r["flush_size"] * (r["flush_size"] - 1) // 2
+        )
+    lines = ["", "== incremental flush sweep =="]
+    for r in incr["runs"]:
+        lines.append(
+            f"  {r['engine']:<8} registry={r['registry_size']} "
+            f"k={r['flush_size']} {r['seconds']:.3f}s hits={r['hits']}"
+        )
+    for s in incr["speedups"]:
+        lines.append(
+            f"  {s['engine']:<8} vs native @ {s['cross_pairs']} cross pairs: "
+            f"{s['speedup']}x"
         )
     report(*lines)
 

@@ -32,6 +32,7 @@ import urllib.request
 from pathlib import Path
 
 from repro.core.attack import find_shared_primes
+from repro.core.incremental import IncrementalScanner
 from repro.core.parallel import find_shared_primes_parallel
 from repro.core.pipeline import PipelineConfig, run_pipeline
 from repro.resilience import RetryPolicy
@@ -153,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="count Section IV word accesses (scalar backend only; slow — "
         "routes every GCD through the instrumented word-array tier)",
     )
+    sc.add_argument(
+        "--stream", type=int, default=0, metavar="N",
+        help="feed the corpus through the incremental scanner in batches "
+        "of N keys instead of one all-pairs pass (exercises the serving "
+        "path; 0 = off)",
+    )
+    sc.add_argument(
+        "--stream-engine",
+        choices=("auto", "native", "bulk", "ptree", "all2all"),
+        default="auto",
+        help="engine tier for --stream batches (see 'serve --scan-engine')",
+    )
 
     bs = sub.add_parser(
         "batchscan",
@@ -253,9 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(auto/python/gmpy2; default: REPRO_INT_BACKEND or auto)",
     )
     sv.add_argument(
-        "--scan-engine", choices=("native", "bulk"), default="native",
-        help="per-pair GCD tier: 'native' (int-backend; serving default) "
-        "or 'bulk' (the paper's SIMT simulation)",
+        "--scan-engine",
+        choices=("auto", "native", "bulk", "ptree", "all2all"),
+        default="auto",
+        help="scan engine tier: 'auto' (serving default; per-batch pick of "
+        "'native' vs 'ptree' from the measured crossover), 'native' "
+        "(one int-backend GCD per pair), 'bulk' (the paper's SIMT "
+        "simulation), 'ptree' (persistent product tree, one remainder "
+        "descent per flush), or 'all2all' (Pelofske-style running product)",
     )
     sv.add_argument(
         "--max-batch", type=int, default=256,
@@ -447,6 +465,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if len(moduli) < 2:
         print(f"error: {source} holds {len(moduli)} key(s); need at least 2", file=sys.stderr)
         return 2
+    if args.stream:
+        return _cmd_scan_stream(args, moduli, source, expected)
 
     progress_cb = _stderr_progress if args.progress else None
     event_stream = None
@@ -543,6 +563,99 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 file=human,
             )
             return 1
+    return 0
+
+
+def _cmd_scan_stream(
+    args: argparse.Namespace, moduli: list[int], source: str, expected
+) -> int:
+    """``scan --stream N``: the corpus as an arriving key stream."""
+    if args.memlog:
+        print("error: --memlog is incompatible with --stream", file=sys.stderr)
+        return 2
+    event_stream = None
+    try:
+        if args.events_jsonl is not None:
+            event_stream = args.events_jsonl.open("w")
+        telemetry = Telemetry.create(
+            progress_callback=_stderr_progress if args.progress else None,
+            progress_interval_seconds=0.2,
+            event_stream=event_stream,
+        )
+        scanner = IncrementalScanner(
+            bits=moduli[0].bit_length(),
+            algorithm=args.algorithm,
+            early_terminate=not args.no_early_terminate,
+            engine=args.stream_engine,
+            int_backend=args.int_backend,
+            telemetry=telemetry,
+        )
+        started = time.perf_counter()
+        batches = 0
+        for start in range(0, len(moduli), args.stream):
+            scanner.add_batch(moduli[start : start + args.stream])
+            batches += 1
+        elapsed = time.perf_counter() - started
+    finally:
+        if event_stream is not None:
+            event_stream.close()
+    if args.progress:
+        print(file=sys.stderr)
+    hit_pairs = {(h.i, h.j) for h in scanner.all_hits}
+    payload = {
+        "source": source,
+        "moduli": scanner.n_keys,
+        "pairs_tested": scanner.total_pairs_tested,
+        "backend": f"stream/{args.stream_engine}",
+        "algorithm": args.algorithm,
+        "int_backend": resolve_backend(args.int_backend).name,
+        "batches": batches,
+        "batch_size": args.stream,
+        "coverage_complete": scanner.coverage_is_complete(),
+        "elapsed_seconds": elapsed,
+        "pairs_per_second": scanner.total_pairs_tested / elapsed if elapsed > 0 else 0.0,
+        "hits": [
+            {"i": h.i, "j": h.j, "prime": str(h.prime)} for h in scanner.all_hits
+        ],
+        "metrics": telemetry.snapshot(),
+    }
+    if expected is not None:
+        payload["ground_truth_matched"] = hit_pairs == expected
+    human = sys.stdout
+    if args.stats_json is not None:
+        text = json.dumps(payload, indent=2)
+        if str(args.stats_json) == "-":
+            print(text)
+            human = sys.stderr
+        else:
+            args.stats_json.write_text(text + "\n")
+            print(f"stats report -> {args.stats_json}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0 if expected is None or payload["ground_truth_matched"] else 1
+    print(
+        f"streamed {scanner.n_keys} moduli in {batches} batch(es) of "
+        f"{args.stream} ({payload['backend']}): {scanner.total_pairs_tested} "
+        f"pairs in {elapsed:.2f}s",
+        file=human,
+    )
+    for h in scanner.all_hits:
+        print(f"WEAK keys {h.i} and {h.j} share prime {h.prime:#x}", file=human)
+    if not scanner.all_hits:
+        print("no shared primes found", file=human)
+    if expected is not None and hit_pairs != expected:
+        missing = expected - hit_pairs
+        extra = hit_pairs - expected
+        print(
+            f"ground truth MISMATCH: missing={sorted(missing)} extra={sorted(extra)}",
+            file=human,
+        )
+        return 1
+    if expected is not None:
+        print(
+            f"ground truth: all {len(expected)} planted pair(s) found, no extras",
+            file=human,
+        )
     return 0
 
 

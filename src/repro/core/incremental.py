@@ -4,28 +4,76 @@ The paper's motivating scenario — keys scraped from the Web — is a stream,
 not a snapshot.  Rescanning all ``m(m−1)/2`` pairs on every arrival wastes
 quadratic work; an arriving batch of ``k`` keys only creates ``k·m_old``
 cross pairs plus ``k(k−1)/2`` internal ones.  :class:`IncrementalScanner`
-maintains the corpus and scans exactly those new pairs with the bulk
-engine, reporting hits in *global* key indices.
+maintains the corpus and covers exactly those new pairs, reporting hits in
+*global* key indices.
 
-This mirrors how the paper's grid would be extended: new moduli form new
-groups, and only blocks touching a new group are launched.
+Four engine tiers cover the new pairs (hit sets are identical across all
+of them — property-tested in ``tests/core/test_incremental_stateful.py``):
+
+``bulk``
+    the paper's SIMT simulation, one word-level GCD per pair — the
+    measurement subject;
+``native``
+    one big-integer GCD per pair via :mod:`repro.util.intops` — the
+    simple serving path;
+``ptree``
+    a :class:`~repro.core.ptree.PersistentProductTree` over the old
+    corpus: the batch is tested against *all* old keys with a single
+    remainder descent of ``Π new`` (no squaring needed — new keys are
+    never in the tree), plus a direct ``k(k−1)/2`` internal pass.
+    Amortizes the flush to roughly O(m·log k) big-integer work instead of
+    ``k·m`` independent GCDs;
+``all2all``
+    the low-entropy all-to-all approach of Pelofske 2024 (arXiv
+    2405.03166): a single running product ``P = Π old`` is kept, each new
+    key is flagged by ``gcd(n_k, P mod n_k)``, and only flagged keys —
+    rare when weak keys are rare — pay a partner-attribution pass over
+    the old corpus (cheap: the flag value is modulus-sized, so candidate
+    filtering uses small GCDs).
+
+``auto`` picks ``native`` or ``ptree`` per batch from the measured
+crossover in ``BENCH_e2e.json`` (see :data:`AUTO_MIN_CROSS_PAIRS`), while
+always keeping the tree maintained so either choice stays available.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.bulk.engine import BulkGcdEngine
 from repro.core.attack import WeakHit
+from repro.core.ptree import PersistentProductTree
 from repro.telemetry import Telemetry
 from repro.util.intops import IntBackend, resolve_backend
 
-__all__ = ["BatchReport", "IncrementalScanner", "SNAPSHOT_VERSION"]
+__all__ = [
+    "BatchReport",
+    "IncrementalScanner",
+    "SNAPSHOT_VERSION",
+    "AUTO_MIN_CROSS_PAIRS",
+]
 
 #: bump when the :meth:`IncrementalScanner.snapshot` payload changes shape
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
-_ENGINES = ("bulk", "native")
+_ENGINES = ("bulk", "native", "ptree", "all2all", "auto")
+#: engines that route per-pair work through the big-integer backend
+_BACKEND_ENGINES = ("native", "ptree", "all2all", "auto")
+
+#: ``auto`` switches from pairwise ``native`` to the ``ptree`` descent when
+#: a batch creates at least this many cross pairs (``k·m_old``).  The value
+#: is the measured crossover from ``benchmarks/bench_e2e_scaling.py
+#: --incremental`` (see BENCH_e2e.json and docs/PERFORMANCE.md): below it
+#: — essentially only single-key flushes against small corpora — the
+#: descent's fixed costs (batch product, per-leaf flag GCDs) exceed the
+#: pairwise GCDs it saves.  Override with ``REPRO_INCR_AUTO_MIN_PAIRS``.
+AUTO_MIN_CROSS_PAIRS = 256
+
+
+def _auto_threshold() -> int:
+    return int(os.environ.get("REPRO_INCR_AUTO_MIN_PAIRS", AUTO_MIN_CROSS_PAIRS))
 
 
 @dataclass
@@ -44,12 +92,34 @@ class BatchReport:
     pairs_tested: int = 0
     hits: list[WeakHit] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: the engine tier that actually covered this batch (resolves ``auto``)
+    engine: str = ""
     #: scanner-lifetime telemetry snapshot as of this batch's completion
     metrics: dict = field(default_factory=dict)
 
     @property
     def hit_pairs(self) -> set[tuple[int, int]]:
         return {(h.i, h.j) for h in self.hits}
+
+
+def _merge_hits(existing: list[WeakHit], new: list[WeakHit]) -> list[WeakHit]:
+    """Merge two (i, j)-sorted hit lists — O(total), no full re-sort."""
+    if not new:
+        return existing
+    if not existing:
+        return list(new)
+    out: list[WeakHit] = []
+    a = b = 0
+    while a < len(existing) and b < len(new):
+        if (existing[a].i, existing[a].j) <= (new[b].i, new[b].j):
+            out.append(existing[a])
+            a += 1
+        else:
+            out.append(new[b])
+            b += 1
+    out.extend(existing[a:])
+    out.extend(new[b:])
+    return out
 
 
 class IncrementalScanner:
@@ -76,6 +146,7 @@ class IncrementalScanner:
         early_terminate: bool = True,
         engine: str = "bulk",
         int_backend: str | IntBackend | None = None,
+        spool_dir: str | Path | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         """``bits`` fixes the modulus size up front (the early-terminate
@@ -84,12 +155,12 @@ class IncrementalScanner:
         persists across batches — the scanner is long-lived, so its
         counters tell the stream's whole story.
 
-        ``engine`` picks the per-pair GCD tier: ``"bulk"`` (default) is
-        the paper's SIMT simulation, the measurement subject; ``"native"``
-        computes each pair's GCD with the pluggable big-integer backend
-        (:mod:`repro.util.intops`, selected by ``int_backend``) — the
-        serving fast path, where throughput matters more than fidelity to
-        the word-level model.  Hit sets are identical either way."""
+        ``engine`` picks the coverage tier (see the module docstring);
+        ``int_backend`` selects the big-integer implementation for every
+        tier except ``bulk``.  ``spool_dir`` checkpoints the ``ptree``
+        tier's product tree on disk (RGSPOOL1 blobs + pinned manifest),
+        so a restarted scanner reloads it instead of re-multiplying the
+        corpus; without it the tree lives in memory only."""
         if bits < 16 or bits % 2:
             raise ValueError(f"bits must be an even size >= 16, got {bits}")
         if chunk_pairs < 1:
@@ -102,16 +173,54 @@ class IncrementalScanner:
         self.algorithm = algorithm
         self.d = d
         self.engine_name = engine
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
         self.engine = BulkGcdEngine(d=d, algorithm=algorithm) if engine == "bulk" else None
-        self.backend = resolve_backend(int_backend) if engine == "native" else None
+        self.backend = (
+            resolve_backend(int_backend) if engine in _BACKEND_ENGINES else None
+        )
         self.telemetry = telemetry if telemetry is not None else Telemetry.create()
         self.moduli: list[int] = []
         self.all_hits: list[WeakHit] = []
         self.total_pairs_tested = 0
         self._batches = 0
+        #: ptree tier state, built lazily (restore swaps the corpus in first)
+        self._ptree: PersistentProductTree | None = None
+        #: all2all tier state: backend-native ``Π moduli`` (None = unbuilt)
+        self._product = None
+
+    # -- engine state ----------------------------------------------------------
+
+    def _uses_ptree(self) -> bool:
+        return self.engine_name in ("ptree", "auto")
+
+    def _ensure_engine_state(self) -> None:
+        """Build the lazy per-engine structures for the current corpus."""
+        if self._uses_ptree() and self._ptree is None:
+            tree = PersistentProductTree(
+                backend=self.backend, spool_dir=self.spool_dir,
+                telemetry=self.telemetry,
+            )
+            tree.load_or_rebuild(self.moduli)
+            self._ptree = tree
+        if self.engine_name == "all2all" and self._product is None:
+            B = self.backend
+            self._product = (
+                B.prod([B.from_int(n) for n in self.moduli])
+                if self.moduli
+                else B.from_int(1)
+            )
+
+    def _pick_engine(self, base: int, new: int) -> str:
+        """Resolve ``auto`` for one batch: pairwise below the measured
+        crossover in cross pairs, tree descent above it."""
+        if self.engine_name != "auto":
+            return self.engine_name
+        return "ptree" if base * new >= _auto_threshold() else "native"
+
+    # -- scanning --------------------------------------------------------------
 
     def add_batch(self, new_moduli: list[int]) -> BatchReport:
-        """Ingest a batch, scanning only the pairs it creates."""
+        """Ingest a batch, covering only the pairs it creates."""
         for n in new_moduli:
             if n <= 1 or n % 2 == 0:
                 raise ValueError("RSA moduli must be odd and > 1")
@@ -120,64 +229,157 @@ class IncrementalScanner:
                     f"modulus of {n.bit_length()} bits in a {self.bits}-bit scanner"
                 )
         tel = self.telemetry
+        self._ensure_engine_state()
         base = len(self.moduli)
+        k = len(new_moduli)
+        engine = self._pick_engine(base, k)
         report = BatchReport(
             batch_index=self._batches,
-            new_keys=len(new_moduli),
-            total_keys=base + len(new_moduli),
+            new_keys=k,
+            total_keys=base + k,
+            engine=engine,
         )
         self._batches += 1
-        tel.emit("batch.start", batch=report.batch_index,
+        tel.emit("batch.start", batch=report.batch_index, engine=engine,
                  new_keys=report.new_keys, total_keys=report.total_keys)
 
-        # pairs: every new key against every old key, plus new-new pairs
-        index_pairs: list[tuple[int, int]] = []
-        for k, _ in enumerate(new_moduli):
-            gk = base + k
-            index_pairs.extend((old, gk) for old in range(base))
-            index_pairs.extend((base + t, gk) for t in range(k))
-        self.moduli.extend(new_moduli)
-
-        before = tel.timer.total_seconds("batch")
+        pairs = base * k + k * (k - 1) // 2
+        clock = tel.timer.clock
+        started = clock()
         with tel.timer.span("batch"):
-            for start in range(0, len(index_pairs), self.chunk_pairs):
-                chunk = index_pairs[start : start + self.chunk_pairs]
-                values = [(self.moduli[a], self.moduli[b]) for a, b in chunk]
-                if self.engine is not None:
-                    result = self.engine.run_pairs(
-                        values, stop_bits=self.stop_bits, compact=True, telemetry=tel
-                    )
-                    gcds = result.gcds
-                else:
-                    gcd, to_int = self.backend.gcd, self.backend.to_int
-                    gcds = [to_int(gcd(a, b)) for a, b in values]
-                for (a, b), g in zip(chunk, gcds):
-                    if g > 1:
-                        report.hits.append(WeakHit(a, b, g))
-                tel.advance(len(chunk))
-        report.pairs_tested = len(index_pairs)
-        self.total_pairs_tested += len(index_pairs)
-        self.all_hits.extend(report.hits)
-        self.all_hits.sort(key=lambda h: (h.i, h.j))
-        report.elapsed_seconds = tel.timer.total_seconds("batch") - before
+            if engine in ("bulk", "native"):
+                self._scan_pairwise(engine, new_moduli, base, report)
+            elif engine == "ptree":
+                self._scan_ptree(new_moduli, base, report)
+            else:
+                self._scan_all2all(new_moduli, base, report)
+            if self._uses_ptree():
+                # auto maintains the tree even on pairwise batches, so the
+                # next flush can still choose the descent
+                self._ptree.append(new_moduli)
+        self.moduli.extend(new_moduli)
+        # each batch owns its own span measurement: deriving it from the
+        # shared "batch" timer total mis-attributes time under nested or
+        # concurrent spans (the timer keys by slash-joined path)
+        report.elapsed_seconds = clock() - started
+        report.hits.sort(key=lambda h: (h.i, h.j))
+        report.pairs_tested = pairs
+        self.total_pairs_tested += pairs
+        self.all_hits = _merge_hits(self.all_hits, report.hits)
         reg = tel.registry
         reg.counter("incremental.batches").inc()
-        reg.counter("incremental.keys").inc(len(new_moduli))
+        reg.counter(f"incremental.engine.{engine}").inc()
+        reg.counter("incremental.keys").inc(k)
         reg.counter("scan.pairs_tested").inc(report.pairs_tested)
         reg.counter("scan.hits").inc(len(report.hits))
         reg.histogram("incremental.batch_pairs").observe(report.pairs_tested)
         report.metrics = tel.snapshot()
-        tel.emit("batch.done", batch=report.batch_index,
+        tel.emit("batch.done", batch=report.batch_index, engine=engine,
                  pairs=report.pairs_tested, hits=len(report.hits),
                  elapsed_seconds=report.elapsed_seconds)
         return report
+
+    def _scan_pairwise(
+        self, engine: str, new_moduli: list[int], base: int, report: BatchReport
+    ) -> None:
+        """One GCD per new pair: every new key against every old key, plus
+        new-new pairs — chunked so memory stays bounded."""
+        tel = self.telemetry
+        index_pairs: list[tuple[int, int]] = []
+        for t, _ in enumerate(new_moduli):
+            gk = base + t
+            index_pairs.extend((old, gk) for old in range(base))
+            index_pairs.extend((base + u, gk) for u in range(t))
+        corpus = self.moduli + new_moduli
+        for start in range(0, len(index_pairs), self.chunk_pairs):
+            chunk = index_pairs[start : start + self.chunk_pairs]
+            values = [(corpus[a], corpus[b]) for a, b in chunk]
+            if engine == "bulk":
+                result = self.engine.run_pairs(
+                    values, stop_bits=self.stop_bits, compact=True, telemetry=tel
+                )
+                gcds = result.gcds
+            else:
+                gcd, to_int = self.backend.gcd, self.backend.to_int
+                gcds = [to_int(gcd(a, b)) for a, b in values]
+            for (a, b), g in zip(chunk, gcds):
+                if g > 1:
+                    report.hits.append(WeakHit(a, b, g))
+            tel.advance(len(chunk))
+
+    def _scan_internal(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+        """The ``k(k−1)/2`` new-new pairs, directly (batches are small)."""
+        B = self.backend
+        gcd, to_int, from_int = B.gcd, B.to_int, B.from_int
+        native = [from_int(n) for n in new_moduli]
+        for t in range(1, len(native)):
+            for u in range(t):
+                g = to_int(gcd(native[u], native[t]))
+                if g > 1:
+                    report.hits.append(WeakHit(base + u, base + t, g))
+
+    def _scan_ptree(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+        """Cross pairs via one remainder descent of ``Π new`` down the
+        persistent tree; flagged old keys are attributed to their partners
+        with small GCDs against the flag value."""
+        tel = self.telemetry
+        B = self.backend
+        gcd, to_int, from_int = B.gcd, B.to_int, B.from_int
+        one = B.from_int(1)
+        native_new = [from_int(n) for n in new_moduli]
+        if base and new_moduli:
+            with tel.timer.span("descend"):
+                p_new = B.prod(native_new)
+                rems = self._ptree.batch_remainders(p_new)
+            for i, (leaf, r) in enumerate(zip(self._ptree.leaves(), rems)):
+                g = gcd(leaf, r)
+                if g <= one:
+                    continue
+                # g = gcd(n_i, Π new) holds every prime key i shares with
+                # the batch, so candidate partners filter on gcd(g, n_k)
+                # — and every candidate is a genuine hit
+                for t, nk in enumerate(native_new):
+                    if to_int(gcd(g, nk)) > 1:
+                        report.hits.append(
+                            WeakHit(i, base + t, to_int(gcd(leaf, nk)))
+                        )
+            tel.advance(base)
+        self._scan_internal(new_moduli, base, report)
+
+    def _scan_all2all(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+        """Pelofske-style all-to-all: flag each new key against the running
+        product of the old corpus, attribute only the flagged ones."""
+        tel = self.telemetry
+        B = self.backend
+        gcd, mod, to_int, from_int = B.gcd, B.mod, B.to_int, B.from_int
+        one = B.from_int(1)
+        native_new = [from_int(n) for n in new_moduli]
+        if base:
+            for t, nk in enumerate(native_new):
+                g = gcd(nk, mod(self._product, nk))
+                if g <= one:
+                    continue
+                # g holds every prime this key shares with the old corpus;
+                # candidates are the old keys sharing part of g (small GCDs)
+                for i, n_old in enumerate(self.moduli):
+                    cand = from_int(n_old)
+                    if to_int(gcd(cand, g)) > 1:
+                        report.hits.append(
+                            WeakHit(i, base + t, to_int(gcd(cand, nk)))
+                        )
+            tel.advance(base)
+        self._scan_internal(new_moduli, base, report)
+        prod_new = B.prod(native_new) if native_new else one
+        self._product = B.mul(self._product, prod_new)
+
+    # -- accounting ------------------------------------------------------------
 
     @property
     def n_keys(self) -> int:
         return len(self.moduli)
 
     def coverage_is_complete(self) -> bool:
-        """True iff the pairs scanned so far equal all pairs of the corpus —
+        """True iff the pairs covered so far equal all pairs of the corpus —
         the invariant that incremental scanning never misses a pair."""
         m = len(self.moduli)
         return self.total_pairs_tested == m * (m - 1) // 2
@@ -187,8 +389,11 @@ class IncrementalScanner:
 
         Everything :meth:`restore` needs to resume the stream without
         rescanning a single old-vs-old pair: the corpus, every hit found so
-        far, the pairs-tested accounting, and the scan configuration.  The
-        registry service persists an equivalent of this across restarts.
+        far, the pairs-tested accounting, and the scan configuration —
+        including the *resolved* big-integer backend, so a restore on a
+        host missing that backend fails loudly instead of silently
+        switching arithmetic.  The registry service persists an equivalent
+        of this across restarts.
 
         >>> s = IncrementalScanner(bits=16)
         >>> _ = s.add_batch([193 * 197, 193 * 199])
@@ -200,6 +405,7 @@ class IncrementalScanner:
             "version": SNAPSHOT_VERSION,
             "bits": self.bits,
             "engine": self.engine_name,
+            "int_backend": self.backend.name if self.backend is not None else None,
             "algorithm": self.algorithm,
             "d": self.d,
             "chunk_pairs": self.chunk_pairs,
@@ -216,6 +422,7 @@ class IncrementalScanner:
         state: dict,
         *,
         int_backend: str | IntBackend | None = None,
+        spool_dir: str | Path | None = None,
         telemetry: Telemetry | None = None,
         **overrides,
     ) -> IncrementalScanner:
@@ -227,12 +434,19 @@ class IncrementalScanner:
         ``overrides`` may replace any scan-configuration field recorded in
         the snapshot (``algorithm``, ``d``, ``chunk_pairs``,
         ``early_terminate``, ``engine``) — the corpus facts cannot change.
+
+        Version-2 snapshots record the resolved ``int_backend``; restoring
+        one resolves the *same* backend unless the caller overrides it
+        explicitly, and raises if that backend is not importable here.
+        Version-1 payloads (no backend record, no tree) still restore —
+        the ``ptree`` tier rebuilds its tree from the moduli.
         """
         if not isinstance(state, dict):
             raise ValueError("snapshot must be a dict")
-        if state.get("version") != SNAPSHOT_VERSION:
+        version = state.get("version")
+        if version not in (1, SNAPSHOT_VERSION):
             raise ValueError(
-                f"unsupported scanner snapshot version {state.get('version')!r}"
+                f"unsupported scanner snapshot version {version!r}"
             )
         config = {
             "bits": int(state["bits"]),
@@ -246,7 +460,14 @@ class IncrementalScanner:
         if unknown:
             raise ValueError(f"unknown restore overrides: {sorted(unknown)}")
         config.update(overrides)
-        scanner = cls(int_backend=int_backend, telemetry=telemetry, **config)
+        if int_backend is None:
+            # pin to the snapshot's resolved backend: a missing gmpy2 here
+            # raises from resolve_backend instead of silently downgrading
+            int_backend = state.get("int_backend")
+        scanner = cls(
+            int_backend=int_backend, spool_dir=spool_dir,
+            telemetry=telemetry, **config,
+        )
         moduli = [int(n) for n in state["moduli"]]
         for n in moduli:
             if n <= 1 or n % 2 == 0 or n.bit_length() != scanner.bits:
@@ -263,4 +484,5 @@ class IncrementalScanner:
         scanner.all_hits = sorted(hits, key=lambda h: (h.i, h.j))
         scanner.total_pairs_tested = total
         scanner._batches = int(state["batches"])
+        scanner._ensure_engine_state()
         return scanner

@@ -39,6 +39,7 @@ Injection points instrumented across the tree (``FAULT_POINTS``):
 ``batcher.flush``   :class:`repro.service.batcher.MicroBatcher`, per flush
 ``http.handler``    :class:`repro.service.http.HttpServer`, per request
 ``registry.commit`` :meth:`repro.service.registry.WeakKeyRegistry.commit_batch`
+``ptree.commit``    :class:`repro.core.ptree.PersistentProductTree`, per persist
 ==================  ==========================================================
 """
 
@@ -71,6 +72,7 @@ FAULT_POINTS = (
     "batcher.flush",
     "http.handler",
     "registry.commit",
+    "ptree.commit",
 )
 
 _ACTIONS = ("enospc", "ioerror", "error", "exit", "hang")

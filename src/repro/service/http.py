@@ -68,9 +68,11 @@ class ServiceConfig:
     state_dir: Path
     #: modulus size; ``None`` pins to the first key's size (persisted)
     bits: int | None = None
-    #: per-pair GCD tier: ``native`` (intops; serving default) or ``bulk``
-    engine: str = "native"
-    #: big-integer backend for the native engine (auto/python/gmpy2)
+    #: scan engine tier: ``auto`` (serving default; picks ``native`` or
+    #: ``ptree`` per batch from the measured crossover), ``native``,
+    #: ``bulk``, ``ptree``, or ``all2all``
+    engine: str = "auto"
+    #: big-integer backend for the non-bulk engines (auto/python/gmpy2)
     int_backend: str | None = None
     algorithm: str = "approx"
     d: int = 32
@@ -126,6 +128,7 @@ class WeakKeyService:
             self.scanner = IncrementalScanner.restore(
                 self.registry.scanner_snapshot(**self._scan_config()),
                 int_backend=self.config.int_backend,
+                spool_dir=self._ptree_dir(),
                 telemetry=self.telemetry,
             )
         elif self.bits is not None:
@@ -158,9 +161,15 @@ class WeakKeyService:
             "early_terminate": c.early_terminate, "engine": c.engine,
         }
 
+    def _ptree_dir(self) -> Path:
+        """Where the ``ptree``/``auto`` tiers checkpoint the product tree —
+        beside the registry spool, restored with it."""
+        return self.config.state_dir / "ptree"
+
     def _fresh_scanner(self, bits: int) -> IncrementalScanner:
         return IncrementalScanner(
             bits=bits, int_backend=self.config.int_backend,
+            spool_dir=self._ptree_dir(),
             telemetry=self.telemetry, **self._scan_config(),
         )
 
@@ -245,7 +254,24 @@ class WeakKeyService:
             # new total for free; an all-duplicate batch persists explicitly
             self.registry.note_duplicates(duplicates, persist=not fresh)
         if fresh:
-            report = self.scanner.add_batch(fresh)
+            try:
+                report = self.scanner.add_batch(fresh)
+            except Exception:
+                # a failed flush can leave the scanner's engine state
+                # (product tree, running product) half-updated; rebuild it
+                # from the registry — the durable truth — so the retried
+                # batch scans against a consistent corpus
+                self.scanner = (
+                    IncrementalScanner.restore(
+                        self.registry.scanner_snapshot(**self._scan_config()),
+                        int_backend=self.config.int_backend,
+                        spool_dir=self._ptree_dir(),
+                        telemetry=self.telemetry,
+                    )
+                    if self.registry.n_keys
+                    else self._fresh_scanner(self.bits)
+                )
+                raise
             self.registry.commit_batch(
                 fresh, report.hits,
                 exponents=fresh_exponents, seconds=report.elapsed_seconds,

@@ -402,7 +402,7 @@ class WeakKeyRegistry:
         fully scanned against all keys registered before it, so coverage is
         exactly complete — restart never rescans an old-vs-old pair.
         ``scan_config`` supplies the scan parameters (``algorithm``, ``d``,
-        ``chunk_pairs``, ``early_terminate``, ``engine``).
+        ``chunk_pairs``, ``early_terminate``, ``engine``, ``int_backend``).
         """
         if self.bits is None:
             raise RegistryError("registry holds no keys yet; nothing to snapshot")
@@ -410,7 +410,7 @@ class WeakKeyRegistry:
             m = len(self.moduli)
             config = {
                 "algorithm": "approx", "d": 32, "chunk_pairs": 4096,
-                "early_terminate": True, "engine": "native",
+                "early_terminate": True, "engine": "auto", "int_backend": None,
             }
             unknown = set(scan_config) - set(config)
             if unknown:

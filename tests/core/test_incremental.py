@@ -175,6 +175,108 @@ class TestSnapshotRestore:
             IncrementalScanner(bits=BITS, engine="quantum")
 
 
+class TestEngineTiers:
+    def test_all_engines_report_identical_streams(self, corpus, tmp_path):
+        scanners = {
+            "bulk": IncrementalScanner(bits=BITS, engine="bulk"),
+            "native": IncrementalScanner(bits=BITS, engine="native"),
+            "ptree": IncrementalScanner(
+                bits=BITS, engine="ptree", spool_dir=tmp_path / "pt"
+            ),
+            "all2all": IncrementalScanner(bits=BITS, engine="all2all"),
+        }
+        for start in range(0, corpus.n_keys, 5):
+            batch = corpus.moduli[start : start + 5]
+            reports = {k: s.add_batch(list(batch)) for k, s in scanners.items()}
+            hit_sets = {k: [(h.i, h.j, h.prime) for h in r.hits] for k, r in reports.items()}
+            assert len({str(v) for v in hit_sets.values()}) == 1, hit_sets
+        reference = scanners["bulk"]
+        for scanner in scanners.values():
+            assert scanner.all_hits == reference.all_hits
+            assert scanner.total_pairs_tested == reference.total_pairs_tested
+            assert scanner.coverage_is_complete()
+
+    def test_auto_picks_by_measured_crossover(self, corpus, monkeypatch):
+        monkeypatch.setenv("REPRO_INCR_AUTO_MIN_PAIRS", "20")
+        scanner = IncrementalScanner(bits=BITS, engine="auto")
+        small = scanner.add_batch(corpus.moduli[:4])  # 6 pairs < 20
+        assert small.engine == "native"
+        big = scanner.add_batch(corpus.moduli[4:])  # 4*14 pairs >= 20
+        assert big.engine == "ptree"
+        expected = {(h.i, h.j) for h in IncrementalScanner(bits=BITS).add_batch(corpus.moduli).hits}
+        assert {(h.i, h.j) for h in scanner.all_hits} == expected
+
+    def test_auto_threshold_env_flips_the_choice(self, corpus, monkeypatch):
+        monkeypatch.setenv("REPRO_INCR_AUTO_MIN_PAIRS", "1000000")
+        scanner = IncrementalScanner(bits=BITS, engine="auto")
+        scanner.add_batch(corpus.moduli[:9])
+        rep = scanner.add_batch(corpus.moduli[9:])
+        assert rep.engine == "native"
+
+    def test_all_hits_stays_sorted_across_merges(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        for start in range(0, corpus.n_keys, 3):
+            scanner.add_batch(corpus.moduli[start : start + 3])
+        keys = [(h.i, h.j) for h in scanner.all_hits]
+        assert keys == sorted(keys)
+        assert len(scanner.all_hits) >= 2  # the merge path actually merged
+
+
+class TestSnapshotVersioning:
+    def test_snapshot_records_resolved_backend(self, corpus):
+        scanner = IncrementalScanner(bits=BITS, engine="native")
+        scanner.add_batch(corpus.moduli[:4])
+        assert scanner.snapshot()["int_backend"] == scanner.backend.name
+
+    def test_restore_pins_the_recorded_backend(self, corpus):
+        scanner = IncrementalScanner(bits=BITS, engine="native")
+        scanner.add_batch(corpus.moduli[:4])
+        snap = scanner.snapshot()
+        # a host missing the recorded backend must fail loudly, not
+        # silently switch arithmetic
+        snap["int_backend"] = "gmpy2"
+        if "gmpy2" in __import__("repro.util.intops", fromlist=["available_backends"]).available_backends():
+            pytest.skip("gmpy2 present; the loud-failure path needs it absent")
+        with pytest.raises(ValueError, match="gmpy2"):
+            IncrementalScanner.restore(snap)
+        # an explicit caller choice still overrides the pin
+        back = IncrementalScanner.restore(snap, int_backend="python")
+        assert back.backend.name == "python"
+
+    def test_v1_snapshot_still_restores(self, corpus, tmp_path):
+        scanner = IncrementalScanner(bits=BITS, engine="native")
+        scanner.add_batch(corpus.moduli[:10])
+        v1 = scanner.snapshot()
+        v1["version"] = 1
+        del v1["int_backend"]  # v1 payloads predate the backend record
+        resumed = IncrementalScanner.restore(
+            v1, engine="ptree", spool_dir=tmp_path / "pt"
+        )
+        assert resumed._ptree.n_leaves == 10  # tree rebuilt from moduli
+        rep = resumed.add_batch(corpus.moduli[10:])
+        assert resumed.coverage_is_complete()
+        straight = IncrementalScanner(bits=BITS)
+        straight.add_batch(corpus.moduli)
+        assert resumed.all_hits == straight.all_hits
+        assert rep.engine == "ptree"
+
+    def test_restored_ptree_loads_from_spool(self, corpus, tmp_path):
+        from repro.telemetry import Telemetry
+
+        scanner = IncrementalScanner(
+            bits=BITS, engine="ptree", spool_dir=tmp_path / "pt"
+        )
+        scanner.add_batch(corpus.moduli[:10])
+        telemetry = Telemetry.create()
+        resumed = IncrementalScanner.restore(
+            scanner.snapshot(), spool_dir=tmp_path / "pt", telemetry=telemetry
+        )
+        assert telemetry.registry.counter("ptree.rebuilds").value == 0
+        assert resumed._ptree.n_leaves == 10
+        resumed.add_batch(corpus.moduli[10:])
+        assert resumed.coverage_is_complete()
+
+
 class TestIncrementalTelemetry:
     def test_batch_reports_carry_metrics(self):
         from repro.rsa.corpus import generate_weak_corpus
@@ -192,3 +294,17 @@ class TestIncrementalTelemetry:
         )
         assert second.metrics["stages"]["batch"]["count"] == 2
         assert first.elapsed_seconds > 0 and second.elapsed_seconds > 0
+
+    def test_elapsed_is_per_batch_even_under_enclosing_spans(self):
+        from repro.telemetry import Telemetry
+
+        corpus = generate_weak_corpus(12, 64, shared_groups=(2,), seed="inc-span")
+        telemetry = Telemetry.create()
+        scanner = IncrementalScanner(bits=64, telemetry=telemetry)
+        # under an enclosing span the scanner's "batch" span nests to
+        # "outer/batch", so deriving elapsed from the shared "batch" total
+        # (the old implementation) reports 0 here; each batch must carry
+        # its own clock measurement instead
+        with telemetry.timer.span("outer"):
+            rep = scanner.add_batch(corpus.moduli)
+        assert rep.elapsed_seconds > 0

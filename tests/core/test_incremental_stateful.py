@@ -1,12 +1,20 @@
-"""Stateful property test: the incremental scanner vs a naive oracle.
+"""Stateful property tests: engine tiers differentially, and vs an oracle.
 
-Hypothesis drives an arbitrary interleaving of key-batch arrivals (weak and
-healthy keys mixed); after every step the scanner's cumulative hit set must
-equal the brute-force all-pairs oracle over everything ingested so far, and
-the pairs-scanned accounting must stay exactly complete.
+Hypothesis drives an arbitrary interleaving of key-batch arrivals (weak
+and healthy keys mixed) and snapshot/restore round-trips across *all four*
+engine tiers at once — ``bulk``, ``native``, ``ptree`` (spool-backed), and
+``all2all``.  After every step the tiers must agree on everything
+observable: identical hit triples ``(i, j, prime)``, identical
+``pairs_tested`` accounting, and ``coverage_is_complete()`` — and the
+shared hit set must equal the brute-force all-pairs oracle over
+everything ingested so far.  This is the proof that the amortized engines
+are drop-in replacements for the paper's pairwise scan.
 """
 
 import math
+import shutil
+import tempfile
+from pathlib import Path
 
 from hypothesis import settings
 from hypothesis import strategies as st
@@ -16,6 +24,8 @@ from repro.core.incremental import IncrementalScanner
 
 BITS = 32  # tiny "moduli" keep the oracle cheap; scanner logic is size-blind
 
+ENGINES = ("bulk", "native", "ptree", "all2all")
+
 # 16-bit primes with the top two bits set, so every product has 32 bits
 _PRIMES = [49157, 49169, 49171, 49177, 49193, 49199, 49201, 49207, 49211, 49223]
 
@@ -24,32 +34,95 @@ def _modulus(i: int, j: int) -> int:
     return _PRIMES[i] * _PRIMES[j]
 
 
-class IncrementalScanMachine(RuleBasedStateMachine):
+def _picks():
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(_PRIMES) - 1),
+            st.integers(min_value=0, max_value=len(_PRIMES) - 1),
+        ).filter(lambda t: t[0] != t[1] and _modulus(*t).bit_length() == BITS),
+        min_size=0,
+        max_size=4,
+    )
+
+
+class EngineDifferentialMachine(RuleBasedStateMachine):
+    """All four engines fed the same stream must stay indistinguishable."""
+
     def __init__(self):
         super().__init__()
-        self.scanner = IncrementalScanner(bits=BITS, d=8, chunk_pairs=7)
+        self.tmp = Path(tempfile.mkdtemp(prefix="ptree-stateful-"))
+        self.scanners = {
+            engine: IncrementalScanner(
+                bits=BITS, d=8, chunk_pairs=7, engine=engine,
+                spool_dir=self.tmp / "ptree" if engine == "ptree" else None,
+            )
+            for engine in ENGINES
+        }
         self.ingested: list[int] = []
 
-    @rule(
-        picks=st.lists(
-            st.tuples(
-                st.integers(min_value=0, max_value=len(_PRIMES) - 1),
-                st.integers(min_value=0, max_value=len(_PRIMES) - 1),
-            ).filter(lambda t: t[0] != t[1] and _modulus(*t).bit_length() == BITS),
-            min_size=0,
-            max_size=4,
-        )
-    )
+    def teardown(self):
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    @rule(picks=_picks())
     def add_batch(self, picks):
         batch = [_modulus(i, j) for i, j in picks]
-        report = self.scanner.add_batch(batch)
         base = len(self.ingested)
+        reports = {
+            engine: scanner.add_batch(list(batch))
+            for engine, scanner in self.scanners.items()
+        }
         self.ingested.extend(batch)
-        # every reported hit involves at least one new key and is genuine
-        for h in report.hits:
-            assert h.j >= base
+        observable = {
+            engine: (
+                r.pairs_tested,
+                r.new_keys,
+                r.total_keys,
+                [(h.i, h.j, h.prime) for h in r.hits],
+            )
+            for engine, r in reports.items()
+        }
+        assert len(set(map(str, observable.values()))) == 1, observable
+        for h in reports["bulk"].hits:
+            assert h.j >= base  # every hit involves at least one new key
             assert math.gcd(self.ingested[h.i], self.ingested[h.j]) % h.prime == 0
             assert h.prime > 1
+
+    @rule(engine=st.sampled_from(ENGINES))
+    def snapshot_restore(self, engine):
+        """Round-trip one engine through its snapshot; nothing may change."""
+        scanner = self.scanners[engine]
+        snap = scanner.snapshot()
+        restored = IncrementalScanner.restore(
+            snap, spool_dir=scanner.spool_dir,
+        )
+        assert restored.engine_name == engine
+        assert restored.moduli == scanner.moduli
+        assert restored.all_hits == scanner.all_hits
+        assert restored.total_pairs_tested == scanner.total_pairs_tested
+        self.scanners[engine] = restored
+
+    @rule(source=st.sampled_from(ENGINES), dest=st.sampled_from(ENGINES))
+    def restore_cross_engine(self, source, dest):
+        """A snapshot from any tier restores into any other tier."""
+        snap = self.scanners[source].snapshot()
+        restored = IncrementalScanner.restore(
+            snap, engine=dest,
+            spool_dir=self.scanners[dest].spool_dir,
+        )
+        assert restored.all_hits == self.scanners[source].all_hits
+        self.scanners[dest] = restored
+
+    @invariant()
+    def engines_agree(self):
+        states = {
+            engine: (
+                [(h.i, h.j, h.prime) for h in s.all_hits],
+                s.total_pairs_tested,
+                s.n_keys,
+            )
+            for engine, s in self.scanners.items()
+        }
+        assert len(set(map(str, states.values()))) == 1, states
 
     @invariant()
     def matches_oracle(self):
@@ -58,14 +131,16 @@ class IncrementalScanMachine(RuleBasedStateMachine):
             for j in range(i + 1, len(self.ingested)):
                 if math.gcd(self.ingested[i], self.ingested[j]) > 1:
                     oracle.add((i, j))
-        assert {(h.i, h.j) for h in self.scanner.all_hits} == oracle
+        scanner = self.scanners["native"]
+        assert {(h.i, h.j) for h in scanner.all_hits} == oracle
 
     @invariant()
     def coverage_complete(self):
-        assert self.scanner.coverage_is_complete()
+        for scanner in self.scanners.values():
+            assert scanner.coverage_is_complete()
 
 
-IncrementalScanMachine.TestCase.settings = settings(
-    max_examples=30, stateful_step_count=8, deadline=None
+EngineDifferentialMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=8, deadline=None
 )
-TestIncrementalScanMachine = IncrementalScanMachine.TestCase
+TestEngineDifferentialMachine = EngineDifferentialMachine.TestCase

@@ -1,0 +1,214 @@
+"""The persistent product tree: shape, arithmetic, persistence, crashes.
+
+The crash/resume matrix mirrors ``tests/core/test_pipeline.py``: a
+deterministic fault is armed at every commit point of the tree's persist
+protocol (``ptree.commit``, each ``spool.write``, the ``manifest.commit``)
+with retries exhausted, and after every crash a restarted tree must come
+back byte-equal to a never-crashed one — loading the previous flush
+boundary when the durable state is intact, rebuilding from the corpus
+when it is not, and never trusting state over arithmetic.
+"""
+
+import math
+
+import pytest
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.ptree import PersistentProductTree
+from repro.core.spool import write_blob
+from repro.resilience import RetryPolicy
+from repro.resilience.faults import install_plan, parse_spec, reset_plan
+from repro.telemetry import Telemetry
+
+# distinct small semiprimes; values are irrelevant to tree mechanics
+_PRIMES = [193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257]
+MODULI = [_PRIMES[i] * _PRIMES[i + 1] for i in range(len(_PRIMES) - 1)]
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    reset_plan()
+    yield
+    reset_plan()
+
+
+def _tree(spool_dir=None, **kw):
+    kw.setdefault("retry_policy", RetryPolicy(max_attempts=2, base_delay=0))
+    return PersistentProductTree(spool_dir=spool_dir, **kw)
+
+
+def _ints(values):
+    return [int(v) for v in values]
+
+
+class TestShape:
+    def test_segment_sizes_are_binary_decomposition(self):
+        tree = _tree()
+        for m, n in enumerate(MODULI, start=1):
+            tree.append([n])
+            sizes = tree.segment_sizes()
+            assert sizes == sorted(sizes, reverse=True)
+            assert sum(sizes) == m
+            assert all(s & (s - 1) == 0 for s in sizes)
+            assert _ints(tree.leaves()) == MODULI[:m]
+
+    def test_batched_appends_reach_the_same_shape(self):
+        one_by_one, batched = _tree(), _tree()
+        for n in MODULI:
+            one_by_one.append([n])
+        batched.append(MODULI[:5])
+        batched.append(MODULI[5:])
+        assert batched.segment_sizes() == one_by_one.segment_sizes()
+        assert _ints(batched.leaves()) == _ints(one_by_one.leaves())
+
+    def test_total_merges_equal_m_minus_popcount(self):
+        telemetry = Telemetry.create()
+        tree = _tree(telemetry=telemetry)
+        tree.append(MODULI)
+        m = len(MODULI)
+        merges = telemetry.registry.counter("ptree.node_merges").value
+        assert merges == m - bin(m).count("1")
+
+    def test_append_nothing_is_a_noop(self):
+        tree = _tree()
+        tree.append([])
+        assert tree.n_leaves == 0 and tree.segment_sizes() == []
+
+
+class TestRemainders:
+    def test_remainders_match_direct_mod(self):
+        tree = _tree()
+        tree.append(MODULI)
+        probe = 3 * 5 * 7 * 11 * 13 * 193 * 199
+        assert _ints(tree.batch_remainders(probe)) == [probe % n for n in MODULI]
+
+    def test_flagging_via_remainders_matches_gcd(self):
+        tree = _tree()
+        tree.append(MODULI)
+        batch = [193 * 251, 401 * 409]  # shares 193/251 with the corpus
+        product = math.prod(batch)
+        rems = tree.batch_remainders(product)
+        flags = [math.gcd(n, r) for n, r in zip(MODULI, _ints(rems))]
+        assert flags == [math.gcd(n, product) for n in MODULI]
+        assert any(g > 1 for g in flags)
+
+
+class TestPersistence:
+    def test_reload_restores_exact_shape(self, tmp_path):
+        telemetry = Telemetry.create()
+        tree = _tree(tmp_path)
+        tree.append(MODULI[:7])
+        tree.append(MODULI[7:])
+        reloaded = _tree(tmp_path, telemetry=telemetry)
+        assert reloaded.load_or_rebuild(MODULI) is True
+        assert reloaded.segment_sizes() == tree.segment_sizes()
+        assert _ints(reloaded.leaves()) == MODULI
+        assert telemetry.registry.counter("ptree.rebuilds").value == 0
+
+    def test_unchanged_segments_are_not_rewritten(self, tmp_path):
+        telemetry = Telemetry.create()
+        tree = _tree(tmp_path, telemetry=telemetry)
+        tree.append(MODULI[:8])  # one perfect segment of 8
+        writes_before = telemetry.registry.counter("ptree.blob_writes").value
+        tree.append([MODULI[8]])  # adds a 1-leaf segment; the 8 stays put
+        writes = telemetry.registry.counter("ptree.blob_writes").value - writes_before
+        assert writes == 1
+
+    def test_corrupt_blob_falls_back_to_rebuild(self, tmp_path):
+        _tree(tmp_path).append(MODULI)
+        blob = max(tmp_path.glob("seg-*.bin"))
+        blob.write_bytes(blob.read_bytes()[:-3] + b"\x00\x00\x00")
+        telemetry = Telemetry.create()
+        recovered = _tree(tmp_path, telemetry=telemetry)
+        assert recovered.load_or_rebuild(MODULI) is False
+        assert telemetry.registry.counter("ptree.rebuilds").value == 1
+        assert _ints(recovered.leaves()) == MODULI
+
+    def test_corpus_drift_falls_back_to_rebuild(self, tmp_path):
+        _tree(tmp_path).append(MODULI)
+        drifted = list(MODULI)
+        drifted[3] = 401 * 409
+        recovered = _tree(tmp_path)
+        assert recovered.load_or_rebuild(drifted) is False
+        assert _ints(recovered.leaves()) == drifted
+
+    def test_foreign_manifest_falls_back_to_rebuild(self, tmp_path):
+        from repro.core.checkpoint import Manifest, StageRecord
+
+        info = write_blob(tmp_path / "other.bin", [1, 2, 3])
+        CheckpointStore(tmp_path).save(
+            Manifest(
+                config={"format": "something-else/1"},
+                stages=[
+                    StageRecord(
+                        name="other", blob="other.bin", count=info.count,
+                        nbytes=info.nbytes, sha256=info.sha256, seconds=0.0,
+                    )
+                ],
+            )
+        )
+        recovered = _tree(tmp_path)
+        assert recovered.load_or_rebuild(MODULI[:3]) is False
+        assert _ints(recovered.leaves()) == MODULI[:3]
+
+    def test_load_requires_empty_tree(self, tmp_path):
+        tree = _tree(tmp_path)
+        tree.append(MODULI[:2])
+        with pytest.raises(ValueError):
+            tree.load_or_rebuild(MODULI[:2])
+
+    def test_transient_write_fault_is_retried_through(self, tmp_path):
+        install_plan(parse_spec("spool.write#1=ioerror"))
+        telemetry = Telemetry.create()
+        tree = _tree(tmp_path, telemetry=telemetry)
+        tree.append(MODULI[:4])
+        assert telemetry.registry.counter("ptree.commit_retries").value >= 1
+        reset_plan()
+        assert _tree(tmp_path).load_or_rebuild(MODULI[:4]) is True
+
+
+BATCHES = [MODULI[:3], MODULI[3:5], MODULI[5:9], MODULI[9:]]
+COMMIT_POINTS = ("ptree.commit", "spool.write", "manifest.commit")
+
+
+class TestCrashResumeMatrix:
+    """Kill the persist protocol at every commit point, then restart."""
+
+    @pytest.mark.parametrize("point", COMMIT_POINTS)
+    @pytest.mark.parametrize("nth", range(1, 8))
+    def test_crash_then_restart_is_equivalent_to_clean(self, tmp_path, point, nth):
+        install_plan(parse_spec(f"{point}#{nth}+=ioerror"))
+        tree = _tree(tmp_path)
+        durable: list[int] = []
+        crashed = False
+        for batch in BATCHES:
+            try:
+                tree.append(batch)
+            except OSError:
+                crashed = True
+                break
+            durable.extend(batch)
+        reset_plan()
+
+        # the previous flush boundary survives every crash: blobs are
+        # written before the manifest and stale blobs unlinked only after
+        # it, so the old manifest always points at intact files
+        boundary = _tree(tmp_path)
+        # (a crash on the very first flush leaves no manifest to load)
+        assert boundary.load_or_rebuild(durable) is (len(durable) > 0)
+        assert _ints(boundary.leaves()) == durable
+
+        # resuming the stream from the boundary converges with a tree
+        # that never crashed
+        remaining = [n for n in sum(BATCHES, []) if n not in durable]
+        boundary.append(remaining)
+        clean = _tree()
+        clean.append(sum(BATCHES, []))
+        assert boundary.segment_sizes() == clean.segment_sizes()
+        assert _ints(boundary.leaves()) == _ints(clean.leaves())
+        probe = 193 * 239 * 401
+        assert _ints(boundary.batch_remainders(probe)) == _ints(
+            clean.batch_remainders(probe)
+        )
+        if not crashed:
+            assert nth > 1  # every point fires at least once over 4 flushes

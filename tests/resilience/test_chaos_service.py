@@ -101,6 +101,78 @@ class TestRegistryCommitFaults:
         assert fresh.load() == 0  # nothing half-committed
 
 
+class TestPtreeCommitFaults:
+    """Faults in the persistent product tree's commit path, at service level."""
+
+    def _submit_wait(self, service, moduli):
+        async def go():
+            ticket = service.submit([(n, 65537) for n in moduli])
+            await asyncio.wait_for(ticket.wait(), timeout=30)
+            return ticket
+
+        return go()
+
+    def test_transient_tree_fault_is_retried_through(self, tmp_path):
+        corpus = generate_weak_corpus(6, BITS, shared_groups=(2,), seed=17)
+        install_plan(parse_spec("ptree.commit#1=ioerror"))
+        tel = Telemetry.create()
+
+        async def run():
+            config = ServiceConfig(
+                state_dir=Path(tmp_path), engine="ptree", linger_ms=1.0
+            )
+            service = WeakKeyService(config, telemetry=tel)
+            await service.start()
+            ticket = await self._submit_wait(service, corpus.moduli)
+            await service.stop()
+            return ticket
+
+        ticket = asyncio.run(run())
+        assert ticket.status == DONE
+        assert tel.registry.counters["ptree.commit_retries"].value >= 1
+
+    def test_faulted_flush_recovers_and_matches_clean_run(self, tmp_path):
+        """Exhaust the tree-commit retries mid-stream; after recovery and a
+        restart the hit set must equal a never-faulted run's."""
+        corpus = generate_weak_corpus(8, BITS, shared_groups=(2, 2), seed=11)
+        mods = corpus.moduli
+
+        async def run():
+            config = ServiceConfig(
+                state_dir=Path(tmp_path), engine="ptree", linger_ms=1.0
+            )
+            service = WeakKeyService(config)
+            await service.start()
+            first = await self._submit_wait(service, mods[:4])
+            assert first.status == DONE
+            install_plan(parse_spec("ptree.commit#1+=ioerror"))
+            failed = await self._submit_wait(service, mods[4:])
+            assert failed.status == FAILED
+            reset_plan()
+            # the failed flush rebuilt the scanner from the registry (the
+            # durable truth), so resubmitting the lost keys — never
+            # committed, hence not duplicates — scans consistently
+            retried = await self._submit_wait(service, mods[4:])
+            assert retried.status == DONE
+            await service.stop()
+
+        asyncio.run(run())
+
+        async def restart():
+            config = ServiceConfig(
+                state_dir=Path(tmp_path), engine="ptree", linger_ms=1.0
+            )
+            service = WeakKeyService(config)
+            await service.start()
+            view = service.hits_view()
+            await service.stop()
+            return view
+
+        view = asyncio.run(restart())
+        assert view["keys"] == len(mods)
+        assert {(h["i"], h["j"]) for h in view["hits"]} == corpus.weak_pair_set()
+
+
 class TestGracefulDrain:
     """server.close(drain=True) — exactly what the SIGTERM handler runs."""
 
