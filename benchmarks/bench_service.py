@@ -13,12 +13,23 @@ batching latency/throughput dial:
 * larger lingers — submissions coalesce into bigger scan batches; p50
   latency rises by roughly the linger, throughput rises with batch size.
 
-Results land in ``BENCH_service.json`` (schema ``repro.bench_service/1``):
+Results land in ``BENCH_service.json`` (schema ``repro.bench_service/2``):
 per linger setting, submissions/sec over the wall clock plus p50/p99
 ticket latency.  Moduli are synthetic honest semiprimes over small primes
 (cheap to generate, genuinely pairwise coprime apart from a planted hit
 per ~200 keys), so the service performs the full dedup →
 incremental-scan → durable-commit cycle at a realistic hit rate.
+
+The v2 schema adds a **shard sweep** (``docs/SHARDING.md``): the same
+submit-to-verdict workload against ``--shards {1,2,4}`` fleets, made
+scan-bound by preloading a corpus first (with a large corpus every fresh
+key costs ``M`` cross-GCDs, which is where the fleet parallelises).  The
+sweep records per-shard-count throughput, the speedup over one shard, and
+a digest of the hit set — which must be identical across shard counts.
+``REPRO_BENCH_SHARD_MIN_SPEEDUP`` (CI) turns the largest count's speedup
+into a hard floor; the committed JSON records honest numbers for whatever
+host ran it (``environment.cpu_count`` says how many cores that was — on
+a single-core container the fleet cannot beat one shard).
 
 Runs standalone (CI uses this form, with a throughput floor)::
 
@@ -47,11 +58,14 @@ from repro.rsa.primes import generate_prime
 from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
 from repro.util.intops import backend_info
 
-SCHEMA = "repro.bench_service/1"
+SCHEMA = "repro.bench_service/2"
 
 QUICK_KEYS, QUICK_CLIENTS = 800, 48
 FULL_KEYS, FULL_CLIENTS = 4000, 64
 DEFAULT_LINGERS = (0.0, 5.0, 20.0)
+DEFAULT_SHARDS = (1, 2, 4)
+QUICK_PRELOAD, QUICK_TIMED, QUICK_SHARD_CLIENTS = 1200, 240, 24
+FULL_PRELOAD, FULL_TIMED, FULL_SHARD_CLIENTS = 3000, 600, 32
 BITS = 64
 
 
@@ -217,6 +231,111 @@ async def _run_one(
     )
 
 
+@dataclass
+class ShardRunResult:
+    """One shard-count measurement of the scan-bound workload."""
+
+    shards: int
+    preload_keys: int
+    timed_keys: int
+    clients: int
+    seconds: float
+    submissions_per_second: float
+    p50_ms: float
+    p99_ms: float
+    hits: int
+    hit_digest: str
+    pairs_tested: int
+
+
+def _hit_digest(service: WeakKeyService) -> str:
+    import hashlib
+
+    rows = sorted((h.i, h.j, h.prime) for h in service.registry.hits)
+    return hashlib.sha256(json.dumps(rows).encode()).hexdigest()[:16]
+
+
+async def _get_json(port: int, path: str) -> dict:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return json.loads(raw.partition(b"\r\n\r\n")[2])
+
+
+async def _preload(port: int, moduli: list[int]) -> None:
+    """Bulk-submit the corpus and poll the ticket to completion (no 60 s
+    long-poll ceiling on slow hosts)."""
+    client = KeepAliveClient(port)
+    await client.connect()
+    try:
+        status, doc = await client.post_json(
+            "/submit", {"moduli": [hex(n) for n in moduli]}
+        )
+        assert status in (200, 202), doc
+    finally:
+        await client.close()
+    while doc.get("status") != "done":
+        await asyncio.sleep(0.2)
+        doc = await _get_json(port, f"/ticket/{doc['ticket']}")
+
+
+async def _run_shards(
+    shards: int, preload: list[int], timed: list[int], clients: int, state_dir: Path
+) -> ShardRunResult:
+    """Scan-bound submit-to-verdict throughput against an N-shard fleet.
+
+    ``engine="native"`` keeps every fleet width on the same per-pair code
+    path, so the sweep measures sharding, not engine crossover.
+    """
+    service = WeakKeyService(
+        ServiceConfig(
+            state_dir=state_dir, bits=BITS, engine="native", linger_ms=5.0,
+            max_batch=max(64, clients), max_pending=8192, shards=shards,
+        )
+    )
+    server = HttpServer(service, port=0)
+    await server.start()
+    latencies: list[float] = []
+    lanes = [timed[k::clients] for k in range(clients)]
+    try:
+        await _preload(server.port, preload)
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *(_client_task(server.port, lane, latencies) for lane in lanes)
+        )
+        elapsed = time.perf_counter() - t0
+        view = service.shards_view()
+        digest = _hit_digest(service)
+        hits = len(service.registry.hits)
+    finally:
+        await server.close()
+    lat_ms = sorted(x * 1000 for x in latencies)
+    q = statistics.quantiles(lat_ms, n=100, method="inclusive")
+    return ShardRunResult(
+        shards=shards,
+        preload_keys=len(preload),
+        timed_keys=len(timed),
+        clients=clients,
+        seconds=round(elapsed, 4),
+        submissions_per_second=round(len(timed) / elapsed, 1),
+        p50_ms=round(q[49], 3),
+        p99_ms=round(q[98], 3),
+        hits=hits,
+        hit_digest=digest,
+        pairs_tested=view["pairs_tested"],
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         description="registry-service submission throughput vs linger"
@@ -237,6 +356,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless the best setting sustains this many "
                         "submissions/sec (default: REPRO_BENCH_SERVICE_MIN_RPS "
                         "or no floor)")
+    p.add_argument("--shards", type=lambda s: tuple(int(x) for x in s.split(",") if x),
+                   default=DEFAULT_SHARDS,
+                   help="comma-separated fleet widths for the scan-bound shard "
+                        f"sweep (default {','.join(str(x) for x in DEFAULT_SHARDS)}; "
+                        "empty string skips the sweep)")
+    p.add_argument("--shard-preload", type=int, default=None,
+                   help="corpus preloaded before the timed shard phase "
+                        f"(default {QUICK_PRELOAD} quick / {FULL_PRELOAD} full)")
+    p.add_argument("--shard-keys", type=int, default=None,
+                   help="timed single-key submissions per shard setting "
+                        f"(default {QUICK_TIMED} quick / {FULL_TIMED} full)")
+    p.add_argument("--shard-clients", type=int, default=None,
+                   help="concurrent clients in the shard sweep "
+                        f"(default {QUICK_SHARD_CLIENTS} quick / "
+                        f"{FULL_SHARD_CLIENTS} full)")
+    p.add_argument("--min-shard-speedup", type=float,
+                   default=float(os.environ.get("REPRO_BENCH_SHARD_MIN_SPEEDUP", "0")),
+                   help="fail unless the widest fleet beats 1 shard by this "
+                        "factor (default: REPRO_BENCH_SHARD_MIN_SPEEDUP or no "
+                        "floor; only meaningful on multi-core hosts)")
     p.add_argument("--seed", default="bench-service")
     p.add_argument("--out", default="BENCH_service.json",
                    help='output path ("-" for stdout)')
@@ -261,6 +400,47 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
+    shard_runs: list[ShardRunResult] = []
+    shard_failure = None
+    if args.shards:
+        shard_counts = sorted(set(args.shards))
+        preload_n = args.shard_preload or (QUICK_PRELOAD if args.quick else FULL_PRELOAD)
+        timed_n = args.shard_keys or (QUICK_TIMED if args.quick else FULL_TIMED)
+        shard_clients = args.shard_clients or (
+            QUICK_SHARD_CLIENTS if args.quick else FULL_SHARD_CLIENTS
+        )
+        preload_moduli = synthetic_moduli(preload_n, BITS, args.seed + "-preload")
+        timed_moduli = [
+            n for n in synthetic_moduli(
+                preload_n + timed_n, BITS, args.seed + "-timed"
+            )[preload_n:]
+            if n not in set(preload_moduli)
+        ]
+        for count in shard_counts:
+            with tempfile.TemporaryDirectory(prefix="bench_shards_") as d:
+                r = asyncio.run(_run_shards(
+                    count, preload_moduli, timed_moduli, shard_clients,
+                    Path(d) / "state",
+                ))
+            shard_runs.append(r)
+            print(
+                f"  shards={count}  {r.submissions_per_second:8.1f} subs/s"
+                f"  p50={r.p50_ms:7.2f}ms  p99={r.p99_ms:7.2f}ms"
+                f"  pairs={r.pairs_tested}  digest={r.hit_digest}",
+                file=sys.stderr,
+            )
+        digests = {r.hit_digest for r in shard_runs}
+        if len(digests) > 1:
+            shard_failure = f"hit-set digests diverge across fleet widths: {digests}"
+        baseline = shard_runs[0].submissions_per_second
+        widest = shard_runs[-1]
+        speedup = widest.submissions_per_second / baseline if baseline else 0.0
+        if args.min_shard_speedup and speedup < args.min_shard_speedup:
+            shard_failure = shard_failure or (
+                f"shards={widest.shards} sustained only {speedup:.2f}x the "
+                f"1-shard throughput (< {args.min_shard_speedup:.2f}x floor)"
+            )
+
     best = max(r.submissions_per_second for r in runs)
     doc = {
         "schema": SCHEMA,
@@ -282,6 +462,18 @@ def main(argv: list[str] | None = None) -> int:
             for r in runs
         ],
         "best_submissions_per_second": best,
+        "shard_sweep": {
+            "runs": [asdict(r) for r in shard_runs],
+            "speedups_vs_one_shard": {
+                str(r.shards): round(
+                    r.submissions_per_second / shard_runs[0].submissions_per_second, 3
+                )
+                for r in shard_runs
+            } if shard_runs else {},
+            "digest_parity": len({r.hit_digest for r in shard_runs}) <= 1,
+            "min_speedup": args.min_shard_speedup,
+            "failure": shard_failure,
+        },
     }
     payload = json.dumps(doc, indent=2) + "\n"
     if args.out == "-":
@@ -297,15 +489,22 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if shard_failure:
+        print(f"SHARD SWEEP FAILED: {shard_failure}", file=sys.stderr)
+        return 1
     return 0
 
 
 def test_bench_service_quick(tmp_path, report):
-    """Smoke: the quick sweep runs, every key registers, schema is stable."""
+    """Smoke: the quick sweep runs, every key registers, schema is stable,
+    and the shard sweep's hit digests agree between 1 and 2 shards."""
     out = tmp_path / "BENCH_service.json"
     rc = main([
         "--quick", "--keys", "300", "--clients", "16",
-        "--lingers", "0,10", "--out", str(out),
+        "--lingers", "0,10",
+        "--shards", "1,2", "--shard-preload", "220",
+        "--shard-keys", "60", "--shard-clients", "8",
+        "--out", str(out),
     ])
     assert rc == 0
     doc = json.loads(out.read_text())
@@ -316,6 +515,11 @@ def test_bench_service_quick(tmp_path, report):
         assert r["submissions_per_second"] > 0
         assert r["p50_ms"] <= r["p99_ms"] <= r["max_ms"]
         assert r["flushes"] >= 1
+    sweep = doc["shard_sweep"]
+    assert sweep["failure"] is None
+    assert sweep["digest_parity"] is True
+    assert [r["shards"] for r in sweep["runs"]] == [1, 2]
+    assert len({r["pairs_tested"] for r in sweep["runs"]}) == 1
     lines = ["", "== registry service sweep =="]
     for r in doc["runs"]:
         lines.append(
@@ -323,6 +527,11 @@ def test_bench_service_quick(tmp_path, report):
             f"{r['submissions_per_second']:8.1f} subs/s  "
             f"p50={r['p50_ms']:.2f}ms p99={r['p99_ms']:.2f}ms "
             f"flushes={r['flushes']}"
+        )
+    for r in sweep["runs"]:
+        lines.append(
+            f"  shards={r['shards']} {r['submissions_per_second']:8.1f} subs/s  "
+            f"p50={r['p50_ms']:.2f}ms digest={r['hit_digest']}"
         )
     report(*lines)
 

@@ -289,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
         "429 + Retry-After (default 4096)",
     )
     sv.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="scanner fleet width: 1 (default) runs today's in-process "
+        "scanner unchanged; N >= 2 shards the corpus over N supervised "
+        "worker processes via consistent hashing (see docs/SHARDING.md)",
+    )
+    sv.add_argument(
         "--events-jsonl", type=Path, default=None, metavar="PATH",
         help="stream structured JSONL events (service.start/batcher.flush/"
         "registry.commit/...) to PATH",
@@ -793,7 +799,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         linger_ms=args.linger_ms,
         max_pending=args.max_pending,
+        shards=args.shards,
     )
+    if args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
     event_stream = args.events_jsonl.open("w") if args.events_jsonl else None
     try:
         telemetry = Telemetry.create(event_stream=event_stream)

@@ -279,8 +279,103 @@ class IncrementalScanner:
                  elapsed_seconds=report.elapsed_seconds)
         return report
 
+    def cross_scan(
+        self, new_moduli: list[int], *, include_internal: bool = False
+    ) -> BatchReport:
+        """Test an external batch against the corpus **without adopting it**.
+
+        The sharded service (``repro.service.shard``) partitions each
+        admitted batch's pairs across workers: every shard cross-scans the
+        full batch against its local slice, exactly one shard also covers
+        the batch's internal pairs (``include_internal=True``), and each
+        shard then :meth:`adopt`\\ s only the keys it owns.  Hits are
+        reported as ``(corpus_index, base + batch_position)`` — the same
+        shape :meth:`add_batch` uses — and neither the corpus, the engine
+        state, nor the pairs accounting is mutated.
+
+        >>> s = IncrementalScanner(bits=16)
+        >>> _ = s.add_batch([193 * 197])
+        >>> r = s.cross_scan([193 * 199, 211 * 227], include_internal=True)
+        >>> ([(h.i, h.j, h.prime) for h in r.hits], r.pairs_tested, s.n_keys)
+        ([(0, 1, 193)], 3, 1)
+        """
+        for n in new_moduli:
+            if n <= 1 or n % 2 == 0:
+                raise ValueError("RSA moduli must be odd and > 1")
+            if n.bit_length() != self.bits:
+                raise ValueError(
+                    f"modulus of {n.bit_length()} bits in a {self.bits}-bit scanner"
+                )
+        tel = self.telemetry
+        self._ensure_engine_state()
+        base = len(self.moduli)
+        k = len(new_moduli)
+        engine = self._pick_engine(base, k)
+        report = BatchReport(
+            batch_index=-1, new_keys=k, total_keys=base + k, engine=engine
+        )
+        clock = tel.timer.clock
+        started = clock()
+        with tel.timer.span("cross"):
+            if engine in ("bulk", "native"):
+                self._scan_pairwise(
+                    engine, new_moduli, base, report,
+                    include_internal=include_internal,
+                )
+            elif engine == "ptree":
+                self._cross_ptree(new_moduli, base, report)
+                if include_internal:
+                    self._scan_internal(new_moduli, base, report)
+            else:
+                self._cross_all2all(new_moduli, base, report)
+                if include_internal:
+                    self._scan_internal(new_moduli, base, report)
+        report.elapsed_seconds = clock() - started
+        report.hits.sort(key=lambda h: (h.i, h.j))
+        report.pairs_tested = base * k + (k * (k - 1) // 2 if include_internal else 0)
+        reg = tel.registry
+        reg.counter("incremental.cross_scans").inc()
+        reg.counter("scan.pairs_tested").inc(report.pairs_tested)
+        reg.counter("scan.hits").inc(len(report.hits))
+        report.metrics = tel.snapshot()
+        return report
+
+    def adopt(self, new_moduli: list[int]) -> None:
+        """Extend the corpus (and engine state) **without scanning**.
+
+        The dual of :meth:`cross_scan`: pairs involving these keys were
+        covered elsewhere (by this scanner's own cross-scan against them,
+        or by a sibling shard), so only membership changes — the ptree
+        carry-merges the new leaves, the all2all running product absorbs
+        them, and ``total_pairs_tested`` is untouched.
+
+        >>> s = IncrementalScanner(bits=16)
+        >>> s.adopt([193 * 197, 193 * 199])
+        >>> (s.n_keys, s.total_pairs_tested)
+        (2, 0)
+        """
+        for n in new_moduli:
+            if n <= 1 or n % 2 == 0:
+                raise ValueError("RSA moduli must be odd and > 1")
+            if n.bit_length() != self.bits:
+                raise ValueError(
+                    f"modulus of {n.bit_length()} bits in a {self.bits}-bit scanner"
+                )
+        if not new_moduli:
+            return
+        self._ensure_engine_state()
+        if self._uses_ptree():
+            self._ptree.append(new_moduli)
+        if self.engine_name == "all2all":
+            B = self.backend
+            prod_new = B.prod([B.from_int(n) for n in new_moduli])
+            self._product = B.mul(self._product, prod_new)
+        self.moduli.extend(new_moduli)
+        self.telemetry.registry.counter("incremental.adopted_keys").inc(len(new_moduli))
+
     def _scan_pairwise(
-        self, engine: str, new_moduli: list[int], base: int, report: BatchReport
+        self, engine: str, new_moduli: list[int], base: int, report: BatchReport,
+        *, include_internal: bool = True,
     ) -> None:
         """One GCD per new pair: every new key against every old key, plus
         new-new pairs — chunked so memory stays bounded."""
@@ -289,7 +384,8 @@ class IncrementalScanner:
         for t, _ in enumerate(new_moduli):
             gk = base + t
             index_pairs.extend((old, gk) for old in range(base))
-            index_pairs.extend((base + u, gk) for u in range(t))
+            if include_internal:
+                index_pairs.extend((base + u, gk) for u in range(t))
         corpus = self.moduli + new_moduli
         for start in range(0, len(index_pairs), self.chunk_pairs):
             chunk = index_pairs[start : start + self.chunk_pairs]
@@ -318,7 +414,7 @@ class IncrementalScanner:
                 if g > 1:
                     report.hits.append(WeakHit(base + u, base + t, g))
 
-    def _scan_ptree(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+    def _cross_ptree(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
         """Cross pairs via one remainder descent of ``Π new`` down the
         persistent tree; flagged old keys are attributed to their partners
         with small GCDs against the flag value."""
@@ -344,9 +440,12 @@ class IncrementalScanner:
                             WeakHit(i, base + t, to_int(gcd(leaf, nk)))
                         )
             tel.advance(base)
+
+    def _scan_ptree(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+        self._cross_ptree(new_moduli, base, report)
         self._scan_internal(new_moduli, base, report)
 
-    def _scan_all2all(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+    def _cross_all2all(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
         """Pelofske-style all-to-all: flag each new key against the running
         product of the old corpus, attribute only the flagged ones."""
         tel = self.telemetry
@@ -368,8 +467,12 @@ class IncrementalScanner:
                             WeakHit(i, base + t, to_int(gcd(cand, nk)))
                         )
             tel.advance(base)
+
+    def _scan_all2all(self, new_moduli: list[int], base: int, report: BatchReport) -> None:
+        self._cross_all2all(new_moduli, base, report)
         self._scan_internal(new_moduli, base, report)
-        prod_new = B.prod(native_new) if native_new else one
+        B = self.backend
+        prod_new = B.prod([B.from_int(n) for n in new_moduli]) if new_moduli else B.from_int(1)
         self._product = B.mul(self._product, prod_new)
 
     # -- accounting ------------------------------------------------------------

@@ -40,6 +40,8 @@ Injection points instrumented across the tree (``FAULT_POINTS``):
 ``http.handler``    :class:`repro.service.http.HttpServer`, per request
 ``registry.commit`` :meth:`repro.service.registry.WeakKeyRegistry.commit_batch`
 ``ptree.commit``    :class:`repro.core.ptree.PersistentProductTree`, per persist
+``shard.dispatch``  :class:`repro.service.shard.ShardRouter`, before each job send
+``shard.commit``    shard-worker-side, before the per-shard snapshot persists
 ==================  ==========================================================
 """
 
@@ -73,6 +75,8 @@ FAULT_POINTS = (
     "http.handler",
     "registry.commit",
     "ptree.commit",
+    "shard.dispatch",
+    "shard.commit",
 )
 
 _ACTIONS = ("enospc", "ioerror", "error", "exit", "hang")

@@ -11,9 +11,13 @@ the batch tooling into exactly that:
 * :mod:`repro.service.batcher` — an asyncio micro-batcher that coalesces
   concurrent submissions into scan batches (flush on size or linger) with
   bounded backlog and explicit backpressure;
+* :mod:`repro.service.shard` — the horizontally sharded scanner fleet: a
+  consistent-hash :class:`~repro.service.shard.ShardRouter` over N
+  supervised worker processes, each owning a slice of the modulus space
+  (``repro serve --shards N``; protocol in ``docs/SHARDING.md``);
 * :mod:`repro.service.http` — the service glue plus a stdlib-only asyncio
   HTTP server: submit keys, poll tickets, fetch hits and broken private
-  keys, ``/healthz`` and ``/metricsz``.
+  keys, ``/healthz``, ``/metricsz`` and ``/shardsz``.
 
 ``repro serve`` runs it; ``repro submit`` talks to it; ``docs/SERVICE.md``
 documents the API and the durability model.
@@ -22,6 +26,12 @@ documents the API and the durability model.
 from repro.service.batcher import BacklogFull, MicroBatcher, Ticket
 from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
 from repro.service.registry import RegistryError, WeakKeyRegistry
+from repro.service.shard import (
+    ShardJobFailed,
+    ShardPoolExhausted,
+    ShardRing,
+    ShardRouter,
+)
 
 __all__ = [
     "BacklogFull",
@@ -29,6 +39,10 @@ __all__ = [
     "MicroBatcher",
     "RegistryError",
     "ServiceConfig",
+    "ShardJobFailed",
+    "ShardPoolExhausted",
+    "ShardRing",
+    "ShardRouter",
     "Ticket",
     "WeakKeyRegistry",
     "WeakKeyService",

@@ -22,6 +22,8 @@ event loop keeps accepting submissions while GCDs grind.
                             factored modulus
 ``GET /healthz``            liveness + corpus summary
 ``GET /metricsz``           the full telemetry snapshot as JSON
+``GET /shardsz``            shard fleet status (per-shard keys, watermarks,
+                            liveness; see ``docs/SHARDING.md``)
 ==========================  ==================================================
 
 Backpressure surfaces as ``429`` with a ``Retry-After`` header; durability
@@ -49,6 +51,7 @@ from repro.rsa.keys import DEFAULT_E, recover_key
 from repro.rsa.pem import PEMError, pem_decode_all, private_key_to_pem
 from repro.service.batcher import BacklogFull, MicroBatcher, Ticket
 from repro.service.registry import WeakKeyRegistry
+from repro.service.shard import ShardRouter
 from repro.telemetry import Telemetry
 
 __all__ = ["ServiceConfig", "WeakKeyService", "HttpServer", "parse_submission"]
@@ -87,6 +90,9 @@ class ServiceConfig:
     ticket_history: int = 4096
     #: ``?wait=1`` long-poll ceiling, seconds
     wait_timeout: float = 60.0
+    #: scanner fleet width; 1 keeps today's in-process scanner, >= 2 runs
+    #: a :class:`~repro.service.shard.ShardRouter` over worker processes
+    shards: int = 1
 
 
 class WeakKeyService:
@@ -97,6 +103,9 @@ class WeakKeyService:
         self.telemetry = telemetry if telemetry is not None else Telemetry.create()
         self.registry = WeakKeyRegistry(config.state_dir, telemetry=self.telemetry)
         self.scanner: IncrementalScanner | None = None
+        self.router: ShardRouter | None = None
+        if config.shards < 1:
+            raise ValueError("shards must be >= 1")
         self.bits = config.bits
         self.batcher = MicroBatcher(
             self._scan_async,
@@ -124,7 +133,20 @@ class WeakKeyService:
                     f"directory's pinned {self.registry.bits} bits"
                 )
             self.bits = self.registry.bits
-        if self.registry.n_keys:
+        if self.config.shards >= 2:
+            # sharded fleet: the corpus lives in the worker processes, so
+            # the front door keeps no in-process scanner at all
+            self.router = ShardRouter(
+                state_dir=self.config.state_dir,
+                shards=self.config.shards,
+                scan_config=self._scan_config(),
+                int_backend=self.config.int_backend,
+                bits=self.bits,
+                telemetry=self.telemetry,
+            )
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._executor, self.router.start, self.registry)
+        elif self.registry.n_keys:
             self.scanner = IncrementalScanner.restore(
                 self.registry.scanner_snapshot(**self._scan_config()),
                 int_backend=self.config.int_backend,
@@ -142,17 +164,41 @@ class WeakKeyService:
         return restored
 
     async def stop(self, *, drain: bool = True) -> None:
-        """Flush (or fail) the backlog, release the scan thread, sync state.
+        """Flush (or fail) the backlog, commit scan state, sync, tear down.
 
-        The final :meth:`~repro.service.registry.WeakKeyRegistry.sync`
-        makes the on-disk manifest exactly current (batch commits are
-        already durable; this folds in straggler config state such as
-        duplicate-submission counts observed since the last commit).
+        Ordering is the drain-durability contract (regression-tested in
+        ``tests/service/test_shard.py``): the scan state commits *before*
+        the final registry manifest sync.  ``_commit_scan_state`` runs on
+        the scan thread, which both serialises it after every flushed
+        batch and — in sharded mode — persists every shard snapshot via
+        :meth:`~repro.service.shard.ShardRouter.sync`.  Only then does the
+        final :meth:`~repro.service.registry.WeakKeyRegistry.sync` rewrite
+        the manifest (folding in straggler config state such as duplicate
+        counts and the per-shard watermarks), so a SIGTERM landing
+        anywhere in the drain can never leave the manifest ahead of the
+        shard snapshots — the restored fleet would otherwise skip pairs
+        the registry already recorded hits for.
         """
         await self.batcher.stop(drain=drain)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._commit_scan_state)
         self._executor.shutdown(wait=True)
+        if self.router is not None:
+            self.router.stop()
         self.registry.sync()
         self.telemetry.emit("service.stop", keys=self.registry.n_keys)
+
+    def _commit_scan_state(self) -> None:
+        """Drain barrier on the scan thread: by the time this returns,
+        every flushed batch has committed and every shard snapshot is
+        durable — the manifest sync that follows can only trail, never
+        lead, the scan state on disk."""
+        if self.router is not None:
+            self.router.sync()
+        self.telemetry.emit(
+            "service.scan_state_committed",
+            shards=self.config.shards, keys=self.registry.n_keys,
+        )
 
     def _scan_config(self) -> dict:
         c = self.config
@@ -226,7 +272,8 @@ class WeakKeyService:
                     }
                     continue
                 self.bits = blen
-                self.scanner = self._fresh_scanner(blen)
+                if self.router is None:
+                    self.scanner = self._fresh_scanner(blen)
             if n.bit_length() != self.bits:
                 results[pos] = {
                     "status": "invalid",
@@ -253,7 +300,19 @@ class WeakKeyService:
             # count first: the commit's manifest rewrite then persists the
             # new total for free; an all-duplicate batch persists explicitly
             self.registry.note_duplicates(duplicates, persist=not fresh)
-        if fresh:
+        if fresh and self.router is not None:
+            # sharded path: fan the batch out as cross-jobs; a failed
+            # commit retries the same (job, fingerprint) and the workers
+            # dedupe via their durable snapshots — no rebuild needed here
+            started = time.monotonic()
+            hits = self.router.scan_batch(
+                fresh, base=base, job_id=self.registry.n_batches, bits=self.bits
+            )
+            self.registry.commit_batch(
+                fresh, hits,
+                exponents=fresh_exponents, seconds=time.monotonic() - started,
+            )
+        elif fresh:
             try:
                 report = self.scanner.add_batch(fresh)
             except Exception:
@@ -326,7 +385,28 @@ class WeakKeyService:
             "duplicate_submissions": self.registry.duplicate_submissions,
             "pending_keys": self.batcher.pending_keys,
             "bits": self.bits,
+            "shards": self.config.shards,
             "uptime_seconds": round(up, 3),
+        }
+
+    def shards_view(self) -> dict:
+        """Fleet status for ``GET /shardsz`` — shaped identically whether
+        the corpus lives in one in-process scanner or N shard workers."""
+        if self.router is not None:
+            return self.router.status_view()
+        keys = self.registry.n_keys
+        pairs = self.scanner.total_pairs_tested if self.scanner is not None else 0
+        return {
+            "shards": 1,
+            "replicas": None,
+            "keys": keys,
+            "pairs_tested": pairs,
+            "pairs_expected": keys * (keys - 1) // 2,
+            "detail": [{
+                "shard": 0, "keys": keys, "pairs_tested": pairs,
+                "applied_job": self.registry.n_batches - 1 if self.registry.n_batches else None,
+                "alive": True, "crashes": 0, "respawns": 0,
+            }],
         }
 
     async def metrics_view(self) -> dict:
@@ -666,6 +746,8 @@ class HttpServer:
             return 200, self.service.health_view(), ()
         if path == "/metricsz":
             return 200, await self.service.metrics_view(), ()
+        if path == "/shardsz":
+            return 200, self.service.shards_view(), ()
         raise _HttpError(404, f"no such endpoint: {path}")
 
     async def _handle_submit(self, request: _Request) -> tuple[int, dict, tuple]:

@@ -112,6 +112,11 @@ class WeakKeyRegistry:
         self._index: dict[int, int] = {}
         self._hits_by_key: dict[int, list[WeakHit]] = defaultdict(list)
         self._exponents: dict[int, int] = {}
+        self._batch_sizes: list[int] = []
+        #: sharded-fleet watermarks (``repro.service.shard``): which job each
+        #: shard had durably applied as of the last manifest write — the
+        #: registry is the durable truth the fleet reconciles against
+        self._shard_state: dict | None = None
         self._manifest = Manifest(config=self._config())
         self._batches = 0
         self._lock = threading.Lock()
@@ -119,12 +124,15 @@ class WeakKeyRegistry:
     # -- persistence -----------------------------------------------------------
 
     def _config(self) -> dict:
-        return {
+        config = {
             "format": REGISTRY_FORMAT,
             "bits": self.bits,
             "duplicate_submissions": self.duplicate_submissions,
             "exponents": {str(i): e for i, e in sorted(self._exponents.items())},
         }
+        if self._shard_state is not None:
+            config["shard_state"] = self._shard_state
+        return config
 
     def load(self) -> int:
         """Restore state from disk; returns the number of batches restored.
@@ -149,6 +157,7 @@ class WeakKeyRegistry:
 
         moduli: list[int] = []
         hits: list[WeakHit] = []
+        batch_sizes: list[int] = []
         batches = 0
         pos = 0
         while pos + 1 < len(prefix):
@@ -165,6 +174,7 @@ class WeakKeyRegistry:
                     f"{hits_rec.blob}: hit blob holds {len(flat)} records, not triples"
                 )
             moduli.extend(batch_moduli)
+            batch_sizes.append(len(batch_moduli))
             hits.extend(
                 WeakHit(flat[k], flat[k + 1], flat[k + 2])
                 for k in range(0, len(flat), 3)
@@ -197,6 +207,8 @@ class WeakKeyRegistry:
         self._exponents = {
             int(i): int(e) for i, e in manifest.config.get("exponents", {}).items()
         }
+        self._batch_sizes = batch_sizes
+        self._shard_state = manifest.config.get("shard_state")
         self._batches = batches
         if dropped:
             manifest.stages = manifest.stages[: 2 * batches]
@@ -305,6 +317,7 @@ class WeakKeyRegistry:
             for h in sorted_new:
                 self._hits_by_key[h.i].append(h)
                 self._hits_by_key[h.j].append(h)
+            self._batch_sizes.append(len(new_moduli))
             self._batches += 1
             self._update_gauges()
         self.telemetry.emit(
@@ -356,6 +369,32 @@ class WeakKeyRegistry:
             if persist and self._manifest is not None:
                 self._manifest.config = self._config()
                 self.store.save(self._manifest)
+
+    def set_shard_state(self, state: dict | None) -> None:
+        """Record the fleet's per-shard watermarks for the next manifest write.
+
+        Called by :class:`repro.service.shard.ShardRouter` after every shard
+        has durably applied a job and *before* the batch commit, so the
+        manifest that lands carries watermarks consistent with the shard
+        snapshots already on disk (shards lead, the registry follows —
+        never the reverse).  ``None`` clears the record (single-scanner
+        mode).
+        """
+        with self._lock:
+            self._shard_state = state
+
+    def shard_state(self) -> dict | None:
+        """The last persisted/recorded per-shard watermark payload, if any."""
+        return self._shard_state
+
+    def batch_sizes(self) -> list[int]:
+        """Per-batch key counts, in commit order.
+
+        Together with ``moduli`` this replays the admission history — how a
+        rebuilding shard recomputes its pair-coverage watermark without
+        rescanning anything (see ``docs/SHARDING.md``).
+        """
+        return list(self._batch_sizes)
 
     # -- queries ---------------------------------------------------------------
 

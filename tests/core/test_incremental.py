@@ -308,3 +308,75 @@ class TestIncrementalTelemetry:
         with telemetry.timer.span("outer"):
             rep = scanner.add_batch(corpus.moduli)
         assert rep.elapsed_seconds > 0
+
+
+class TestCrossScanAdopt:
+    """The shard-fleet primitives: scan-without-adopting, adopt-without-scanning."""
+
+    ENGINES = ("bulk", "native", "ptree", "all2all", "auto")
+
+    def _scanner(self, engine, tmp_path):
+        kwargs = {"spool_dir": tmp_path / f"pt-{engine}"} if engine == "ptree" else {}
+        return IncrementalScanner(bits=BITS, engine=engine, **kwargs)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cross_plus_adopt_equals_add_batch(self, corpus, tmp_path, engine):
+        reference = IncrementalScanner(bits=BITS)
+        split = self._scanner(engine, tmp_path)
+        for start in range(0, corpus.n_keys, 5):
+            batch = corpus.moduli[start : start + 5]
+            ref = reference.add_batch(list(batch))
+            rep = split.cross_scan(list(batch), include_internal=True)
+            split.adopt(list(batch))
+            assert [(h.i, h.j, h.prime) for h in rep.hits] == [
+                (h.i, h.j, h.prime) for h in ref.hits
+            ]
+            assert rep.pairs_tested == ref.pairs_tested
+        assert split.moduli == reference.moduli
+
+    def test_cross_scan_does_not_mutate_state(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:9])
+        before = (list(scanner.moduli), scanner.total_pairs_tested, list(scanner.all_hits))
+        scanner.cross_scan(corpus.moduli[9:], include_internal=True)
+        after = (list(scanner.moduli), scanner.total_pairs_tested, list(scanner.all_hits))
+        assert before == after
+
+    def test_internal_pairs_are_opt_in(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.add_batch(corpus.moduli[:9])
+        fresh = corpus.moduli[9:]
+        without = scanner.cross_scan(list(fresh))
+        with_internal = scanner.cross_scan(list(fresh), include_internal=True)
+        k = len(fresh)
+        assert without.pairs_tested == 9 * k
+        assert with_internal.pairs_tested == 9 * k + k * (k - 1) // 2
+        # every hit excluded by the flag is an internal (new, new) pair
+        dropped = set((h.i, h.j) for h in with_internal.hits) - set(
+            (h.i, h.j) for h in without.hits
+        )
+        assert all(i >= 9 and j >= 9 for i, j in dropped)
+
+    def test_adopt_alone_tests_no_pairs(self, corpus):
+        scanner = IncrementalScanner(bits=BITS)
+        scanner.adopt(corpus.moduli[:6])
+        assert scanner.moduli == corpus.moduli[:6]
+        assert scanner.total_pairs_tested == 0 and scanner.all_hits == []
+        # the adopted corpus is live: the next batch scans against it
+        rep = scanner.add_batch(corpus.moduli[6:])
+        expected = 6 * 12 + 12 * 11 // 2
+        assert rep.pairs_tested == expected
+
+    def test_adopted_corpus_snapshots_and_restores(self, corpus, tmp_path):
+        scanner = self._scanner("ptree", tmp_path)
+        scanner.adopt(corpus.moduli[:10])
+        scanner.cross_scan(corpus.moduli[10:])
+        restored = IncrementalScanner.restore(
+            scanner.snapshot(), spool_dir=tmp_path / "pt-ptree"
+        )
+        assert restored.moduli == corpus.moduli[:10]
+        rep = restored.cross_scan(corpus.moduli[10:], include_internal=True)
+        full = IncrementalScanner(bits=BITS)
+        full.add_batch(corpus.moduli[:10])
+        ref = full.cross_scan(corpus.moduli[10:], include_internal=True)
+        assert [(h.i, h.j) for h in rep.hits] == [(h.i, h.j) for h in ref.hits]

@@ -1,0 +1,19 @@
+"""The doc set must have zero broken relative links (CI runs the tool too)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+
+def test_link_extraction_skips_external_targets():
+    text = "a [x](docs/SHARDING.md) b [y](https://e.org) c ``README.md`` d [z](#frag)"
+    assert check_links.link_targets(text) == {"docs/SHARDING.md", "README.md"}
+
+
+def test_readme_and_docs_have_no_broken_links():
+    paths = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    assert check_links.check(paths) == []

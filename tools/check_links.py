@@ -1,0 +1,79 @@
+"""Fail on broken relative links in the markdown doc set.
+
+Checks two link forms across README.md and docs/*.md (plus any extra
+paths given on the command line):
+
+* markdown links/images — ``[text](target)`` — whose target is a
+  relative path (``http(s)://``, ``mailto:`` and pure ``#anchor``
+  targets are skipped; a trailing ``#fragment`` on a path is ignored);
+* backtick-quoted repo paths ending in ``.md`` — ``docs/SHARDING.md`` —
+  the form the doc set uses for prose cross-references.
+
+A target resolves if it exists relative to the referencing file's
+directory or to the repository root (both conventions appear in the
+tree).  Exit status 1 with one line per broken link; 0 when clean.
+
+Usage::
+
+    python tools/check_links.py [extra.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_PATH = re.compile(r"``?([A-Za-z0-9_./-]+\.md)``?")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def link_targets(text: str) -> set[str]:
+    """Every checkable relative target referenced by ``text``.
+
+    >>> sorted(link_targets("see [x](docs/A.md#sec) and ``B.md`` not "
+    ...                     "[y](https://z) or [z](#frag)"))
+    ['B.md', 'docs/A.md']
+    """
+    targets: set[str] = set()
+    for match in MD_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        targets.add(target)
+    for match in BACKTICK_PATH.finditer(text):
+        targets.add(match.group(1))
+    return targets
+
+
+def resolves(target: str, source: Path) -> bool:
+    if target.startswith("/"):
+        return False  # absolute paths never belong in the doc set
+    return (source.parent / target).exists() or (REPO_ROOT / target).exists()
+
+
+def check(paths: list[Path]) -> list[str]:
+    broken: list[str] = []
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        for target in sorted(link_targets(text)):
+            if not resolves(target, path):
+                broken.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    paths = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    paths += [Path(arg).resolve() for arg in argv]
+    broken = check(paths)
+    for line in broken:
+        print(line)
+    print(f"checked {len(paths)} file(s): " + ("FAIL" if broken else "ok"))
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
