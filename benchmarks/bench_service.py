@@ -31,6 +31,18 @@ into a hard floor; the committed JSON records honest numbers for whatever
 host ran it (``environment.cpu_count`` says how many cores that was — on
 a single-core container the fleet cannot beat one shard).
 
+The v3 schema adds a **wire sweep**: the same bulk submission posted as
+hex-JSON and as the ``RGWIRE1`` binary format (``docs/SERVICE.md``),
+against fat (default 8192-bit) moduli where parsing is a visible share
+of the request.  To isolate the *submit path* — socket → parse → dedup →
+verdict — from scan cost, the corpus is registered first (untimed) and
+the timed rounds resubmit the same bodies, so every timed key takes the
+duplicate path whose cost is identical across formats.  Throughput is
+best-of-rounds (single-core containers jitter ±15 % between rounds) and
+the hit-set digest must match between formats — same bytes in, same
+verdicts out.  ``REPRO_BENCH_WIRE_MIN_SPEEDUP`` (CI) turns the binary
+format's advantage into a hard floor.
+
 Runs standalone (CI uses this form, with a throughput floor)::
 
     PYTHONPATH=src REPRO_BENCH_SERVICE_MIN_RPS=500 \
@@ -55,10 +67,11 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.rsa.primes import generate_prime
+from repro.service import wire
 from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
 from repro.util.intops import backend_info
 
-SCHEMA = "repro.bench_service/2"
+SCHEMA = "repro.bench_service/3"
 
 QUICK_KEYS, QUICK_CLIENTS = 800, 48
 FULL_KEYS, FULL_CLIENTS = 4000, 64
@@ -67,6 +80,8 @@ DEFAULT_SHARDS = (1, 2, 4)
 QUICK_PRELOAD, QUICK_TIMED, QUICK_SHARD_CLIENTS = 1200, 240, 24
 FULL_PRELOAD, FULL_TIMED, FULL_SHARD_CLIENTS = 3000, 600, 32
 BITS = 64
+QUICK_WIRE_KEYS, QUICK_WIRE_BITS, QUICK_WIRE_ROUNDS, QUICK_WIRE_REPS = 160, 2048, 3, 4
+FULL_WIRE_KEYS, FULL_WIRE_BITS, FULL_WIRE_ROUNDS, FULL_WIRE_REPS = 800, 8192, 5, 8
 
 
 @dataclass
@@ -116,6 +131,42 @@ def synthetic_moduli(n: int, bits: int, seed: str) -> list[int]:
     return out
 
 
+def fat_moduli(n: int, bits: int, seed: str) -> list[int]:
+    """``n`` unique moduli of *exactly* ``bits`` bits, cheap at any size.
+
+    Honest balanced semiprimes are prohibitively slow to generate past a
+    few thousand bits, so each value is ``p^k * q``: a 128-bit prime
+    raised to fill most of the width, times one fresh prime sized to land
+    the product on exactly ``bits`` bits (the registry rejects any other
+    length as ``invalid``, which would silently bench the wrong path).
+    Distinct 128-bit ``p``s keep the set pairwise coprime; every ~100th
+    modulus reuses its predecessor's prime-power head so the hit path
+    fires at a realistic rate and the cross-format digest check has
+    actual hits to compare.
+    """
+    rng = random.Random((seed, n, bits).__repr__())
+    head_exp = (bits - 160) // 128
+    seen: set[int] = set()
+    out: list[int] = []
+    prev = None  # (p, p**head_exp) of the previous modulus
+    for k in range(n):
+        while True:
+            if k % 100 == 99 and prev is not None:
+                p, head = prev  # plant: gcd(m_k, m_{k-1}) == p**head_exp
+            else:
+                p = generate_prime(128, rng, avoid=seen)
+                head = p ** head_exp
+            q = generate_prime(bits - head.bit_length(), rng, avoid=seen)
+            m = head * q
+            if m.bit_length() == bits:
+                seen.add(p)
+                seen.add(q)
+                prev = (p, head)
+                out.append(m)
+                break
+    return out
+
+
 class KeepAliveClient:
     """A minimal pipelining-free HTTP/1.1 client over one connection."""
 
@@ -138,10 +189,15 @@ class KeepAliveClient:
                 pass
 
     async def post_json(self, path: str, doc: dict) -> tuple[int, dict]:
-        body = json.dumps(doc).encode()
+        return await self.post(path, json.dumps(doc).encode())
+
+    async def post(
+        self, path: str, body: bytes, content_type: str = "application/json"
+    ) -> tuple[int, dict]:
         self.writer.write(
             (
                 f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n\r\n"
             ).encode()
             + body
@@ -336,6 +392,99 @@ async def _run_shards(
     )
 
 
+@dataclass
+class WireRunResult:
+    """One wire-format measurement of the dedup-bound bulk workload."""
+
+    format: str
+    bits: int
+    keys: int
+    chunk: int
+    rounds: int
+    reps_per_round: int
+    body_bytes: int
+    round_keys_per_second: list[float]
+    best_keys_per_second: float
+    registered: int
+    hits: int
+    hit_digest: str
+
+
+async def _run_wire(
+    binary: bool,
+    moduli: list[int],
+    bits: int,
+    chunk: int,
+    rounds: int,
+    reps: int,
+    state_dir: Path,
+) -> WireRunResult:
+    """Submit-path throughput for one wire format, dedup-bound.
+
+    Phase one registers the corpus (untimed — it pays the scan, which no
+    format can change).  The timed rounds resubmit the exact same bodies:
+    every key takes the duplicate path, so the only cost that differs
+    between formats is socket → parse.  Each round replays the bodies
+    ``reps`` times so round length swamps scheduler jitter.
+    """
+    service = WeakKeyService(
+        ServiceConfig(
+            state_dir=state_dir, bits=bits, linger_ms=0.0,
+            max_batch=2 * chunk, max_pending=max(8192, 4 * len(moduli)),
+        )
+    )
+    server = HttpServer(service, port=0)
+    await server.start()
+    client = KeepAliveClient(server.port)
+    fmt = "binary" if binary else "json"
+    try:
+        await client.connect()
+        bodies: list[tuple[bytes, str, int]] = []
+        for start in range(0, len(moduli), chunk):
+            part = moduli[start:start + chunk]
+            if binary:
+                bodies.append((wire.encode_moduli(part), wire.CONTENT_TYPE, len(part)))
+            else:
+                body = json.dumps({"moduli": [hex(m) for m in part]}).encode()
+                bodies.append((body, "application/json", len(part)))
+        registered = 0
+        for body, ctype, _ in bodies:
+            status, doc = await client.post("/submit?wait=1", body, ctype)
+            assert status == 200, doc
+            registered += sum(
+                1 for r in doc["results"] if r["status"] == "registered"
+            )
+        rates: list[float] = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            n_keys = 0
+            for _ in range(reps):
+                for body, ctype, count in bodies:
+                    status, _ = await client.post("/submit?wait=1", body, ctype)
+                    assert status == 200
+                    n_keys += count
+            rates.append(n_keys / (time.perf_counter() - t0))
+        digest = _hit_digest(service)
+        hits = len(service.registry.hits)
+    finally:
+        await client.close()
+        await server.close()
+    return WireRunResult(
+        format=fmt,
+        bits=bits,
+        keys=len(moduli),
+        chunk=chunk,
+        rounds=rounds,
+        reps_per_round=reps,
+        body_bytes=sum(len(b) for b, _, _ in bodies),
+        round_keys_per_second=[round(r, 1) for r in rates],
+        best_keys_per_second=round(max(rates), 1),
+        registered=registered,
+        hits=hits,
+        hit_digest=digest,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         description="registry-service submission throughput vs linger"
@@ -376,6 +525,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless the widest fleet beats 1 shard by this "
                         "factor (default: REPRO_BENCH_SHARD_MIN_SPEEDUP or no "
                         "floor; only meaningful on multi-core hosts)")
+    p.add_argument("--wire-keys", type=int, default=None,
+                   help="corpus size for the JSON-vs-binary wire sweep "
+                        f"(default {QUICK_WIRE_KEYS} quick / {FULL_WIRE_KEYS} "
+                        "full; 0 skips the sweep)")
+    p.add_argument("--wire-bits", type=int, default=None,
+                   help="modulus width for the wire sweep "
+                        f"(default {QUICK_WIRE_BITS} quick / {FULL_WIRE_BITS} "
+                        "full; fatter keys shift cost toward parsing)")
+    p.add_argument("--wire-chunk", type=int, default=None,
+                   help="keys per bulk POST in the wire sweep "
+                        "(default: half the corpus)")
+    p.add_argument("--wire-rounds", type=int, default=None,
+                   help="timed rounds per format; throughput is best-of "
+                        f"(default {QUICK_WIRE_ROUNDS} quick / "
+                        f"{FULL_WIRE_ROUNDS} full)")
+    p.add_argument("--wire-reps", type=int, default=None,
+                   help="corpus replays per timed round "
+                        f"(default {QUICK_WIRE_REPS} quick / {FULL_WIRE_REPS} "
+                        "full)")
+    p.add_argument("--min-wire-speedup", type=float,
+                   default=float(os.environ.get("REPRO_BENCH_WIRE_MIN_SPEEDUP", "0")),
+                   help="fail unless the binary format beats JSON by this "
+                        "factor (default: REPRO_BENCH_WIRE_MIN_SPEEDUP or no "
+                        "floor)")
     p.add_argument("--seed", default="bench-service")
     p.add_argument("--out", default="BENCH_service.json",
                    help='output path ("-" for stdout)')
@@ -441,6 +614,56 @@ def main(argv: list[str] | None = None) -> int:
                 f"1-shard throughput (< {args.min_shard_speedup:.2f}x floor)"
             )
 
+    wire_runs: list[WireRunResult] = []
+    wire_failure = None
+    wire_speedup = 0.0
+    wire_keys = (
+        args.wire_keys
+        if args.wire_keys is not None
+        else (QUICK_WIRE_KEYS if args.quick else FULL_WIRE_KEYS)
+    )
+    if wire_keys:
+        wire_bits = args.wire_bits or (
+            QUICK_WIRE_BITS if args.quick else FULL_WIRE_BITS
+        )
+        wire_chunk = args.wire_chunk or max(1, wire_keys // 2)
+        wire_rounds = args.wire_rounds or (
+            QUICK_WIRE_ROUNDS if args.quick else FULL_WIRE_ROUNDS
+        )
+        wire_reps = args.wire_reps or (
+            QUICK_WIRE_REPS if args.quick else FULL_WIRE_REPS
+        )
+        wire_moduli = fat_moduli(wire_keys, wire_bits, args.seed + "-wire")
+        for binary in (False, True):
+            with tempfile.TemporaryDirectory(prefix="bench_wire_") as d:
+                r = asyncio.run(_run_wire(
+                    binary, wire_moduli, wire_bits, wire_chunk,
+                    wire_rounds, wire_reps, Path(d) / "state",
+                ))
+            wire_runs.append(r)
+            print(
+                f"  wire[{r.format:>6}]  {r.best_keys_per_second:9.1f} keys/s"
+                f"  (best of {r.rounds})  body={r.body_bytes}B"
+                f"  hits={r.hits}  digest={r.hit_digest}",
+                file=sys.stderr,
+            )
+        json_run, bin_run = wire_runs
+        wire_speedup = (
+            bin_run.best_keys_per_second / json_run.best_keys_per_second
+            if json_run.best_keys_per_second else 0.0
+        )
+        if json_run.hit_digest != bin_run.hit_digest:
+            wire_failure = (
+                "hit-set digests diverge between wire formats: "
+                f"json={json_run.hit_digest} binary={bin_run.hit_digest}"
+            )
+        elif args.min_wire_speedup and wire_speedup < args.min_wire_speedup:
+            wire_failure = (
+                f"binary format sustained only {wire_speedup:.2f}x the JSON "
+                f"throughput (< {args.min_wire_speedup:.2f}x floor)"
+            )
+        print(f"  wire speedup: {wire_speedup:.2f}x", file=sys.stderr)
+
     best = max(r.submissions_per_second for r in runs)
     doc = {
         "schema": SCHEMA,
@@ -474,6 +697,16 @@ def main(argv: list[str] | None = None) -> int:
             "min_speedup": args.min_shard_speedup,
             "failure": shard_failure,
         },
+        "wire_sweep": {
+            "runs": [asdict(r) for r in wire_runs],
+            "binary_speedup": round(wire_speedup, 3),
+            "body_bytes_ratio": round(
+                wire_runs[1].body_bytes / wire_runs[0].body_bytes, 3
+            ) if wire_runs else 0.0,
+            "digest_parity": len({r.hit_digest for r in wire_runs}) <= 1,
+            "min_speedup": args.min_wire_speedup,
+            "failure": wire_failure,
+        },
     }
     payload = json.dumps(doc, indent=2) + "\n"
     if args.out == "-":
@@ -492,18 +725,24 @@ def main(argv: list[str] | None = None) -> int:
     if shard_failure:
         print(f"SHARD SWEEP FAILED: {shard_failure}", file=sys.stderr)
         return 1
+    if wire_failure:
+        print(f"WIRE SWEEP FAILED: {wire_failure}", file=sys.stderr)
+        return 1
     return 0
 
 
 def test_bench_service_quick(tmp_path, report):
     """Smoke: the quick sweep runs, every key registers, schema is stable,
-    and the shard sweep's hit digests agree between 1 and 2 shards."""
+    the shard sweep's hit digests agree between 1 and 2 shards, and the
+    wire sweep sees identical verdicts from JSON and binary bodies."""
     out = tmp_path / "BENCH_service.json"
     rc = main([
         "--quick", "--keys", "300", "--clients", "16",
         "--lingers", "0,10",
         "--shards", "1,2", "--shard-preload", "220",
         "--shard-keys", "60", "--shard-clients", "8",
+        "--wire-keys", "60", "--wire-bits", "2048",
+        "--wire-rounds", "2", "--wire-reps", "2",
         "--out", str(out),
     ])
     assert rc == 0
@@ -520,6 +759,14 @@ def test_bench_service_quick(tmp_path, report):
     assert sweep["digest_parity"] is True
     assert [r["shards"] for r in sweep["runs"]] == [1, 2]
     assert len({r["pairs_tested"] for r in sweep["runs"]}) == 1
+    wires = doc["wire_sweep"]
+    assert wires["failure"] is None
+    assert wires["digest_parity"] is True
+    assert [r["format"] for r in wires["runs"]] == ["json", "binary"]
+    for r in wires["runs"]:
+        assert r["registered"] == r["keys"]  # fat moduli are unique too
+        assert r["hits"] >= 0 and r["best_keys_per_second"] > 0
+    assert wires["body_bytes_ratio"] < 1.0  # binary bodies are smaller
     lines = ["", "== registry service sweep =="]
     for r in doc["runs"]:
         lines.append(
@@ -533,6 +780,12 @@ def test_bench_service_quick(tmp_path, report):
             f"  shards={r['shards']} {r['submissions_per_second']:8.1f} subs/s  "
             f"p50={r['p50_ms']:.2f}ms digest={r['hit_digest']}"
         )
+    for r in wires["runs"]:
+        lines.append(
+            f"  wire[{r['format']:>6}] {r['best_keys_per_second']:9.1f} keys/s  "
+            f"digest={r['hit_digest']}"
+        )
+    lines.append(f"  wire speedup: {wires['binary_speedup']:.2f}x")
     report(*lines)
 
 

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import http.client
 import json
 import signal
 import sys
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
+from urllib.parse import urlsplit
 
 from repro.core.attack import find_shared_primes
 from repro.core.incremental import IncrementalScanner
@@ -56,6 +56,7 @@ from repro.rsa.corpus import (
     write_moduli_text,
 )
 from repro.rsa.keys import generate_key
+from repro.service import wire
 from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
 from repro.rsa.pem import load_public_moduli, private_key_to_pem, public_key_to_pem
 from repro.rsa.x509 import (
@@ -323,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
     sm.add_argument(
         "--wait", action="store_true",
         help="long-poll until the submission's verdicts are in",
+    )
+    sm.add_argument(
+        "--binary", action="store_true",
+        help="submit moduli with the RGWIRE1 binary wire format "
+        "(Content-Type application/x-repro-moduli): length-prefixed "
+        "big-endian bytes, no hex/JSON round-trip on either side; "
+        "--pem bundles still ride JSON (they carry exponents)",
     )
     sm.add_argument(
         "--chunk", type=int, default=500,
@@ -855,76 +863,145 @@ class _Backpressure(Exception):
         self.retry_after = retry_after
 
 
-def _service_request(
-    method: str,
-    url: str,
-    payload: dict | None,
-    *,
-    timeout: float,
-    retries: int = 0,
-) -> dict:
-    """One JSON round-trip with the service, retrying 429/503 responses.
+class _ServiceClient:
+    """A pooled keep-alive HTTP client for the registry service.
 
-    Retries ride the shared :class:`repro.resilience.RetryPolicy`; the
-    server's ``Retry-After`` hint acts as a floor under the policy's own
-    backoff.  Anything else — other statuses, unreachable service — raises
-    :class:`ValueError` immediately.
+    One TCP connection serves every request of a CLI invocation: bulk
+    ``--moduli`` submissions used to open a fresh ``urllib`` connection
+    per 500-key chunk, paying a TCP handshake (and slow-start) per
+    request.  Requests retry 429/503 through the shared
+    :class:`repro.resilience.RetryPolicy`, with the server's
+    ``Retry-After`` hint as a floor under the policy's own backoff.  A
+    connection the server closed between requests (keep-alive timeout,
+    restart) is replayed once on a fresh socket.  Anything else — other
+    statuses, unreachable service — raises :class:`ValueError`.
     """
-    body = json.dumps(payload).encode() if payload is not None else None
-    hint = [0.0]  # last Retry-After hint, floors the policy's backoff
 
-    def once() -> dict:
-        request = urllib.request.Request(
-            url, data=body, method=method,
-            headers={"Content-Type": "application/json"},
+    def __init__(self, base_url: str, *, timeout: float) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", "https"):
+            raise ValueError(
+                f"unsupported service URL scheme {split.scheme!r} in {base_url!r}"
+            )
+        self._factory = (
+            http.client.HTTPSConnection
+            if split.scheme == "https"
+            else http.client.HTTPConnection
         )
-        try:
-            with urllib.request.urlopen(request, timeout=timeout) as response:
-                return json.loads(response.read().decode())
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode(errors="replace").strip()
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port
+        self._prefix = split.path.rstrip("/")
+        self._url = base_url
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _send(self, method: str, path: str, body: bytes | None,
+              content_type: str):
+        """One request/response; a stale keep-alive socket is replayed once."""
+        while True:
+            fresh = self._conn is None
+            if fresh:
+                self._conn = self._factory(
+                    self._host, self._port, timeout=self._timeout
+                )
+            conn = self._conn
             try:
-                detail = json.loads(detail).get("error", detail)
-            except ValueError:
-                pass
-            if exc.code in (429, 503):
+                conn.request(
+                    method, self._prefix + path, body=body,
+                    headers={"Content-Type": content_type} if body is not None else {},
+                )
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                if fresh:
+                    raise ValueError(
+                        f"cannot reach service at {self._url}: {exc}"
+                    ) from None
+                continue  # server dropped the idle connection: replay once
+            if response.will_close:
+                self.close()
+            return response.status, response.headers, data
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        retries: int = 0,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        """One JSON-decoded round trip, retrying 429/503 responses.
+
+        ``payload`` is JSON-encoded; binary submissions pass pre-encoded
+        ``body`` bytes with their ``content_type`` instead.
+        """
+        if body is None and payload is not None:
+            body = json.dumps(payload).encode()
+        hint = [0.0]  # last Retry-After hint, floors the policy's backoff
+
+        def once() -> dict:
+            status, headers, data = self._send(method, path, body, content_type)
+            if status >= 400:
+                detail = data.decode(errors="replace").strip()
                 try:
-                    hint[0] = min(max(float(exc.headers.get("Retry-After", "0.5")), 0.05), 30.0)
+                    detail = json.loads(detail).get("error", detail)
                 except ValueError:
-                    hint[0] = 0.5
-                raise _Backpressure(exc.code, detail, hint[0]) from None
-            raise ValueError(f"service returned {exc.code}: {detail}") from None
-        except urllib.error.URLError as exc:
-            raise ValueError(f"cannot reach service at {url}: {exc.reason}") from None
+                    pass
+                if status in (429, 503):
+                    try:
+                        hint[0] = min(
+                            max(float(headers.get("Retry-After", "0.5")), 0.05),
+                            30.0,
+                        )
+                    except ValueError:
+                        hint[0] = 0.5
+                    raise _Backpressure(status, detail, hint[0])
+                raise ValueError(f"service returned {status}: {detail}")
+            return json.loads(data)
 
-    def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
-        code = exc.code if isinstance(exc, _Backpressure) else "?"
-        print(
-            f"backpressure ({code}): retrying in {max(delay, hint[0]):.2f}s "
-            f"({attempt}/{retries})",
-            file=sys.stderr,
-        )
+        def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+            code = exc.code if isinstance(exc, _Backpressure) else "?"
+            print(
+                f"backpressure ({code}): retrying in {max(delay, hint[0]):.2f}s "
+                f"({attempt}/{retries})",
+                file=sys.stderr,
+            )
 
-    policy = RetryPolicy(max_attempts=retries + 1, base_delay=0.5, max_delay=30.0)
-    try:
-        return policy.run(
-            once,
-            retryable=lambda exc: isinstance(exc, _Backpressure),
-            on_retry=on_retry,
-            sleep=lambda delay: time.sleep(max(delay, hint[0])),
-        )
-    except _Backpressure as exc:
-        raise ValueError(str(exc)) from None
+        policy = RetryPolicy(max_attempts=retries + 1, base_delay=0.5, max_delay=30.0)
+        try:
+            return policy.run(
+                once,
+                retryable=lambda exc: isinstance(exc, _Backpressure),
+                on_retry=on_retry,
+                sleep=lambda delay: time.sleep(max(delay, hint[0])),
+            )
+        except _Backpressure as exc:
+            raise ValueError(str(exc)) from None
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    base = args.url.rstrip("/")
+    client = _ServiceClient(args.url.rstrip("/"), timeout=args.timeout)
+    try:
+        return _run_submit(args, client)
+    finally:
+        client.close()
+
+
+def _run_submit(args: argparse.Namespace, client: _ServiceClient) -> int:
     if args.fetch:
         path = {
             "hits": "/hits", "broken": "/broken",
             "health": "/healthz", "metrics": "/metricsz",
         }[args.fetch]
-        payload = _service_request("GET", base + path, None, timeout=args.timeout)
+        payload = client.request("GET", path)
         if args.json or args.fetch == "metrics":
             print(json.dumps(payload, indent=2))
         elif args.fetch == "hits":
@@ -941,25 +1018,34 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0
 
     # gather submissions: positional hex, --moduli text file, --pem bundle
-    docs: list[dict] = []
-    moduli: list[object] = [m if m.lower().startswith("0x") else "0x" + m
-                            for m in args.hex_moduli]
-    if args.moduli is not None:
-        moduli.extend(int(n) for n in stream_moduli(args.moduli, format="text"))
-    for start in range(0, len(moduli), max(1, args.chunk)):
-        docs.append({"moduli": moduli[start : start + args.chunk]})
+    chunk = max(1, args.chunk)
+    posts: list[dict] = []
+    if args.binary:
+        moduli_int = [int(m, 16) for m in args.hex_moduli]
+        if args.moduli is not None:
+            moduli_int.extend(int(n) for n in stream_moduli(args.moduli, format="text"))
+        for start in range(0, len(moduli_int), chunk):
+            posts.append({
+                "body": wire.encode_moduli(moduli_int[start : start + chunk]),
+                "content_type": wire.CONTENT_TYPE,
+            })
+    else:
+        moduli: list[object] = [m if m.lower().startswith("0x") else "0x" + m
+                                for m in args.hex_moduli]
+        if args.moduli is not None:
+            moduli.extend(int(n) for n in stream_moduli(args.moduli, format="text"))
+        for start in range(0, len(moduli), chunk):
+            posts.append({"payload": {"moduli": moduli[start : start + chunk]}})
     if args.pem is not None:
-        docs.append({"pem": args.pem.read_text()})
-    if not docs:
+        # PEM bundles carry exponents, which RGWIRE1 deliberately omits
+        posts.append({"payload": {"pem": args.pem.read_text()}})
+    if not posts:
         raise ValueError("nothing to submit (give moduli, --moduli or --pem)")
 
     wait = "?wait=1" if args.wait else ""
     responses = [
-        _service_request(
-            "POST", f"{base}/submit{wait}", doc,
-            timeout=args.timeout, retries=args.retries,
-        )
-        for doc in docs
+        client.request("POST", f"/submit{wait}", retries=args.retries, **post)
+        for post in posts
     ]
     if args.json:
         print(json.dumps(responses, indent=2))

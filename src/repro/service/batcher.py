@@ -14,6 +14,15 @@ task drains flushes in arrival order through the caller's async ``scan``
 callable, so scans are strictly serialised (the scanner and registry are
 not concurrent-safe and never need to be).
 
+The handoff is zero-copy on the bulk path: the queue holds whole
+submissions (the exact ``(modulus, exponent)`` list the HTTP layer
+parsed) with a consume cursor, never per-key queue entries.  When one
+submission fills a flush by itself — every bulk POST up to ``max_batch``
+keys — that original list object is handed to ``scan`` untouched; only
+flushes stitched from several submissions (or a split oversized one)
+assemble a new list.  ``scan`` must therefore treat its argument as
+read-only, which the service's dedup/scan/commit step already does.
+
 Backpressure is explicit and bounded: at most ``max_pending`` keys may be
 queued; past that, :meth:`MicroBatcher.submit` raises :class:`BacklogFull`
 carrying a ``retry_after`` estimate derived from the observed scan rate,
@@ -151,8 +160,11 @@ class MicroBatcher:
             if retry_policy is not None
             else RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=30.0)
         )
-        #: (item, ticket, position-in-ticket)
-        self._pending: deque[tuple[object, Ticket, int]] = deque()
+        #: whole submissions, each [items, ticket, cursor]: ``items`` is the
+        #: caller's parsed list (never copied on admission) and ``cursor``
+        #: marks how many of its keys earlier flushes already consumed
+        self._pending: deque[list] = deque()
+        self._pending_keys = 0
         self._arrived = asyncio.Event()
         self._worker: asyncio.Task | None = None
         self._closing = False
@@ -178,6 +190,7 @@ class MicroBatcher:
             while self._pending:
                 _, ticket, _ = self._pending.popleft()
                 ticket._fail("service shutting down", now)
+            self._pending_keys = 0
         self._arrived.set()  # wake the worker so it can observe _closing
         await self._worker
         self._worker = None
@@ -186,40 +199,42 @@ class MicroBatcher:
 
     @property
     def pending_keys(self) -> int:
-        return len(self._pending)
+        return self._pending_keys
 
     def submit(self, items: Sequence) -> Ticket:
         """Queue one submission; returns its :class:`Ticket` immediately.
 
-        Raises :class:`BacklogFull` when admitting the submission would
-        push the queue past ``max_pending`` keys — the whole submission is
-        rejected, never a prefix of it.
+        Admission is O(1) however large the submission: ``items`` is
+        queued by reference (the zero-copy handoff), never exploded into
+        per-key entries.  Raises :class:`BacklogFull` when admitting the
+        submission would push the queue past ``max_pending`` keys — the
+        whole submission is rejected, never a prefix of it.
         """
         if self._worker is None or self._closing:
             raise RuntimeError("batcher is not running")
         if not items:
             raise ValueError("a submission must contain at least one key")
         loop = asyncio.get_running_loop()
-        if len(self._pending) + len(items) > self.max_pending:
+        if self._pending_keys + len(items) > self.max_pending:
             retry_after = self._retry_after(len(items))
             self.telemetry.registry.counter("batcher.rejected_submissions").inc()
             self.telemetry.registry.counter("batcher.rejected_keys").inc(len(items))
-            raise BacklogFull(retry_after, len(self._pending))
+            raise BacklogFull(retry_after, self._pending_keys)
         ticket = Ticket(
             f"{next(self._ids):06d}-{secrets.token_hex(4)}", len(items), loop.time()
         )
-        for pos, item in enumerate(items):
-            self._pending.append((item, ticket, pos))
+        self._pending.append([items, ticket, 0])
+        self._pending_keys += len(items)
         reg = self.telemetry.registry
         reg.counter("batcher.submissions").inc()
         reg.counter("batcher.keys_submitted").inc(len(items))
-        reg.gauge("batcher.pending_keys").set(len(self._pending))
+        reg.gauge("batcher.pending_keys").set(self._pending_keys)
         self._arrived.set()
         return ticket
 
     def _retry_after(self, n_keys: int) -> float:
         """How long until ``n_keys`` could plausibly be admitted."""
-        backlog = max(0, len(self._pending) + n_keys - self.max_pending)
+        backlog = max(0, self._pending_keys + n_keys - self.max_pending)
         if self._rate and self._rate > 0:
             estimate = backlog / self._rate + self.linger
         else:
@@ -241,7 +256,7 @@ class MicroBatcher:
                 continue
             # linger from the moment the batch head arrived, then cut
             deadline = loop.time() + self.linger
-            while len(self._pending) < self.max_batch and not self._closing:
+            while self._pending_keys < self.max_batch and not self._closing:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
                     break
@@ -250,23 +265,57 @@ class MicroBatcher:
                     await asyncio.wait_for(self._arrived.wait(), remaining)
                 except asyncio.TimeoutError:
                     break
-            batch = [
+            await self._flush(self._cut_batch(), loop)
+
+    def _cut_batch(self) -> list[tuple[Sequence, Ticket, int, int]]:
+        """Carve up to ``max_batch`` keys off the queue head.
+
+        Returns ``(items, ticket, base, count)`` parts: ``count`` keys of
+        ``items`` starting at ``base``.  Whole submissions are consumed by
+        reference; only a submission too large for the remaining room
+        stays queued with its cursor advanced.
+        """
+        parts: list[tuple[Sequence, Ticket, int, int]] = []
+        room = self.max_batch
+        while self._pending and room:
+            segment = self._pending[0]
+            items, ticket, cursor = segment
+            take = min(room, len(items) - cursor)
+            parts.append((items, ticket, cursor, take))
+            if cursor + take == len(items):
                 self._pending.popleft()
-                for _ in range(min(self.max_batch, len(self._pending)))
-            ]
-            self.telemetry.registry.gauge("batcher.pending_keys").set(len(self._pending))
-            await self._flush(batch, loop)
+            else:
+                segment[2] = cursor + take
+            room -= take
+            self._pending_keys -= take
+        self.telemetry.registry.gauge("batcher.pending_keys").set(self._pending_keys)
+        return parts
 
     async def _flush(
-        self, batch: list[tuple[int, Ticket, int]], loop: asyncio.AbstractEventLoop
+        self,
+        parts: list[tuple[Sequence, Ticket, int, int]],
+        loop: asyncio.AbstractEventLoop,
     ) -> None:
-        for _, ticket, _ in batch:
+        n_keys = sum(count for _, _, _, count in parts)
+        for _, ticket, _, _ in parts:
             if ticket.status == QUEUED:
                 ticket.status = SCANNING
         reg = self.telemetry.registry
         reg.counter("batcher.flushes").inc()
-        reg.histogram("batcher.flush_keys").observe(len(batch))
-        items = [item for item, _, _ in batch]
+        reg.histogram("batcher.flush_keys").observe(n_keys)
+        head_items, _, head_base, head_count = parts[0]
+        if len(parts) == 1 and head_base == 0 and head_count == len(head_items):
+            # the zero-copy fast path: one whole submission fills the
+            # flush, so the caller's parsed list goes to scan() as-is
+            items: Sequence = head_items
+        else:
+            assembled: list = []
+            for part_items, _, base, count in parts:
+                if base == 0 and count == len(part_items):
+                    assembled.extend(part_items)
+                else:
+                    assembled.extend(part_items[base : base + count])
+            items = assembled
 
         async def attempt() -> list[dict]:
             faults.fire("batcher.flush")
@@ -288,22 +337,27 @@ class MicroBatcher:
             reg.counter("batcher.failed_flushes").inc()
             now = loop.time()
             message = f"scan failed: {exc}"
-            for _, ticket, _ in batch:
+            for _, ticket, _, _ in parts:
                 ticket._fail(message, now)
             return
         elapsed = loop.time() - started
-        if len(results) != len(batch):
+        if len(results) != n_keys:
             raise RuntimeError(
-                f"scan returned {len(results)} results for {len(batch)} keys"
+                f"scan returned {len(results)} results for {n_keys} keys"
             )
         if elapsed > 0:
-            rate = len(batch) / elapsed
+            rate = n_keys / elapsed
             self._rate = rate if self._rate is None else 0.7 * self._rate + 0.3 * rate
         now = loop.time()
-        for (_, ticket, pos), result in zip(batch, results):
-            ticket._resolve(pos, result, now)
-            reg.histogram("batcher.ticket_wait_seconds").observe(now - ticket.created)
+        off = 0
+        observe = reg.histogram("batcher.ticket_wait_seconds").observe
+        for _, ticket, base, count in parts:
+            wait = now - ticket.created
+            for i in range(count):
+                ticket._resolve(base + i, results[off + i], now)
+                observe(wait)  # per key, as the per-key queue observed it
+            off += count
         self.telemetry.emit(
-            "batcher.flush", keys=len(batch), seconds=elapsed,
-            pending=len(self._pending),
+            "batcher.flush", keys=n_keys, seconds=elapsed,
+            pending=self._pending_keys,
         )

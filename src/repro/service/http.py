@@ -13,9 +13,12 @@ event loop keeps accepting submissions while GCDs grind.
 (``docs/SERVICE.md`` is the full reference):
 
 ==========================  ==================================================
-``POST /submit[?wait=1]``   submit keys (hex/decimal moduli, PEM, DER); bulk
-                            or single; returns a ticket (``wait=1`` long-polls
-                            until the verdicts are in)
+``POST /submit[?wait=1]``   submit keys (hex/decimal moduli, PEM, DER — or
+                            the RGWIRE1 binary format via ``Content-Type:
+                            application/x-repro-moduli``, see
+                            :mod:`repro.service.wire`); bulk or single;
+                            returns a ticket (``wait=1`` long-polls until
+                            the verdicts are in)
 ``GET /ticket/<id>``        poll a submission ticket
 ``GET /hits``               every weak-key hit found so far
 ``GET /broken``             recovered private keys (PKCS#1 PEM) for every
@@ -49,6 +52,7 @@ from repro.resilience import faults
 from repro.rsa.der import DERError, decode_rsa_public_key, decode_subject_public_key_info
 from repro.rsa.keys import DEFAULT_E, recover_key
 from repro.rsa.pem import PEMError, pem_decode_all, private_key_to_pem
+from repro.service import wire
 from repro.service.batcher import BacklogFull, MicroBatcher, Ticket
 from repro.service.registry import WeakKeyRegistry
 from repro.service.shard import ShardRouter
@@ -59,7 +63,8 @@ __all__ = ["ServiceConfig", "WeakKeyService", "HttpServer", "parse_submission"]
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
     501: "Not Implemented", 503: "Service Unavailable",
 }
 
@@ -248,12 +253,18 @@ class WeakKeyService:
         Every item gets a verdict dict; verdicts (including cached ones for
         duplicates) are computed *after* the commit, so a duplicate
         submitted alongside the fresh key that breaks it sees the new hit.
+        Registered/duplicate rows hold just the status string until then —
+        the final row is built in one step from the (cached) verdict, so
+        the per-key cost of a duplicate storm is two dict lookups and one
+        dict build.
         """
-        results: list[dict | None] = [None] * len(items)
+        results: list = [None] * len(items)
         registered: dict[int, int] = {}  # result position -> global index
         fresh: list[int] = []
         fresh_exponents: dict[int, int] = {}
         in_batch: dict[int, int] = {}  # modulus -> assigned global index
+        index_of = self.registry.index_of
+        in_batch_get = in_batch.get
         base = self.registry.n_keys
         duplicates = 0
         for pos, (n, e) in enumerate(items):
@@ -281,12 +292,12 @@ class WeakKeyService:
                     f"{self.bits}-bit registry",
                 }
                 continue
-            gidx = self.registry.index_of(n)
+            gidx = index_of(n)
             if gidx is None:
-                gidx = in_batch.get(n)
+                gidx = in_batch_get(n)
             if gidx is not None:
                 duplicates += 1
-                results[pos] = {"status": "duplicate"}
+                results[pos] = "duplicate"
                 registered[pos] = gidx
                 continue
             gidx = base + len(fresh)
@@ -294,7 +305,7 @@ class WeakKeyService:
             fresh.append(n)
             if e != DEFAULT_E:
                 fresh_exponents[gidx] = e
-            results[pos] = {"status": "registered"}
+            results[pos] = "registered"
             registered[pos] = gidx
         if duplicates:
             # count first: the commit's manifest rewrite then persists the
@@ -337,11 +348,12 @@ class WeakKeyService:
             )
         reg = self.telemetry.registry
         reg.counter("service.keys_registered").inc(len(fresh))
-        invalid = sum(1 for r in results if r["status"] == "invalid")
+        invalid = len(items) - len(registered)  # every non-registered row
         if invalid:
             reg.counter("service.keys_invalid").inc(invalid)
+        verdict = self.registry.verdict
         for pos, gidx in registered.items():
-            results[pos].update(self.registry.verdict(gidx))
+            results[pos] = {"status": results[pos], **verdict(gidx)}
         return results
 
     # -- read-side views -------------------------------------------------------
@@ -455,9 +467,11 @@ def parse_submission(doc: object) -> tuple[list[tuple[int, int]], list[dict]]:
         elif isinstance(item, int):
             keys.append((item, DEFAULT_E))
         elif isinstance(item, str):
-            text = item.strip().lower().removeprefix("0x")
+            # one C-level call on the hot path: int(, 16) natively accepts
+            # surrounding whitespace, 0x/0X prefixes and either hex case,
+            # so no per-key strip().lower().removeprefix() string copies
             try:
-                keys.append((int(text, 16), DEFAULT_E))
+                keys.append((int(item, 16), DEFAULT_E))
             except ValueError:
                 rejected.append({"key": item[:64], "error": f"not a hex modulus: {item[:64]!r}"})
         else:
@@ -514,6 +528,14 @@ def parse_submission(doc: object) -> tuple[list[tuple[int, int]], list[dict]]:
 # -- the HTTP layer ------------------------------------------------------------
 
 
+#: compact-JSON encoder for every response body; pre-bound so the hot path
+#: pays no keyword re-processing per call
+_dumps = json.JSONEncoder(separators=(",", ":")).encode
+
+#: static header prefixes keyed by (status, keep_alive) — see _write_json
+_HEAD_CACHE: dict[tuple[int, bool], bytes] = {}
+
+
 class _HttpError(Exception):
     def __init__(self, status: int, message: str, headers: tuple = ()) -> None:
         super().__init__(message)
@@ -528,6 +550,7 @@ class _Request:
     query: dict
     body: bytes
     keep_alive: bool
+    content_type: str = ""
 
 
 class HttpServer:
@@ -546,12 +569,14 @@ class HttpServer:
         host: str = "127.0.0.1",
         port: int = 8571,
         max_body: int = 8 << 20,
+        max_header_bytes: int = 32 << 10,
         drain_grace: float = 5.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.max_body = max_body
+        self.max_header_bytes = max_header_bytes
         self.drain_grace = drain_grace
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
@@ -657,15 +682,29 @@ class HttpServer:
             raise _HttpError(400, "malformed request line")
         method, target, version = parts
         headers: dict[str, str] = {}
+        header_bytes = 0
         while True:
             raw = await reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
+            # hard cap *before* parsing on: the header section must never
+            # buffer unboundedly, whatever a hostile client streams at us
+            header_bytes += len(raw)
+            if header_bytes > self.max_header_bytes:
+                raise _HttpError(
+                    431, f"header section exceeds {self.max_header_bytes} bytes"
+                )
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         if "transfer-encoding" in headers:
             raise _HttpError(501, "chunked bodies are not supported")
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "malformed Content-Length")
+        # the hard cap fires on the declared length, before buffering a byte
         if length > self.max_body:
             raise _HttpError(413, f"body of {length} bytes exceeds {self.max_body}")
         body = await reader.readexactly(length) if length else b""
@@ -677,6 +716,7 @@ class HttpServer:
         return _Request(
             method=method, path=split.path, query=parse_qs(split.query),
             body=body, keep_alive=keep_alive,
+            content_type=headers.get("content-type", ""),
         )
 
     def _write_json(
@@ -688,16 +728,31 @@ class HttpServer:
         headers: tuple = (),
         keep_alive: bool = True,
     ) -> None:
-        body = (json.dumps(payload) + "\n").encode()
-        head = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-            *[f"{name}: {value}" for name, value in headers],
-            "", "",
-        ]
-        writer.write("\r\n".join(head).encode("latin-1") + body)
+        """Serialise and send one JSON response.
+
+        The hot path is deliberately allocation-light: compact separators
+        (no cosmetic whitespace crosses the wire), and the static header
+        prefix — status line, content type, connection — is built once per
+        ``(status, keep_alive)`` shape and cached, so the per-response
+        work is one ``dumps``, one length format, and one write.  The
+        ``/healthz``- and ``/metricsz``-shaped responses (no extra
+        headers) ride the cache on every call.
+        """
+        body = _dumps(payload).encode() + b"\n"
+        try:
+            head = _HEAD_CACHE[(status, keep_alive)]
+        except KeyError:
+            head = _HEAD_CACHE[(status, keep_alive)] = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            ).encode("latin-1")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers)
+        writer.write(
+            head
+            + f"{extra}Content-Length: {len(body)}\r\n\r\n".encode("latin-1")
+            + body
+        )
 
     # -- routing ---------------------------------------------------------------
 
@@ -751,11 +806,28 @@ class HttpServer:
         raise _HttpError(404, f"no such endpoint: {path}")
 
     async def _handle_submit(self, request: _Request) -> tuple[int, dict, tuple]:
-        try:
-            doc = json.loads(request.body or b"{}")
-        except ValueError as exc:
-            raise _HttpError(400, f"body is not JSON: {exc}") from exc
-        keys, rejected = parse_submission(doc)
+        if request.content_type.startswith(wire.CONTENT_TYPE):
+            # raw-speed path: length-prefixed big-endian moduli, decoded
+            # straight off a memoryview into the exact (modulus, exponent)
+            # list the batcher consumes — no hex, no JSON, no re-copy
+            try:
+                keys = wire.decode_moduli(request.body)
+            except wire.WireError as exc:
+                raise _HttpError(400, f"bad {wire.MAGIC[:7].decode()} body: {exc}") from exc
+            rejected: list[dict] = []
+            self.service.telemetry.registry.counter("http.submit_binary").inc()
+        else:
+            if request.body.startswith(wire.MAGIC):
+                raise _HttpError(
+                    400,
+                    "binary submission bodies need "
+                    f"Content-Type: {wire.CONTENT_TYPE}",
+                )
+            try:
+                doc = json.loads(request.body or b"{}")
+            except ValueError as exc:
+                raise _HttpError(400, f"body is not JSON: {exc}") from exc
+            keys, rejected = parse_submission(doc)
         if not keys:
             raise _HttpError(
                 400,

@@ -40,6 +40,7 @@ already holds returns the existing key's index and cached verdict; it is
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
@@ -55,6 +56,14 @@ from repro.telemetry import Telemetry
 __all__ = ["RegistryError", "RegisteredBatch", "WeakKeyRegistry", "REGISTRY_FORMAT"]
 
 REGISTRY_FORMAT = "weak-key-registry/1"
+
+#: minimum seconds between manifest rewrites triggered *only* by duplicate
+#: resubmissions.  Committed batches are never throttled; this bounds the
+#: fsync rate of all-duplicate traffic (a resubmission storm used to pay
+#: one manifest fsync per flushed batch).  At most this much counting can
+#: be lost to a hard crash; graceful shutdown folds the exact count in via
+#: :meth:`WeakKeyRegistry.sync`.
+DUPLICATE_PERSIST_INTERVAL = 1.0
 
 
 class RegistryError(ValueError):
@@ -117,6 +126,10 @@ class WeakKeyRegistry:
         #: shard had durably applied as of the last manifest write — the
         #: registry is the durable truth the fleet reconciles against
         self._shard_state: dict | None = None
+        #: JSON-ready verdict rows by index; rows are shared read-only and
+        #: dropped for the indices a committed batch's hits touch
+        self._verdict_cache: dict[int, dict] = {}
+        self._dup_persist_at = 0.0  # monotonic time of the last dup-only write
         self._manifest = Manifest(config=self._config())
         self._batches = 0
         self._lock = threading.Lock()
@@ -317,6 +330,9 @@ class WeakKeyRegistry:
             for h in sorted_new:
                 self._hits_by_key[h.i].append(h)
                 self._hits_by_key[h.j].append(h)
+                # these keys' verdicts just changed; recompute on next read
+                self._verdict_cache.pop(h.i, None)
+                self._verdict_cache.pop(h.j, None)
             self._batch_sizes.append(len(new_moduli))
             self._batches += 1
             self._update_gauges()
@@ -357,16 +373,26 @@ class WeakKeyRegistry:
         """Count resubmissions of already-registered moduli.
 
         The count is folded into the manifest config at the next commit;
-        ``persist=True`` rewrites the manifest immediately (used for
-        batches that turned out to be *all* duplicates, which commit
-        nothing else).
+        ``persist=True`` requests a manifest rewrite now (used for batches
+        that turned out to be *all* duplicates, which commit nothing
+        else).  Dup-only rewrites are throttled to one per
+        :data:`DUPLICATE_PERSIST_INTERVAL` seconds so a resubmission storm
+        does not pay a manifest fsync per flushed batch — the counter is
+        bookkeeping, and :meth:`sync` (graceful shutdown) always writes
+        the exact total.
         """
         if count < 0:
             raise ValueError("duplicate count only moves forward")
         with self._lock:
             self.duplicate_submissions += count
             self._update_gauges()
-            if persist and self._manifest is not None:
+            now = time.monotonic()
+            if (
+                persist
+                and self._manifest is not None
+                and now - self._dup_persist_at >= DUPLICATE_PERSIST_INTERVAL
+            ):
+                self._dup_persist_at = now
                 self._manifest.config = self._config()
                 self.store.save(self._manifest)
 
@@ -422,17 +448,23 @@ class WeakKeyRegistry:
         """The JSON-ready verdict for one registered key, as of now.
 
         A verdict can only ever move from sound to weak — future
-        submissions may reveal a shared prime, never retract one.
+        submissions may reveal a shared prime, never retract one.  Rows
+        are cached until a commit lands a hit touching the index (the only
+        event that changes one) and shared between callers: duplicate
+        storms resolve to the same dict object.  Treat them as read-only.
         """
-        hits = self.hits_for(index)
-        return {
-            "index": index,
-            "weak": bool(hits),
-            "hits": [
-                {"partner": h.j if h.i == index else h.i, "prime": hex(h.prime)}
-                for h in hits
-            ],
-        }
+        row = self._verdict_cache.get(index)
+        if row is None:
+            hits = self.hits_for(index)
+            row = self._verdict_cache[index] = {
+                "index": index,
+                "weak": bool(hits),
+                "hits": [
+                    {"partner": h.j if h.i == index else h.i, "prime": hex(h.prime)}
+                    for h in hits
+                ],
+            }
+        return row
 
     def scanner_snapshot(self, **scan_config) -> dict:
         """An :meth:`IncrementalScanner.restore`-ready snapshot of the corpus.

@@ -1,0 +1,160 @@
+"""``RGWIRE1``: the raw-speed binary wire format for ``POST /submit``.
+
+The JSON submission path spends most of its time on representation, not
+arithmetic: every modulus is hex inside JSON, so the hot path pays a JSON
+tokenizer walk, a string allocation, and an ``int(text, 16)`` per key —
+exactly the per-item overhead the paper's bulk design (and Pelofske's
+all-to-all scans) exist to amortize away.  This module defines the binary
+alternative the HTTP layer negotiates via ``Content-Type:
+application/x-repro-moduli``:
+
+.. code-block:: text
+
+    offset 0   magic   b"RGWIRE1\\0"          (8 bytes)
+    offset 8   count   u32, network order    (number of moduli)
+    then, per modulus, ``count`` times:
+               length  u32, network order    (payload bytes, >= 1)
+               value   big-endian unsigned modulus bytes
+
+No compression, no framing beyond the length prefixes, no per-key
+exponent: every key gets the RSA default ``e = 65537`` (keys with exotic
+exponents — PEM/DER submissions — keep using the JSON body, where they
+were never the hot path).  Decoding is a ``memoryview`` walk straight
+into ``int.from_bytes`` — zero hex, zero JSON, no intermediate copies —
+and the resulting ``(modulus, exponent)`` list is exactly the shape the
+batcher and :class:`~repro.service.shard.ShardRouter` consume.
+
+Big-endian (network order, the DER convention) is the canonical byte
+order on the wire.  The :class:`~repro.util.intops.IntBackend` seam
+exposes it as ``from_bytes_be``, so :func:`decode_moduli` can decode
+straight into gmpy2-native ``mpz`` values for pipeline-style consumers;
+the HTTP service itself decodes to plain ``int`` (``backend=None``) —
+its durable registry is backend-agnostic by design, and the scanner
+converts at its own boundary exactly as it does for JSON submissions.
+
+>>> body = encode_moduli([35, 0x23])
+>>> body[:8]
+b'RGWIRE1\\x00'
+>>> decode_moduli(body)
+[(35, 65537), (35, 65537)]
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from repro.rsa.keys import DEFAULT_E
+from repro.util.intops import IntBackend
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MAGIC",
+    "WireError",
+    "decode_moduli",
+    "encode_moduli",
+]
+
+#: the 8-byte format magic every RGWIRE1 body starts with
+MAGIC = b"RGWIRE1\x00"
+
+#: the Content-Type that selects this format on ``POST /submit``
+CONTENT_TYPE = "application/x-repro-moduli"
+
+_U32 = struct.Struct("!I")
+_HEADER = len(MAGIC) + _U32.size  # magic + count
+
+
+class WireError(ValueError):
+    """A body that is not a well-formed RGWIRE1 submission."""
+
+
+def encode_moduli(moduli: Iterable[int]) -> bytes:
+    """Serialise ``moduli`` into one RGWIRE1 body.
+
+    Values must be non-negative integers; each is written as its minimal
+    big-endian byte string (one zero byte for the value 0 — the service
+    rejects it as an invalid modulus, but the *wire* format round-trips
+    it faithfully).
+
+    >>> encode_moduli([255]).hex()
+    '52475749524531000000000100000001ff'
+    >>> decode_moduli(encode_moduli([1 << 1024]))[0][0] == 1 << 1024
+    True
+    """
+    values = moduli if isinstance(moduli, Sequence) else list(moduli)
+    pack = _U32.pack
+    parts = [MAGIC, pack(len(values))]
+    for n in values:
+        if not isinstance(n, int) or isinstance(n, bool):
+            raise WireError(f"moduli must be integers, got {type(n).__name__}")
+        if n < 0:
+            raise WireError("moduli must be non-negative")
+        body = n.to_bytes((n.bit_length() + 7) // 8 or 1, "big")
+        parts.append(pack(len(body)))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def decode_moduli(
+    body: bytes | bytearray | memoryview,
+    *,
+    exponent: int = DEFAULT_E,
+    backend: IntBackend | None = None,
+) -> list[tuple[int, int]]:
+    """Decode one RGWIRE1 body into ``(modulus, exponent)`` pairs.
+
+    The walk is a single pass over a ``memoryview``; each modulus decodes
+    from its byte slice without an intermediate ``bytes`` copy.  With
+    ``backend`` the slice goes through the backend's ``from_bytes_be``
+    (gmpy2 decodes straight to ``mpz``); without it, plain
+    ``int.from_bytes`` — the service path, whose registry stores plain
+    ints.  Raises :class:`WireError` on anything malformed: wrong magic,
+    truncation anywhere, a zero-length modulus record, or trailing bytes
+    (a length-prefixed format has no excuse for silent garbage).
+
+    >>> decode_moduli(encode_moduli([3, 5]), exponent=3)
+    [(3, 3), (5, 3)]
+    >>> decode_moduli(b"RGJUNK!\\x00")
+    Traceback (most recent call last):
+    ...
+    repro.service.wire.WireError: not an RGWIRE1 body (bad magic)
+    """
+    view = memoryview(body)
+    total = view.nbytes
+    if total < _HEADER or view[: len(MAGIC)] != MAGIC:
+        raise WireError("not an RGWIRE1 body (bad magic)")
+    (count,) = _U32.unpack_from(view, len(MAGIC))
+    # cheapest possible sanity bound: every record needs >= 5 bytes
+    if total - _HEADER < count * (_U32.size + 1):
+        raise WireError(
+            f"truncated body: {count} moduli declared, "
+            f"{total - _HEADER} payload bytes"
+        )
+    unpack = _U32.unpack_from
+    from_bytes = (
+        backend.from_bytes_be if backend is not None else _int_from_bytes_be
+    )
+    out: list[tuple[int, int]] = []
+    append = out.append
+    off = _HEADER
+    for _ in range(count):
+        (length,) = unpack(view, off)
+        off += _U32.size
+        if length == 0:
+            raise WireError(f"zero-length modulus record at offset {off}")
+        end = off + length
+        if end > total:
+            raise WireError(
+                f"truncated modulus record at offset {off}: "
+                f"{length} bytes declared, {total - off} left"
+            )
+        append((from_bytes(view[off:end]), exponent))
+        off = end
+    if off != total:
+        raise WireError(f"{total - off} trailing bytes after the last modulus")
+    return out
+
+
+def _int_from_bytes_be(data) -> int:
+    return int.from_bytes(data, "big")

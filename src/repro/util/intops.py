@@ -73,6 +73,9 @@ class IntBackend:
     ``from_bytes``  little-endian unsigned bytes → native value (the
                 spool-blob record codec, so disk reads skip the
                 ``int`` round-trip)
+    ``from_bytes_be``  big-endian unsigned bytes → native value (the
+                RGWIRE1 wire codec, :mod:`repro.service.wire`; network
+                order is canonical on the wire, little-endian on disk)
     ``leaf_gcd``  the batch-GCD leaf formula, see below
     ========== =========================================================
     """
@@ -132,6 +135,10 @@ class PythonBackend(IntBackend):
     def from_bytes(data: bytes) -> int:
         return int.from_bytes(data, "little")
 
+    @staticmethod
+    def from_bytes_be(data: bytes) -> int:
+        return int.from_bytes(data, "big")
+
 
 class Gmpy2Backend(IntBackend):
     """GMP arithmetic through ``gmpy2`` — the accelerated path.
@@ -162,9 +169,13 @@ class Gmpy2Backend(IntBackend):
         native_from_bytes = getattr(self._mpz, "from_bytes", None)
         if native_from_bytes is not None:
             self.from_bytes = lambda data: native_from_bytes(data, byteorder="little")
+            self.from_bytes_be = lambda data: native_from_bytes(data, byteorder="big")
         else:
             self.from_bytes = lambda data: self._mpz(
                 int.from_bytes(data, "little")
+            )
+            self.from_bytes_be = lambda data: self._mpz(
+                int.from_bytes(data, "big")
             )
 
     def from_int(self, x):

@@ -79,6 +79,69 @@ class TestFlushTriggers:
         # both submissions arrived within one linger window: one flush
         assert asyncio.run(run()) == [[1, 2, 3]]
 
+    def test_whole_submission_is_handed_over_zero_copy(self):
+        # one bulk submission filling a flush must reach scan() as the
+        # *same list object* the caller parsed — the zero-copy fast path
+        # the binary wire format feeds (docs/SERVICE.md)
+        async def run():
+            seen: list = []
+
+            async def identity_scan(items):
+                seen.append(items)
+                return [{"status": "registered"}] * len(items)
+
+            b = MicroBatcher(identity_scan, max_batch=4, linger_ms=1)
+            await b.start()
+            submitted = [(35, 65537), (77, 65537), (143, 65537)]
+            ticket = b.submit(submitted)
+            await asyncio.wait_for(ticket.wait(), timeout=2)
+            await b.stop()
+            return submitted, seen
+
+        submitted, seen = asyncio.run(run())
+        assert len(seen) == 1 and seen[0] is submitted
+
+    def test_stitched_flush_assembles_a_fresh_list(self):
+        # two coalesced submissions cannot alias either caller's list
+        async def run():
+            seen: list = []
+
+            async def identity_scan(items):
+                seen.append(items)
+                return [{"status": "registered"}] * len(items)
+
+            b = MicroBatcher(identity_scan, max_batch=8, linger_ms=30)
+            await b.start()
+            first, second = [1, 2], [3]
+            t1, t2 = b.submit(first), b.submit(second)
+            await asyncio.wait_for(asyncio.gather(t1.wait(), t2.wait()), timeout=2)
+            await b.stop()
+            return first, second, seen
+
+        first, second, seen = asyncio.run(run())
+        assert len(seen) == 1 and seen[0] == [1, 2, 3]
+        assert seen[0] is not first and seen[0] is not second
+
+    def test_pending_keys_tracks_partial_cuts(self):
+        # an oversized submission drains max_batch keys per flush; the
+        # gauge must step down by exactly the cut, not the submission
+        async def run():
+            scan = RecordingScan(gate=True)
+            b = MicroBatcher(scan, max_batch=2, linger_ms=1)
+            await b.start()
+            ticket = b.submit([1, 2, 3, 4, 5])
+            counts = [b.pending_keys]
+            scan.entered = asyncio.Event()
+            await asyncio.wait_for(scan.entered.wait(), timeout=2)
+            counts.append(b.pending_keys)  # first cut of 2 is in flight
+            scan.open()
+            await asyncio.wait_for(ticket.wait(), timeout=2)
+            counts.append(b.pending_keys)
+            await b.stop()
+            return counts
+
+        assert asyncio.run(run()) == [5, 3, 0]
+
     def test_oversized_submission_spans_flushes(self):
         async def run():
             scan = RecordingScan()

@@ -33,15 +33,17 @@ def corpus():
 # -- raw asyncio HTTP client ---------------------------------------------------
 
 
-async def request(port, method, path, body=None, *, raw_body=None, timeout=30.0):
+async def request(port, method, path, body=None, *, raw_body=None,
+                  content_type=None, timeout=30.0):
     """One HTTP/1.1 round-trip; returns (status, headers, parsed-JSON body)."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     try:
         payload = raw_body if raw_body is not None else (
             json.dumps(body).encode() if body is not None else b""
         )
+        ctype = f"Content-Type: {content_type}\r\n" if content_type else ""
         head = (
-            f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+            f"{method} {path} HTTP/1.1\r\nHost: test\r\n{ctype}"
             f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
         )
         writer.write(head.encode() + payload)
@@ -237,7 +239,71 @@ class TestReadEndpoints:
         assert status == 200 and doc["keys"] == 0 and doc["bits"] is None
 
 
+# -- parse_submission edge cases ----------------------------------------------
+
+
+class TestParseSubmission:
+    def test_hex_spellings_all_decode(self):
+        from repro.service.http import parse_submission
+
+        keys, rejected = parse_submission(
+            {"moduli": ["f", "0xF", "0Xf", " 23 ", "AbCd"]}
+        )
+        assert rejected == []
+        assert [n for n, _ in keys] == [15, 15, 15, 0x23, 0xABCD]
+
+    def test_mixed_fields_preserve_order(self, corpus):
+        from repro.rsa.pem import public_key_to_pem
+        from repro.service.http import parse_submission
+
+        key = generate_key(BITS, random.Random(5))
+        pem = public_key_to_pem(key.public())
+        doc = {"moduli": [hex(corpus.moduli[0]), corpus.moduli[1]], "pem": pem}
+        keys, rejected = parse_submission(doc)
+        assert rejected == []
+        # moduli first (order preserved), then the PEM block's (n, e)
+        assert [n for n, _ in keys] == [
+            corpus.moduli[0], corpus.moduli[1], key.n,
+        ]
+        assert keys[2][1] == key.e
+
+    def test_rejections_never_drop_good_keys(self):
+        from repro.service.http import parse_submission
+
+        keys, rejected = parse_submission(
+            {"moduli": [True, "0x23", None, "zz", 33, 3.5]}
+        )
+        assert [n for n, _ in keys] == [0x23, 33]
+        assert len(rejected) == 4
+        assert all("error" in r for r in rejected)
+
+    def test_empty_and_malformed_documents(self):
+        from repro.service.http import parse_submission
+
+        assert parse_submission({}) == ([], [])
+        for bad in ([1, 2], "text", {"moduli": "0x23"}, {"pem": 7},
+                    {"der": "blob"}, {"surprise": []}):
+            with pytest.raises(ValueError):
+                parse_submission(bad)
+
+
 # -- HTTP error surface --------------------------------------------------------
+
+
+async def raw_round_trip(port, blob, timeout=10.0):
+    """Write a raw request blob; return (status, raw response bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(blob)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return int(raw.split(b" ", 2)[1]), raw
 
 
 class TestErrors:
@@ -267,6 +333,61 @@ class TestErrors:
                 server.port, "POST", "/submit", {"moduli": [hex(1 << 63) + "f" * 80]}
             )
             assert status == 413 and "error" in doc
+
+        serve(tmp_path, go)
+
+    def test_oversized_declaration_rejected_before_buffering(self, tmp_path):
+        # the cap must fire on the *declared* length: no body byte is ever
+        # read, so a hostile declaration cannot make the server allocate
+        async def go(server):
+            server.max_body = 64
+            status, raw = await raw_round_trip(
+                server.port,
+                b"POST /submit HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 999999999\r\nConnection: close\r\n\r\n",
+            )
+            assert status == 413 and b"exceeds" in raw
+
+        serve(tmp_path, go)
+
+    def test_malformed_content_length_rejected(self, tmp_path):
+        async def go(server):
+            for value in (b"abc", b"-5", b"1e9"):
+                status, raw = await raw_round_trip(
+                    server.port,
+                    b"POST /submit HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: " + value + b"\r\nConnection: close\r\n\r\n",
+                )
+                assert status == 400, raw
+                assert b"Content-Length" in raw
+
+        serve(tmp_path, go)
+
+    def test_header_flood_rejected_with_431(self, tmp_path):
+        async def go(server):
+            flood = b"".join(
+                b"X-Pad-%d: %s\r\n" % (i, b"y" * 1024) for i in range(64)
+            )
+            status, raw = await raw_round_trip(
+                server.port,
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n" + flood + b"\r\n",
+            )
+            assert status == 431 and b"header section exceeds" in raw
+
+        serve(tmp_path, go)
+
+    def test_responses_are_compact_json(self, tmp_path):
+        # the submit path serialises every verdict row: cosmetic JSON
+        # whitespace would be pure wire and encoder overhead
+        async def go(server):
+            status, raw = await raw_round_trip(
+                server.port,
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )
+            body = raw.partition(b"\r\n\r\n")[2]
+            assert status == 200
+            assert b": " not in body and b", " not in body
+            json.loads(body)  # still well-formed
 
         serve(tmp_path, go)
 

@@ -7,6 +7,7 @@ import pytest
 from repro.core.attack import WeakHit
 from repro.core.checkpoint import CheckpointStore, Manifest
 from repro.core.incremental import IncrementalScanner
+from repro.service import registry as registry_module
 from repro.service.registry import REGISTRY_FORMAT, RegistryError, WeakKeyRegistry
 
 # small distinct 16-bit semiprimes built from distinct primes
@@ -61,6 +62,44 @@ class TestCommitAndLoad:
         reg.note_duplicates(3, persist=True)
         back = make_registry(tmp_path)
         assert back.duplicate_submissions == 3
+
+    def test_verdict_rows_are_cached_and_invalidated_per_hit(self, tmp_path):
+        reg = make_registry(tmp_path)
+        reg.commit_batch([N[0]], [])
+        row = reg.verdict(0)
+        # the duplicate hot path serves the same (read-only) row object
+        assert reg.verdict(0) is row
+        # a commit that lands no hit on this index keeps the row valid
+        reg.commit_batch([N[2]], [])
+        assert reg.verdict(0) is row
+        # a hit on the index drops exactly that row from the cache
+        reg.commit_batch([N[1]], [WeakHit(0, 2, P[0])])
+        fresh = reg.verdict(0)
+        assert fresh is not row and fresh["weak"]
+        assert reg.verdict(1) is reg.verdict(1)  # untouched index still caches
+
+
+class TestDuplicatePersistThrottle:
+    def test_dup_only_rewrites_are_throttled(self, tmp_path, monkeypatch):
+        reg = make_registry(tmp_path)
+        reg.commit_batch(N[:2], [])
+        reg.note_duplicates(1, persist=True)  # first dup-only rewrite: immediate
+        assert make_registry(tmp_path).duplicate_submissions == 1
+        reg.note_duplicates(2, persist=True)  # within the interval: memory only
+        assert reg.duplicate_submissions == 3
+        assert make_registry(tmp_path).duplicate_submissions == 1
+        # once the interval elapses the next persist request lands again
+        monkeypatch.setattr(registry_module, "DUPLICATE_PERSIST_INTERVAL", 0.0)
+        reg.note_duplicates(1, persist=True)
+        assert make_registry(tmp_path).duplicate_submissions == 4
+
+    def test_sync_folds_in_throttled_duplicates(self, tmp_path):
+        reg = make_registry(tmp_path)
+        reg.commit_batch(N[:2], [])
+        reg.note_duplicates(1, persist=True)
+        reg.note_duplicates(5, persist=True)  # throttled away
+        reg.sync()  # graceful shutdown writes the exact total
+        assert make_registry(tmp_path).duplicate_submissions == 6
 
 
 class TestCommitValidation:

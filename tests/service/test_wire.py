@@ -1,0 +1,220 @@
+"""RGWIRE1 binary wire format: codec unit tests and JSON-vs-binary parity.
+
+The codec tests pin the format bytes (magic, network-order length
+prefixes, minimal big-endian payloads) and every rejection path — a
+length-prefixed format must fail loudly on truncation or trailing bytes,
+never decode garbage.  The differential tests are the load-bearing ones:
+the same corpus submitted as hex-JSON and as RGWIRE1 must produce
+byte-identical verdicts, the same registry state, and the same hit set —
+including through a ``shards=2`` fleet, where the decoded list rides the
+ShardRouter instead of the in-process scanner.
+"""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.rsa.corpus import generate_weak_corpus
+from repro.rsa.keys import DEFAULT_E
+from repro.service import wire
+from repro.util.intops import available_backends, resolve_backend
+
+from tests.service.test_http import request, serve
+
+BITS = 64
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # 16 keys: a shared-prime pair and an exact duplicate, so the parity
+    # checks cover registered, duplicate, and weak verdicts at once
+    return generate_weak_corpus(16, BITS, shared_groups=(2,), duplicates=1, seed=99)
+
+
+# -- codec ---------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_round_trip_preserves_order_and_values(self):
+        values = [3, 255, 256, 1 << 64, (1 << 2048) - 1, 17]
+        decoded = wire.decode_moduli(wire.encode_moduli(values))
+        assert decoded == [(n, DEFAULT_E) for n in values]
+
+    def test_exponent_override_and_backend_decode(self):
+        values = [35, 1 << 100]
+        body = wire.encode_moduli(values)
+        assert wire.decode_moduli(body, exponent=3) == [(n, 3) for n in values]
+        for name in available_backends():
+            backend = resolve_backend(name)
+            pairs = wire.decode_moduli(body, backend=backend)
+            assert [(int(n), e) for n, e in pairs] == [(n, DEFAULT_E) for n in values]
+
+    def test_empty_body_and_generator_input(self):
+        empty = wire.encode_moduli([])
+        assert empty == wire.MAGIC + b"\x00\x00\x00\x00"
+        assert wire.decode_moduli(empty) == []
+        assert wire.decode_moduli(wire.encode_moduli(n for n in (5, 7))) == [
+            (5, DEFAULT_E), (7, DEFAULT_E),
+        ]
+
+    def test_layout_is_pinned(self):
+        # one 2-byte modulus: magic ‖ count=1 ‖ len=2 ‖ big-endian bytes
+        body = wire.encode_moduli([0x0102])
+        assert body == wire.MAGIC + struct.pack("!II", 1, 2) + b"\x01\x02"
+        # zero still gets one payload byte (minimal, never zero-length)
+        assert wire.encode_moduli([0]).endswith(struct.pack("!I", 1) + b"\x00")
+
+    def test_encode_rejects_non_integers(self):
+        for bad in (["ff"], [3.5], [True], [-1]):
+            with pytest.raises(wire.WireError):
+                wire.encode_moduli(bad)
+
+    def test_decode_rejects_malformed_bodies(self):
+        good = wire.encode_moduli([35, 77])
+        cases = {
+            "bad magic": b"RGJUNK!\x00" + good[8:],
+            "short header": wire.MAGIC[:6],
+            "count overdeclared": good[:8] + struct.pack("!I", 3) + good[12:],
+            "zero-length record": wire.MAGIC + struct.pack("!II", 1, 0) + b"\x00" * 8,
+            "record past end": wire.MAGIC + struct.pack("!II", 1, 9) + b"\x01",
+            "trailing bytes": good + b"\xee",
+        }
+        for label, body in cases.items():
+            with pytest.raises(wire.WireError):
+                wire.decode_moduli(body)
+            pytest.raises(wire.WireError, wire.decode_moduli, memoryview(body))
+
+    def test_decode_accepts_any_buffer_type(self):
+        body = wire.encode_moduli([1 << 512])
+        for view in (body, bytearray(body), memoryview(body)):
+            assert wire.decode_moduli(view)[0][0] == 1 << 512
+
+
+# -- JSON-vs-binary differential ----------------------------------------------
+
+
+def _strip_tickets(doc):
+    return {k: v for k, v in doc.items() if k != "ticket"}
+
+
+def _registry_fingerprint(server):
+    reg = server.service.registry
+    return {
+        "n_keys": reg.n_keys,
+        "hits": sorted((h.i, h.j, h.prime) for h in reg.hits),
+        "verdicts": [reg.verdict(i) for i in range(reg.n_keys)],
+    }
+
+
+class TestDifferential:
+    def _submit_all(self, tmp_path, corpus, *, binary, shards=None):
+        overrides = {"shards": shards} if shards else {}
+        # two chunks so the second submission hits an already-warm registry
+        chunks = [corpus.moduli[:9], corpus.moduli[9:]]
+
+        async def go(server):
+            docs = []
+            for chunk in chunks:
+                if binary:
+                    status, _, doc = await request(
+                        server.port, "POST", "/submit?wait=1",
+                        raw_body=wire.encode_moduli(chunk),
+                        content_type=wire.CONTENT_TYPE,
+                    )
+                else:
+                    status, _, doc = await request(
+                        server.port, "POST", "/submit?wait=1",
+                        {"moduli": [hex(n) for n in chunk]},
+                    )
+                assert status == 200, doc
+                docs.append(_strip_tickets(doc))
+            return docs, _registry_fingerprint(server)
+
+        return serve(tmp_path / ("bin" if binary else "json"), go, **overrides)
+
+    def test_binary_matches_json_end_to_end(self, tmp_path, corpus):
+        json_docs, json_reg = self._submit_all(tmp_path, corpus, binary=False)
+        bin_docs, bin_reg = self._submit_all(tmp_path, corpus, binary=True)
+        assert bin_docs == json_docs
+        assert bin_reg == json_reg
+        assert json_reg["n_keys"] == corpus.n_keys - 1  # the exact duplicate
+        assert json_reg["hits"]  # the planted shared-prime pair was found
+
+    def test_binary_matches_json_through_two_shards(self, tmp_path, corpus):
+        json_docs, json_reg = self._submit_all(
+            tmp_path / "s", corpus, binary=False, shards=2
+        )
+        bin_docs, bin_reg = self._submit_all(
+            tmp_path / "s", corpus, binary=True, shards=2
+        )
+        assert bin_docs == json_docs
+        assert bin_reg == json_reg
+        assert json_reg["hits"]
+
+    def test_duplicate_resubmission_parity(self, tmp_path, corpus):
+        async def go(server):
+            body = wire.encode_moduli(corpus.moduli)
+            status, _, first = await request(
+                server.port, "POST", "/submit?wait=1",
+                raw_body=body, content_type=wire.CONTENT_TYPE,
+            )
+            assert status == 200
+            # resubmit the same body: all-duplicate, verdicts unchanged
+            status, _, again = await request(
+                server.port, "POST", "/submit?wait=1",
+                raw_body=body, content_type=wire.CONTENT_TYPE,
+            )
+            assert status == 200
+            statuses = {r["status"] for r in again["results"]}
+            assert statuses == {"duplicate"}
+            weak_first = {r["index"] for r in first["results"] if r.get("weak")}
+            weak_again = {r["index"] for r in again["results"] if r.get("weak")}
+            assert weak_first == weak_again
+
+        serve(tmp_path, go)
+
+
+# -- HTTP error surface for binary bodies --------------------------------------
+
+
+class TestBinaryErrors:
+    def test_binary_body_without_content_type_is_rejected(self, tmp_path, corpus):
+        async def go(server):
+            status, _, doc = await request(
+                server.port, "POST", "/submit",
+                raw_body=wire.encode_moduli(corpus.moduli[:2]),
+            )
+            assert status == 400
+            assert wire.CONTENT_TYPE in doc["error"]
+
+        serve(tmp_path, go)
+
+    def test_malformed_binary_body_is_rejected(self, tmp_path):
+        async def go(server):
+            for raw in (
+                wire.MAGIC,                                     # truncated header
+                wire.MAGIC + struct.pack("!I", 2),              # moduli missing
+                wire.encode_moduli([35]) + b"\x00",             # trailing bytes
+                b"not even close",                              # no magic at all
+            ):
+                status, _, doc = await request(
+                    server.port, "POST", "/submit",
+                    raw_body=raw, content_type=wire.CONTENT_TYPE,
+                )
+                assert status == 400, doc
+                assert "error" in doc
+
+        serve(tmp_path, go)
+
+    def test_empty_binary_submission_is_rejected(self, tmp_path):
+        async def go(server):
+            status, _, doc = await request(
+                server.port, "POST", "/submit",
+                raw_body=wire.encode_moduli([]), content_type=wire.CONTENT_TYPE,
+            )
+            assert status == 400
+            assert "no parseable keys" in doc["error"]
+
+        serve(tmp_path, go)

@@ -435,3 +435,95 @@ class TestBackendsCommand:
         err = capsys.readouterr().err
         assert rc == 2
         assert "gmpy2" in err
+
+
+class TestSubmitCommand:
+    """``repro submit`` against a live in-process service: the JSON and
+    RGWIRE1 paths must print identical tallies and verdicts, and both ride
+    one pooled keep-alive connection across ``--chunk``-sized requests."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        import asyncio
+        import threading
+
+        from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
+
+        started = threading.Event()
+        box = {}
+
+        def run():
+            async def go():
+                service = WeakKeyService(
+                    ServiceConfig(state_dir=tmp_path / "state", linger_ms=2.0)
+                )
+                server = HttpServer(service, port=0)
+                await server.start()
+                box["port"] = server.port
+                box["service"] = service
+                started.set()
+                await box["stop"]
+                await server.close()
+
+            loop = asyncio.new_event_loop()
+            box["loop"] = loop
+            box["stop"] = loop.create_future()
+            loop.run_until_complete(go())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        yield box
+        box["loop"].call_soon_threadsafe(box["stop"].set_result, None)
+        thread.join(timeout=10)
+
+    @pytest.fixture()
+    def weak_corpus(self):
+        from repro.rsa.corpus import generate_weak_corpus
+
+        return generate_weak_corpus(8, 64, shared_groups=(2,), seed=31)
+
+    def test_binary_and_json_submissions_agree(
+        self, server, weak_corpus, tmp_path, capsys
+    ):
+        url = f"http://127.0.0.1:{server['port']}"
+        listing = tmp_path / "moduli.txt"
+        listing.write_text("".join(f"{n}\n" for n in weak_corpus.moduli))
+        rc = main(["submit", "--url", url, "--wait", "--chunk", "3",
+                   "--moduli", str(listing)])
+        json_out = capsys.readouterr().out
+        assert rc == 0
+        rc = main(["submit", "--url", url, "--wait", "--chunk", "3", "--binary",
+                   "--moduli", str(listing)])
+        bin_out = capsys.readouterr().out
+        assert rc == 0
+        # ...and a JSON resubmission of the same corpus: both duplicate
+        # passes see the steady-state registry, so their output must be
+        # identical line for line across formats
+        rc = main(["submit", "--url", url, "--wait", "--chunk", "3",
+                   "--moduli", str(listing)])
+        json_dup_out = capsys.readouterr().out
+        assert rc == 0
+        assert "8 key(s) in 3 request(s): 8 registered" in json_out
+        assert "8 key(s) in 3 request(s): 0 registered, 8 duplicate" in bin_out
+        assert bin_out == json_dup_out
+        weak = [l for l in bin_out.splitlines() if l.startswith("WEAK")]
+        assert len(weak) == 2  # both halves of the planted shared-prime pair
+
+    def test_binary_positional_moduli_and_fetch(self, server, capsys):
+        url = f"http://127.0.0.1:{server['port']}"
+        n1, n2 = 0xAD8BA849A3F3C3F1 , 0x8C6A46D14A1C1453
+        rc = main(["submit", "--url", url, "--wait", "--binary",
+                   f"{n1:x}", f"0x{n2:x}"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "2 key(s) in 1 request(s)" in out
+        rc = main(["submit", "--url", url, "--fetch", "health"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "keys: 2" in out
+
+    def test_unreachable_service_fails_loudly(self, capsys):
+        rc = main(["submit", "--url", "http://127.0.0.1:9", "--wait", "ff"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "cannot reach service" in err
