@@ -9,6 +9,7 @@ scan       all-pairs shared-prime scan over a PEM bundle or corpus JSON
 batchscan  sharded, checkpointed batch-GCD pipeline (resumable, disk-spooled)
 serve      long-running weak-key registry service (HTTP, durable state dir)
 submit     client for a running registry service (submit keys, fetch hits)
+ingest     harvest real corpora (``ingest ct``: checkpointed CT log crawl)
 backends   show detected big-integer backends and what ``auto`` resolves to
 census     iteration statistics of algorithms A–E (a Table IV slice)
 trace      print a paper-style trace (Tables I–III) for one pair
@@ -23,19 +24,16 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import http.client
 import json
 import signal
 import sys
 import time
 from pathlib import Path
-from urllib.parse import urlsplit
 
 from repro.core.attack import find_shared_primes
 from repro.core.incremental import IncrementalScanner
 from repro.core.parallel import find_shared_primes_parallel
 from repro.core.pipeline import PipelineConfig, run_pipeline
-from repro.resilience import RetryPolicy
 from repro.mp.memlog import CountingMemLog
 from repro.telemetry import ProgressUpdate, Telemetry
 from repro.gcd.census import run_all_algorithms
@@ -57,6 +55,7 @@ from repro.rsa.corpus import (
 )
 from repro.rsa.keys import generate_key
 from repro.service import wire
+from repro.service.client import ServiceClient
 from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
 from repro.rsa.pem import load_public_moduli, private_key_to_pem, public_key_to_pem
 from repro.rsa.x509 import (
@@ -344,6 +343,70 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-request timeout in seconds (default 120)")
     sm.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
+    ig = sub.add_parser(
+        "ingest",
+        help="harvest real keys from external corpora (see: ingest ct)",
+    )
+    ig_sub = ig.add_subparsers(dest="source", required=True)
+    ct = ig_sub.add_parser(
+        "ct",
+        help="crawl an RFC 6962 Certificate Transparency log into the registry",
+    )
+    ct.add_argument(
+        "--log-url", required=True,
+        help="CT log base URL (the part before /ct/v1/...)",
+    )
+    ct.add_argument(
+        "--state-dir", type=Path, required=True,
+        help="crawl state directory (cursor, dedup spill, outbox)",
+    )
+    ct.add_argument("--start", type=int, default=0,
+                    help="first entry index to crawl (default 0)")
+    ct.add_argument(
+        "--end", type=int, default=None,
+        help="stop before this entry index (default: the log's tree size)",
+    )
+    ct.add_argument(
+        "--resume", action="store_true",
+        help="continue a checkpointed crawl from its cursor",
+    )
+    ct.add_argument(
+        "--submit-to", default=None, metavar="URL",
+        help="feed unique moduli into a running `repro serve` at URL "
+        "(RGWIRE1 binary wire, exactly-once across crashes)",
+    )
+    ct.add_argument(
+        "--moduli-out", type=Path, default=None, metavar="PATH",
+        help="spool extracted moduli to PATH as bare hex lines "
+        "(default STATE_DIR/outbox.txt; readable via "
+        "stream_moduli(format='hexlines'))",
+    )
+    ct.add_argument(
+        "--batch-size", type=int, default=256,
+        help="initial get-entries window; adapts to the log's cap (default 256)",
+    )
+    ct.add_argument(
+        "--max-batch-size", type=int, default=2048,
+        help="ceiling for the adaptive get-entries window (default 2048)",
+    )
+    ct.add_argument(
+        "--submit-chunk", type=int, default=500,
+        help="unique keys per submission batch (default 500)",
+    )
+    ct.add_argument("--min-bits", type=int, default=512,
+                    help="skip moduli below this size (default 512)")
+    ct.add_argument("--max-bits", type=int, default=16384,
+                    help="skip moduli above this size (default 16384)")
+    ct.add_argument("--timeout", type=float, default=60.0,
+                    help="per-request timeout in seconds (default 60)")
+    ct.add_argument(
+        "--events-jsonl", type=Path, default=None, metavar="PATH",
+        help="stream structured JSONL events (ingest.window/ingest.submit/"
+        "ingest.resume/...) to PATH",
+    )
+    ct.add_argument("--json", action="store_true",
+                    help="emit the crawl report as JSON")
+
     be = sub.add_parser(
         "backends",
         help="show detected big-integer backends and what 'auto' resolves to",
@@ -380,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         "batchscan": _cmd_batchscan,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "ingest": _cmd_ingest,
         "backends": _cmd_backends,
         "census": _cmd_census,
         "trace": _cmd_trace,
@@ -853,149 +917,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-class _Backpressure(Exception):
-    """A retryable service response: 429 backpressure or 503 draining."""
-
-    def __init__(self, code: int, detail: str, retry_after: float) -> None:
-        super().__init__(f"service returned {code}: {detail}")
-        self.code = code
-        self.detail = detail
-        self.retry_after = retry_after
-
-
-class _ServiceClient:
-    """A pooled keep-alive HTTP client for the registry service.
-
-    One TCP connection serves every request of a CLI invocation: bulk
-    ``--moduli`` submissions used to open a fresh ``urllib`` connection
-    per 500-key chunk, paying a TCP handshake (and slow-start) per
-    request.  Requests retry 429/503 through the shared
-    :class:`repro.resilience.RetryPolicy`, with the server's
-    ``Retry-After`` hint as a floor under the policy's own backoff.  A
-    connection the server closed between requests (keep-alive timeout,
-    restart) is replayed once on a fresh socket.  Anything else — other
-    statuses, unreachable service — raises :class:`ValueError`.
-    """
-
-    def __init__(self, base_url: str, *, timeout: float) -> None:
-        split = urlsplit(base_url)
-        if split.scheme not in ("http", "https"):
-            raise ValueError(
-                f"unsupported service URL scheme {split.scheme!r} in {base_url!r}"
-            )
-        self._factory = (
-            http.client.HTTPSConnection
-            if split.scheme == "https"
-            else http.client.HTTPConnection
-        )
-        self._host = split.hostname or "127.0.0.1"
-        self._port = split.port
-        self._prefix = split.path.rstrip("/")
-        self._url = base_url
-        self._timeout = timeout
-        self._conn: http.client.HTTPConnection | None = None
-
-    def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
-
-    def _send(self, method: str, path: str, body: bytes | None,
-              content_type: str):
-        """One request/response; a stale keep-alive socket is replayed once."""
-        while True:
-            fresh = self._conn is None
-            if fresh:
-                self._conn = self._factory(
-                    self._host, self._port, timeout=self._timeout
-                )
-            conn = self._conn
-            try:
-                conn.request(
-                    method, self._prefix + path, body=body,
-                    headers={"Content-Type": content_type} if body is not None else {},
-                )
-                response = conn.getresponse()
-                data = response.read()
-            except (http.client.HTTPException, OSError) as exc:
-                self.close()
-                if fresh:
-                    raise ValueError(
-                        f"cannot reach service at {self._url}: {exc}"
-                    ) from None
-                continue  # server dropped the idle connection: replay once
-            if response.will_close:
-                self.close()
-            return response.status, response.headers, data
-
-    def request(
-        self,
-        method: str,
-        path: str,
-        payload: dict | None = None,
-        *,
-        retries: int = 0,
-        body: bytes | None = None,
-        content_type: str = "application/json",
-    ) -> dict:
-        """One JSON-decoded round trip, retrying 429/503 responses.
-
-        ``payload`` is JSON-encoded; binary submissions pass pre-encoded
-        ``body`` bytes with their ``content_type`` instead.
-        """
-        if body is None and payload is not None:
-            body = json.dumps(payload).encode()
-        hint = [0.0]  # last Retry-After hint, floors the policy's backoff
-
-        def once() -> dict:
-            status, headers, data = self._send(method, path, body, content_type)
-            if status >= 400:
-                detail = data.decode(errors="replace").strip()
-                try:
-                    detail = json.loads(detail).get("error", detail)
-                except ValueError:
-                    pass
-                if status in (429, 503):
-                    try:
-                        hint[0] = min(
-                            max(float(headers.get("Retry-After", "0.5")), 0.05),
-                            30.0,
-                        )
-                    except ValueError:
-                        hint[0] = 0.5
-                    raise _Backpressure(status, detail, hint[0])
-                raise ValueError(f"service returned {status}: {detail}")
-            return json.loads(data)
-
-        def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
-            code = exc.code if isinstance(exc, _Backpressure) else "?"
-            print(
-                f"backpressure ({code}): retrying in {max(delay, hint[0]):.2f}s "
-                f"({attempt}/{retries})",
-                file=sys.stderr,
-            )
-
-        policy = RetryPolicy(max_attempts=retries + 1, base_delay=0.5, max_delay=30.0)
-        try:
-            return policy.run(
-                once,
-                retryable=lambda exc: isinstance(exc, _Backpressure),
-                on_retry=on_retry,
-                sleep=lambda delay: time.sleep(max(delay, hint[0])),
-            )
-        except _Backpressure as exc:
-            raise ValueError(str(exc)) from None
-
-
 def _cmd_submit(args: argparse.Namespace) -> int:
-    client = _ServiceClient(args.url.rstrip("/"), timeout=args.timeout)
+    client = ServiceClient(args.url.rstrip("/"), timeout=args.timeout)
     try:
         return _run_submit(args, client)
     finally:
         client.close()
 
 
-def _run_submit(args: argparse.Namespace, client: _ServiceClient) -> int:
+def _print_backpressure(retries: int):
+    """The CLI's retry narration for :meth:`ServiceClient.request`."""
+
+    def on_backpressure(attempt: int, delay: float, exc) -> None:
+        print(
+            f"backpressure ({exc.code}): retrying in {delay:.2f}s "
+            f"({attempt}/{retries})",
+            file=sys.stderr,
+        )
+
+    return on_backpressure
+
+
+def _run_submit(args: argparse.Namespace, client: ServiceClient) -> int:
     if args.fetch:
         path = {
             "hits": "/hits", "broken": "/broken",
@@ -1043,8 +986,12 @@ def _run_submit(args: argparse.Namespace, client: _ServiceClient) -> int:
         raise ValueError("nothing to submit (give moduli, --moduli or --pem)")
 
     wait = "?wait=1" if args.wait else ""
+    on_bp = _print_backpressure(args.retries)
     responses = [
-        client.request("POST", f"/submit{wait}", retries=args.retries, **post)
+        client.request(
+            "POST", f"/submit{wait}", retries=args.retries,
+            on_backpressure=on_bp, **post,
+        )
         for post in posts
     ]
     if args.json:
@@ -1078,6 +1025,83 @@ def _run_submit(args: argparse.Namespace, client: _ServiceClient) -> int:
                 f"submitted {submitted} key(s) in {len(responses)} request(s); "
                 f"ticket(s): {tickets}"
             )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    # one source today (ct); the subparser enforces it, the dict
+    # documents where the next one (pgp keyservers, ssh scans) plugs in
+    return {"ct": _cmd_ingest_ct}[args.source](args)
+
+
+def _cmd_ingest_ct(args: argparse.Namespace) -> int:
+    from repro.ingest import CrawlConfig, run_crawl
+
+    if args.batch_size < 1:
+        raise ValueError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.submit_chunk < 1:
+        raise ValueError(f"--submit-chunk must be >= 1, got {args.submit_chunk}")
+    if args.max_batch_size < args.batch_size:
+        raise ValueError(
+            f"--max-batch-size must be >= --batch-size, got {args.max_batch_size}"
+        )
+    config = CrawlConfig(
+        log_url=args.log_url.rstrip("/"),
+        state_dir=args.state_dir,
+        start=args.start,
+        end=args.end,
+        resume=args.resume,
+        submit_url=args.submit_to,
+        moduli_out=args.moduli_out,
+        batch_size=args.batch_size,
+        max_batch_size=args.max_batch_size,
+        submit_chunk=args.submit_chunk,
+        min_bits=args.min_bits,
+        max_bits=args.max_bits,
+        timeout=args.timeout,
+    )
+    event_stream = args.events_jsonl.open("w") if args.events_jsonl else None
+    try:
+        telemetry = Telemetry.create(event_stream=event_stream)
+        report = run_crawl(config, telemetry=telemetry)
+    finally:
+        if event_stream is not None:
+            event_stream.close()
+    if args.json:
+        print(json.dumps({
+            "log_url": report.log_url,
+            "start": report.start,
+            "end": report.end,
+            "resumed": report.resumed,
+            "entries": report.entries,
+            "unique": report.unique,
+            "duplicates": report.duplicates,
+            "skipped": report.skipped,
+            "submitted": report.submitted,
+            "registry_keys": report.registry_keys,
+            "registry_hits": report.registry_hits,
+            "metrics": report.metrics,
+        }, indent=2))
+        return 0
+    skipped = sum(report.skipped.values())
+    detail = ", ".join(
+        f"{count} {reason}" for reason, count in sorted(report.skipped.items())
+    ) or "none"
+    print(
+        f"crawled entries [{report.start}, {report.end}) of {report.log_url}"
+        + (" (resumed)" if report.resumed else "")
+    )
+    print(
+        f"{report.entries} entrie(s) this run: {report.unique} unique key(s), "
+        f"{report.duplicates} duplicate(s), {skipped} skipped ({detail})"
+    )
+    print(f"moduli spooled to {config.outbox_path}")
+    if report.registry_keys is not None:
+        print(
+            f"registry now holds {report.registry_keys} key(s), "
+            f"{report.registry_hits} hit(s) "
+            f"({report.submitted} submitted this run)"
+        )
     return 0
 
 

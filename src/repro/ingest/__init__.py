@@ -1,0 +1,59 @@
+"""Real-corpus ingestion: Certificate Transparency logs → the registry.
+
+Everything before this package generates its moduli; this package
+harvests them.  ``repro ingest ct`` crawls an RFC 6962 CT log, extracts
+RSA public keys from the adversarially messy certificates real logs
+contain, dedups them at crawl scale, and feeds the survivors into a
+running ``repro serve`` registry — with checkpointed resume so a
+multi-day crawl of millions of certificates survives kills, network
+faults, and full disks with zero duplicate submissions.
+
+The pieces, in pipeline order:
+
+* :mod:`repro.ingest.ctlog`   — the RFC 6962 client + MerkleTreeLeaf codec;
+* :mod:`repro.ingest.extract` — tolerant leaf → RSA-modulus extraction;
+* :mod:`repro.ingest.dedup`   — bounded-memory seen-set with on-disk spill;
+* :mod:`repro.ingest.cursor`  — the atomic crawl checkpoint;
+* :mod:`repro.ingest.sink`    — backpressure-aware binary submission;
+* :mod:`repro.ingest.crawl`   — the loop tying them into exactly-once.
+
+``docs/INGEST.md`` is the narrative reference.
+"""
+
+from repro.ingest.crawl import CrawlConfig, CrawlReport, run_crawl
+from repro.ingest.ctlog import (
+    CTLogClient,
+    CTLogError,
+    LeafError,
+    ParsedLeaf,
+    RawEntry,
+    SignedTreeHead,
+    encode_merkle_tree_leaf,
+    parse_merkle_tree_leaf,
+)
+from repro.ingest.cursor import CrawlCursor, CrawlState
+from repro.ingest.dedup import DedupIndex
+from repro.ingest.extract import EntryResult, extract_entry, modulus_digest
+from repro.ingest.sink import RegistrySink, SinkError
+
+__all__ = [
+    "CTLogClient",
+    "CTLogError",
+    "CrawlConfig",
+    "CrawlCursor",
+    "CrawlReport",
+    "CrawlState",
+    "DedupIndex",
+    "EntryResult",
+    "LeafError",
+    "ParsedLeaf",
+    "RawEntry",
+    "RegistrySink",
+    "SignedTreeHead",
+    "SinkError",
+    "encode_merkle_tree_leaf",
+    "extract_entry",
+    "modulus_digest",
+    "parse_merkle_tree_leaf",
+    "run_crawl",
+]

@@ -1,0 +1,343 @@
+"""RFC 6962 Certificate Transparency log client over the stdlib HTTP stack.
+
+A CT log is an append-only Merkle tree of certificates with a two-call
+read API: ``get-sth`` returns the signed tree head (how many entries
+exist), ``get-entries`` returns a window of leaves.  This module covers
+exactly what a crawl needs:
+
+* :class:`CTLogClient` — pooled keep-alive GETs with transient-error
+  retries through the shared :class:`repro.resilience.RetryPolicy`, and
+  the ``ct.fetch`` fault point fired before every request so the chaos
+  suite can kill or error any fetch deterministically;
+* :func:`parse_merkle_tree_leaf` — the binary ``MerkleTreeLeaf`` /
+  ``TimestampedEntry`` layout for both ``x509_entry`` (a full
+  certificate) and ``precert_entry`` (issuer key hash + TBSCertificate);
+* **adaptive windows** — real logs cap ``get-entries`` responses at a
+  server-chosen size and return *fewer* entries than asked; the client
+  learns the cap and sizes subsequent windows to it
+  (:meth:`CTLogClient.observed_cap`).
+
+Leaf parsing is strict about structure but deliberately separate from
+certificate parsing: a malformed leaf raises :class:`LeafError` (counted
+by the crawler as ``ingest.skipped.leaf_error``), while a well-formed
+leaf wrapping a garbage certificate flows on to the tolerant extractor.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import http.client
+import json
+import struct
+from dataclasses import dataclass
+from typing import Callable
+from urllib.parse import urlsplit
+
+from repro.resilience import RetryPolicy, faults, is_transient
+
+__all__ = [
+    "CTLogError",
+    "CTLogClient",
+    "LeafError",
+    "ParsedLeaf",
+    "RawEntry",
+    "SignedTreeHead",
+    "X509_ENTRY",
+    "PRECERT_ENTRY",
+    "encode_merkle_tree_leaf",
+    "parse_merkle_tree_leaf",
+]
+
+#: RFC 6962 ``LogEntryType`` values
+X509_ENTRY = 0
+PRECERT_ENTRY = 1
+
+_U16 = struct.Struct("!H")
+_U64 = struct.Struct("!Q")
+
+#: default get-entries retry schedule: CT front-ends rate-limit freely
+DEFAULT_RETRY = RetryPolicy(max_attempts=5, base_delay=0.5, max_delay=15.0)
+
+
+class CTLogError(Exception):
+    """A log response the crawl cannot proceed past (bad JSON, 4xx)."""
+
+
+class LeafError(ValueError):
+    """A ``leaf_input`` that does not parse as a MerkleTreeLeaf."""
+
+
+@dataclass(frozen=True)
+class SignedTreeHead:
+    """The ``get-sth`` response: how big the log is right now."""
+
+    tree_size: int
+    timestamp: int
+    sha256_root_hash: str
+    tree_head_signature: str
+
+
+@dataclass(frozen=True)
+class RawEntry:
+    """One undecoded ``get-entries`` element, tagged with its log index."""
+
+    index: int
+    leaf_input: bytes
+    extra_data: bytes
+
+
+@dataclass(frozen=True)
+class ParsedLeaf:
+    """A decoded ``MerkleTreeLeaf``.
+
+    ``cert_der`` holds the full certificate DER for ``x509_entry`` leaves
+    and the bare ``TBSCertificate`` DER for ``precert_entry`` leaves —
+    the extractor dispatches on ``entry_type``.
+    """
+
+    timestamp: int
+    entry_type: int
+    cert_der: bytes
+    issuer_key_hash: bytes | None = None
+    extensions: bytes = b""
+
+    @property
+    def is_precert(self) -> bool:
+        return self.entry_type == PRECERT_ENTRY
+
+
+# -- MerkleTreeLeaf binary layout ----------------------------------------------
+
+
+def _take(data: bytes, pos: int, n: int, what: str) -> tuple[bytes, int]:
+    if pos + n > len(data):
+        raise LeafError(f"truncated leaf: {what} needs {n} bytes at offset {pos}")
+    return data[pos : pos + n], pos + n
+
+
+def _take_u24_block(data: bytes, pos: int, what: str) -> tuple[bytes, int]:
+    raw, pos = _take(data, pos, 3, f"{what} length")
+    length = int.from_bytes(raw, "big")
+    return _take(data, pos, length, what)
+
+
+def parse_merkle_tree_leaf(data: bytes) -> ParsedLeaf:
+    """Decode one ``leaf_input`` blob; raises :class:`LeafError` if malformed.
+
+    >>> leaf = encode_merkle_tree_leaf(7, X509_ENTRY, b"\\x30\\x00")
+    >>> parsed = parse_merkle_tree_leaf(leaf)
+    >>> (parsed.timestamp, parsed.entry_type, parsed.cert_der)
+    (7, 0, b'0\\x00')
+    >>> parse_merkle_tree_leaf(leaf[:-1])
+    Traceback (most recent call last):
+        ...
+    repro.ingest.ctlog.LeafError: truncated leaf: extensions length needs 2 bytes at offset 17
+    """
+    raw, pos = _take(data, 0, 2, "version/leaf_type")
+    version, leaf_type = raw[0], raw[1]
+    if version != 0:
+        raise LeafError(f"unsupported MerkleTreeLeaf version {version}")
+    if leaf_type != 0:  # timestamped_entry
+        raise LeafError(f"unsupported MerkleLeafType {leaf_type}")
+    raw, pos = _take(data, pos, 8, "timestamp")
+    timestamp = _U64.unpack(raw)[0]
+    raw, pos = _take(data, pos, 2, "entry_type")
+    entry_type = _U16.unpack(raw)[0]
+    issuer_key_hash = None
+    if entry_type == X509_ENTRY:
+        cert_der, pos = _take_u24_block(data, pos, "certificate")
+    elif entry_type == PRECERT_ENTRY:
+        issuer_key_hash, pos = _take(data, pos, 32, "issuer_key_hash")
+        cert_der, pos = _take_u24_block(data, pos, "tbs_certificate")
+    else:
+        raise LeafError(f"unknown LogEntryType {entry_type}")
+    raw, pos = _take(data, pos, 2, "extensions length")
+    ext_len = _U16.unpack(raw)[0]
+    extensions, pos = _take(data, pos, ext_len, "extensions")
+    if pos != len(data):
+        raise LeafError(f"{len(data) - pos} trailing bytes after leaf")
+    return ParsedLeaf(
+        timestamp=timestamp,
+        entry_type=entry_type,
+        cert_der=cert_der,
+        issuer_key_hash=issuer_key_hash,
+        extensions=extensions,
+    )
+
+
+def encode_merkle_tree_leaf(
+    timestamp: int,
+    entry_type: int,
+    cert_der: bytes,
+    *,
+    issuer_key_hash: bytes = b"\x00" * 32,
+    extensions: bytes = b"",
+) -> bytes:
+    """The inverse of :func:`parse_merkle_tree_leaf` — the stub log and the
+    fuzz suite build leaves with it.
+    """
+    if entry_type not in (X509_ENTRY, PRECERT_ENTRY):
+        raise ValueError(f"unknown LogEntryType {entry_type}")
+    parts = [b"\x00\x00", _U64.pack(timestamp), _U16.pack(entry_type)]
+    if entry_type == PRECERT_ENTRY:
+        if len(issuer_key_hash) != 32:
+            raise ValueError("issuer_key_hash must be 32 bytes")
+        parts.append(issuer_key_hash)
+    parts.append(len(cert_der).to_bytes(3, "big") + cert_der)
+    parts.append(_U16.pack(len(extensions)) + extensions)
+    return b"".join(parts)
+
+
+# -- the HTTP client -----------------------------------------------------------
+
+
+class CTLogClient:
+    """A keep-alive RFC 6962 read client with retries and fault injection.
+
+    The client is synchronous and single-connection — the crawler wants
+    one in-flight window at a time, and sizing the window (not pipelining
+    requests) is where the throughput is.  ``on_retry(attempt, delay,
+    exc)`` fires before each backoff sleep so the crawler can count
+    ``ingest.fetch.retries``.
+
+    >>> CTLogClient("gopher://log.example")
+    Traceback (most recent call last):
+        ...
+    ValueError: unsupported CT log URL scheme 'gopher' in 'gopher://log.example'
+    """
+
+    def __init__(
+        self,
+        log_url: str,
+        *,
+        timeout: float = 60.0,
+        retry_policy: RetryPolicy | None = None,
+        on_retry: Callable[[int, float, BaseException], None] | None = None,
+    ) -> None:
+        split = urlsplit(log_url)
+        if split.scheme not in ("http", "https"):
+            raise ValueError(
+                f"unsupported CT log URL scheme {split.scheme!r} in {log_url!r}"
+            )
+        self._factory = (
+            http.client.HTTPSConnection
+            if split.scheme == "https"
+            else http.client.HTTPConnection
+        )
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port
+        self._prefix = split.path.rstrip("/")
+        self._url = log_url
+        self._timeout = timeout
+        self._policy = retry_policy if retry_policy is not None else DEFAULT_RETRY
+        self._on_retry = on_retry
+        self._conn: http.client.HTTPConnection | None = None
+        self._observed_cap: int | None = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> CTLogClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def observed_cap(self) -> int | None:
+        """The largest window the log has been seen to serve, if any
+        ``get-entries`` response came back short (real logs cap windows
+        server-side; the crawler sizes follow-up requests to the cap)."""
+        return self._observed_cap
+
+    def _get_once(self, path: str) -> dict:
+        faults.fire("ct.fetch")
+        fresh = self._conn is None
+        if fresh:
+            self._conn = self._factory(self._host, self._port, timeout=self._timeout)
+        conn = self._conn
+        try:
+            conn.request("GET", self._prefix + path)
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()
+            if fresh:
+                raise ConnectionError(
+                    f"cannot reach CT log at {self._url}: {exc}"
+                ) from None
+            # the log dropped an idle keep-alive socket: replay once, fresh
+            return self._get_once(path)
+        if response.will_close:
+            self.close()
+        if response.status != 200:
+            detail = data.decode(errors="replace").strip()
+            if response.status in (429, 500, 502, 503):
+                # rate limits and front-end hiccups are the CT norm
+                raise ConnectionError(
+                    f"CT log returned {response.status} for {path}: {detail}"
+                )
+            raise CTLogError(f"CT log returned {response.status} for {path}: {detail}")
+        try:
+            return json.loads(data)
+        except ValueError as exc:
+            raise CTLogError(f"CT log returned non-JSON for {path}: {exc}") from None
+
+    def _get(self, path: str) -> dict:
+        return self._policy.run(
+            lambda: self._get_once(path),
+            retryable=is_transient,
+            on_retry=self._on_retry,
+        )
+
+    def get_sth(self) -> SignedTreeHead:
+        """``GET /ct/v1/get-sth`` — the log's current size."""
+        doc = self._get("/ct/v1/get-sth")
+        try:
+            return SignedTreeHead(
+                tree_size=int(doc["tree_size"]),
+                timestamp=int(doc.get("timestamp", 0)),
+                sha256_root_hash=str(doc.get("sha256_root_hash", "")),
+                tree_head_signature=str(doc.get("tree_head_signature", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CTLogError(f"malformed get-sth response: {exc}") from None
+
+    def get_entries(self, start: int, end: int) -> list[RawEntry]:
+        """``GET /ct/v1/get-entries`` for indices ``[start, end]`` inclusive.
+
+        Returns at least one entry (the RFC requires it) but possibly
+        fewer than requested; a short response records the server's cap.
+        Base64 that does not decode raises :class:`CTLogError` — a log
+        whose transport framing is broken cannot be crawled.
+        """
+        if start < 0 or end < start:
+            raise ValueError(f"bad entry window [{start}, {end}]")
+        doc = self._get(f"/ct/v1/get-entries?start={start}&end={end}")
+        raw_entries = doc.get("entries")
+        if not isinstance(raw_entries, list) or not raw_entries:
+            raise CTLogError(f"get-entries [{start}, {end}] returned no entries")
+        entries = []
+        for offset, item in enumerate(raw_entries):
+            try:
+                entries.append(
+                    RawEntry(
+                        index=start + offset,
+                        leaf_input=base64.b64decode(item["leaf_input"], validate=True),
+                        extra_data=base64.b64decode(
+                            item.get("extra_data", ""), validate=True
+                        ),
+                    )
+                )
+            except (KeyError, TypeError, binascii.Error) as exc:
+                raise CTLogError(
+                    f"malformed get-entries element at index {start + offset}: {exc}"
+                ) from None
+        if len(entries) < end - start + 1:
+            cap = len(entries)
+            if self._observed_cap is None or cap < self._observed_cap:
+                self._observed_cap = cap
+        return entries

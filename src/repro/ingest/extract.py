@@ -1,0 +1,89 @@
+"""Leaf → RSA modulus: the tolerant extraction stage of the CT crawl.
+
+Real log populations are adversarially messy — EC and Ed25519 keys,
+RSA-PSS AlgorithmIdentifiers, truncated DER, 16-bit "RSA" toys, 64k-bit
+monsters.  This stage never raises on an entry: every leaf comes back as
+an :class:`EntryResult` that either carries a modulus or names exactly
+why it does not, and the crawler folds those names into the
+``ingest.skipped.<reason>`` counters.
+
+The split of responsibilities: :mod:`repro.ingest.ctlog` owns the leaf
+*framing* (raising :class:`~repro.ingest.ctlog.LeafError`, surfaced here
+as the ``leaf_error`` skip), :mod:`repro.rsa.x509` owns the tolerant
+certificate walk (:data:`~repro.rsa.x509.SKIP_REASONS`), and this module
+is the dispatch between them — ``x509_entry`` leaves carry a full
+certificate, ``precert_entry`` leaves carry a bare ``TBSCertificate``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.ingest.ctlog import LeafError, RawEntry, parse_merkle_tree_leaf
+from repro.rsa.x509 import (
+    DEFAULT_MAX_BITS,
+    DEFAULT_MIN_BITS,
+    SKIP_REASONS,
+    ExtractedKey,
+    extract_key_from_certificate,
+    extract_key_from_tbs,
+)
+
+__all__ = ["EntryResult", "INGEST_SKIP_REASONS", "extract_entry", "modulus_digest"]
+
+#: every skip reason the crawl can count: leaf framing failures plus the
+#: certificate-level reasons from :data:`repro.rsa.x509.SKIP_REASONS`
+INGEST_SKIP_REASONS = ("leaf_error",) + SKIP_REASONS
+
+
+@dataclass(frozen=True)
+class EntryResult:
+    """One log entry's extraction outcome.
+
+    ``entry_type`` is ``None`` when the leaf itself failed to parse —
+    there is no trustworthy type field in a mangled leaf.
+    """
+
+    index: int
+    key: ExtractedKey
+    entry_type: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.key.skip is None
+
+
+def extract_entry(
+    entry: RawEntry,
+    *,
+    min_bits: int = DEFAULT_MIN_BITS,
+    max_bits: int = DEFAULT_MAX_BITS,
+) -> EntryResult:
+    """Extract the RSA key from one raw log entry; never raises.
+
+    >>> from repro.ingest.ctlog import encode_merkle_tree_leaf, X509_ENTRY
+    >>> bad = RawEntry(index=3, leaf_input=b"\\x01junk", extra_data=b"")
+    >>> extract_entry(bad).key.skip
+    'leaf_error'
+    """
+    try:
+        leaf = parse_merkle_tree_leaf(entry.leaf_input)
+    except LeafError:
+        return EntryResult(index=entry.index, key=ExtractedKey(skip="leaf_error"))
+    if leaf.is_precert:
+        key = extract_key_from_tbs(leaf.cert_der, min_bits=min_bits, max_bits=max_bits)
+    else:
+        key = extract_key_from_certificate(
+            leaf.cert_der, min_bits=min_bits, max_bits=max_bits
+        )
+    return EntryResult(index=entry.index, key=key, entry_type=leaf.entry_type)
+
+
+def modulus_digest(n: int) -> bytes:
+    """The dedup key: SHA-256 over the modulus's minimal big-endian bytes.
+
+    >>> modulus_digest(0xAB)[:4].hex()
+    '087d80f7'
+    """
+    return hashlib.sha256(n.to_bytes((n.bit_length() + 7) // 8 or 1, "big")).digest()

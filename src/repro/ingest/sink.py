@@ -1,0 +1,114 @@
+"""The registry sink: backpressure-aware binary submission of crawled keys.
+
+The crawl's output is the registry service's input.  :class:`RegistrySink`
+wraps the shared :class:`repro.service.client.ServiceClient` with the
+three ingest-specific behaviours:
+
+* submissions ride the **RGWIRE1 binary wire path** (the raw-speed format
+  from ``docs/SERVICE.md``) with ``?wait=1``, so each batch returns its
+  verdicts synchronously and an acknowledged batch is *known committed*;
+* ``429``/``503`` backpressure retries honor the server's ``Retry-After``
+  through the shared :class:`~repro.resilience.RetryPolicy`, and a
+  briefly unreachable service (restart, drain) is retried the same way —
+  a multi-day crawl outlives its registry's restarts;
+* the ``ingest.sink`` fault point fires before every submission, so the
+  crash/resume matrix can kill the crawler at the exact moment a batch
+  is about to leave (and prove the resumed crawl still submits it).
+
+The sink never dedups or spools — that is the crawler's job; by the time
+moduli reach here they are unique and already durable in the outbox.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.resilience import RetryPolicy, faults, is_transient
+from repro.service import wire
+from repro.service.client import ServiceClient
+
+__all__ = ["RegistrySink", "SinkError"]
+
+#: default schedule for riding out registry restarts and backpressure
+DEFAULT_RETRY = RetryPolicy(max_attempts=6, base_delay=0.5, max_delay=20.0)
+
+
+class SinkError(Exception):
+    """A submission the service definitively rejected (not retryable)."""
+
+
+class RegistrySink:
+    """Feed batches of moduli into a running ``repro serve`` instance.
+
+    ``on_retry(attempt, delay, exc)`` fires before every backoff sleep —
+    backpressure and unreachable-service retries both — so the crawler
+    counts them as ``ingest.submit.retries``.
+    """
+
+    def __init__(
+        self,
+        submit_url: str,
+        *,
+        timeout: float = 120.0,
+        retry_policy: RetryPolicy | None = None,
+        on_retry: Callable[[int, float, BaseException], None] | None = None,
+    ) -> None:
+        self._client = ServiceClient(submit_url.rstrip("/"), timeout=timeout)
+        self._policy = retry_policy if retry_policy is not None else DEFAULT_RETRY
+        self._on_retry = on_retry
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> RegistrySink:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def healthz(self) -> dict:
+        """The service's ``GET /healthz`` view (used by resume reconciliation)."""
+        return self._policy.run(
+            lambda: self._client.request("GET", "/healthz"),
+            retryable=is_transient,
+            on_retry=self._on_retry,
+        )
+
+    def submit(self, moduli: list[int]) -> dict:
+        """Submit one batch over the binary wire; returns the ticket dict.
+
+        Blocks (``?wait=1``) until the service has committed the batch —
+        the returned ticket carries per-key ``results``.  Transient
+        failures (backpressure, connection loss, injected faults) are
+        retried whole-batch: the registry dedups re-submissions, so a
+        retried batch is safe, merely counted by the server.  A
+        non-transient rejection raises :class:`SinkError`.
+        """
+        if not moduli:
+            raise ValueError("refusing to submit an empty batch")
+        body = wire.encode_moduli(moduli)
+
+        def once() -> dict:
+            faults.fire("ingest.sink")
+            # ServiceClient turns exhausted backpressure into ValueError;
+            # passing our policy down keeps one schedule for both layers
+            return self._client.request(
+                "POST",
+                "/submit?wait=1",
+                body=body,
+                content_type=wire.CONTENT_TYPE,
+                retry_policy=self._policy,
+                on_backpressure=self._on_retry,
+            )
+
+        try:
+            ticket = self._policy.run(
+                once, retryable=is_transient, on_retry=self._on_retry
+            )
+        except ValueError as exc:
+            raise SinkError(str(exc)) from exc
+        if ticket.get("status") != "done":
+            raise SinkError(
+                f"service did not commit the batch synchronously: {ticket}"
+            )
+        return ticket

@@ -42,6 +42,9 @@ Injection points instrumented across the tree (``FAULT_POINTS``):
 ``ptree.commit``    :class:`repro.core.ptree.PersistentProductTree`, per persist
 ``shard.dispatch``  :class:`repro.service.shard.ShardRouter`, before each job send
 ``shard.commit``    shard-worker-side, before the per-shard snapshot persists
+``ct.fetch``        :class:`repro.ingest.ctlog.CTLogClient`, per get-entries
+``ct.cursor.commit`` :meth:`repro.ingest.cursor.CrawlCursor.commit`, per save
+``ingest.sink``     :class:`repro.ingest.sink.RegistrySink`, before each submit
 ==================  ==========================================================
 """
 
@@ -77,6 +80,9 @@ FAULT_POINTS = (
     "ptree.commit",
     "shard.dispatch",
     "shard.commit",
+    "ct.fetch",
+    "ct.cursor.commit",
+    "ingest.sink",
 )
 
 _ACTIONS = ("enospc", "ioerror", "error", "exit", "hang")

@@ -264,6 +264,20 @@ def _iter_pem_moduli(path: Path) -> Iterator[int]:
                 body.append(line)
 
 
+def _iter_hexlines_moduli(path: Path) -> Iterator[int]:
+    # bare lowercase/uppercase hex, one modulus per line, no 0x prefix —
+    # the CT ingest outbox spool format (append-only, trivially seekable).
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                yield int(text, 16)
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: not hex: {text!r}") from None
+
+
 def _iter_corpus_moduli(path: Path) -> Iterator[int]:
     # corpus JSON is one document, so this source costs a full parse up
     # front (documented in docs/BATCH_PIPELINE.md); the text format is the
@@ -277,10 +291,13 @@ def stream_moduli(path: str | Path, *, format: str = "auto") -> ModulusStream:
     """Open a modulus source on disk without materialising ``list[int]``.
 
     ``format`` is one of ``"text"`` (one decimal or ``0x``-hex modulus per
-    line, ``#`` comments), ``"pem"`` (a public-key bundle, streamed block
-    by block), ``"corpus"`` (corpus JSON — parsed whole, then yielded
+    line, ``#`` comments), ``"hexlines"`` (bare hex, one modulus per line —
+    the CT ingest spool format), ``"pem"`` (a public-key bundle, streamed
+    block by block), ``"corpus"`` (corpus JSON — parsed whole, then yielded
     lazily) or ``"auto"``, which sniffs the first bytes: ``{`` means
-    corpus, ``-----BEGIN`` means PEM, anything else text.
+    corpus, ``-----BEGIN`` means PEM, anything else text.  (``auto`` never
+    guesses hexlines — bare hex is also valid decimal-ish text, so that
+    format must be named explicitly.)
 
     >>> import tempfile
     >>> with tempfile.TemporaryDirectory() as d:
@@ -301,6 +318,7 @@ def stream_moduli(path: str | Path, *, format: str = "auto") -> ModulusStream:
             format = "text"
     factories = {
         "text": _iter_text_moduli,
+        "hexlines": _iter_hexlines_moduli,
         "pem": _iter_pem_moduli,
         "corpus": _iter_corpus_moduli,
     }
@@ -327,22 +345,30 @@ def shard_moduli(moduli: Iterable[int], shard_size: int) -> Iterator[list[int]]:
         yield shard
 
 
-def write_moduli_text(path: str | Path, moduli: Iterable[int]) -> int:
+def write_moduli_text(
+    path: str | Path, moduli: Iterable[int], *, mode: str = "w"
+) -> int:
     """Write moduli as the streaming text format; returns the count.
 
     The inverse of ``stream_moduli(path, format="text")`` — the format the
-    pipeline recommends for corpora too large for JSON in RAM.
+    pipeline recommends for corpora too large for JSON in RAM.  Pass
+    ``mode="a"`` to append: long crawls spool extracted moduli
+    incrementally instead of rewriting the file per batch.
 
     >>> import tempfile
     >>> with tempfile.TemporaryDirectory() as d:
     ...     p = Path(d, "m.txt")
     ...     write_moduli_text(p, [33, 55])
+    ...     write_moduli_text(p, [77], mode="a")
     ...     list(stream_moduli(p))
     2
-    [33, 55]
+    1
+    [33, 55, 77]
     """
+    if mode not in ("w", "a"):
+        raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
     count = 0
-    with Path(path).open("w") as fh:
+    with Path(path).open(mode) as fh:
         for n in moduli:
             fh.write(f"{n}\n")
             count += 1

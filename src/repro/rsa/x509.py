@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.rsa.der import (
     DERError,
@@ -46,17 +47,26 @@ from repro.rsa.pem import pem_decode_all, pem_encode
 
 __all__ = [
     "CertificateInfo",
+    "ExtractedKey",
     "SHA256_RSA_OID",
+    "RSA_PSS_OID",
     "COMMON_NAME_OID",
+    "SKIP_REASONS",
     "create_self_signed_certificate",
     "parse_certificate",
     "verify_certificate",
     "certificate_to_pem",
+    "extract_key_from_certificate",
+    "extract_key_from_tbs",
     "extract_moduli_from_certificates",
+    "iter_certificate_keys",
 ]
 
 #: sha256WithRSAEncryption — 1.2.840.113549.1.1.11
 SHA256_RSA_OID = (1, 2, 840, 113549, 1, 1, 11)
+#: id-RSASSA-PSS — 1.2.840.113549.1.1.10 (an RSA key behind a PSS
+#: AlgorithmIdentifier; real CT log populations contain these)
+RSA_PSS_OID = (1, 2, 840, 113549, 1, 1, 10)
 #: id-at-commonName — 2.5.4.3
 COMMON_NAME_OID = (2, 5, 4, 3)
 #: DigestInfo algorithm for SHA-256 — 2.16.840.1.101.3.4.2.1
@@ -249,11 +259,188 @@ def certificate_to_pem(der: bytes) -> str:
     return pem_encode(der, "CERTIFICATE")
 
 
-def extract_moduli_from_certificates(text: str, *, verify: bool = False) -> list[int]:
+# -- tolerant extraction -------------------------------------------------------
+#
+# The strict profile parser above round-trips this repository's own
+# certificates.  Real certificate populations — CT logs, web scrapes — are
+# adversarially messy: non-RSA keys, name forms and extensions far outside
+# the profile, truncated DER, absurd key sizes.  The extraction path below
+# never raises on a bad certificate; it classifies it with a skip reason
+# instead, which the ingest pipeline surfaces as ``ingest.skipped.<reason>``
+# counters (see ``docs/INGEST.md``).
+
+#: every skip reason :func:`extract_key_from_certificate` can return
+SKIP_REASONS = (
+    "parse_error",     # not a certificate / truncated / non-canonical DER
+    "non_rsa_spki",    # the SPKI algorithm is not rsaEncryption or RSASSA-PSS
+    "exponent_one",    # e <= 1: not a usable RSA public key
+    "even_modulus",    # n is even — no odd-prime factorisation to share
+    "small_modulus",   # n below ``min_bits`` (default 512)
+    "huge_modulus",    # n above ``max_bits`` — absurd sizes DoS the scanner
+)
+
+#: extraction bounds: moduli outside [min_bits, max_bits] are skipped
+DEFAULT_MIN_BITS = 512
+DEFAULT_MAX_BITS = 16384
+
+
+@dataclass(frozen=True)
+class ExtractedKey:
+    """One certificate's RSA key, or the reason there isn't one.
+
+    >>> ExtractedKey(n=187, e=3).ok, ExtractedKey(skip="parse_error").ok
+    (True, False)
+    """
+
+    n: int | None = None
+    e: int | None = None
+    skip: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.skip is None
+
+
+def _classify_spki(spki_raw: bytes, *, min_bits: int, max_bits: int) -> ExtractedKey:
+    """Lenient ``SubjectPublicKeyInfo`` → :class:`ExtractedKey`.
+
+    Unlike the strict :func:`repro.rsa.der.decode_subject_public_key_info`
+    this accepts RSASSA-PSS AlgorithmIdentifiers (whose parameters are a
+    ``RSASSA-PSS-params`` SEQUENCE, not NULL) and ignores whatever
+    parameters follow the OID — the key material lives in the BIT STRING
+    either way.
+    """
+    try:
+        outer = DERReader(spki_raw)
+        spki = outer.enter_sequence()
+        algorithm = spki.enter_sequence()
+        oid = algorithm.read_object_identifier()
+        if oid not in (RSA_ENCRYPTION_OID, RSA_PSS_OID):
+            return ExtractedKey(skip="non_rsa_spki")
+        key_bits, unused = spki.read_bit_string()
+        if unused:
+            return ExtractedKey(skip="parse_error")
+        seq = DERReader(key_bits).enter_sequence()
+        n = seq.read_integer()
+        e = seq.read_integer()
+    except DERError:
+        return ExtractedKey(skip="parse_error")
+    if n <= 0:
+        return ExtractedKey(skip="parse_error")
+    if e <= 1:
+        return ExtractedKey(skip="exponent_one")
+    if n % 2 == 0:
+        return ExtractedKey(skip="even_modulus")
+    if n.bit_length() < min_bits:
+        return ExtractedKey(skip="small_modulus")
+    if n.bit_length() > max_bits:
+        return ExtractedKey(skip="huge_modulus")
+    return ExtractedKey(n=n, e=e)
+
+
+def _spki_from_tbs(tbs: DERReader) -> bytes:
+    """Walk a ``TBSCertificate`` body reader up to its SPKI (raw TLV).
+
+    The walk skips whole TLVs — serial, signature algorithm, issuer,
+    validity, subject — without interpreting them, so name forms and
+    attribute types far outside this module's writing profile parse fine.
+    """
+    if tbs.peek_tag() == 0xA0:  # [0] EXPLICIT version
+        tbs.read_tlv(0xA0)
+    for _ in range(5):  # serial, signature, issuer, validity, subject
+        tbs.read_any()
+    return tbs.read_raw_tlv(TAG_SEQUENCE)
+
+
+def extract_key_from_tbs(
+    tbs_der: bytes,
+    *,
+    min_bits: int = DEFAULT_MIN_BITS,
+    max_bits: int = DEFAULT_MAX_BITS,
+) -> ExtractedKey:
+    """Tolerantly extract the RSA key from raw ``TBSCertificate`` bytes.
+
+    This is the precertificate path: an RFC 6962 ``precert_entry`` leaf
+    carries the TBS alone, not the full certificate.
+    """
+    try:
+        tbs = DERReader(tbs_der).enter_sequence()
+        spki_raw = _spki_from_tbs(tbs)
+    except DERError:
+        return ExtractedKey(skip="parse_error")
+    return _classify_spki(spki_raw, min_bits=min_bits, max_bits=max_bits)
+
+
+def extract_key_from_certificate(
+    der: bytes,
+    *,
+    min_bits: int = DEFAULT_MIN_BITS,
+    max_bits: int = DEFAULT_MAX_BITS,
+) -> ExtractedKey:
+    """Tolerantly extract the RSA key from one certificate's DER bytes.
+
+    Never raises: anything that stops extraction comes back as a skip
+    reason from :data:`SKIP_REASONS`.
+
+    >>> import random
+    >>> from repro.rsa.keys import generate_key
+    >>> key = generate_key(512, random.Random(42))
+    >>> der = create_self_signed_certificate(key)
+    >>> extract_key_from_certificate(der).n == key.n
+    True
+    >>> extract_key_from_certificate(der[:40]).skip
+    'parse_error'
+    """
+    try:
+        cert = DERReader(der).enter_sequence()
+        tbs_raw = cert.read_raw_tlv(TAG_SEQUENCE)
+        tbs = DERReader(tbs_raw).enter_sequence()
+        spki_raw = _spki_from_tbs(tbs)
+    except DERError:
+        return ExtractedKey(skip="parse_error")
+    return _classify_spki(spki_raw, min_bits=min_bits, max_bits=max_bits)
+
+
+def iter_certificate_keys(
+    text: str,
+    *,
+    min_bits: int = DEFAULT_MIN_BITS,
+    max_bits: int = DEFAULT_MAX_BITS,
+) -> Iterator[ExtractedKey]:
+    """One :class:`ExtractedKey` per CERTIFICATE block of a PEM bundle.
+
+    The streaming per-certificate variant of
+    :func:`extract_moduli_from_certificates`: every block yields exactly
+    one result, so callers can count skip reasons instead of silently
+    losing certificates.
+
+    >>> results = list(iter_certificate_keys(
+    ...     certificate_to_pem(b"\\x30\\x03\\x30\\x01\\x00")))
+    >>> [r.skip for r in results]
+    ['parse_error']
+    """
+    for label, der in pem_decode_all(text):
+        if label != "CERTIFICATE":
+            continue
+        yield extract_key_from_certificate(der, min_bits=min_bits, max_bits=max_bits)
+
+
+def extract_moduli_from_certificates(
+    text: str,
+    *,
+    verify: bool = False,
+    min_bits: int = 0,
+    max_bits: int = DEFAULT_MAX_BITS,
+) -> list[int]:
     """All RSA moduli in the CERTIFICATE blocks of a PEM bundle.
 
-    With ``verify=True`` certificates whose self-signature fails are
-    skipped — scrapes contain truncated and corrupted blobs.
+    Extraction is tolerant: certificates outside this module's writing
+    profile — RSA-PSS SubjectPublicKeyInfo algorithms, exotic name forms,
+    extensions — still contribute their modulus, and anything unusable
+    (non-RSA keys, truncated DER) is skipped.  With ``verify=True`` the
+    certificate must additionally parse under the strict profile *and*
+    carry a valid self-signature — scrapes contain truncated and
+    corrupted blobs.
 
     >>> import random
     >>> from repro.rsa.keys import generate_key
@@ -266,11 +453,18 @@ def extract_moduli_from_certificates(text: str, *, verify: bool = False) -> list
     for label, der in pem_decode_all(text):
         if label != "CERTIFICATE":
             continue
-        try:
-            info = parse_certificate(der)
-        except DERError:
+        if verify:
+            try:
+                info = parse_certificate(der)
+            except DERError:
+                continue
+            if not verify_certificate(info):
+                continue
+            moduli.append(info.n)
             continue
-        if verify and not verify_certificate(info):
-            continue
-        moduli.append(info.n)
+        result = extract_key_from_certificate(
+            der, min_bits=max(min_bits, 1), max_bits=max_bits
+        )
+        if result.ok:
+            moduli.append(result.n)
     return moduli

@@ -1,0 +1,177 @@
+"""The shared registry-service HTTP client: pooled keep-alive + backpressure.
+
+Every process that talks to a running ``repro serve`` instance — the
+``repro submit`` CLI, the CT ingest sink (:mod:`repro.ingest.sink`), the
+benchmarks — needs the same four behaviours, so they live here once:
+
+* **one TCP connection per client** — bulk submissions used to open a
+  fresh ``urllib`` connection per 500-key chunk, paying a TCP handshake
+  (and slow-start) per request;
+* **stale-connection replay** — a keep-alive socket the server closed
+  between requests (idle timeout, restart) is replayed once on a fresh
+  connection, never surfaced to the caller;
+* **backpressure retries** — ``429`` (admission queue full) and ``503``
+  (draining) raise :class:`Backpressure` internally and retry through
+  the shared :class:`repro.resilience.RetryPolicy`, with the server's
+  ``Retry-After`` hint as a floor under the policy's own backoff;
+* **honest failure** — any other status, or an unreachable service,
+  raises :class:`ValueError` with the server's error detail.
+
+The client is deliberately synchronous (stdlib ``http.client``): its
+callers are CLI processes and the ingest crawler's feed loop, both of
+which want one in-flight request at a time.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Callable
+from urllib.parse import urlsplit
+
+from repro.resilience import RetryPolicy
+
+__all__ = ["Backpressure", "ServiceClient"]
+
+
+class Backpressure(Exception):
+    """A retryable service response: 429 backpressure or 503 draining."""
+
+    def __init__(self, code: int, detail: str, retry_after: float) -> None:
+        super().__init__(f"service returned {code}: {detail}")
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """A pooled keep-alive HTTP client for the registry service.
+
+    ``request`` is the whole API: one JSON-decoded round trip, with
+    retries on backpressure.  ``on_backpressure(attempt, delay, exc)``
+    fires before each backoff sleep — the CLI prints from it, the ingest
+    sink counts from it.
+
+    >>> ServiceClient("ftp://example", timeout=1.0)
+    Traceback (most recent call last):
+        ...
+    ValueError: unsupported service URL scheme 'ftp' in 'ftp://example'
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 120.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", "https"):
+            raise ValueError(
+                f"unsupported service URL scheme {split.scheme!r} in {base_url!r}"
+            )
+        self._factory = (
+            http.client.HTTPSConnection
+            if split.scheme == "https"
+            else http.client.HTTPConnection
+        )
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port
+        self._prefix = split.path.rstrip("/")
+        self._url = base_url
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _send(self, method: str, path: str, body: bytes | None,
+              content_type: str):
+        """One request/response; a stale keep-alive socket is replayed once."""
+        while True:
+            fresh = self._conn is None
+            if fresh:
+                self._conn = self._factory(
+                    self._host, self._port, timeout=self._timeout
+                )
+            conn = self._conn
+            try:
+                conn.request(
+                    method, self._prefix + path, body=body,
+                    headers={"Content-Type": content_type} if body is not None else {},
+                )
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                if fresh:
+                    raise ConnectionError(
+                        f"cannot reach service at {self._url}: {exc}"
+                    ) from None
+                continue  # server dropped the idle connection: replay once
+            if response.will_close:
+                self.close()
+            return response.status, response.headers, data
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        retries: int = 0,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+        on_backpressure: Callable[[int, float, Backpressure], None] | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> dict:
+        """One JSON-decoded round trip, retrying 429/503 responses.
+
+        ``payload`` is JSON-encoded; binary submissions pass pre-encoded
+        ``body`` bytes with their ``content_type`` instead.  ``retries``
+        caps the backpressure retries (total attempts = ``retries + 1``)
+        unless an explicit ``retry_policy`` overrides the whole schedule.
+        """
+        if body is None and payload is not None:
+            body = json.dumps(payload).encode()
+        hint = [0.0]  # last Retry-After hint, floors the policy's backoff
+
+        def once() -> dict:
+            status, headers, data = self._send(method, path, body, content_type)
+            if status >= 400:
+                detail = data.decode(errors="replace").strip()
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                if status in (429, 503):
+                    try:
+                        hint[0] = min(
+                            max(float(headers.get("Retry-After", "0.5")), 0.05),
+                            30.0,
+                        )
+                    except ValueError:
+                        hint[0] = 0.5
+                    raise Backpressure(status, detail, hint[0])
+                raise ValueError(f"service returned {status}: {detail}")
+            return json.loads(data)
+
+        def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+            if on_backpressure is not None and isinstance(exc, Backpressure):
+                on_backpressure(attempt, max(delay, hint[0]), exc)
+
+        policy = retry_policy if retry_policy is not None else RetryPolicy(
+            max_attempts=retries + 1, base_delay=0.5, max_delay=30.0
+        )
+        try:
+            return policy.run(
+                once,
+                retryable=lambda exc: isinstance(exc, Backpressure),
+                on_retry=on_retry,
+                sleep=lambda delay: time.sleep(max(delay, hint[0])),
+            )
+        except Backpressure as exc:
+            raise ValueError(str(exc)) from None

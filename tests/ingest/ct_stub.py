@@ -1,0 +1,364 @@
+"""A local stub CT log: generated corpus + RFC 6962 read API, offline.
+
+The ingest pipeline's whole test story runs against this module instead
+of a real log.  :func:`build_corpus` plants ground truth the crawl must
+recover — shared-prime certificate groups, heavy key duplication, and a
+rotation of malformed/non-RSA entries — and :class:`StubCTLog` serves it
+over ``/ct/v1/get-sth`` + ``/ct/v1/get-entries`` on a loopback port,
+including the real-log behaviour of capping windows server-side.
+
+Run directly it becomes the CI smoke fixture::
+
+    python tests/ingest/ct_stub.py --entries 2000 --seed 7 --port 0 \\
+        --port-file /tmp/ct.port --ground-truth /tmp/ct.truth.json
+
+which writes the ground-truth JSON (unique moduli, expected hit count,
+planted primes) before serving forever.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.ingest.ctlog import (
+    PRECERT_ENTRY,
+    X509_ENTRY,
+    encode_merkle_tree_leaf,
+)
+from repro.rsa.corpus import generate_weak_corpus
+from repro.rsa.der import (
+    DERReader,
+    TAG_SEQUENCE,
+    encode_bit_string,
+    encode_integer,
+    encode_null,
+    encode_object_identifier,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_subject_public_key_info,
+    encode_utc_time,
+)
+from repro.rsa.x509 import create_self_signed_certificate
+
+__all__ = ["StubCorpus", "StubCTLog", "build_corpus"]
+
+#: id-ecPublicKey — the non-RSA SPKI real logs are full of
+EC_PUBLIC_KEY_OID = (1, 2, 840, 10045, 2, 1)
+SECP256R1_OID = (1, 2, 840, 10045, 3, 1, 7)
+
+
+@dataclass
+class StubCorpus:
+    """The served entries plus everything a test needs to score a crawl."""
+
+    entries: list[bytes] = field(default_factory=list)  # leaf_input blobs
+    unique_moduli: set[int] = field(default_factory=set)
+    shared_primes: set[int] = field(default_factory=set)
+    expected_hits: int = 0
+    n_valid: int = 0
+    n_duplicate: int = 0
+    n_malformed: int = 0
+
+    @property
+    def tree_size(self) -> int:
+        return len(self.entries)
+
+    def ground_truth(self) -> dict:
+        """The JSON the CI job asserts the registry against."""
+        return {
+            "tree_size": self.tree_size,
+            "n_valid": self.n_valid,
+            "n_duplicate": self.n_duplicate,
+            "n_malformed": self.n_malformed,
+            "unique_keys": len(self.unique_moduli),
+            "unique_moduli": sorted(hex(n) for n in self.unique_moduli),
+            "expected_hits": self.expected_hits,
+            "shared_primes": sorted(hex(p) for p in self.shared_primes),
+        }
+
+
+def _tbs_of(cert_der: bytes) -> bytes:
+    """The raw TBSCertificate TLV out of a certificate (precert payloads)."""
+    return DERReader(cert_der).enter_sequence().read_raw_tlv(TAG_SEQUENCE)
+
+
+def _unsigned_cert(spki: bytes, serial: int) -> bytes:
+    """A structurally valid certificate around an arbitrary SPKI.
+
+    The signature is garbage — the tolerant extractor never checks it —
+    which lets the stub plant key shapes (EC, e=1, tiny moduli) that the
+    real signer in :mod:`repro.rsa.x509` could not produce.
+    """
+    name = encode_sequence(
+        encode_set(
+            encode_sequence(
+                encode_object_identifier((2, 5, 4, 3)),
+                encode_printable_string("stub.example"),
+            )
+        )
+    )
+    algorithm = encode_sequence(
+        encode_object_identifier((1, 2, 840, 113549, 1, 1, 11)), encode_null()
+    )
+    tbs = encode_sequence(
+        encode_integer(serial),
+        algorithm,
+        name,
+        encode_sequence(
+            encode_utc_time("250101000000Z"), encode_utc_time("351231235959Z")
+        ),
+        name,
+        spki,
+    )
+    return encode_sequence(tbs, algorithm, encode_bit_string(b"\x00" * 16))
+
+
+def _ec_spki() -> bytes:
+    return encode_sequence(
+        encode_sequence(
+            encode_object_identifier(EC_PUBLIC_KEY_OID),
+            encode_object_identifier(SECP256R1_OID),
+        ),
+        encode_bit_string(b"\x04" + b"\x11" * 64),
+    )
+
+
+def _malformed_leaf(kind: int, serial: int, ok_leaf: bytes) -> bytes:
+    """One of the rotation of broken/skippable entries (``kind`` cycles)."""
+    variant = kind % 6
+    if variant == 0:  # truncated mid-certificate
+        return ok_leaf[: max(4, len(ok_leaf) // 2)]
+    if variant == 1:  # unknown MerkleTreeLeaf version
+        return b"\x09" + ok_leaf[1:]
+    if variant == 2:  # unknown LogEntryType
+        return ok_leaf[:10] + b"\x00\x07" + ok_leaf[12:]
+    if variant == 3:  # well-framed leaf wrapping garbage DER
+        return encode_merkle_tree_leaf(1000 + serial, X509_ENTRY, b"\x30\x82\xff\xff")
+    if variant == 4:  # EC certificate — parses, not RSA
+        return encode_merkle_tree_leaf(
+            1000 + serial, X509_ENTRY, _unsigned_cert(_ec_spki(), serial)
+        )
+    # variant 5: RSA with e == 1 — a key no RSA implementation can use
+    return encode_merkle_tree_leaf(
+        1000 + serial,
+        X509_ENTRY,
+        _unsigned_cert(encode_subject_public_key_info(0xC0FFEE | 1, 1), serial),
+    )
+
+
+def build_corpus(
+    n_entries: int,
+    *,
+    seed: int = 0,
+    bits: int = 512,
+    dup_fraction: float = 0.30,
+    malformed_fraction: float = 0.05,
+    shared_groups: tuple[int, ...] = (2, 2, 3),
+    precert_fraction: float = 0.25,
+) -> StubCorpus:
+    """Plant a log worth of entries with known ground truth.
+
+    ``dup_fraction`` of the entries re-serve an earlier key (fresh leaf,
+    same certificate — the cross-log duplication real crawls see);
+    ``malformed_fraction`` rotate through truncation, bad leaf types,
+    garbage DER, EC keys, and e==1 keys; ``precert_fraction`` of the
+    valid entries arrive as ``precert_entry`` TBS payloads.
+    """
+    n_malformed = int(n_entries * malformed_fraction)
+    n_valid = n_entries - n_malformed
+    n_duplicate = min(int(n_entries * dup_fraction), max(0, n_valid - 2))
+    n_unique = n_valid - n_duplicate
+    if n_unique < sum(shared_groups):
+        raise ValueError(
+            f"{n_entries} entries leave only {n_unique} unique keys — "
+            f"not enough for shared groups {shared_groups}"
+        )
+    weak = generate_weak_corpus(n_unique, bits, shared_groups=shared_groups, seed=seed)
+    rng = random.Random(f"ct-stub-{seed}")
+
+    certs = [
+        create_self_signed_certificate(
+            key, common_name=f"host{idx}.stub.example", serial=idx + 1
+        )
+        for idx, key in enumerate(weak.keys)
+    ]
+    leaves: list[bytes] = []
+    for idx, cert in enumerate(certs):
+        if rng.random() < precert_fraction:
+            leaves.append(
+                encode_merkle_tree_leaf(
+                    idx, PRECERT_ENTRY, _tbs_of(cert), issuer_key_hash=b"\x42" * 32
+                )
+            )
+        else:
+            leaves.append(encode_merkle_tree_leaf(idx, X509_ENTRY, cert))
+    for count in range(n_duplicate):
+        # re-serve an already-planted certificate under a fresh leaf
+        leaves.append(
+            encode_merkle_tree_leaf(
+                n_unique + count, X509_ENTRY, certs[rng.randrange(n_unique)]
+            )
+        )
+    for count in range(n_malformed):
+        leaves.append(_malformed_leaf(count, count, leaves[count % n_unique]))
+    rng.shuffle(leaves)
+
+    return StubCorpus(
+        entries=leaves,
+        unique_moduli=set(weak.moduli),
+        shared_primes={w.prime for w in weak.weak_pairs},
+        expected_hits=len(weak.weak_pair_set()),
+        n_valid=n_valid,
+        n_duplicate=n_duplicate,
+        n_malformed=n_malformed,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    corpus: StubCorpus
+    entries_cap: int
+
+    def log_message(self, *args) -> None:  # keep test output clean
+        pass
+
+    def _json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        split = urlsplit(self.path)
+        if split.path == "/ct/v1/get-sth":
+            self._json(
+                200,
+                {
+                    "tree_size": self.corpus.tree_size,
+                    "timestamp": 1_700_000_000_000,
+                    "sha256_root_hash": base64.b64encode(b"\x00" * 32).decode(),
+                    "tree_head_signature": base64.b64encode(b"stub").decode(),
+                },
+            )
+            return
+        if split.path == "/ct/v1/get-entries":
+            query = parse_qs(split.query)
+            try:
+                start = int(query["start"][0])
+                end = int(query["end"][0])
+            except (KeyError, ValueError):
+                self._json(400, {"error_message": "start/end required"})
+                return
+            if start < 0 or end < start or start >= self.corpus.tree_size:
+                self._json(400, {"error_message": f"bad range [{start}, {end}]"})
+                return
+            # real logs serve at most their configured cap per response
+            end = min(end, self.corpus.tree_size - 1, start + self.entries_cap - 1)
+            self._json(
+                200,
+                {
+                    "entries": [
+                        {
+                            "leaf_input": base64.b64encode(leaf).decode(),
+                            "extra_data": "",
+                        }
+                        for leaf in self.corpus.entries[start : end + 1]
+                    ]
+                },
+            )
+            return
+        self._json(404, {"error_message": f"no such endpoint {split.path}"})
+
+
+class StubCTLog:
+    """Serve a :class:`StubCorpus` on a loopback port (context manager).
+
+    ``entries_cap`` mimics the per-response window cap every production
+    log enforces, which is what exercises the client's adaptive sizing.
+    """
+
+    def __init__(self, corpus: StubCorpus, *, port: int = 0, entries_cap: int = 64):
+        handler = type(
+            "BoundHandler", (_Handler,), {"corpus": corpus, "entries_cap": entries_cap}
+        )
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> StubCTLog:
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> StubCTLog:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--entries", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--bits", type=int, default=512)
+    parser.add_argument("--dup-fraction", type=float, default=0.30)
+    parser.add_argument("--malformed-fraction", type=float, default=0.05)
+    parser.add_argument("--cap", type=int, default=64,
+                        help="max entries per get-entries response")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--port-file", type=Path, default=None)
+    parser.add_argument("--ground-truth", type=Path, default=None,
+                        help="write the corpus ground truth JSON here")
+    args = parser.parse_args(argv)
+
+    corpus = build_corpus(
+        args.entries,
+        seed=args.seed,
+        bits=args.bits,
+        dup_fraction=args.dup_fraction,
+        malformed_fraction=args.malformed_fraction,
+    )
+    if args.ground_truth is not None:
+        args.ground_truth.write_text(json.dumps(corpus.ground_truth(), indent=2))
+    log = StubCTLog(corpus, port=args.port, entries_cap=args.cap).start()
+    if args.port_file is not None:
+        args.port_file.write_text(f"{log.port}\n")
+    print(
+        f"stub CT log: {corpus.tree_size} entries "
+        f"({len(corpus.unique_moduli)} unique keys, "
+        f"{corpus.expected_hits} planted hits) on {log.url}",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        log.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,265 @@
+"""The crawl loop end to end: ground truth, faults, and the kill matrix.
+
+The crash/resume matrix is the PR's acceptance test: a crawl subprocess is
+killed (``=exit``, the moral equivalent of ``kill -9``) at every
+``ct.cursor.commit`` and ``ingest.sink`` fault point in turn, resumed with
+``--resume``, and the registry must end up holding *exactly* the planted
+ground truth with ``duplicate_submissions == 0`` — each modulus submitted
+exactly once across the crash.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from tests.ingest.ct_stub import StubCTLog, build_corpus
+from repro.ingest import CrawlConfig, run_crawl
+from repro.resilience import RetryPolicy
+from repro.resilience.faults import install_plan, parse_spec, reset_plan
+from repro.rsa.corpus import stream_moduli
+from repro.telemetry import Telemetry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FAST = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    reset_plan()
+    yield
+    reset_plan()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(60, seed=11, bits=512)
+
+
+@pytest.fixture(scope="module")
+def log(corpus):
+    with StubCTLog(corpus, entries_cap=16) as server:
+        yield server
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    """A real ``repro serve`` subprocess on a fresh state dir."""
+    port_file = tmp_path / "port"
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(tmp_path / "registry"),
+            "--port", "0", "--port-file", str(port_file),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 20
+        while not port_file.exists() or not port_file.read_text().strip():
+            if proc.poll() is not None or time.monotonic() > deadline:
+                raise RuntimeError("registry service failed to start")
+            time.sleep(0.05)
+        yield f"http://127.0.0.1:{port_file.read_text().strip()}"
+    finally:
+        proc.terminate()
+        proc.wait(timeout=20)
+
+
+def fetch(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.load(response)
+
+
+def crawl_config(log, tmp_path, **overrides) -> CrawlConfig:
+    values = dict(
+        log_url=log.url,
+        state_dir=tmp_path / "state",
+        batch_size=16,
+        submit_chunk=15,
+        fetch_retry=FAST,
+        sink_retry=FAST,
+    )
+    values.update(overrides)
+    return CrawlConfig(**values)
+
+
+def assert_registry_matches(corpus, url: str) -> None:
+    health = fetch(f"{url}/healthz")
+    assert health["keys"] == len(corpus.unique_moduli)
+    assert health["hits"] == corpus.expected_hits
+    assert health["duplicate_submissions"] == 0
+    hits = fetch(f"{url}/hits")
+    assert {int(h["prime"], 16) for h in hits["hits"]} == corpus.shared_primes
+
+
+class TestSpoolOnly:
+    def test_outbox_equals_ground_truth(self, corpus, log, tmp_path):
+        report = run_crawl(crawl_config(log, tmp_path))
+        assert report.entries == corpus.tree_size
+        assert report.unique == len(corpus.unique_moduli)
+        assert report.duplicates == corpus.n_duplicate
+        assert sum(report.skipped.values()) == corpus.n_malformed
+        spooled = list(stream_moduli(tmp_path / "state" / "outbox.txt",
+                                     format="hexlines"))
+        assert len(spooled) == len(set(spooled))  # exactly once each
+        assert set(spooled) == corpus.unique_moduli
+
+    def test_metrics_and_report_agree(self, corpus, log, tmp_path):
+        tel = Telemetry.create()
+        report = run_crawl(crawl_config(log, tmp_path), telemetry=tel)
+        counters = tel.registry.counters
+        assert counters["ingest.entries"].value == corpus.tree_size
+        assert counters["ingest.keys.unique"].value == report.unique
+        assert counters["ingest.keys.duplicate"].value == report.duplicates
+        assert counters["ingest.cursor.commits"].value >= 2
+        skip_total = sum(
+            c.value for name, c in counters.items()
+            if name.startswith("ingest.skipped.")
+        )
+        assert skip_total == corpus.n_malformed
+        assert counters["ingest.entries.x509"].value > 0
+        assert counters["ingest.entries.precert"].value > 0
+
+    def test_window_range_limits(self, corpus, log, tmp_path):
+        report = run_crawl(crawl_config(log, tmp_path, start=5, end=25))
+        assert report.entries == 20
+        assert report.start == 5 and report.end == 25
+
+    def test_existing_state_requires_resume_flag(self, log, tmp_path):
+        run_crawl(crawl_config(log, tmp_path, end=20))
+        with pytest.raises(ValueError, match="--resume"):
+            run_crawl(crawl_config(log, tmp_path, end=20))
+
+    def test_resume_of_finished_crawl_is_noop(self, corpus, log, tmp_path):
+        first = run_crawl(crawl_config(log, tmp_path))
+        again = run_crawl(crawl_config(log, tmp_path, resume=True))
+        assert again.resumed
+        assert again.entries == 0
+        assert first.unique == len(corpus.unique_moduli)
+        spooled = list(stream_moduli(tmp_path / "state" / "outbox.txt",
+                                     format="hexlines"))
+        assert len(spooled) == len(corpus.unique_moduli)
+
+    def test_wrong_log_url_on_resume_rejected(self, log, tmp_path):
+        run_crawl(crawl_config(log, tmp_path, end=20))
+        with pytest.raises(ValueError, match="belongs to"):
+            run_crawl(crawl_config(
+                log, tmp_path, resume=True, log_url="http://other.example"))
+
+
+class TestTransientFaults:
+    def test_fetch_faults_are_ridden_out(self, corpus, log, tmp_path):
+        install_plan(parse_spec("ct.fetch#2=error;ct.fetch#5=error"))
+        tel = Telemetry.create()
+        report = run_crawl(crawl_config(log, tmp_path), telemetry=tel)
+        assert report.unique == len(corpus.unique_moduli)
+        assert tel.registry.counters["ingest.fetch.retries"].value >= 2
+
+    def test_sink_faults_are_ridden_out(self, corpus, log, registry, tmp_path):
+        install_plan(parse_spec("ingest.sink#1=error"))
+        tel = Telemetry.create()
+        report = run_crawl(
+            crawl_config(log, tmp_path, submit_url=registry), telemetry=tel
+        )
+        assert report.registry_keys == len(corpus.unique_moduli)
+        assert tel.registry.counters["ingest.submit.retries"].value >= 1
+        assert_registry_matches(corpus, registry)
+
+
+class TestServiceEndToEnd:
+    def test_registry_holds_exactly_the_planted_truth(
+        self, corpus, log, registry, tmp_path
+    ):
+        report = run_crawl(crawl_config(log, tmp_path, submit_url=registry))
+        assert report.submitted == len(corpus.unique_moduli)
+        assert report.registry_hits == corpus.expected_hits
+        assert_registry_matches(corpus, registry)
+
+    def test_submit_statuses_are_counted(self, corpus, log, registry, tmp_path):
+        tel = Telemetry.create()
+        run_crawl(crawl_config(log, tmp_path, submit_url=registry), telemetry=tel)
+        counters = tel.registry.counters
+        assert counters["ingest.submit.registered"].value == len(corpus.unique_moduli)
+        assert "ingest.submit.duplicate" not in counters
+
+
+def run_ct_subprocess(log, registry, state_dir, *, faults_spec=None, resume=False):
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    if faults_spec is not None:
+        env["REPRO_FAULTS"] = faults_spec
+    else:
+        env.pop("REPRO_FAULTS", None)
+    argv = [
+        sys.executable, "-m", "repro", "ingest", "ct",
+        "--log-url", log.url,
+        "--state-dir", str(state_dir),
+        "--submit-to", registry,
+        "--batch-size", "16",
+        "--submit-chunk", "15",
+    ]
+    if resume:
+        argv.append("--resume")
+    return subprocess.run(
+        argv, env=env, capture_output=True, text=True, timeout=120
+    )
+
+
+class TestCrashResumeMatrix:
+    """Kill the crawler at every commit/sink point; resume must be exact."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "ct.cursor.commit#1=exit",  # before the very first checkpoint
+            "ct.cursor.commit#2=exit",  # first window's commit A
+            "ct.cursor.commit#3=exit",  # a mid-crawl commit (A or B)
+            "ct.cursor.commit#4=exit",  # a commit B after an acked submit
+            "ingest.sink#1=exit",       # before the first batch leaves
+            "ingest.sink#2=exit",       # between batches
+            "ct.fetch#3=exit",          # mid-fetch for good measure
+        ],
+    )
+    def test_kill_then_resume_is_exactly_once(
+        self, corpus, log, registry, tmp_path, spec
+    ):
+        state_dir = tmp_path / "state"
+        crashed = run_ct_subprocess(log, registry, state_dir, faults_spec=spec)
+        assert crashed.returncode == 137, (
+            f"expected the injected kill, got rc={crashed.returncode}\n"
+            f"stdout: {crashed.stdout}\nstderr: {crashed.stderr}"
+        )
+
+        resumed = run_ct_subprocess(log, registry, state_dir, resume=True)
+        assert resumed.returncode == 0, (
+            f"resume failed rc={resumed.returncode}\n"
+            f"stdout: {resumed.stdout}\nstderr: {resumed.stderr}"
+        )
+        assert_registry_matches(corpus, registry)
+        spooled = list(stream_moduli(state_dir / "outbox.txt", format="hexlines"))
+        assert len(spooled) == len(set(spooled))
+        assert set(spooled) == corpus.unique_moduli
+
+    def test_double_kill_then_resume(self, corpus, log, registry, tmp_path):
+        state_dir = tmp_path / "state"
+        first = run_ct_subprocess(
+            log, registry, state_dir, faults_spec="ct.cursor.commit#2=exit"
+        )
+        assert first.returncode == 137
+        second = run_ct_subprocess(
+            log, registry, state_dir,
+            faults_spec="ingest.sink#2=exit", resume=True,
+        )
+        assert second.returncode == 137, second.stdout + second.stderr
+        final = run_ct_subprocess(log, registry, state_dir, resume=True)
+        assert final.returncode == 0, final.stdout + final.stderr
+        assert_registry_matches(corpus, registry)

@@ -1,0 +1,103 @@
+"""The crawl checkpoint: atomicity, round-trips, and fault behaviour."""
+
+import json
+
+import pytest
+
+from repro.ingest.cursor import CrawlCursor, CrawlState
+from repro.resilience.faults import install_plan, parse_spec, reset_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    reset_plan()
+    yield
+    reset_plan()
+
+
+def state(**overrides) -> CrawlState:
+    base = dict(
+        log_url="http://log.example", start=0, end=100, next_index=40,
+        tree_size=500, dedup_watermark=30, outbox_count=25, outbox_bytes=3200,
+        acked_count=20, registry_keys=20,
+    )
+    base.update(overrides)
+    return CrawlState(**base)
+
+
+class TestRoundTrip:
+    def test_fresh_dir_loads_none(self, tmp_path):
+        assert CrawlCursor(tmp_path).load() is None
+
+    def test_commit_then_load(self, tmp_path):
+        cursor = CrawlCursor(tmp_path)
+        cursor.commit(state())
+        assert CrawlCursor(tmp_path).load() == state()
+
+    def test_commit_replaces(self, tmp_path):
+        cursor = CrawlCursor(tmp_path)
+        cursor.commit(state(next_index=40))
+        cursor.commit(state(next_index=60))
+        assert cursor.load().next_index == 60
+
+    def test_no_tmp_residue(self, tmp_path):
+        cursor = CrawlCursor(tmp_path)
+        cursor.commit(state())
+        assert [p.name for p in tmp_path.iterdir() if p.name.startswith("cursor")] == [
+            "cursor.json"
+        ]
+
+
+class TestStateMath:
+    def test_pending_count(self):
+        assert state(outbox_count=25, acked_count=20).pending_count == 5
+        assert state(outbox_count=25, acked_count=25).pending_count == 0
+
+    def test_done(self):
+        assert state(next_index=100).done
+        assert not state(next_index=99).done
+
+    def test_advanced_is_pure(self):
+        before = state()
+        after = before.advanced(next_index=before.next_index + 7)
+        assert after.next_index == 47
+        assert before.next_index == 40
+
+
+class TestCorruption:
+    def test_non_json_raises_value_error(self, tmp_path):
+        (tmp_path / "cursor.json").write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            CrawlCursor(tmp_path).load()
+
+    def test_wrong_format_tag(self, tmp_path):
+        (tmp_path / "cursor.json").write_text(json.dumps({"format": "other-v9"}))
+        with pytest.raises(ValueError, match="format"):
+            CrawlCursor(tmp_path).load()
+
+    def test_unknown_fields_raise(self, tmp_path):
+        cursor = CrawlCursor(tmp_path)
+        cursor.commit(state())
+        raw = json.loads(cursor.path.read_text())
+        raw["mystery"] = 1
+        cursor.path.write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="corrupt"):
+            cursor.load()
+
+
+class TestFaultPoint:
+    def test_commit_fault_fires_before_any_write(self, tmp_path):
+        cursor = CrawlCursor(tmp_path)
+        cursor.commit(state(next_index=40))
+        install_plan(parse_spec("ct.cursor.commit#1=error"))
+        with pytest.raises(Exception):
+            cursor.commit(state(next_index=60))
+        reset_plan()
+        # the failed commit left the previous checkpoint fully intact
+        assert cursor.load() == state(next_index=40)
+        assert not cursor.path.with_suffix(".json.tmp").exists()
+
+    def test_ioerror_fault_surfaces(self, tmp_path):
+        install_plan(parse_spec("ct.cursor.commit#1=ioerror"))
+        with pytest.raises(OSError):
+            CrawlCursor(tmp_path).commit(state())

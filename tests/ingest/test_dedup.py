@@ -1,0 +1,130 @@
+"""The bounded-memory seen-set: spill, durability, watermark truncation."""
+
+import hashlib
+
+import pytest
+
+from repro.ingest.dedup import DIGEST_SIZE, DedupIndex
+
+
+def digest(i: int) -> bytes:
+    return hashlib.sha256(i.to_bytes(8, "big")).digest()
+
+
+class TestMembership:
+    def test_add_then_seen(self, tmp_path):
+        index = DedupIndex(tmp_path)
+        assert index.add(digest(1)) is True
+        assert index.add(digest(1)) is False
+        assert index.seen(digest(1))
+        assert not index.seen(digest(2))
+
+    def test_bad_digest_size_rejected(self, tmp_path):
+        index = DedupIndex(tmp_path)
+        with pytest.raises(ValueError):
+            index.seen(b"short")
+
+    def test_spill_preserves_membership(self, tmp_path):
+        # a tiny memory bound forces constant compaction into the buckets
+        index = DedupIndex(tmp_path, max_memory_keys=4)
+        for i in range(200):
+            assert index.add(digest(i)) is True
+        for i in range(200):
+            assert index.add(digest(i)) is False
+        assert index.add(digest(1000)) is True
+
+    def test_rejects_zero_memory_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            DedupIndex(tmp_path, max_memory_keys=0)
+
+
+class TestDurability:
+    def test_sync_returns_monotone_watermark(self, tmp_path):
+        index = DedupIndex(tmp_path)
+        assert index.sync() == 0
+        index.add(digest(1))
+        index.add(digest(2))
+        assert index.sync() == 2
+        assert index.sync() == 2  # idempotent with nothing pending
+        index.add(digest(3))
+        assert index.sync() == 3
+        assert index.synced_count == 3
+
+    def test_reload_from_watermark(self, tmp_path):
+        index = DedupIndex(tmp_path, max_memory_keys=4)
+        for i in range(50):
+            index.add(digest(i))
+        mark = index.sync()
+        assert mark == 50
+
+        reloaded = DedupIndex(tmp_path, max_memory_keys=4)
+        reloaded.load(mark)
+        for i in range(50):
+            assert reloaded.seen(digest(i)), i
+        assert reloaded.add(digest(999)) is True
+
+    def test_load_truncates_uncommitted_tail(self, tmp_path):
+        index = DedupIndex(tmp_path)
+        index.add(digest(1))
+        mark = index.sync()
+        index.add(digest(2))
+        index.sync()  # durable but (by scenario) never cursor-committed
+
+        recovered = DedupIndex(tmp_path)
+        recovered.load(mark)
+        assert recovered.seen(digest(1))
+        # the post-watermark digest was forgotten: the re-crawled entry
+        # must dedup as NEW, not vanish silently
+        assert recovered.add(digest(2)) is True
+
+    def test_load_rejects_watermark_past_log(self, tmp_path):
+        index = DedupIndex(tmp_path)
+        index.add(digest(1))
+        index.sync()
+        with pytest.raises(ValueError):
+            DedupIndex(tmp_path).load(2)
+        with pytest.raises(ValueError):
+            DedupIndex(tmp_path).load(-1)
+
+    def test_load_zero_on_fresh_dir(self, tmp_path):
+        index = DedupIndex(tmp_path)
+        index.load(0)
+        assert index.add(digest(1)) is True
+
+    def test_unsynced_digests_do_not_survive(self, tmp_path):
+        index = DedupIndex(tmp_path, max_memory_keys=2)
+        index.add(digest(1))
+        index.sync()
+        # these compact into buckets but are never fsync'd to the log
+        index.add(digest(2))
+        index.add(digest(3))
+        recovered = DedupIndex(tmp_path, max_memory_keys=2)
+        recovered.load(1)
+        assert recovered.seen(digest(1))
+        assert not recovered.seen(digest(2))
+        assert not recovered.seen(digest(3))
+
+
+class TestSpillLayout:
+    def test_bucket_records_are_sorted_and_unique(self, tmp_path):
+        index = DedupIndex(tmp_path, max_memory_keys=8)
+        for i in range(100):
+            index.add(digest(i))
+        index.sync()
+        index_dir = tmp_path / "dedup"
+        buckets = sorted(index_dir.glob("bucket-*.bin"))
+        assert buckets, "compaction never spilled"
+        total = 0
+        for bucket in buckets:
+            blob = bucket.read_bytes()
+            assert len(blob) % DIGEST_SIZE == 0
+            records = [
+                blob[pos : pos + DIGEST_SIZE]
+                for pos in range(0, len(blob), DIGEST_SIZE)
+            ]
+            assert records == sorted(records)
+            assert len(set(records)) == len(records)
+            prefix = int(bucket.stem.removeprefix("bucket-"), 16)
+            assert all(record[0] == prefix for record in records)
+            total += len(records)
+        assert total <= 100  # the rest still sits in memory

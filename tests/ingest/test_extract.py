@@ -1,0 +1,108 @@
+"""Tolerant extraction: every messy entry classifies, nothing raises."""
+
+import random
+
+import pytest
+
+from tests.ingest.ct_stub import _ec_spki, _tbs_of, _unsigned_cert
+from repro.ingest.ctlog import (
+    PRECERT_ENTRY,
+    X509_ENTRY,
+    RawEntry,
+    encode_merkle_tree_leaf,
+)
+from repro.ingest.extract import (
+    INGEST_SKIP_REASONS,
+    extract_entry,
+    modulus_digest,
+)
+from repro.rsa.der import encode_subject_public_key_info
+from repro.rsa.keys import generate_key
+from repro.rsa.x509 import SKIP_REASONS, create_self_signed_certificate
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_key(512, random.Random(99))
+
+
+@pytest.fixture(scope="module")
+def cert(key):
+    return create_self_signed_certificate(key)
+
+
+def entry(leaf_input: bytes, index: int = 0) -> RawEntry:
+    return RawEntry(index=index, leaf_input=leaf_input, extra_data=b"")
+
+
+class TestHappyPaths:
+    def test_x509_entry(self, key, cert):
+        result = extract_entry(entry(encode_merkle_tree_leaf(1, X509_ENTRY, cert), 9))
+        assert result.ok
+        assert result.index == 9
+        assert result.entry_type == X509_ENTRY
+        assert result.key.n == key.n
+        assert result.key.e == key.e
+
+    def test_precert_entry(self, key, cert):
+        leaf = encode_merkle_tree_leaf(
+            1, PRECERT_ENTRY, _tbs_of(cert), issuer_key_hash=b"\x01" * 32
+        )
+        result = extract_entry(entry(leaf))
+        assert result.ok
+        assert result.entry_type == PRECERT_ENTRY
+        assert result.key.n == key.n
+
+
+class TestSkipReasons:
+    def test_reason_vocabulary_is_closed(self):
+        assert set(SKIP_REASONS) < set(INGEST_SKIP_REASONS)
+        assert "leaf_error" in INGEST_SKIP_REASONS
+
+    def test_mangled_leaf(self):
+        result = extract_entry(entry(b"\x07nonsense"))
+        assert result.key.skip == "leaf_error"
+        assert result.entry_type is None
+
+    def test_garbage_certificate(self):
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, b"\x30\x82\xff\xff")
+        assert extract_entry(entry(leaf)).key.skip == "parse_error"
+
+    def test_truncated_certificate(self, cert):
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, cert[: len(cert) // 2])
+        assert extract_entry(entry(leaf)).key.skip == "parse_error"
+
+    def test_non_rsa_spki(self):
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, _unsigned_cert(_ec_spki(), 1))
+        assert extract_entry(entry(leaf)).key.skip == "non_rsa_spki"
+
+    def test_exponent_one(self):
+        cert = _unsigned_cert(encode_subject_public_key_info(0xC0FFEF, 1), 1)
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, cert)
+        assert extract_entry(entry(leaf)).key.skip == "exponent_one"
+
+    def test_small_modulus(self):
+        cert = _unsigned_cert(encode_subject_public_key_info((1 << 64) + 1, 3), 1)
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, cert)
+        assert extract_entry(entry(leaf)).key.skip == "small_modulus"
+
+    def test_huge_modulus(self, cert):
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, cert)
+        result = extract_entry(entry(leaf), max_bits=256)
+        assert result.key.skip == "huge_modulus"
+
+    def test_min_bits_is_tunable(self, cert):
+        assert extract_entry(entry(encode_merkle_tree_leaf(1, X509_ENTRY, cert)),
+                             min_bits=1024).key.skip == "small_modulus"
+
+
+class TestModulusDigest:
+    def test_stable_and_distinct(self):
+        assert modulus_digest(187) == modulus_digest(187)
+        assert modulus_digest(187) != modulus_digest(188)
+        assert len(modulus_digest(1 << 4096)) == 32
+
+    def test_zero_width_modulus(self):
+        # n=0 never reaches dedup (extraction rejects it) but the digest
+        # function itself must not divide by zero on the byte length
+        assert len(modulus_digest(0)) == 32

@@ -1,0 +1,149 @@
+"""Adversarial MerkleTreeLeaf parsing: arbitrary bytes must fail *cleanly*.
+
+A CT log's ``leaf_input`` blobs are attacker-influenced (anyone can get a
+certificate logged), so the leaf parser's contract mirrors the DER/PEM
+decoders': malformed input raises :class:`LeafError` — never IndexError /
+struct.error / MemoryError — and every valid leaf survives truncation at
+any point and single-byte corruption without crashing the process.
+"""
+
+import random
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.ingest.ctlog import (
+    LeafError,
+    PRECERT_ENTRY,
+    X509_ENTRY,
+    encode_merkle_tree_leaf,
+    parse_merkle_tree_leaf,
+)
+from repro.ingest.extract import extract_entry
+from repro.ingest.ctlog import RawEntry
+
+
+def _valid_leaves():
+    rng = random.Random("leaf-fuzz")
+    leaves = []
+    for size in (0, 1, 7, 64, 300):
+        payload = rng.randbytes(size)
+        leaves.append(encode_merkle_tree_leaf(rng.getrandbits(40), X509_ENTRY, payload))
+        leaves.append(
+            encode_merkle_tree_leaf(
+                rng.getrandbits(40),
+                PRECERT_ENTRY,
+                payload,
+                issuer_key_hash=rng.randbytes(32),
+                extensions=rng.randbytes(size % 17),
+            )
+        )
+    return leaves
+
+
+class TestArbitraryBytes:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=400)
+    @example(b"")
+    @example(b"\x00")
+    @example(b"\x00\x00")  # header only
+    @example(b"\x00\x00" + b"\x00" * 8)  # through the timestamp
+    @example(b"\x00\x00" + b"\x00" * 8 + b"\x00\x02")  # unknown entry type boundary
+    @example(b"\x00\x00" + b"\x00" * 8 + b"\x00\x00" + b"\xff\xff\xff")  # huge cert len
+    def test_parser_never_crashes(self, data):
+        try:
+            leaf = parse_merkle_tree_leaf(data)
+            assert leaf.entry_type in (X509_ENTRY, PRECERT_ENTRY)
+        except LeafError:
+            pass
+
+    @given(st.binary(max_size=400))
+    @settings(max_examples=200)
+    def test_extract_entry_never_raises(self, data):
+        result = extract_entry(RawEntry(index=0, leaf_input=data, extra_data=b""))
+        assert result.ok or result.key.skip is not None
+
+
+class TestValidLeafResilience:
+    def test_round_trips(self):
+        for leaf in _valid_leaves():
+            parsed = parse_merkle_tree_leaf(leaf)
+            rebuilt = encode_merkle_tree_leaf(
+                parsed.timestamp,
+                parsed.entry_type,
+                parsed.cert_der,
+                issuer_key_hash=parsed.issuer_key_hash or b"\x00" * 32,
+                extensions=parsed.extensions,
+            )
+            assert rebuilt == leaf
+
+    def test_every_truncation_fails_cleanly(self):
+        for leaf in _valid_leaves():
+            for cut in range(len(leaf)):
+                try:
+                    parse_merkle_tree_leaf(leaf[:cut])
+                except LeafError:
+                    continue
+                # a truncation may still parse iff the cert/extension
+                # lengths happen to frame it — but never for a shorter
+                # prefix of the SAME leaf, whose trailing check fires
+                raise AssertionError(f"truncation to {cut} bytes parsed silently")
+
+    def test_trailing_garbage_is_rejected(self):
+        for leaf in _valid_leaves():
+            try:
+                parse_merkle_tree_leaf(leaf + b"\x00")
+            except LeafError as exc:
+                assert "trailing" in str(exc)
+            else:
+                raise AssertionError("trailing byte accepted")
+
+    def test_single_byte_corruption_never_crashes(self):
+        rng = random.Random("corrupt")
+        for leaf in _valid_leaves():
+            for _ in range(40):
+                pos = rng.randrange(len(leaf))
+                mutated = bytearray(leaf)
+                mutated[pos] ^= 1 << rng.randrange(8)
+                try:
+                    parse_merkle_tree_leaf(bytes(mutated))
+                except LeafError:
+                    pass
+
+
+class TestOversizedFields:
+    def test_oversized_extensions_length(self):
+        leaf = encode_merkle_tree_leaf(1, X509_ENTRY, b"\x30\x00")
+        # extensions length claims 0xFFFF with no bytes behind it
+        broken = leaf[:-2] + b"\xff\xff"
+        try:
+            parse_merkle_tree_leaf(broken)
+        except LeafError as exc:
+            assert "extensions" in str(exc)
+        else:
+            raise AssertionError("oversized extensions accepted")
+
+    def test_oversized_certificate_length(self):
+        head = b"\x00\x00" + (1).to_bytes(8, "big") + (0).to_bytes(2, "big")
+        broken = head + b"\xff\xff\xff" + b"\x30\x00"
+        try:
+            parse_merkle_tree_leaf(broken)
+        except LeafError as exc:
+            assert "certificate" in str(exc)
+        else:
+            raise AssertionError("oversized certificate length accepted")
+
+    def test_bad_entry_types(self):
+        for entry_type in (2, 3, 255, 65535):
+            data = (
+                b"\x00\x00"
+                + (1).to_bytes(8, "big")
+                + entry_type.to_bytes(2, "big")
+                + b"\x00" * 8
+            )
+            try:
+                parse_merkle_tree_leaf(data)
+            except LeafError as exc:
+                assert "LogEntryType" in str(exc)
+            else:
+                raise AssertionError(f"entry type {entry_type} accepted")

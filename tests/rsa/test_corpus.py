@@ -160,3 +160,49 @@ class TestStreaming:
     def test_shard_size_validated(self):
         with pytest.raises(ValueError):
             list(shard_moduli([1, 2], 0))
+
+
+class TestHexlines:
+    """The ``hexlines`` format is the ingest outbox spool: bare hex, one
+    modulus per line, appendable."""
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "outbox.txt"
+        path.write_text("21\nff\n10001\n")
+        assert list(stream_moduli(path, format="hexlines")) == [0x21, 0xFF, 0x10001]
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "outbox.txt"
+        path.write_text("21\n\nff\n")
+        assert list(stream_moduli(path, format="hexlines")) == [0x21, 0xFF]
+
+    def test_bad_hex_names_line(self, tmp_path):
+        path = tmp_path / "outbox.txt"
+        path.write_text("21\nzz\n")
+        with pytest.raises(ValueError, match="outbox.txt:2"):
+            list(stream_moduli(path, format="hexlines"))
+
+    def test_auto_never_guesses_hexlines(self, tmp_path):
+        # "ff" is valid hex but not a decimal-text modulus: auto-sniffing
+        # must not silently reinterpret it
+        path = tmp_path / "m.txt"
+        path.write_text("ff\n")
+        with pytest.raises(ValueError):
+            list(stream_moduli(path))
+
+
+class TestAppendMode:
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "m.txt"
+        assert write_moduli_text(path, [3, 5]) == 2
+        assert write_moduli_text(path, [7], mode="a") == 1
+        assert list(stream_moduli(path)) == [3, 5, 7]
+
+    def test_append_to_missing_file_creates_it(self, tmp_path):
+        path = tmp_path / "fresh.txt"
+        assert write_moduli_text(path, [11], mode="a") == 1
+        assert list(stream_moduli(path)) == [11]
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            write_moduli_text(tmp_path / "m.txt", [3], mode="x")

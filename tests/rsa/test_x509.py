@@ -139,3 +139,87 @@ class TestBundleExtraction:
         assert moduli == corpus.moduli
         report = find_shared_primes(moduli, backend="bulk", group_size=4)
         assert report.hit_pairs == corpus.weak_pair_set()
+
+
+class TestTolerantExtraction:
+    """The streaming, per-certificate path used by the CT ingest pipeline."""
+
+    @staticmethod
+    def _pss_cert(key) -> bytes:
+        # an RSASSA-PSS SubjectPublicKeyInfo: same PKCS#1 key bits, but the
+        # AlgorithmIdentifier carries the PSS OID and a params SEQUENCE
+        from repro.rsa.der import (
+            encode_bit_string,
+            encode_integer,
+            encode_object_identifier,
+            encode_sequence,
+        )
+        from repro.rsa.x509 import RSA_PSS_OID
+
+        pkcs1 = encode_sequence(encode_integer(key.n), encode_integer(key.e))
+        spki = encode_sequence(
+            encode_sequence(
+                encode_object_identifier(RSA_PSS_OID),
+                encode_sequence(),  # RSASSA-PSS-params, empty => defaults
+            ),
+            encode_bit_string(pkcs1),
+        )
+        from tests.ingest.ct_stub import _unsigned_cert
+
+        return _unsigned_cert(spki, serial=7)
+
+    def test_rsa_pss_spki_accepted(self, key):
+        from repro.rsa.x509 import extract_key_from_certificate
+
+        result = extract_key_from_certificate(self._pss_cert(key))
+        assert result.ok
+        assert result.n == key.n and result.e == key.e
+
+    def test_strict_parser_rejects_what_tolerant_accepts(self, key):
+        with pytest.raises(DERError):
+            parse_certificate(self._pss_cert(key))
+
+    def test_extract_key_from_tbs(self, key, cert):
+        from tests.ingest.ct_stub import _tbs_of
+        from repro.rsa.x509 import extract_key_from_tbs
+
+        result = extract_key_from_tbs(_tbs_of(cert))
+        assert result.ok and result.n == key.n
+
+    def test_iter_certificate_keys_streams_skip_reasons(self, key, cert):
+        from tests.ingest.ct_stub import _ec_spki, _unsigned_cert
+        from repro.rsa.pem import pem_encode
+        from repro.rsa.x509 import iter_certificate_keys
+
+        bundle = (
+            certificate_to_pem(cert)
+            + pem_encode(_unsigned_cert(_ec_spki(), 2), "CERTIFICATE")
+            + pem_encode(b"\x30\x82\xff\xff", "CERTIFICATE")
+            + certificate_to_pem(self._pss_cert(key))
+        )
+        results = list(iter_certificate_keys(bundle))
+        assert [r.skip for r in results] == [
+            None, "non_rsa_spki", "parse_error", None
+        ]
+        assert [r.n for r in results if r.ok] == [key.n, key.n]
+
+    def test_tolerant_bundle_extraction_skips_messy_blocks(self, key, cert):
+        from tests.ingest.ct_stub import _ec_spki, _unsigned_cert
+        from repro.rsa.pem import pem_encode
+
+        bundle = (
+            pem_encode(_unsigned_cert(_ec_spki(), 3), "CERTIFICATE")
+            + certificate_to_pem(cert)
+            + pem_encode(cert[: len(cert) // 2], "CERTIFICATE")
+            + certificate_to_pem(self._pss_cert(key))
+        )
+        assert extract_moduli_from_certificates(bundle, verify=False) == [
+            key.n, key.n,
+        ]
+        # verify=True drops the PSS cert too: its signature is garbage
+        assert extract_moduli_from_certificates(bundle, verify=True) == [key.n]
+
+    def test_bit_bounds_apply_to_bundles(self, cert):
+        assert extract_moduli_from_certificates(
+            certificate_to_pem(cert), verify=False, min_bits=1024
+        ) == []
