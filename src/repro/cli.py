@@ -9,6 +9,7 @@ scan       all-pairs shared-prime scan over a PEM bundle or corpus JSON
 batchscan  sharded, checkpointed batch-GCD pipeline (resumable, disk-spooled)
 serve      long-running weak-key registry service (HTTP, durable state dir)
 submit     client for a running registry service (submit keys, fetch hits)
+fsck       deep-verify / repair a state directory offline (docs/INTEGRITY.md)
 ingest     harvest real corpora (``ingest ct``: checkpointed CT log crawl)
 backends   show detected big-integer backends and what ``auto`` resolves to
 census     iteration statistics of algorithms A–E (a Table IV slice)
@@ -54,6 +55,7 @@ from repro.rsa.corpus import (
     write_moduli_text,
 )
 from repro.rsa.keys import generate_key
+from repro.integrity import LockHeld, StateLock, run_fsck
 from repro.service import wire
 from repro.service.client import ServiceClient
 from repro.service.http import HttpServer, ServiceConfig, WeakKeyService
@@ -299,6 +301,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured JSONL events (service.start/batcher.flush/"
         "registry.commit/...) to PATH",
     )
+    sv.add_argument(
+        "--scrub-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between online integrity-scrubber cycles; corruption "
+        "found trips the service into degraded read-only mode "
+        "(default 5.0; 0 disables scrubbing — see docs/INTEGRITY.md)",
+    )
+    sv.add_argument(
+        "--scrub-max-bytes", type=int, default=16 << 20, metavar="BYTES",
+        help="byte budget one scrub cycle may re-hash (rate limit; "
+        "default 16 MiB)",
+    )
+
+    fs = sub.add_parser(
+        "fsck",
+        help="deep-verify (and with --repair, heal) a state directory's "
+        "durable artifacts offline",
+    )
+    fs.add_argument(
+        "--state-dir", type=Path, required=True,
+        help="the state directory to check (registry, ptree, shard "
+        "snapshots, batchscan spools, ingest state)",
+    )
+    fs.add_argument(
+        "--repair", action="store_true",
+        help="walk the repair ladder: quarantine corrupt artifacts to "
+        "state_dir/quarantine/, truncate torn tails, rebuild derived "
+        "data from registry truth (see docs/INTEGRITY.md)",
+    )
+    fs.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON on stdout",
+    )
 
     sm = sub.add_parser(
         "submit",
@@ -443,6 +477,7 @@ def main(argv: list[str] | None = None) -> int:
         "batchscan": _cmd_batchscan,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "fsck": _cmd_fsck,
         "ingest": _cmd_ingest,
         "backends": _cmd_backends,
         "census": _cmd_census,
@@ -872,6 +907,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         linger_ms=args.linger_ms,
         max_pending=args.max_pending,
         shards=args.shards,
+        scrub_interval=args.scrub_interval,
+        scrub_max_bytes=args.scrub_max_bytes,
     )
     if args.shards < 1:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
@@ -915,6 +952,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if event_stream is not None:
             event_stream.close()
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Deep-verify (and with ``--repair`` heal) one state directory.
+
+    Exit codes: 0 clean (or fully healed), 1 corruption found on a
+    check-only run, 2 a repair was refused or did not heal, 3 the state
+    directory is locked by a running service.
+    """
+    lock = StateLock(args.state_dir)
+    try:
+        lock.acquire(purpose="fsck")
+    except LockHeld as exc:
+        print(f"fsck: {exc}", file=sys.stderr)
+        return 3
+    try:
+        report = run_fsck(args.state_dir, repair=args.repair)
+    finally:
+        lock.release()
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        human = sys.stdout
+        for f in report.scan.findings:
+            if f.verdict != "ok":
+                print(f"{f.severity.upper():7s} {f.family}/{f.artifact}: "
+                      f"{f.verdict}" + (f" ({f.detail})" if f.detail else ""),
+                      file=human)
+        for r in report.repairs:
+            print(f"REPAIR  {r['artifact']}: {r['action']}"
+                  + (f" ({r['detail']})" if r.get("detail") else ""), file=human)
+        for r in report.refusals:
+            print(f"REFUSED {r['artifact']}: {r['reason']}", file=human)
+        n = len(report.scan.findings)
+        print(f"checked {n} artifact(s): {len(report.scan.corrupt)} corrupt, "
+              f"{len(report.scan.warnings)} warning(s)", file=human)
+        if report.post_scan is not None:
+            print("healed: all artifacts verify" if report.healed else
+                  f"NOT healed: {len(report.post_scan.corrupt)} corrupt "
+                  f"artifact(s) remain, {len(report.refusals)} refusal(s)",
+                  file=human)
+
+    if not args.repair:
+        return 0 if report.clean else 1
+    if report.clean and not report.repairs and not report.refusals:
+        return 0
+    return 0 if report.healed else 2
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:

@@ -24,12 +24,13 @@ Resume semantics (see ``docs/BATCH_PIPELINE.md``):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.core.spool import blob_sha256
+from repro.core.spool import blob_sha256, write_sidecar
 from repro.resilience import faults
 
 __all__ = ["StageRecord", "Manifest", "CheckpointStore", "MANIFEST_NAME", "MANIFEST_VERSION"]
@@ -117,7 +118,13 @@ class CheckpointStore:
             return None
 
     def save(self, manifest: Manifest) -> None:
-        """Atomically persist the manifest (tmp file + rename + fsync)."""
+        """Atomically persist the manifest (tmp file + rename + fsync).
+
+        Also drops a ``manifest.json.sha256`` sidecar with the digest of
+        the committed bytes, so the integrity layer can deep-verify the
+        manifest itself — the blobs are pinned by the manifest, but
+        nothing else pins the manifest.
+        """
         faults.fire("manifest.commit")
         self.spool_dir.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -125,13 +132,15 @@ class CheckpointStore:
             "config": manifest.config,
             "stages": [asdict(record) for record in manifest.stages],
         }
+        body = (json.dumps(payload, indent=2) + "\n").encode()
         tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
+        with tmp.open("wb") as fh:
+            fh.write(body)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        faults.corrupt_file("manifest.commit", self.path)
+        write_sidecar(self.path, hashlib.sha256(body).hexdigest())
 
     def verify(self, record: StageRecord) -> bool:
         """True iff the stage's blob exists and still matches its SHA-256."""

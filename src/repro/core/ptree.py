@@ -237,6 +237,7 @@ class PersistentProductTree:
                 record = self._committed.get(blob)
                 if record is None:
                     info = write_blob(self.spool_dir / blob, seg.nodes())
+                    faults.corrupt_file("ptree.commit", info.path)
                     record = StageRecord(
                         name=seg.stage_name(), blob=blob, count=info.count,
                         nbytes=info.nbytes, sha256=info.sha256, seconds=0.0,

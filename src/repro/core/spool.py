@@ -27,7 +27,17 @@ from typing import Iterable, Iterator
 
 from repro.resilience import faults
 
-__all__ = ["SpoolError", "BlobInfo", "write_blob", "iter_blob", "read_blob", "blob_sha256"]
+__all__ = [
+    "SpoolError",
+    "BlobInfo",
+    "write_blob",
+    "iter_blob",
+    "read_blob",
+    "blob_sha256",
+    "sidecar_path",
+    "write_sidecar",
+    "read_sidecar",
+]
 
 MAGIC = b"RGSPOOL1"
 _LEN_BYTES = 4
@@ -107,6 +117,7 @@ def write_blob(path: str | Path, values: Iterable[int]) -> BlobInfo:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    faults.corrupt_file("spool.write", path)
     return BlobInfo(path=path, count=count, nbytes=nbytes, sha256=digest.hexdigest())
 
 
@@ -161,6 +172,55 @@ def read_blob(path: str | Path) -> list[int]:
     [42]
     """
     return list(iter_blob(path))
+
+
+def sidecar_path(path: str | Path) -> Path:
+    """The checksum sidecar name for an artifact: ``<name>.sha256``.
+
+    >>> sidecar_path("state/manifest.json").name
+    'manifest.json.sha256'
+    """
+    path = Path(path)
+    return path.with_name(path.name + ".sha256")
+
+
+def write_sidecar(path: str | Path, sha256_hex: str) -> Path:
+    """Atomically record ``sha256_hex`` as ``path``'s checksum sidecar.
+
+    JSON artifacts (registry/ptree manifests, ingest cursor, shard
+    snapshots) carry no internal integrity pin the way spool blobs are
+    pinned by their manifest, so their writers drop a sidecar holding the
+    SHA-256 of the exact bytes they just committed.  The sidecar is
+    written *after* the artifact's own rename; the crash window between
+    the two renames leaves a stale sidecar, which the integrity catalog
+    reports as a warning, not corruption (``docs/INTEGRITY.md``).
+
+    >>> import tempfile, pathlib, hashlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = pathlib.Path(d, "cursor.json")
+    ...     _ = p.write_text("{}")
+    ...     digest = hashlib.sha256(b"{}").hexdigest()
+    ...     _ = write_sidecar(p, digest)
+    ...     read_sidecar(p) == digest
+    True
+    """
+    side = sidecar_path(path)
+    tmp = side.with_name(side.name + ".tmp")
+    with tmp.open("w") as fh:
+        fh.write(sha256_hex + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, side)
+    return side
+
+
+def read_sidecar(path: str | Path) -> str | None:
+    """The recorded checksum for ``path``, or ``None`` if no sidecar exists."""
+    try:
+        text = sidecar_path(path).read_text().strip()
+    except OSError:
+        return None
+    return text or None
 
 
 def blob_sha256(path: str | Path) -> str:

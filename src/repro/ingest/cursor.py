@@ -17,11 +17,13 @@ intact — the invariant the crash/resume matrix in
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
+from repro.core.spool import write_sidecar
 from repro.resilience import faults
 
 __all__ = ["CrawlState", "CrawlCursor"]
@@ -114,13 +116,15 @@ class CrawlCursor:
         """Durably replace the checkpoint with ``state`` (atomic rename)."""
         faults.fire("ct.cursor.commit")
         payload = {"format": _FORMAT, **asdict(state)}
+        body = (json.dumps(payload, indent=2) + "\n").encode()
         tmp = self._path.with_suffix(".json.tmp")
-        with tmp.open("w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
+        with tmp.open("wb") as fh:
+            fh.write(body)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self._path)
+        faults.corrupt_file("ct.cursor.commit", self._path)
+        write_sidecar(self._path, hashlib.sha256(body).hexdigest())
         dir_fd = os.open(self._dir, os.O_RDONLY)
         try:
             os.fsync(dir_fd)

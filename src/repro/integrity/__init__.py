@@ -1,0 +1,41 @@
+"""Durable-state integrity: catalog, fsck, online scrubbing, quarantine.
+
+The storage layers each verify themselves *at load time* (manifest pins,
+verified-prefix truncation, snapshot rejection); this package is the
+between-loads story.  :mod:`repro.integrity.catalog` enumerates and
+deep-verifies every artifact family a state directory can hold,
+:mod:`repro.integrity.fsck` turns findings into repairs (quarantine,
+tail truncation, rebuild-from-redundancy), :mod:`repro.integrity.scrub`
+re-hashes committed artifacts continuously inside ``repro serve``, and
+:mod:`repro.integrity.lock` keeps fsck and a live service from racing
+each other.  Narrative documentation: ``docs/INTEGRITY.md``.
+"""
+
+from repro.integrity.catalog import (
+    ArtifactCatalog,
+    CatalogReport,
+    Finding,
+    SEVERITY_CORRUPT,
+    SEVERITY_OK,
+    SEVERITY_WARNING,
+    VERDICTS,
+)
+from repro.integrity.fsck import FsckError, FsckReport, run_fsck
+from repro.integrity.lock import LockHeld, StateLock
+from repro.integrity.scrub import Scrubber
+
+__all__ = [
+    "ArtifactCatalog",
+    "CatalogReport",
+    "Finding",
+    "FsckError",
+    "FsckReport",
+    "LockHeld",
+    "SEVERITY_CORRUPT",
+    "SEVERITY_OK",
+    "SEVERITY_WARNING",
+    "Scrubber",
+    "StateLock",
+    "VERDICTS",
+    "run_fsck",
+]

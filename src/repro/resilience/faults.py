@@ -16,6 +16,7 @@ Spec grammar (full reference in ``docs/RESILIENCE.md``)::
               | "%" P "@" S  fire each hit with probability P, seeded by S
     action   := "enospc" | "ioerror" | "error" | "exit"
               | "exit:CODE" | "hang:SECONDS"
+              | "corrupt:bitflip" | "corrupt:truncate" | "corrupt:zero"
 
 Examples::
 
@@ -23,11 +24,30 @@ Examples::
     REPRO_FAULTS='spool.write#1=ioerror'         # first spool write EIOs once
     REPRO_FAULTS='worker.init%0.5@7=error'       # half of worker inits fail
     REPRO_FAULTS='batcher.flush#1=error;http.handler#3=error'
+    REPRO_FAULTS='registry.commit#3=corrupt:bitflip'  # silent bit rot
 
 Determinism: hit counters are per-process and per-point; probabilistic
 triggers hash ``(seed, point, hit_number)``, so the same spec against the
 same workload injects the same faults — a chaos run is replayable from
 its logged spec alone.
+
+The ``corrupt:*`` actions are the bit-rot simulators behind the
+integrity subsystem's chaos suite (``docs/INTEGRITY.md``).  Unlike every
+other action they do **not** fire at the pre-write :func:`fire` call:
+they apply *after* a successful write, via the :func:`corrupt_file` hook
+the commit points call with the path they just made durable, so the
+writer believes the commit succeeded and the damage is discoverable only
+by re-verification (``repro fsck``, the online scrubber).  Modes:
+
+* ``bitflip``  — XOR one bit in the byte at the file's midpoint;
+* ``truncate`` — tear off the trailing quarter (at least one byte);
+* ``zero``     — overwrite up to 64 bytes at the midpoint with zeros.
+
+Hit counters for ``corrupt`` clauses count :func:`corrupt_file` calls at
+the point (one per file written), independently of the :func:`fire`
+counter.  At ``registry.commit`` the files are ``keys-N.bin`` then
+``hits-N.bin`` per batch (so ``#3`` is batch 1's keys blob); at
+``ptree.commit`` each newly written segment blob counts one hit.
 
 Injection points instrumented across the tree (``FAULT_POINTS``):
 
@@ -57,12 +77,14 @@ import time
 from dataclasses import dataclass
 
 __all__ = [
+    "CORRUPT_MODES",
     "FAULT_POINTS",
     "Fault",
     "FaultInjected",
     "FaultPlan",
     "FaultSpecError",
     "active_plan",
+    "corrupt_file",
     "fire",
     "install_plan",
     "parse_spec",
@@ -85,7 +107,9 @@ FAULT_POINTS = (
     "ingest.sink",
 )
 
-_ACTIONS = ("enospc", "ioerror", "error", "exit", "hang")
+_ACTIONS = ("enospc", "ioerror", "error", "exit", "hang", "corrupt")
+
+CORRUPT_MODES = ("bitflip", "truncate", "zero")
 
 ENV_VAR = "REPRO_FAULTS"
 
@@ -116,6 +140,8 @@ class Fault:
     seed: int = 0
     #: action argument (exit code, hang seconds)
     arg: float | None = None
+    #: corrupt action mode (``bitflip`` | ``truncate`` | ``zero``)
+    mode: str | None = None
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
@@ -126,6 +152,13 @@ class Fault:
             raise FaultSpecError("probability must be in [0, 1]")
         if self.nth is not None and self.probability is not None:
             raise FaultSpecError("a clause uses #N or %P@S, not both")
+        if self.action == "corrupt":
+            if self.mode not in CORRUPT_MODES:
+                raise FaultSpecError(
+                    f"corrupt action needs a mode in {CORRUPT_MODES}, got {self.mode!r}"
+                )
+        elif self.mode is not None:
+            raise FaultSpecError(f"action {self.action!r} takes no mode")
 
     def triggers(self, hit: int) -> bool:
         """Does hit number ``hit`` (1-based, per process) fire this fault?"""
@@ -150,6 +183,29 @@ class Fault:
         if self.action == "hang":
             time.sleep(self.arg if self.arg is not None else 1.0)
 
+    def corrupt_path(self, path: str) -> None:
+        """Damage the freshly written file at ``path`` in place.
+
+        Deterministic by construction: the byte offsets depend only on the
+        file size, so replaying a spec against the same workload rots the
+        same bytes.
+        """
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        if self.mode == "truncate":
+            os.truncate(path, size - max(1, size // 4))
+            return
+        mid = size // 2
+        with open(path, "r+b") as handle:
+            handle.seek(mid)
+            if self.mode == "bitflip":
+                byte = handle.read(1)
+                handle.seek(mid)
+                handle.write(bytes([byte[0] ^ 0x01]))
+            else:  # zero
+                handle.write(b"\x00" * min(64, size - mid))
+
     def clause(self) -> str:
         """This fault back in spec-grammar form (for seed logging)."""
         selector = ""
@@ -158,7 +214,9 @@ class Fault:
         elif self.probability is not None:
             selector = f"%{self.probability:g}@{self.seed}"
         action = self.action
-        if self.arg is not None:
+        if self.mode is not None:
+            action += f":{self.mode}"
+        elif self.arg is not None:
             action += f":{self.arg:g}"
         return f"{self.point}{selector}={action}"
 
@@ -178,15 +236,32 @@ class FaultPlan:
         self.faults = list(faults)
         self.hits: dict[str, int] = {}
         self.injected: dict[str, int] = {}
+        self.corrupt_hits: dict[str, int] = {}
 
     def fire(self, point: str) -> None:
-        """Count a hit at ``point``; execute the first triggered fault, if any."""
+        """Count a hit at ``point``; execute the first triggered fault, if any.
+
+        ``corrupt`` faults are skipped here: they apply post-write via
+        :meth:`corrupt`, on a hit counter of their own.
+        """
         hit = self.hits.get(point, 0) + 1
         self.hits[point] = hit
         for fault in self.faults:
-            if fault.point == point and fault.triggers(hit):
+            if fault.point == point and fault.action != "corrupt" and fault.triggers(hit):
                 self.injected[point] = self.injected.get(point, 0) + 1
                 fault.execute()
+                return
+
+    def corrupt(self, point: str, path: str) -> None:
+        """Count a written file at ``point``; rot it if a corrupt fault triggers."""
+        if not any(f.point == point and f.action == "corrupt" for f in self.faults):
+            return
+        hit = self.corrupt_hits.get(point, 0) + 1
+        self.corrupt_hits[point] = hit
+        for fault in self.faults:
+            if fault.point == point and fault.action == "corrupt" and fault.triggers(hit):
+                self.injected[point] = self.injected.get(point, 0) + 1
+                fault.corrupt_path(path)
                 return
 
     def spec(self) -> str:
@@ -230,7 +305,10 @@ def parse_spec(text: str) -> FaultPlan:
                 raise FaultSpecError(f"bad probability selector in {clause!r}") from None
         action_name, _, arg_text = action.partition(":")
         arg = None
-        if arg_text:
+        mode = None
+        if action_name == "corrupt":
+            mode = arg_text or None
+        elif arg_text:
             try:
                 arg = float(arg_text)
             except ValueError:
@@ -242,7 +320,7 @@ def parse_spec(text: str) -> FaultPlan:
         faults.append(
             Fault(
                 point=point, action=action_name, nth=nth, onward=onward,
-                probability=probability, seed=seed, arg=arg,
+                probability=probability, seed=seed, arg=arg, mode=mode,
             )
         )
     return FaultPlan(faults)
@@ -282,3 +360,18 @@ def fire(point: str) -> None:
         plan = active_plan()
     if plan is not None:
         plan.fire(point)  # type: ignore[union-attr]
+
+
+def corrupt_file(point: str, path: str | os.PathLike[str]) -> None:
+    """Post-write hook: rot the just-committed ``path`` if a corrupt fault is armed.
+
+    Commit points call this *after* their atomic rename, so the writer
+    has already observed success — exactly the silent-bit-rot scenario
+    the integrity layer exists to catch.  A no-op unless a plan with a
+    ``corrupt`` clause at ``point`` is armed.
+    """
+    plan = _PLAN
+    if plan is _UNSET:
+        plan = active_plan()
+    if plan is not None:
+        plan.corrupt(point, os.fspath(path))  # type: ignore[union-attr]

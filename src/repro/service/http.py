@@ -48,6 +48,8 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.incremental import IncrementalScanner
+from repro.integrity.lock import StateLock
+from repro.integrity.scrub import Scrubber
 from repro.resilience import faults
 from repro.rsa.der import DERError, decode_rsa_public_key, decode_subject_public_key_info
 from repro.rsa.keys import DEFAULT_E, recover_key
@@ -98,6 +100,11 @@ class ServiceConfig:
     #: scanner fleet width; 1 keeps today's in-process scanner, >= 2 runs
     #: a :class:`~repro.service.shard.ShardRouter` over worker processes
     shards: int = 1
+    #: seconds between online-scrubber cycles (0 disables scrubbing);
+    #: see ``docs/INTEGRITY.md`` for the dials
+    scrub_interval: float = 5.0
+    #: per-cycle byte budget for scrub re-hashing (rate limit)
+    scrub_max_bytes: int = 16 << 20
 
 
 class WeakKeyService:
@@ -122,6 +129,10 @@ class WeakKeyService:
         self.tickets: OrderedDict[str, Ticket] = OrderedDict()
         self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="scan")
         self._started_at: float | None = None
+        #: sticky read-only trip reason; set by the scrubber on corruption
+        self.degraded_reason: str | None = None
+        self.scrubber: Scrubber | None = None
+        self._state_lock = StateLock(config.state_dir)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -129,7 +140,14 @@ class WeakKeyService:
         """Load durable state, rebuild the scanner, start the batcher.
 
         Returns the number of batches restored from the state directory.
+
+        Takes the state-directory advisory lock first, so an offline
+        ``repro fsck`` and a live service can never race each other
+        (:mod:`repro.integrity.lock`); raises
+        :class:`~repro.integrity.lock.LockHeld` when another holder is
+        alive.
         """
+        self._state_lock.acquire(purpose="serve")
         restored = self.registry.load()
         if self.registry.bits is not None:
             if self.config.bits is not None and self.config.bits != self.registry.bits:
@@ -161,6 +179,14 @@ class WeakKeyService:
         elif self.bits is not None:
             self.scanner = self._fresh_scanner(self.bits)
         await self.batcher.start()
+        if self.config.scrub_interval > 0:
+            self.scrubber = Scrubber(
+                self,
+                interval=self.config.scrub_interval,
+                max_bytes_per_cycle=self.config.scrub_max_bytes,
+            )
+            self.scrubber.start()
+        self.telemetry.registry.gauge("integrity.degraded").set(0)
         self._started_at = time.monotonic()
         self.telemetry.emit(
             "service.start", keys=self.registry.n_keys,
@@ -184,6 +210,8 @@ class WeakKeyService:
         shard snapshots — the restored fleet would otherwise skip pairs
         the registry already recorded hits for.
         """
+        if self.scrubber is not None:
+            await self.scrubber.stop()
         await self.batcher.stop(drain=drain)
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(self._executor, self._commit_scan_state)
@@ -191,6 +219,7 @@ class WeakKeyService:
         if self.router is not None:
             self.router.stop()
         self.registry.sync()
+        self._state_lock.release()
         self.telemetry.emit("service.stop", keys=self.registry.n_keys)
 
     def _commit_scan_state(self) -> None:
@@ -223,6 +252,25 @@ class WeakKeyService:
             spool_dir=self._ptree_dir(),
             telemetry=self.telemetry, **self._scan_config(),
         )
+
+    # -- integrity -------------------------------------------------------------
+
+    def enter_degraded(self, reason: str) -> None:
+        """Trip read-only mode: damage was found in committed state.
+
+        Sticky until the process restarts — a corrupt registry does not
+        get *less* corrupt while serving, and only an offline
+        ``repro fsck --repair`` (plus restart) clears the condition.
+        Reads keep serving: existing verdicts were computed before the
+        damage was observable and re-verifying them is exactly what the
+        operator's fsck run is for, while new writes could commit batches
+        scanned against rotten state.
+        """
+        if self.degraded_reason is not None:
+            return
+        self.degraded_reason = reason
+        self.telemetry.registry.gauge("integrity.degraded").set(1)
+        self.telemetry.emit("integrity.degraded", reason=reason)
 
     # -- submission ------------------------------------------------------------
 
@@ -390,7 +438,8 @@ class WeakKeyService:
     def health_view(self) -> dict:
         up = time.monotonic() - self._started_at if self._started_at else 0.0
         return {
-            "status": "ok",
+            "status": "degraded" if self.degraded_reason is not None else "ok",
+            "degraded_reason": self.degraded_reason,
             "keys": self.registry.n_keys,
             "batches": self.registry.n_batches,
             "hits": len(self.registry.hits),
@@ -399,6 +448,9 @@ class WeakKeyService:
             "bits": self.bits,
             "shards": self.config.shards,
             "uptime_seconds": round(up, 3),
+            "scrub": self.scrubber.status()
+            if self.scrubber is not None
+            else {"enabled": False},
         }
 
     def shards_view(self) -> dict:
@@ -833,6 +885,16 @@ class HttpServer:
                 400,
                 "no parseable keys in submission"
                 + (f" ({len(rejected)} rejected)" if rejected else ""),
+            )
+        if self.service.degraded_reason is not None:
+            # read-only: the scrubber found corruption in committed state;
+            # reads keep serving, writes wait for the operator's fsck
+            raise _HttpError(
+                503,
+                "service is degraded read-only (durable-state corruption: "
+                f"{self.service.degraded_reason}); run `repro fsck --repair` "
+                "and restart",
+                headers=(("Retry-After", "60"),),
             )
         if self._draining.is_set():
             raise _HttpError(

@@ -294,7 +294,9 @@ class WeakKeyRegistry:
                 faults.fire("registry.commit")
                 self.state_dir.mkdir(parents=True, exist_ok=True)
                 k = write_blob(self.state_dir / keys_name, new_moduli)
+                faults.corrupt_file("registry.commit", k.path)
                 v = write_blob(self.state_dir / hits_name, flat)
+                faults.corrupt_file("registry.commit", v.path)
                 return k, v
 
             keys_info, hits_info = self.retry_policy.run(

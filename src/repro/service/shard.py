@@ -57,6 +57,7 @@ from pathlib import Path
 
 from repro.core.attack import WeakHit
 from repro.core.incremental import IncrementalScanner
+from repro.core.spool import write_sidecar
 from repro.resilience import faults
 from repro.resilience.errors import FatalError, TransientError
 from repro.telemetry import Telemetry
@@ -178,23 +179,31 @@ def _batch_fingerprint(moduli: list[int]) -> str:
     return h.hexdigest()[:16]
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
-    """tmp + fsync + rename, the spool's crash-safety discipline."""
+def _atomic_write_json(path: Path, payload: dict) -> str:
+    """tmp + fsync + rename, the spool's crash-safety discipline.
+
+    Returns the SHA-256 hex digest of the committed bytes, computed from
+    the in-memory payload (so a post-rename corruption cannot launder
+    itself into the checksum the caller records).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
+    body = json.dumps(payload).encode("utf-8")
     tmp = path.with_suffix(".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh)
+    with open(tmp, "wb") as fh:
+        fh.write(body)
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    digest = hashlib.sha256(body).hexdigest()
     try:
         dir_fd = os.open(path.parent, os.O_RDONLY)
     except OSError:
-        return
+        return digest
     try:
         os.fsync(dir_fd)
     finally:
         os.close(dir_fd)
+    return digest
 
 
 # ---------------------------------------------------------------------------
@@ -258,7 +267,9 @@ class _ShardWorker:
             "job_hits": [list(h) for h in self.applied_hits],
             "job_pairs": self.applied_pairs,
         }
-        _atomic_write_json(self.snapshot_path, payload)
+        digest = _atomic_write_json(self.snapshot_path, payload)
+        faults.corrupt_file("shard.commit", self.snapshot_path)
+        write_sidecar(self.snapshot_path, digest)
         self.persisted = True
 
     def _load(self) -> bool:

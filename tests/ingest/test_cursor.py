@@ -43,9 +43,8 @@ class TestRoundTrip:
     def test_no_tmp_residue(self, tmp_path):
         cursor = CrawlCursor(tmp_path)
         cursor.commit(state())
-        assert [p.name for p in tmp_path.iterdir() if p.name.startswith("cursor")] == [
-            "cursor.json"
-        ]
+        names = sorted(p.name for p in tmp_path.iterdir() if p.name.startswith("cursor"))
+        assert names == ["cursor.json", "cursor.json.sha256"]
 
 
 class TestStateMath:

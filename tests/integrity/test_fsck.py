@@ -1,0 +1,272 @@
+"""Offline fsck: verdicts, the repair ladder, quarantine, refusals."""
+
+import hashlib
+import json
+
+from repro.core.spool import read_blob, write_blob, write_sidecar
+from repro.integrity.fsck import run_fsck
+from repro.service.registry import WeakKeyRegistry
+
+from tests.integrity.conftest import build_state, flip_byte, truncate_tail
+
+
+def repairs_of(report, action=None):
+    return [r for r in report.repairs if action is None or r["action"] == action]
+
+
+class TestCheckOnly:
+    def test_clean_state_reports_clean(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        report = run_fsck(tmp_path)
+        assert report.clean
+        assert report.post_scan is None  # check-only never rescans
+
+    def test_check_only_never_mutates(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        flip_byte(tmp_path / "keys-000000.bin")
+        before = {
+            p.name: p.read_bytes() for p in tmp_path.rglob("*") if p.is_file()
+        }
+        report = run_fsck(tmp_path)
+        assert not report.clean and not report.repairs
+        after = {
+            p.name: p.read_bytes() for p in tmp_path.rglob("*") if p.is_file()
+        }
+        assert before == after
+        assert not (tmp_path / "quarantine").exists()
+
+
+class TestRegistryRepair:
+    def test_keys_blob_rebuilt_from_ptree(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        pristine = (tmp_path / "keys-000000.bin").read_bytes()
+        flip_byte(tmp_path / "keys-000000.bin")
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert (tmp_path / "keys-000000.bin").read_bytes() == pristine
+        assert (tmp_path / "quarantine" / "keys-000000.bin").exists()
+
+    def test_hits_blob_rebuilt_by_gcd_rescan(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        damaged = [p for p in tmp_path.glob("hits-*.bin") if p.stat().st_size > 12]
+        pristine = damaged[0].read_bytes()
+        flip_byte(damaged[0])
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert damaged[0].read_bytes() == pristine
+
+    def test_registry_survives_reload_after_repair(
+        self, tmp_path, corpus, corpus_hits
+    ):
+        registry = build_state(tmp_path, corpus, corpus_hits)
+        expected_hits = {(h.i, h.j) for h in registry.hits}
+        flip_byte(tmp_path / "keys-000001.bin")
+        assert run_fsck(tmp_path, repair=True).healed
+        fresh = WeakKeyRegistry(tmp_path)
+        fresh.load()
+        assert fresh.moduli == corpus.moduli
+        assert {(h.i, h.j) for h in fresh.hits} == expected_hits
+
+    def test_keys_blob_rebuilt_from_shard_snapshot(
+        self, tmp_path, corpus, corpus_hits
+    ):
+        build_state(tmp_path, corpus, corpus_hits, with_ptree=False)
+        # one snapshot owning every even index, one owning the odds
+        for k in (0, 1):
+            indices = [g for g in range(len(corpus.moduli)) if g % 2 == k]
+            payload = {
+                "format": "repro.shard-snapshot/1", "shard": k, "shards": 2,
+                "replicas": 1, "indices": indices,
+                "scanner": {"moduli": [corpus.moduli[g] for g in indices]},
+                "pairs_tested": 0, "job": None, "job_fp": None,
+                "job_hits": [], "job_pairs": 0,
+            }
+            sdir = tmp_path / "shards" / str(k)
+            sdir.mkdir(parents=True)
+            body = json.dumps(payload).encode()
+            (sdir / "shard.json").write_bytes(body)
+            write_sidecar(sdir / "shard.json", hashlib.sha256(body).hexdigest())
+        pristine = (tmp_path / "keys-000000.bin").read_bytes()
+        flip_byte(tmp_path / "keys-000000.bin")
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert (tmp_path / "keys-000000.bin").read_bytes() == pristine
+
+    def test_no_redundancy_refuses_loudly(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits, with_ptree=False)
+        flip_byte(tmp_path / "keys-000000.bin")
+        report = run_fsck(tmp_path, repair=True)
+        assert not report.healed
+        assert any("no intact redundancy" in r["reason"] for r in report.refusals)
+        # the damaged blob stays put for forensics — nothing destructive
+        assert (tmp_path / "keys-000000.bin").exists()
+
+
+class TestPtreeRepair:
+    def test_segment_corruption_regrows_the_tree(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        seg = sorted((tmp_path / "ptree").glob("seg-*.bin"))[0]
+        flip_byte(seg)
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert any(
+            r["artifact"] == "ptree" and r["action"] == "rebuild"
+            for r in report.repairs
+        )
+        # regrown leaves carry the registry's moduli
+        manifest = json.loads((tmp_path / "ptree" / "manifest.json").read_bytes())
+        leaves = {}
+        for record in manifest["stages"]:
+            _, start, _h = record["name"].split(".")
+            nodes = read_blob(tmp_path / "ptree" / record["blob"])
+            for off, n in enumerate(nodes[: (len(nodes) + 1) // 2]):
+                leaves[int(start) + off] = n
+        assert [leaves[g] for g in sorted(leaves)] == corpus.moduli
+
+    def test_mutual_repair_of_disjoint_damage(self, tmp_path):
+        # registry keys heal from ptree leaves while the damaged ptree
+        # regrows from the (by-then complete) registry — order matters.
+        # 12 keys give a two-segment tree (8 + 4 leaves), so damage to
+        # keys 0-5 and to the 4-leaf segment (leaves 8-11) is disjoint.
+        from repro.core.attack import find_shared_primes
+        from repro.rsa.corpus import generate_weak_corpus
+
+        corpus = generate_weak_corpus(12, 64, shared_groups=(2,), seed=5)
+        hits = find_shared_primes(corpus.moduli).hits
+        build_state(tmp_path, corpus, hits)
+        flip_byte(tmp_path / "keys-000000.bin")  # indices 0-5: inside seg A
+        seg_b = sorted((tmp_path / "ptree").glob("seg-00000008-*.bin"))
+        assert seg_b, sorted((tmp_path / "ptree").iterdir())
+        truncate_tail(seg_b[0])
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        fresh = WeakKeyRegistry(tmp_path)
+        fresh.load()
+        assert fresh.moduli == corpus.moduli
+
+
+class TestRootOfTruthRefusals:
+    def test_corrupt_registry_manifest_refuses(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        path = tmp_path / "manifest.json"
+        path.write_text(path.read_text().replace('"sha256"', '"sha256x"', 1))
+        report = run_fsck(tmp_path, repair=True)
+        assert not report.healed
+        assert any(
+            r["artifact"] == "manifest.json"
+            and "refusing to repair anything that depends on it" in r["reason"]
+            for r in report.refusals
+        )
+
+    def test_corrupt_cursor_refuses(self, tmp_path):
+        from repro.ingest.cursor import CrawlCursor, CrawlState
+
+        CrawlCursor(tmp_path).commit(
+            CrawlState(log_url="https://ct.example/log", start=0, end=5, next_index=5)
+        )
+        path = tmp_path / "cursor.json"
+        path.write_text(path.read_text().replace(":", ";", 1))
+        report = run_fsck(tmp_path, repair=True)
+        assert not report.healed
+        assert any(r["artifact"] == "cursor.json" for r in report.refusals)
+
+
+class TestShardAndSpoolRepair:
+    def test_corrupt_snapshot_is_dropped_as_derived(self, tmp_path):
+        sdir = tmp_path / "shards" / "0"
+        sdir.mkdir(parents=True)
+        (sdir / "shard.json").write_text('{"format": "repro.shard-')
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert not (sdir / "shard.json").exists()
+        assert (tmp_path / "quarantine" / "shards" / "0" / "shard.json").exists()
+        assert repairs_of(report, "drop-derived")
+
+    def test_spool_truncated_to_verified_prefix(self, tmp_path):
+        from repro.core.checkpoint import CheckpointStore, Manifest, StageRecord
+
+        spool = tmp_path / "spool-000"
+        spool.mkdir()
+        store = CheckpointStore(spool)
+        manifest = Manifest(config={"format": "batchscan-spool/1"})
+        for stage in range(3):
+            blob = f"blob-{stage:03d}.bin"
+            info = write_blob(spool / blob, [stage * 10 + v for v in range(4)])
+            manifest.stages.append(
+                StageRecord(name=f"stage.{stage}", blob=blob, count=info.count,
+                            nbytes=info.nbytes, sha256=info.sha256, seconds=0.0)
+            )
+        store.save(manifest)
+        flip_byte(spool / "blob-001.bin")
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        kept = json.loads((spool / "manifest.json").read_bytes())["stages"]
+        assert [s["name"] for s in kept] == ["stage.0"]
+        # both dropped blobs (the corrupt one and its dependent) quarantined
+        assert (tmp_path / "quarantine" / "spool-000" / "blob-001.bin").exists()
+
+
+class TestIngestRepair:
+    def _state(self, tmp_path, *, watermark, seen_bytes):
+        from repro.ingest.cursor import CrawlCursor, CrawlState
+
+        CrawlCursor(tmp_path).commit(
+            CrawlState(
+                log_url="https://ct.example/log", start=0, end=10, next_index=4,
+                dedup_watermark=watermark,
+            )
+        )
+        (tmp_path / "dedup").mkdir()
+        (tmp_path / "dedup" / "seen.log").write_bytes(seen_bytes)
+
+    def test_torn_seen_log_truncated_to_whole_records(self, tmp_path):
+        self._state(tmp_path, watermark=2, seen_bytes=b"\x11" * 32 + b"\x22" * 32 + b"\x33" * 9)
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert (tmp_path / "dedup" / "seen.log").stat().st_size == 64
+
+    def test_seen_log_under_watermark_refuses(self, tmp_path):
+        self._state(tmp_path, watermark=3, seen_bytes=b"\x11" * 32 + b"\x22" * 9)
+        report = run_fsck(tmp_path, repair=True)
+        assert not report.healed
+        assert any("committed" in r["reason"] for r in report.refusals)
+
+
+class TestSidecarRefresh:
+    def test_stale_sidecar_refreshed_when_family_clean(
+        self, tmp_path, corpus, corpus_hits
+    ):
+        build_state(tmp_path, corpus, corpus_hits)
+        write_sidecar(tmp_path / "manifest.json", "0" * 64)
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed
+        recorded = (tmp_path / "manifest.json.sha256").read_text().strip()
+        actual = hashlib.sha256((tmp_path / "manifest.json").read_bytes()).hexdigest()
+        assert recorded == actual
+
+    def test_stale_sidecar_not_refreshed_over_unrepaired_damage(
+        self, tmp_path, corpus, corpus_hits
+    ):
+        # refreshing a sidecar in a family that still has corruption would
+        # launder the damage into a "verified" state — must not happen
+        build_state(tmp_path, corpus, corpus_hits, with_ptree=False)
+        flip_byte(tmp_path / "keys-000000.bin")  # unrepairable: no redundancy
+        write_sidecar(tmp_path / "manifest.json", "0" * 64)
+        report = run_fsck(tmp_path, repair=True)
+        assert not report.healed
+        assert (tmp_path / "manifest.json.sha256").read_text().strip() == "0" * 64
+
+
+class TestQuarantineLayout:
+    def test_collisions_get_numeric_suffixes(self, tmp_path, corpus, corpus_hits):
+        build_state(tmp_path, corpus, corpus_hits)
+        q = tmp_path / "quarantine"
+        q.mkdir()
+        (q / "keys-000000.bin").write_bytes(b"earlier incident")
+        flip_byte(tmp_path / "keys-000000.bin")
+        report = run_fsck(tmp_path, repair=True)
+        assert report.healed, (report.repairs, report.refusals)
+        assert (q / "keys-000000.bin").read_bytes() == b"earlier incident"
+        assert any(
+            p.name.startswith("keys-000000.bin.") for p in q.iterdir()
+        ), list(q.iterdir())

@@ -1,0 +1,114 @@
+"""State-directory lock: contention, release, crash semantics."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.integrity.lock import LOCK_NAME, LockHeld, StateLock
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestAcquireRelease:
+    def test_acquire_writes_breadcrumb(self, tmp_path):
+        lock = StateLock(tmp_path)
+        lock.acquire(purpose="serve")
+        assert lock.locked
+        assert f"pid {os.getpid()} (serve)" in (tmp_path / LOCK_NAME).read_text()
+        lock.release()
+        assert not lock.locked
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = StateLock(tmp_path)
+        lock.acquire()
+        lock.release()
+        lock.release()
+
+    def test_reacquire_after_release(self, tmp_path):
+        lock = StateLock(tmp_path)
+        lock.acquire()
+        lock.release()
+        lock.acquire(purpose="fsck")
+        assert lock.locked
+        lock.release()
+
+    def test_acquire_is_reentrant_on_same_object(self, tmp_path):
+        lock = StateLock(tmp_path)
+        lock.acquire()
+        lock.acquire()  # no-op, not a deadlock
+        lock.release()
+
+    def test_creates_missing_state_dir(self, tmp_path):
+        lock = StateLock(tmp_path / "fresh")
+        lock.acquire()
+        assert (tmp_path / "fresh" / LOCK_NAME).exists()
+        lock.release()
+
+
+class TestContention:
+    def test_second_holder_fails_fast_with_message(self, tmp_path):
+        a, b = StateLock(tmp_path), StateLock(tmp_path)
+        a.acquire(purpose="serve")
+        with pytest.raises(LockHeld, match="service appears to be running"):
+            b.acquire(purpose="fsck")
+        assert not b.locked
+        a.release()
+        b.acquire()  # freed now
+        b.release()
+
+    def test_message_names_the_holder(self, tmp_path):
+        a = StateLock(tmp_path)
+        a.acquire(purpose="serve")
+        with pytest.raises(LockHeld, match=rf"pid {os.getpid()} \(serve\)"):
+            StateLock(tmp_path).acquire()
+        a.release()
+
+    def test_context_manager_takes_fsck_purpose(self, tmp_path):
+        with StateLock(tmp_path) as lock:
+            assert lock.locked
+            assert "(fsck)" in (tmp_path / LOCK_NAME).read_text()
+        assert not lock.locked
+
+
+class TestCrashSemantics:
+    def _hold_in_child(self, tmp_path):
+        """A child process that takes the lock and then sleeps."""
+        code = (
+            "import sys, time; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.integrity.lock import StateLock\n"
+            "StateLock(sys.argv[2]).acquire(purpose='serve')\n"
+            "print('locked', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code, REPO_SRC, str(tmp_path)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        assert proc.stdout.readline().strip() == "locked"
+        return proc
+
+    def test_kill_dash_nine_releases_the_lock(self, tmp_path):
+        proc = self._hold_in_child(tmp_path)
+        try:
+            with pytest.raises(LockHeld):
+                StateLock(tmp_path).acquire()
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+        # the kernel dropped the flock with the process; stale file is fine
+        deadline = time.monotonic() + 5
+        while True:
+            try:
+                lock = StateLock(tmp_path)
+                lock.acquire()
+                break
+            except LockHeld:  # pragma: no cover - scheduler lag
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        lock.release()

@@ -1,0 +1,74 @@
+"""Doc-drift guard: the fault-point tables must match ``FAULT_POINTS``.
+
+Two human-maintained tables describe the injection points — the module
+docstring of ``repro.resilience.faults`` and the reference table in
+``docs/RESILIENCE.md``.  Both are load-bearing operator documentation, and
+both silently rot when a new point is added without updating them.  These
+tests parse the actual tables and diff them against the code's
+``FAULT_POINTS`` tuple, so adding a point without documenting it (or
+documenting a point that does not exist) fails CI with the exact drift.
+"""
+
+import re
+from pathlib import Path
+
+from repro.resilience import faults
+from repro.resilience.faults import CORRUPT_MODES, FAULT_POINTS
+
+REPO = Path(__file__).resolve().parents[2]
+RESILIENCE_MD = REPO / "docs" / "RESILIENCE.md"
+
+
+def docstring_table_points() -> list[str]:
+    """Point names from the reST grid table in the faults module docstring."""
+    doc = faults.__doc__
+    # the grid table is delimited by ====-rule lines; rows look like:
+    #   ``spool.write``     :func:`...`, before the tmp write
+    chunks = re.split(r"^=+ +=+$", doc, flags=re.MULTILINE)
+    assert len(chunks) == 3, "expected exactly one ====-delimited table"
+    return re.findall(r"^``([a-z._]+)``", chunks[1], flags=re.MULTILINE)
+
+
+def markdown_table_points() -> list[str]:
+    """Point names from the | `point` | boundary | table in RESILIENCE.md."""
+    text = RESILIENCE_MD.read_text()
+    section = text.split("## 4. Fault injection", 1)[1]
+    return re.findall(r"^\| `([a-z._]+)` \|", section, flags=re.MULTILINE)
+
+
+class TestFaultPointTables:
+    def test_docstring_table_matches_fault_points(self):
+        documented = docstring_table_points()
+        assert documented == list(FAULT_POINTS), (
+            f"faults.py docstring table drifted from FAULT_POINTS: "
+            f"missing={set(FAULT_POINTS) - set(documented)}, "
+            f"stale={set(documented) - set(FAULT_POINTS)}"
+        )
+
+    def test_resilience_md_table_matches_fault_points(self):
+        documented = markdown_table_points()
+        assert documented == list(FAULT_POINTS), (
+            f"docs/RESILIENCE.md fault table drifted from FAULT_POINTS: "
+            f"missing={set(FAULT_POINTS) - set(documented)}, "
+            f"stale={set(documented) - set(FAULT_POINTS)}"
+        )
+
+    def test_tables_list_points_in_the_same_order(self):
+        # same order makes the two tables diffable by eye
+        assert docstring_table_points() == markdown_table_points()
+
+
+class TestActionDocs:
+    def test_every_action_is_documented_in_both_places(self):
+        doc = faults.__doc__
+        md = RESILIENCE_MD.read_text()
+        for action in faults._ACTIONS:
+            assert action in doc, f"action {action!r} missing from faults.py docstring"
+            assert action in md, f"action {action!r} missing from docs/RESILIENCE.md"
+
+    def test_every_corrupt_mode_is_documented_in_both_places(self):
+        doc = faults.__doc__
+        md = RESILIENCE_MD.read_text()
+        for mode in CORRUPT_MODES:
+            assert mode in doc, f"corrupt mode {mode!r} missing from faults.py docstring"
+            assert mode in md, f"corrupt mode {mode!r} missing from docs/RESILIENCE.md"

@@ -185,6 +185,9 @@ class TestShardCrashes:
             service.router.stop()
             service._executor.shutdown(wait=True)
             await service.batcher.stop(drain=False)
+            # a real crash drops the kernel flock with the process; release
+            # explicitly since this "crash" shares our pid
+            service._state_lock.release()
 
         asyncio.run(go())
         survivor = run_session(tmp_path, 3, [corpus.moduli[12:]])
